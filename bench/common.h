@@ -1,0 +1,94 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints three kinds of numbers side by side:
+//   paper[ms]    — the value reported in the paper (HyPer1, |R|=1600M),
+//                  where the figure states one;
+//   model[ms]    — our algorithms' counters mapped through the
+//                  calibrated HyPer1 machine model at the bench's
+//                  (scaled-down) data size;
+//   wall[ms]     — measured wall clock on this machine (single-core
+//                  development VM: parallel speedups are not visible
+//                  here, the machine model carries that signal).
+// Shapes — who wins, by what factor, how series scale — are compared
+// via the relative columns; absolute paper values differ by the data
+// scale factor.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "core/join_stats.h"
+#include "sim/machine_model.h"
+#include "util/env.h"
+#include "util/table.h"
+#include "workload/generator.h"
+#include "workload/query.h"
+
+namespace mpsm::bench {
+
+/// log2 of |R| for benches; MPSM_BENCH_R_LOG2 overrides (default 2^18).
+inline size_t BenchRTuples() {
+  return size_t{1} << GetEnvInt("MPSM_BENCH_R_LOG2", 18);
+}
+
+/// Worker-team size for benches; MPSM_BENCH_WORKERS overrides.
+inline uint32_t BenchWorkers() {
+  return static_cast<uint32_t>(GetEnvInt("MPSM_BENCH_WORKERS", 32));
+}
+
+/// One benchmarked execution: measured + modeled.
+struct BenchRun {
+  JoinRunInfo info;
+  sim::ModeledExecution modeled;
+  double wall_ms = 0;
+  double modeled_ms = 0;
+};
+
+/// Runs the benchmark query with `algorithm` and models it on HyPer1.
+inline BenchRun RunAndModel(workload::Algorithm algorithm, WorkerTeam& team,
+                            const Relation& r, const Relation& s,
+                            const MpsmOptions& options = {}) {
+  auto result = workload::RunBenchmarkQuery(algorithm, team, r, s, options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "bench: %s failed: %s\n",
+                 workload::AlgorithmName(algorithm),
+                 result.status().ToString().c_str());
+    std::exit(1);
+  }
+  BenchRun run;
+  run.info = std::move(result->info);
+  run.modeled =
+      sim::ModelExecution(sim::MachineModel::HyPer1(), run.info.workers);
+  run.wall_ms = run.info.wall_seconds * 1e3;
+  run.modeled_ms = run.modeled.total_seconds * 1e3;
+  return run;
+}
+
+/// Formats a ratio like "1.00x".
+inline std::string Ratio(double value, double base) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.2fx", base > 0 ? value / base : 0.0);
+  return buf;
+}
+
+/// Formats milliseconds with one decimal; "-" for NaN/absent.
+inline std::string Ms(double ms) {
+  if (ms <= 0) return "-";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f", ms);
+  return buf;
+}
+
+/// Prints the standard bench banner.
+inline void Banner(const char* figure, const char* description) {
+  std::printf("=== %s — %s ===\n", figure, description);
+  std::printf(
+      "|R| = %zu tuples, %u workers (paper: |R| = 1600M, 32 cores on "
+      "HyPer1)\n"
+      "model[ms] = counters x calibrated HyPer1 cost model; wall[ms] = "
+      "this machine.\n\n",
+      BenchRTuples(), BenchWorkers());
+}
+
+}  // namespace mpsm::bench

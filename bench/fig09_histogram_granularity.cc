@@ -1,0 +1,129 @@
+// Figure 9: fine-grained histograms at little overhead.
+//
+// Sweeps the radix-histogram granularity 32..2048 buckets (B = 5..11)
+// over the phase-2 pipeline — histogram build, prefix-sum/splitter
+// computation, partitioning (scatter) — and compares against
+// comparison-based partitioning with explicit bounds (binary search
+// per tuple).
+//
+// Paper result: raising the granularity costs almost nothing (the
+// histogram pass is branch-free), while comparison-based partitioning
+// is far slower. These are real single-thread kernel measurements —
+// no machine model involved.
+#include <algorithm>
+#include <vector>
+
+#include "bench/common.h"
+#include "partition/key_normalizer.h"
+#include "partition/prefix_scatter.h"
+#include "partition/radix_histogram.h"
+#include "partition/splitters.h"
+#include "util/timer.h"
+
+namespace mpsm::bench {
+namespace {
+
+void Main() {
+  Banner("Figure 9", "histogram granularity sweep (real kernel times)");
+  const auto topology = numa::Topology::HyPer1();
+  const uint32_t team_size = BenchWorkers();
+
+  workload::DatasetSpec spec;
+  spec.r_tuples = BenchRTuples() * 4;  // single-threaded kernel: use more
+  spec.multiplicity = 0;               // R only
+  spec.r_distribution = workload::KeyDistribution::kSkewLowEnd;
+  spec.seed = 42;
+  const auto dataset = workload::Generate(topology, 1, spec);
+  const Chunk& chunk = dataset.r.chunk(0);
+
+  TablePrinter table;
+  table.SetHeader({"granularity", "histogram[ms]", "prefix+splitters[ms]",
+                   "partition[ms]", "total[ms]"});
+
+  std::vector<Tuple> out(chunk.size);
+  for (uint32_t bits = 5; bits <= 11; ++bits) {
+    KeyNormalizer normalizer(0, spec.key_domain - 1, bits);
+
+    WallTimer t1;
+    const auto histogram =
+        BuildRadixHistogram(chunk.data, chunk.size, normalizer);
+    const double hist_ms = t1.ElapsedMillis();
+
+    WallTimer t2;
+    const auto splitters =
+        ComputeSplitters(histogram, {}, team_size, MakePMpsmCost(team_size));
+    std::vector<uint64_t> partition_hist(team_size, 0);
+    for (size_t c = 0; c < histogram.size(); ++c) {
+      partition_hist[splitters.PartitionOfCluster(static_cast<uint32_t>(c))] +=
+          histogram[c];
+    }
+    const auto plan = ComputeScatterPlan({partition_hist});
+    const double prefix_ms = t2.ElapsedMillis();
+
+    WallTimer t3;
+    std::vector<Tuple*> dest(team_size);
+    std::vector<uint64_t> offsets(team_size + 1, 0);
+    for (uint32_t p = 0; p < team_size; ++p) {
+      offsets[p + 1] = offsets[p] + plan.partition_sizes[p];
+      dest[p] = out.data() + offsets[p];
+    }
+    std::vector<uint64_t> cursor(team_size, 0);
+    ScatterChunk(chunk.data, chunk.size,
+                 [&](uint64_t key) {
+                   return splitters.PartitionOfCluster(
+                       normalizer.Cluster(key));
+                 },
+                 dest.data(), cursor.data());
+    const double scatter_ms = t3.ElapsedMillis();
+
+    table.AddRow({std::to_string(1u << bits), Ms(hist_ms), Ms(prefix_ms),
+                  Ms(scatter_ms), Ms(hist_ms + prefix_ms + scatter_ms)});
+  }
+
+  // Comparison-based partitioning with explicit bounds (the right-hand
+  // bar of Figure 9): binary-search each tuple into T range bounds.
+  {
+    std::vector<uint64_t> bounds;
+    for (uint32_t p = 1; p < team_size; ++p) {
+      bounds.push_back(spec.key_domain / team_size * p);
+    }
+    WallTimer t1;
+    std::vector<uint64_t> histogram(team_size, 0);
+    for (size_t i = 0; i < chunk.size; ++i) {
+      const auto it = std::upper_bound(bounds.begin(), bounds.end(),
+                                       chunk.data[i].key);
+      ++histogram[it - bounds.begin()];
+    }
+    const double hist_ms = t1.ElapsedMillis();
+
+    WallTimer t3;
+    std::vector<Tuple*> dest(team_size);
+    std::vector<uint64_t> offsets(team_size + 1, 0);
+    for (uint32_t p = 0; p < team_size; ++p) {
+      offsets[p + 1] = offsets[p] + histogram[p];
+      dest[p] = out.data() + offsets[p];
+    }
+    std::vector<uint64_t> cursor(team_size, 0);
+    ScatterChunk(chunk.data, chunk.size,
+                 [&](uint64_t key) {
+                   const auto it =
+                       std::upper_bound(bounds.begin(), bounds.end(), key);
+                   return static_cast<uint32_t>(it - bounds.begin());
+                 },
+                 dest.data(), cursor.data());
+    const double scatter_ms = t3.ElapsedMillis();
+    table.AddRow({"explicit bounds", Ms(hist_ms), "-", Ms(scatter_ms),
+                  Ms(hist_ms + scatter_ms)});
+  }
+
+  table.Print();
+  std::printf(
+      "\nShape checks: histogram/partition cost ~flat from 32 to 2048\n"
+      "buckets (higher precision is free); comparison-based explicit\n"
+      "bounds pay a branchy binary search per tuple.\n");
+}
+
+}  // namespace
+}  // namespace mpsm::bench
+
+int main() { mpsm::bench::Main(); }

@@ -1,0 +1,79 @@
+// Figure 12: MPSM, Vectorwise (radix-join stand-in), and Wisconsin hash
+// join on uniform data, multiplicity 1/4/8/16, with phase breakdown.
+//
+// Paper result: MPSM outperforms Vectorwise by ~4x and Wisconsin by up
+// to an order of magnitude at all multiplicities.
+#include <vector>
+
+#include "bench/common.h"
+
+namespace mpsm::bench {
+namespace {
+
+// Values read off Figure 12 (ms, HyPer1, |R| = 1600M).
+struct PaperRow {
+  double mpsm, vw, wisconsin;
+};
+const std::vector<std::pair<int, PaperRow>> kPaper = {
+    {1, {33482, 123498, 581196}},
+    {4, {59202, 223369, 675132}},
+    {8, {97027, 355280, 812937}},
+    {16, {169267, 621983, 1080205}},
+};
+
+void Main() {
+  Banner("Figure 12", "uniform data, multiplicity sweep");
+  const auto topology = numa::Topology::HyPer1();
+  WorkerTeam team(topology, BenchWorkers());
+
+  TablePrinter table;
+  table.SetHeader({"multiplicity", "algorithm", "paper[ms]", "model[ms]",
+                   "wall[ms]", "model vs mpsm", "paper vs mpsm"});
+
+  TablePrinter phases;
+  phases.SetHeader({"multiplicity", "algorithm", "ph1[ms]", "ph2[ms]",
+                    "ph3[ms]", "ph4[ms]"});
+
+  for (const auto& [multiplicity, paper] : kPaper) {
+    workload::DatasetSpec spec;
+    spec.r_tuples = BenchRTuples();
+    spec.multiplicity = multiplicity;
+    spec.seed = 42;
+    const auto dataset = workload::Generate(topology, team.size(), spec);
+
+    const auto mpsm =
+        RunAndModel(workload::Algorithm::kPMpsm, team, dataset.r, dataset.s);
+    const auto vw =
+        RunAndModel(workload::Algorithm::kRadix, team, dataset.r, dataset.s);
+    const auto wisconsin = RunAndModel(workload::Algorithm::kWisconsin, team,
+                                       dataset.r, dataset.s);
+
+    auto add = [&](const char* name, const BenchRun& run, double paper_ms) {
+      table.AddRow({std::to_string(multiplicity), name, Ms(paper_ms),
+                    Ms(run.modeled_ms), Ms(run.wall_ms),
+                    Ratio(run.modeled_ms, mpsm.modeled_ms),
+                    Ratio(paper_ms, paper.mpsm)});
+      phases.AddRow({std::to_string(multiplicity), name,
+                     Ms(run.modeled.phase_seconds[0] * 1e3),
+                     Ms(run.modeled.phase_seconds[1] * 1e3),
+                     Ms(run.modeled.phase_seconds[2] * 1e3),
+                     Ms(run.modeled.phase_seconds[3] * 1e3)});
+    };
+    add("p-mpsm", mpsm, paper.mpsm);
+    add("radix (vw)", vw, paper.vw);
+    add("wisconsin", wisconsin, paper.wisconsin);
+  }
+
+  table.Print();
+  std::printf("\nModeled phase breakdown (slot semantics per algorithm):\n");
+  phases.Print();
+  std::printf(
+      "\nShape checks: p-mpsm < radix < wisconsin at every multiplicity;\n"
+      "all series grow ~linearly in |S|. Paper's absolute gap vs the\n"
+      "commercial Vectorwise engine is larger (see EXPERIMENTS.md).\n");
+}
+
+}  // namespace
+}  // namespace mpsm::bench
+
+int main() { mpsm::bench::Main(); }

@@ -1,0 +1,72 @@
+// Figure 13: scalability in the number of cores (parallelism 2..64),
+// MPSM vs Vectorwise stand-in, multiplicity 4.
+//
+// Paper result: MPSM scales almost linearly up to the 32 physical
+// cores and stays flat at 64 (hyperthreading); Vectorwise scales
+// sub-linearly.
+#include <vector>
+
+#include "bench/common.h"
+
+namespace mpsm::bench {
+namespace {
+
+// Figure 13 series (ms): MPSM at parallelism 2..64. (Vectorwise's bar
+// at parallelism 2 is annotated 2346427 in the figure; intermediate VW
+// values are not legible and are omitted.)
+const std::vector<std::pair<uint32_t, double>> kPaperMpsm = {
+    {2, 773809}, {4, 396322}, {8, 201971},
+    {16, 103580}, {32, 59202}, {64, 67278},
+};
+constexpr double kPaperVw2 = 2346427;
+constexpr double kPaperVw32 = 223369;  // fig12, multiplicity 4
+
+void Main() {
+  Banner("Figure 13", "scalability in cores, multiplicity 4");
+  const auto topology = numa::Topology::HyPer1();
+
+  TablePrinter table;
+  table.SetHeader({"parallelism", "algorithm", "paper[ms]", "model[ms]",
+                   "wall[ms]", "model speedup", "paper speedup"});
+
+  double mpsm_base = 0, vw_base = 0;
+  for (const auto& [parallelism, paper_ms] : kPaperMpsm) {
+    workload::DatasetSpec spec;
+    spec.r_tuples = BenchRTuples();
+    spec.multiplicity = 4;
+    spec.seed = 42;
+    WorkerTeam team(topology, parallelism);
+    const auto dataset = workload::Generate(topology, parallelism, spec);
+
+    const auto mpsm =
+        RunAndModel(workload::Algorithm::kPMpsm, team, dataset.r, dataset.s);
+    const auto vw =
+        RunAndModel(workload::Algorithm::kRadix, team, dataset.r, dataset.s);
+    if (parallelism == 2) {
+      mpsm_base = mpsm.modeled_ms;
+      vw_base = vw.modeled_ms;
+    }
+
+    table.AddRow({std::to_string(parallelism), "p-mpsm", Ms(paper_ms),
+                  Ms(mpsm.modeled_ms), Ms(mpsm.wall_ms),
+                  Ratio(mpsm_base, mpsm.modeled_ms),
+                  Ratio(kPaperMpsm[0].second, paper_ms)});
+    const double paper_vw = parallelism == 2    ? kPaperVw2
+                            : parallelism == 32 ? kPaperVw32
+                                                : 0;
+    table.AddRow({std::to_string(parallelism), "radix (vw)", Ms(paper_vw),
+                  Ms(vw.modeled_ms), Ms(vw.wall_ms),
+                  Ratio(vw_base, vw.modeled_ms),
+                  paper_vw > 0 ? Ratio(kPaperVw2, paper_vw) : "-"});
+  }
+
+  table.Print();
+  std::printf(
+      "\nShape checks: p-mpsm speedup ~doubles per core doubling up to 32\n"
+      "and flattens at 64 (hyperthreads timeshare the 32 physical cores).\n");
+}
+
+}  // namespace
+}  // namespace mpsm::bench
+
+int main() { mpsm::bench::Main(); }

@@ -1,0 +1,66 @@
+// Figure 14: effect of role reversal — R (smaller) vs S (larger) as the
+// private input, multiplicity 1/4/8/16.
+//
+// Paper result: with |S| = m*|R|, m > 1, making the smaller relation
+// private wins, and the gap grows with m (complexity §3.2:
+// |R|/T + |R| + |S|/T  vs  |S|/T + |S| + |R|/T).
+#include <vector>
+
+#include "bench/common.h"
+
+namespace mpsm::bench {
+namespace {
+
+// Figure 14 (ms): R private (same series as fig. 12) vs S private.
+struct PaperRow {
+  double r_private, s_private;
+};
+const std::vector<std::pair<int, PaperRow>> kPaper = {
+    {1, {33482, 32790}},
+    {4, {59202, 110822}},
+    {8, {97027, 221183}},
+    {16, {169267, 455114}},
+};
+
+void Main() {
+  Banner("Figure 14", "role reversal: private input choice");
+  const auto topology = numa::Topology::HyPer1();
+  WorkerTeam team(topology, BenchWorkers());
+
+  TablePrinter table;
+  table.SetHeader({"multiplicity", "private", "paper[ms]", "model[ms]",
+                   "wall[ms]", "model penalty", "paper penalty"});
+
+  for (const auto& [multiplicity, paper] : kPaper) {
+    workload::DatasetSpec spec;
+    spec.r_tuples = BenchRTuples();
+    spec.multiplicity = multiplicity;
+    spec.seed = 42;
+    const auto dataset = workload::Generate(topology, team.size(), spec);
+
+    const auto r_private =
+        RunAndModel(workload::Algorithm::kPMpsm, team, dataset.r, dataset.s);
+    // Role reversal: swap the arguments.
+    const auto s_private =
+        RunAndModel(workload::Algorithm::kPMpsm, team, dataset.s, dataset.r);
+
+    table.AddRow({std::to_string(multiplicity), "R (|R|)",
+                  Ms(paper.r_private), Ms(r_private.modeled_ms),
+                  Ms(r_private.wall_ms), "1.00x", "1.00x"});
+    table.AddRow({std::to_string(multiplicity), "S (m*|R|)",
+                  Ms(paper.s_private), Ms(s_private.modeled_ms),
+                  Ms(s_private.wall_ms),
+                  Ratio(s_private.modeled_ms, r_private.modeled_ms),
+                  Ratio(paper.s_private, paper.r_private)});
+  }
+
+  table.Print();
+  std::printf(
+      "\nShape checks: equal at multiplicity 1; S-private penalty grows\n"
+      "with multiplicity (the larger input should stay public).\n");
+}
+
+}  // namespace
+}  // namespace mpsm::bench
+
+int main() { mpsm::bench::Main(); }

@@ -1,0 +1,168 @@
+// google-benchmark micro-kernels for the primitives every MPSM phase is
+// built from: sorting, merge join, histograms, scatter, search, CDF.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <atomic>
+#include <vector>
+
+#include "core/interpolation_search.h"
+#include "core/merge_join.h"
+#include "partition/cdf.h"
+#include "partition/equi_height.h"
+#include "partition/key_normalizer.h"
+#include "partition/radix_histogram.h"
+#include "sort/radix_introsort.h"
+#include "storage/run.h"
+#include "util/rng.h"
+
+namespace mpsm {
+namespace {
+
+std::vector<Tuple> RandomTuples(size_t n, uint64_t seed = 42) {
+  Xoshiro256 rng(seed);
+  std::vector<Tuple> data(n);
+  for (auto& t : data) {
+    t = Tuple{rng.NextBounded(uint64_t{1} << 32), rng.Next() & 0xFFFFFFFF};
+  }
+  return data;
+}
+
+void BM_RadixIntroSort(benchmark::State& state) {
+  const auto input = RandomTuples(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto data = input;
+    state.ResumeTiming();
+    sort::RadixIntroSort(data.data(), data.size());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RadixIntroSort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_StdSort(benchmark::State& state) {
+  const auto input = RandomTuples(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto data = input;
+    state.ResumeTiming();
+    std::sort(data.begin(), data.end(), TupleKeyLess{});
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_StdSort)->Arg(1 << 16)->Arg(1 << 20);
+
+void BM_MergeJoinKernel(benchmark::State& state) {
+  auto r = RandomTuples(state.range(0), 1);
+  auto s = RandomTuples(state.range(0) * 4, 2);
+  sort::RadixIntroSort(r.data(), r.size());
+  sort::RadixIntroSort(s.data(), s.size());
+  for (auto _ : state) {
+    uint64_t matches = 0;
+    MergeJoinRunPair(r.data(), r.size(), s.data(), s.size(),
+                     [&](size_t, const Tuple&, const Tuple*, size_t count) {
+                       matches += count;
+                     });
+    benchmark::DoNotOptimize(matches);
+  }
+  state.SetItemsProcessed(state.iterations() * (r.size() + s.size()));
+}
+BENCHMARK(BM_MergeJoinKernel)->Arg(1 << 16)->Arg(1 << 19);
+
+void BM_RadixHistogram(benchmark::State& state) {
+  const auto data = RandomTuples(1 << 20);
+  const KeyNormalizer normalizer(0, (uint64_t{1} << 32) - 1,
+                                 static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto histogram =
+        BuildRadixHistogram(data.data(), data.size(), normalizer);
+    benchmark::DoNotOptimize(histogram.data());
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_RadixHistogram)->Arg(5)->Arg(8)->Arg(11)->Arg(14);
+
+void BM_ScatterPrefixSum(benchmark::State& state) {
+  const auto data = RandomTuples(1 << 20);
+  const uint32_t partitions = 32;
+  std::vector<Tuple> out(data.size());
+  for (auto _ : state) {
+    std::vector<uint64_t> histogram(partitions, 0);
+    for (const auto& t : data) ++histogram[t.key % partitions];
+    std::vector<Tuple*> dest(partitions);
+    uint64_t offset = 0;
+    for (uint32_t p = 0; p < partitions; ++p) {
+      dest[p] = out.data() + offset;
+      offset += histogram[p];
+    }
+    std::vector<uint64_t> cursor(partitions, 0);
+    for (const auto& t : data) {
+      const uint32_t p = static_cast<uint32_t>(t.key % partitions);
+      dest[p][cursor[p]++] = t;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_ScatterPrefixSum);
+
+void BM_ScatterAtomicCursor(benchmark::State& state) {
+  const auto data = RandomTuples(1 << 20);
+  const uint32_t partitions = 32;
+  std::vector<Tuple> out(data.size());
+  std::vector<uint64_t> histogram(partitions, 0);
+  for (const auto& t : data) ++histogram[t.key % partitions];
+  std::vector<Tuple*> dest(partitions);
+  uint64_t offset = 0;
+  for (uint32_t p = 0; p < partitions; ++p) {
+    dest[p] = out.data() + offset;
+    offset += histogram[p];
+  }
+  for (auto _ : state) {
+    std::vector<std::atomic<uint64_t>> cursor(partitions);
+    for (auto& c : cursor) c = 0;
+    for (const auto& t : data) {
+      const uint32_t p = static_cast<uint32_t>(t.key % partitions);
+      dest[p][cursor[p].fetch_add(1, std::memory_order_relaxed)] = t;
+    }
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+}
+BENCHMARK(BM_ScatterAtomicCursor);
+
+void BM_LowerBound(benchmark::State& state) {
+  auto data = RandomTuples(1 << 22);
+  sort::RadixIntroSort(data.data(), data.size());
+  Xoshiro256 rng(3);
+  const bool interpolate = state.range(0) == 1;
+  for (auto _ : state) {
+    const uint64_t key = rng.NextBounded(uint64_t{1} << 32);
+    const size_t pos =
+        interpolate
+            ? InterpolationLowerBound(data.data(), data.size(), key)
+            : BinaryLowerBound(data.data(), data.size(), key);
+    benchmark::DoNotOptimize(pos);
+  }
+}
+BENCHMARK(BM_LowerBound)->Arg(0)->Arg(1);
+
+void BM_CdfEstimateRank(benchmark::State& state) {
+  auto data = RandomTuples(1 << 20);
+  sort::RadixIntroSort(data.data(), data.size());
+  Run run{data.data(), data.size(), 0};
+  const Cdf cdf = Cdf::FromHistograms({BuildEquiHeightHistogram(run, 128)});
+  Xoshiro256 rng(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        cdf.EstimateRank(rng.NextBounded(uint64_t{1} << 32)));
+  }
+}
+BENCHMARK(BM_CdfEstimateRank);
+
+}  // namespace
+}  // namespace mpsm
+
+BENCHMARK_MAIN();

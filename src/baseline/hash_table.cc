@@ -1,0 +1,63 @@
+#include "baseline/hash_table.h"
+
+#include "util/bits.h"
+
+namespace mpsm::baseline {
+
+ChainedHashTable::ChainedHashTable(size_t expected, uint32_t num_nodes,
+                                   size_t latch_stripes)
+    : num_nodes_(num_nodes == 0 ? 1 : num_nodes) {
+  // At least two buckets so the bucket shift stays below 64 bits.
+  const size_t buckets = bits::NextPowerOfTwo(std::max<size_t>(expected, 2));
+  buckets_ = std::vector<std::atomic<Entry*>>(buckets);
+  for (auto& bucket : buckets_) {
+    bucket.store(nullptr, std::memory_order_relaxed);
+  }
+  shift_ = 64 - bits::Log2Floor(buckets);
+
+  const size_t stripes =
+      bits::NextPowerOfTwo(std::min(latch_stripes, buckets));
+  latches_ = std::make_unique<std::atomic_flag[]>(stripes);
+  for (size_t i = 0; i < stripes; ++i) latches_[i].clear();
+  latch_mask_ = stripes - 1;
+}
+
+void ChainedHashTable::Insert(Entry* entry, numa::NodeId worker_node,
+                              PerfCounters* counters) {
+  const size_t bucket = BucketOf(entry->key);
+  std::atomic_flag& latch = latches_[bucket & latch_mask_];
+  while (latch.test_and_set(std::memory_order_acquire)) {
+    // Spin: the Wisconsin join uses test-and-set bucket latches.
+  }
+  entry->next = buckets_[bucket].load(std::memory_order_relaxed);
+  buckets_[bucket].store(entry, std::memory_order_release);
+  latch.clear(std::memory_order_release);
+
+  if (counters != nullptr) {
+    ++counters->sync_acquisitions;
+    ++counters->hash_inserts;
+    CountInterleavedAccess(counters, worker_node,
+                           sizeof(Entry*) + sizeof(Entry),
+                           /*is_write=*/true);
+  }
+}
+
+void ChainedHashTable::CountInterleavedAccess(PerfCounters* counters,
+                                              numa::NodeId worker_node,
+                                              uint64_t bytes,
+                                              bool is_write) const {
+  (void)worker_node;
+  // Page-interleaved placement: a uniform random access is local with
+  // probability 1/num_nodes.
+  const uint64_t local = bytes / num_nodes_;
+  const uint64_t remote = bytes - local;
+  if (is_write) {
+    counters->CountWrite(/*local=*/true, /*sequential=*/false, local);
+    counters->CountWrite(/*local=*/false, /*sequential=*/false, remote);
+  } else {
+    counters->CountRead(/*local=*/true, /*sequential=*/false, local);
+    counters->CountRead(/*local=*/false, /*sequential=*/false, remote);
+  }
+}
+
+}  // namespace mpsm::baseline

@@ -1,0 +1,87 @@
+// Global chained hash table with striped latches — the data structure
+// at the heart of the Wisconsin no-partition hash join (Blanas et al.
+// SIGMOD'11), reimplemented as the paper's first contender.
+//
+// By design this violates the NUMA commandments: the bucket array is
+// (page-)interleaved across all NUMA nodes, inserts are latched random
+// writes (violates C1+C3) and probes are random reads across nodes
+// (violates C2). The traffic classification below captures exactly
+// that, so the machine model reproduces the Figure 12 behaviour.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "numa/arena.h"
+#include "parallel/counters.h"
+#include "storage/tuple.h"
+
+namespace mpsm::baseline {
+
+/// Multiplicative 64-bit hash (Fibonacci hashing).
+inline uint64_t HashKey(uint64_t key) {
+  return key * 0x9E3779B97F4A7C15ull;
+}
+
+/// A chained hash table over join tuples, sized once up front.
+/// Thread-safe latched inserts; probes are wait-free after a barrier.
+class ChainedHashTable {
+ public:
+  struct Entry {
+    uint64_t key;
+    uint64_t payload;
+    Entry* next;
+  };
+
+  /// Creates a table for ~`expected` entries (load factor <= 1) with
+  /// `latch_stripes` insert latches, interleaved over `num_nodes`.
+  ChainedHashTable(size_t expected, uint32_t num_nodes,
+                   size_t latch_stripes = 1u << 14);
+
+  /// Latched insert. `entry` must outlive the table. Counts the latch
+  /// acquisition and the random (interleaved) write into `counters`.
+  void Insert(Entry* entry, numa::NodeId worker_node,
+              PerfCounters* counters);
+
+  /// Probes `key`, invoking `fn(const Entry&)` for every match.
+  /// Counts the random bucket + chain reads into `counters`.
+  template <typename Fn>
+  void Probe(uint64_t key, numa::NodeId worker_node, PerfCounters* counters,
+             Fn&& fn) const {
+    const size_t bucket = BucketOf(key);
+    uint64_t chain_bytes = sizeof(Entry*);
+    for (const Entry* e = buckets_[bucket].load(std::memory_order_acquire);
+         e != nullptr; e = e->next) {
+      chain_bytes += sizeof(Entry);
+      if (e->key == key) fn(*e);
+    }
+    if (counters != nullptr) {
+      CountInterleavedAccess(counters, worker_node, chain_bytes,
+                             /*is_write=*/false);
+      ++counters->hash_probes;
+    }
+  }
+
+  size_t num_buckets() const { return buckets_.size(); }
+
+  /// Classifies `bytes` of random traffic against the interleaved
+  /// placement: 1/num_nodes of it is node-local, the rest remote.
+  void CountInterleavedAccess(PerfCounters* counters,
+                              numa::NodeId worker_node, uint64_t bytes,
+                              bool is_write) const;
+
+ private:
+  size_t BucketOf(uint64_t key) const {
+    return HashKey(key) >> shift_;
+  }
+
+  std::vector<std::atomic<Entry*>> buckets_;
+  std::unique_ptr<std::atomic_flag[]> latches_;
+  size_t latch_mask_;
+  uint32_t shift_;
+  uint32_t num_nodes_;
+};
+
+}  // namespace mpsm::baseline

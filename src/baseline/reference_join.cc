@@ -1,0 +1,60 @@
+#include "baseline/reference_join.h"
+
+#include <algorithm>
+
+namespace mpsm::baseline {
+
+uint64_t ReferenceJoin(std::vector<Tuple> r, std::vector<Tuple> s,
+                       JoinKind kind, JoinConsumer& consumer) {
+  std::sort(r.begin(), r.end(), TupleKeyLess{});
+  std::sort(s.begin(), s.end(), TupleKeyLess{});
+
+  uint64_t output = 0;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < r.size()) {
+    const uint64_t key = r[i].key;
+    while (j < s.size() && s[j].key < key) ++j;
+    size_t j_end = j;
+    while (j_end < s.size() && s[j_end].key == key) ++j_end;
+    const size_t group = j_end - j;
+
+    size_t i_end = i;
+    while (i_end < r.size() && r[i_end].key == key) ++i_end;
+
+    for (size_t k = i; k < i_end; ++k) {
+      if (group > 0) {
+        switch (kind) {
+          case JoinKind::kInner:
+          case JoinKind::kLeftOuter:
+            consumer.OnMatch(r[k], s.data() + j, group);
+            output += group;
+            break;
+          case JoinKind::kLeftSemi:
+            consumer.OnMatch(r[k], s.data() + j, 1);
+            ++output;
+            break;
+          case JoinKind::kLeftAnti:
+            break;
+        }
+      } else {
+        if (kind == JoinKind::kLeftAnti || kind == JoinKind::kLeftOuter) {
+          consumer.OnUnmatchedR(r[k]);
+          ++output;
+        }
+      }
+    }
+    i = i_end;
+    j = j_end;
+  }
+  return output;
+}
+
+uint64_t ReferenceMaxPayloadSum(const std::vector<Tuple>& r,
+                                const std::vector<Tuple>& s) {
+  MaxPayloadSumFactory factory(1);
+  ReferenceJoin(r, s, JoinKind::kInner, factory.ConsumerForWorker(0));
+  return factory.Result().value_or(0);
+}
+
+}  // namespace mpsm::baseline

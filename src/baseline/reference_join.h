@@ -1,0 +1,27 @@
+// Single-threaded reference join: the test oracle.
+//
+// A straightforward std::sort-based sort-merge join supporting all join
+// kinds. Slow and simple on purpose — every parallel algorithm in the
+// library is validated against it.
+#pragma once
+
+#include <vector>
+
+#include "core/consumers.h"
+#include "core/join_types.h"
+#include "storage/tuple.h"
+
+namespace mpsm::baseline {
+
+/// Joins `r` with `s` (by key) with the semantics of `kind`, streaming
+/// output to `consumer`. Returns the output cardinality.
+uint64_t ReferenceJoin(std::vector<Tuple> r, std::vector<Tuple> s,
+                       JoinKind kind, JoinConsumer& consumer);
+
+/// Convenience: reference answer to the paper's benchmark query
+/// SELECT max(R.payload + S.payload) WHERE R.key = S.key.
+/// Returns 0 for an empty join result.
+uint64_t ReferenceMaxPayloadSum(const std::vector<Tuple>& r,
+                                const std::vector<Tuple>& s);
+
+}  // namespace mpsm::baseline

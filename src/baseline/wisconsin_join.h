@@ -1,0 +1,30 @@
+// The Wisconsin no-partition hash join (Blanas et al., SIGMOD 2011) —
+// the paper's hash-join contender (§2, Figure 2a; evaluated in §5.2).
+//
+// All workers build one global latched hash table over the build input
+// in parallel, then probe it in parallel with the probe input. Simple
+// and cache-oblivious, but it violates all three NUMA commandments,
+// which is precisely why the paper uses it as a foil.
+#pragma once
+
+#include "core/consumers.h"
+#include "core/join_stats.h"
+#include "parallel/worker_team.h"
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace mpsm::baseline {
+
+/// No-partition hash join. Build side: `r_build` (the smaller input in
+/// the paper's experiments); probe side: `s_probe`. Inner joins only.
+/// Consumers receive OnMatch(build_tuple, &probe_tuple, 1).
+class WisconsinHashJoin {
+ public:
+  /// Phase mapping for stats: build -> kPhaseSortPublic slot,
+  /// probe -> kPhaseJoin slot.
+  Result<JoinRunInfo> Execute(WorkerTeam& team, const Relation& r_build,
+                              const Relation& s_probe,
+                              ConsumerFactory& consumers) const;
+};
+
+}  // namespace mpsm::baseline

@@ -1,0 +1,70 @@
+#include "core/b_mpsm.h"
+
+#include <memory>
+
+#include "core/merge_join.h"
+#include "core/run_generation.h"
+#include "util/timer.h"
+
+namespace mpsm {
+
+Result<JoinRunInfo> BMpsmJoin::Execute(WorkerTeam& team,
+                                       const Relation& r_private,
+                                       const Relation& s_public,
+                                       ConsumerFactory& consumers) const {
+  const uint32_t num_workers = team.size();
+  if (r_private.num_chunks() != num_workers ||
+      s_public.num_chunks() != num_workers) {
+    return Status::InvalidArgument(
+        "relations must be chunked into team.size() chunks");
+  }
+
+  RunSet s_runs(num_workers);
+  RunSet r_runs(num_workers);
+  std::vector<std::unique_ptr<numa::Arena>> arenas(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    arenas[w] = std::make_unique<numa::Arena>(
+        team.topology().NodeForWorker(w, num_workers));
+  }
+
+  const MpsmOptions options = options_;
+  WallTimer timer;
+  team.Run([&](WorkerContext& ctx) {
+    const uint32_t w = ctx.worker_id;
+    numa::Arena& arena = *arenas[w];
+
+    // Phase 1: sort the public input chunk into a local run.
+    {
+      PhaseScope scope(ctx, kPhaseSortPublic);
+      s_runs[w] = SortChunkIntoRun(s_public.chunk(w), arena, ctx.node,
+                                   ctx.Counters(kPhaseSortPublic));
+    }
+    // The one mandatory synchronization point: all public runs must be
+    // complete before any worker starts joining against them.
+    ctx.barrier->Wait();
+
+    // Phase 3 slot: sort the private input chunk (B-MPSM has no
+    // partition phase; the kPhasePartition slot stays empty).
+    {
+      PhaseScope scope(ctx, kPhaseSortPrivate);
+      r_runs[w] = SortChunkIntoRun(r_private.chunk(w), arena, ctx.node,
+                                   ctx.Counters(kPhaseSortPrivate));
+    }
+    if (options.phase_barriers) ctx.barrier->Wait();
+
+    // Phase 4: merge join the private run against all public runs.
+    {
+      PhaseScope scope(ctx, kPhaseJoin);
+      RunJoinOptions join_options;
+      join_options.kind = options.kind;
+      join_options.search = options.start_search;
+      JoinPrivateAgainstRuns(r_runs[w], s_runs, /*first_run=*/w,
+                             join_options, consumers.ConsumerForWorker(w),
+                             ctx.node, &ctx.Counters(kPhaseJoin));
+    }
+  });
+
+  return CollectRunInfo(team, timer.ElapsedSeconds());
+}
+
+}  // namespace mpsm

@@ -1,0 +1,38 @@
+// B-MPSM: the basic massively parallel sort-merge join (§2.1).
+//
+// Both inputs are chunked among the T workers; every worker sorts its
+// chunks into runs in local memory, then merge-joins its private run
+// against all T public runs. No range partitioning: absolutely
+// skew-immune, at the price of every worker scanning the whole public
+// input (complexity §2.2). One mandatory synchronization point: public
+// runs must be complete before the join phase starts.
+#pragma once
+
+#include "core/consumers.h"
+#include "core/join_stats.h"
+#include "core/join_types.h"
+#include "parallel/worker_team.h"
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace mpsm {
+
+/// The basic MPSM join.
+class BMpsmJoin {
+ public:
+  explicit BMpsmJoin(MpsmOptions options = {}) : options_(options) {}
+
+  /// Joins `r_private` with `s_public` on `team`, streaming results to
+  /// `consumers`. Both relations must be chunked into team.size()
+  /// chunks. Safe to call repeatedly.
+  Result<JoinRunInfo> Execute(WorkerTeam& team, const Relation& r_private,
+                              const Relation& s_public,
+                              ConsumerFactory& consumers) const;
+
+  const MpsmOptions& options() const { return options_; }
+
+ private:
+  MpsmOptions options_;
+};
+
+}  // namespace mpsm

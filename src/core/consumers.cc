@@ -1,0 +1,131 @@
+#include "core/consumers.h"
+
+#include <algorithm>
+
+namespace mpsm {
+
+// ---------------------------------------------------------------- max agg
+
+class MaxPayloadSumFactory::Consumer : public JoinConsumer {
+ public:
+  void OnMatch(const Tuple& r, const Tuple* s_begin, size_t s_count) override {
+    // max(R.payload + S.payload) over the group needs only the max S
+    // payload of the equal-key group.
+    uint64_t max_s = 0;
+    for (size_t i = 0; i < s_count; ++i) {
+      max_s = std::max(max_s, s_begin[i].payload);
+    }
+    const uint64_t candidate = r.payload + max_s;
+    if (!best_ || candidate > *best_) best_ = candidate;
+  }
+
+  void OnUnmatchedR(const Tuple& r) override {
+    if (!best_ || r.payload > *best_) best_ = r.payload;
+  }
+
+  std::optional<uint64_t> best() const { return best_; }
+
+ private:
+  std::optional<uint64_t> best_;
+};
+
+MaxPayloadSumFactory::MaxPayloadSumFactory(uint32_t team_size) {
+  workers_.reserve(team_size);
+  for (uint32_t w = 0; w < team_size; ++w) {
+    workers_.push_back(std::make_unique<Consumer>());
+  }
+}
+
+MaxPayloadSumFactory::~MaxPayloadSumFactory() = default;
+
+JoinConsumer& MaxPayloadSumFactory::ConsumerForWorker(uint32_t w) {
+  return *workers_[w];
+}
+
+std::optional<uint64_t> MaxPayloadSumFactory::Result() const {
+  std::optional<uint64_t> best;
+  for (const auto& worker : workers_) {
+    const auto local = worker->best();
+    if (local && (!best || *local > *best)) best = local;
+  }
+  return best;
+}
+
+// ------------------------------------------------------------------ count
+
+class CountFactory::Consumer : public JoinConsumer {
+ public:
+  void OnMatch(const Tuple&, const Tuple*, size_t s_count) override {
+    count_ += s_count;
+  }
+  void OnUnmatchedR(const Tuple&) override { ++count_; }
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+};
+
+CountFactory::CountFactory(uint32_t team_size) {
+  workers_.reserve(team_size);
+  for (uint32_t w = 0; w < team_size; ++w) {
+    workers_.push_back(std::make_unique<Consumer>());
+  }
+}
+
+CountFactory::~CountFactory() = default;
+
+JoinConsumer& CountFactory::ConsumerForWorker(uint32_t w) {
+  return *workers_[w];
+}
+
+uint64_t CountFactory::Result() const {
+  uint64_t total = 0;
+  for (const auto& worker : workers_) total += worker->count();
+  return total;
+}
+
+// ------------------------------------------------------------ materialize
+
+class MaterializeFactory::Consumer : public JoinConsumer {
+ public:
+  void OnMatch(const Tuple& r, const Tuple* s_begin, size_t s_count) override {
+    for (size_t i = 0; i < s_count; ++i) {
+      rows_.push_back(OutputRow{r.key, r.payload, s_begin[i].payload});
+    }
+  }
+  void OnUnmatchedR(const Tuple& r) override {
+    rows_.push_back(OutputRow{r.key, r.payload, std::nullopt});
+  }
+  const std::vector<OutputRow>& rows() const { return rows_; }
+
+ private:
+  std::vector<OutputRow> rows_;
+};
+
+MaterializeFactory::MaterializeFactory(uint32_t team_size) {
+  workers_.reserve(team_size);
+  for (uint32_t w = 0; w < team_size; ++w) {
+    workers_.push_back(std::make_unique<Consumer>());
+  }
+}
+
+MaterializeFactory::~MaterializeFactory() = default;
+
+JoinConsumer& MaterializeFactory::ConsumerForWorker(uint32_t w) {
+  return *workers_[w];
+}
+
+const std::vector<OutputRow>& MaterializeFactory::RowsOfWorker(
+    uint32_t w) const {
+  return workers_[w]->rows();
+}
+
+std::vector<OutputRow> MaterializeFactory::AllRows() const {
+  std::vector<OutputRow> all;
+  for (const auto& worker : workers_) {
+    all.insert(all.end(), worker->rows().begin(), worker->rows().end());
+  }
+  return all;
+}
+
+}  // namespace mpsm

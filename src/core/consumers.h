@@ -1,0 +1,105 @@
+// Join result consumers.
+//
+// The paper's benchmark query — SELECT max(R.payload + S.payload) —
+// feeds all payload data through the join but aggregates to a single
+// tuple. Consumers generalize that: each worker owns a private consumer
+// (no shared state, commandment C3) and results merge once at the end.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace mpsm {
+
+/// Receives join output for one worker. Implementations are not
+/// thread-safe; every worker gets its own instance.
+class JoinConsumer {
+ public:
+  virtual ~JoinConsumer() = default;
+
+  /// `r` matched the `s_count` public tuples starting at `s_begin`
+  /// (all carrying the same join key).
+  virtual void OnMatch(const Tuple& r, const Tuple* s_begin,
+                       size_t s_count) = 0;
+
+  /// `r` found no partner (anti and outer joins only).
+  virtual void OnUnmatchedR(const Tuple& r) { (void)r; }
+};
+
+/// Hands out per-worker consumers and merges their results.
+class ConsumerFactory {
+ public:
+  virtual ~ConsumerFactory() = default;
+
+  /// Consumer owned by worker `w`; the factory retains ownership.
+  /// Called once per worker before the join starts.
+  virtual JoinConsumer& ConsumerForWorker(uint32_t w) = 0;
+};
+
+/// Computes max(R.payload + S.payload), the paper's §5.1 query.
+/// For unmatched R tuples (outer join) the S payload contributes 0.
+class MaxPayloadSumFactory : public ConsumerFactory {
+ public:
+  explicit MaxPayloadSumFactory(uint32_t team_size);
+  ~MaxPayloadSumFactory() override;
+  JoinConsumer& ConsumerForWorker(uint32_t w) override;
+
+  /// The aggregate over all workers; nullopt when no tuple was emitted.
+  std::optional<uint64_t> Result() const;
+
+ private:
+  class Consumer;
+  std::vector<std::unique_ptr<Consumer>> workers_;
+};
+
+/// Counts output tuples (matches, plus unmatched emissions for
+/// anti/outer joins).
+class CountFactory : public ConsumerFactory {
+ public:
+  explicit CountFactory(uint32_t team_size);
+  ~CountFactory() override;
+  JoinConsumer& ConsumerForWorker(uint32_t w) override;
+
+  /// Total output cardinality across workers.
+  uint64_t Result() const;
+
+ private:
+  class Consumer;
+  std::vector<std::unique_ptr<Consumer>> workers_;
+};
+
+/// A materialized join output row. For unmatched R tuples (anti/outer)
+/// `s_payload` is nullopt.
+struct OutputRow {
+  uint64_t key;
+  uint64_t r_payload;
+  std::optional<uint64_t> s_payload;
+
+  friend bool operator==(const OutputRow&, const OutputRow&) = default;
+};
+
+/// Materializes all output rows, per worker. MPSM's output arrives as
+/// sorted runs per worker — the "interesting physical property" §6
+/// mentions; rows_of_worker preserves that order.
+class MaterializeFactory : public ConsumerFactory {
+ public:
+  explicit MaterializeFactory(uint32_t team_size);
+  ~MaterializeFactory() override;
+  JoinConsumer& ConsumerForWorker(uint32_t w) override;
+
+  /// Rows produced by worker w, in emission order.
+  const std::vector<OutputRow>& RowsOfWorker(uint32_t w) const;
+
+  /// All rows concatenated (unspecified global order).
+  std::vector<OutputRow> AllRows() const;
+
+ private:
+  class Consumer;
+  std::vector<std::unique_ptr<Consumer>> workers_;
+};
+
+}  // namespace mpsm

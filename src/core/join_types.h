@@ -1,0 +1,60 @@
+// Join kinds and shared option types for the MPSM algorithm family.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "partition/splitters.h"
+
+namespace mpsm {
+
+/// Supported equi-join variants. Inner is the paper's focus; semi,
+/// anti and left-outer are the §7 future-work variants, implemented on
+/// top of the same merge kernel via per-run match bitmaps.
+enum class JoinKind : uint8_t {
+  kInner,
+  kLeftSemi,
+  kLeftAnti,
+  kLeftOuter,
+};
+
+/// Name of a JoinKind ("inner", "left-semi", ...).
+const char* JoinKindName(JoinKind kind);
+
+/// Strategy for locating the merge-join start position in a public run
+/// (§3.2.2 ablation).
+enum class StartSearch : uint8_t {
+  kInterpolation,  // the paper's choice
+  kBinary,
+  kLinear,
+};
+
+/// Tuning knobs of the MPSM variants.
+struct MpsmOptions {
+  /// Join variant to compute.
+  JoinKind kind = JoinKind::kInner;
+
+  /// Number of radix bits B for private-input clustering; log2(T) <= B.
+  /// 0 selects the default max(ceil(log2(T)) + 5, 10), giving the
+  /// splitter computation fine-grained histograms (Figure 9 shows the
+  /// extra precision is almost free).
+  uint32_t radix_bits = 0;
+
+  /// Oversampling factor f: each worker contributes f*T equi-height
+  /// bounds to the global CDF (§4.1).
+  uint32_t equi_height_factor = 4;
+
+  /// How workers locate the join start within each public run.
+  StartSearch start_search = StartSearch::kInterpolation;
+
+  /// Balance partitions by the split-relevant cost (true, §4.3) or by
+  /// R cardinality only (false; Figure 16's equi-height strawman).
+  bool cost_balanced_splitters = true;
+
+  /// Insert barriers between phases so per-phase wall times are
+  /// comparable across workers (the paper's phase breakdown charts).
+  /// The algorithm itself only requires the single sort/join barrier.
+  bool phase_barriers = true;
+};
+
+}  // namespace mpsm

@@ -1,0 +1,143 @@
+#include "core/merge_join.h"
+
+#include "core/interpolation_search.h"
+
+namespace mpsm {
+
+const char* JoinKindName(JoinKind kind) {
+  switch (kind) {
+    case JoinKind::kInner:
+      return "inner";
+    case JoinKind::kLeftSemi:
+      return "left-semi";
+    case JoinKind::kLeftAnti:
+      return "left-anti";
+    case JoinKind::kLeftOuter:
+      return "left-outer";
+  }
+  return "unknown";
+}
+
+namespace {
+
+size_t FindStart(const Tuple* data, size_t n, uint64_t key,
+                 StartSearch search, SearchStats* stats) {
+  switch (search) {
+    case StartSearch::kInterpolation:
+      return InterpolationLowerBound(data, n, key, stats);
+    case StartSearch::kBinary:
+      return BinaryLowerBound(data, n, key, stats);
+    case StartSearch::kLinear:
+      return LinearLowerBound(data, n, key, stats);
+  }
+  return 0;
+}
+
+}  // namespace
+
+uint64_t JoinPrivateAgainstRuns(const Run& ri, const RunSet& s_runs,
+                                uint32_t first_run,
+                                const RunJoinOptions& options,
+                                JoinConsumer& consumer,
+                                numa::NodeId worker_node,
+                                PerfCounters* counters) {
+  if (ri.empty()) return 0;
+
+  const bool needs_bitmap = options.kind != JoinKind::kInner;
+  MatchBitmap matched;
+  if (needs_bitmap) matched = MatchBitmap(ri.size);
+
+  uint64_t output = 0;
+  const uint32_t num_runs = static_cast<uint32_t>(s_runs.size());
+  for (uint32_t offset = 0; offset < num_runs; ++offset) {
+    const uint32_t j = (first_run + offset) % num_runs;
+    const Run& sj = s_runs[j];
+    if (sj.empty()) continue;
+    const bool s_local = sj.node == worker_node;
+
+    // Locate the first public tuple that can join with this private
+    // run (§3.2.2). The search probes are random accesses.
+    SearchStats search_stats;
+    const size_t start =
+        FindStart(sj.data, sj.size, ri.MinKey(), options.search,
+                  &search_stats);
+    if (counters != nullptr) {
+      counters->CountRead(s_local, /*sequential=*/false,
+                          search_stats.probes * sizeof(Tuple));
+    }
+    // No overlap: either this run ends below the private range or it
+    // starts above it. With location skew (§5.5) this skips (T-1) of
+    // the public runs after just the search probes.
+    if (start == sj.size) continue;
+    if (sj.data[start].key > ri.MaxKey()) continue;
+
+    MergeScan scan;
+    switch (options.kind) {
+      case JoinKind::kInner:
+        scan = MergeJoinRunPair(
+            ri.data, ri.size, sj.data + start, sj.size - start,
+            [&](size_t, const Tuple& r, const Tuple* s, size_t count) {
+              consumer.OnMatch(r, s, count);
+              output += count;
+            });
+        break;
+      case JoinKind::kLeftSemi:
+        scan = MergeJoinRunPair(
+            ri.data, ri.size, sj.data + start, sj.size - start,
+            [&](size_t idx, const Tuple& r, const Tuple* s, size_t) {
+              if (!matched.Get(idx)) {
+                matched.Set(idx);
+                consumer.OnMatch(r, s, 1);
+                ++output;
+              }
+            });
+        break;
+      case JoinKind::kLeftAnti:
+        scan = MergeJoinRunPair(
+            ri.data, ri.size, sj.data + start, sj.size - start,
+            [&](size_t idx, const Tuple&, const Tuple*, size_t) {
+              matched.Set(idx);
+            });
+        break;
+      case JoinKind::kLeftOuter:
+        scan = MergeJoinRunPair(
+            ri.data, ri.size, sj.data + start, sj.size - start,
+            [&](size_t idx, const Tuple& r, const Tuple* s, size_t count) {
+              matched.Set(idx);
+              consumer.OnMatch(r, s, count);
+              output += count;
+            });
+        break;
+    }
+
+    if (counters != nullptr) {
+      // The private run is rescanned for every public run (sequential,
+      // always local); the public run is scanned from the start
+      // position to wherever the merge stopped (sequential).
+      counters->CountRead(/*local=*/true, /*sequential=*/true,
+                          scan.r_end * sizeof(Tuple));
+      counters->CountRead(s_local, /*sequential=*/true,
+                          scan.s_end * sizeof(Tuple));
+    }
+  }
+
+  // Emit unmatched private tuples for anti/outer joins.
+  if (options.kind == JoinKind::kLeftAnti ||
+      options.kind == JoinKind::kLeftOuter) {
+    for (size_t i = 0; i < ri.size; ++i) {
+      if (!matched.Get(i)) {
+        consumer.OnUnmatchedR(ri.data[i]);
+        ++output;
+      }
+    }
+    if (counters != nullptr) {
+      counters->CountRead(/*local=*/true, /*sequential=*/true,
+                          ri.size * sizeof(Tuple));
+    }
+  }
+
+  if (counters != nullptr) counters->output_tuples += output;
+  return output;
+}
+
+}  // namespace mpsm

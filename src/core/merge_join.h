@@ -1,0 +1,101 @@
+// The merge-join kernel and the per-worker run-join driver.
+//
+// MPSM never merges runs into a global sort order; instead every worker
+// merge-joins its private run against each public run independently
+// (Figure 3 phase 3 / Figure 5 phase 4). The kernel below joins one
+// (R-run, S-run) pair with full duplicate handling; the driver iterates
+// a private run over all public runs, staggering the starting run so
+// workers fan out across NUMA nodes, and implements the semi / anti /
+// outer variants via a per-run match bitmap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/consumers.h"
+#include "core/join_types.h"
+#include "numa/topology.h"
+#include "parallel/counters.h"
+#include "storage/run.h"
+
+namespace mpsm {
+
+/// Dense bitmap tracking which private tuples found a join partner
+/// (needed by semi/anti/outer joins across multiple public runs).
+class MatchBitmap {
+ public:
+  MatchBitmap() = default;
+  explicit MatchBitmap(size_t n) : size_(n), words_((n + 63) / 64, 0) {}
+
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  bool Get(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+  size_t size() const { return size_; }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+/// Scan positions after a kernel invocation (for traffic accounting).
+struct MergeScan {
+  size_t r_end = 0;  // one past the last private index examined
+  size_t s_end = 0;  // one past the last public index examined
+  uint64_t matches = 0;
+};
+
+/// Merge-joins sorted arrays r[0..nr) and s[0..ns).
+///
+/// `on_match(r_index, r_tuple, s_group_begin, s_group_count)` fires once
+/// per private tuple per equal-key group of public tuples. Handles
+/// duplicates on both sides.
+template <typename OnMatch>
+MergeScan MergeJoinRunPair(const Tuple* r, size_t nr, const Tuple* s,
+                           size_t ns, OnMatch&& on_match) {
+  MergeScan scan;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < nr && j < ns) {
+    const uint64_t r_key = r[i].key;
+    if (r_key < s[j].key) {
+      ++i;
+    } else if (r_key > s[j].key) {
+      ++j;
+    } else {
+      size_t j_end = j + 1;
+      while (j_end < ns && s[j_end].key == r_key) ++j_end;
+      const size_t group = j_end - j;
+      do {
+        on_match(i, r[i], s + j, group);
+        scan.matches += group;
+        ++i;
+      } while (i < nr && r[i].key == r_key);
+      j = j_end;
+    }
+  }
+  scan.r_end = i;
+  scan.s_end = j;
+  return scan;
+}
+
+/// Options for the per-worker run-join driver.
+struct RunJoinOptions {
+  JoinKind kind = JoinKind::kInner;
+  StartSearch search = StartSearch::kInterpolation;
+};
+
+/// Joins private run `ri` against every run in `s_runs`, starting with
+/// run `first_run` and wrapping around (staggering remote accesses).
+///
+/// Counts memory traffic into `counters` (nullable) classifying each S
+/// run as local/remote against `worker_node`. Returns the number of
+/// output tuples delivered to `consumer`.
+uint64_t JoinPrivateAgainstRuns(const Run& ri, const RunSet& s_runs,
+                                uint32_t first_run,
+                                const RunJoinOptions& options,
+                                JoinConsumer& consumer,
+                                numa::NodeId worker_node,
+                                PerfCounters* counters);
+
+}  // namespace mpsm

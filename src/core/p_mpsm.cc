@@ -1,0 +1,257 @@
+#include "core/p_mpsm.h"
+
+#include <algorithm>
+#include <memory>
+
+#include "core/merge_join.h"
+#include "core/run_generation.h"
+#include "partition/equi_height.h"
+#include "partition/prefix_scatter.h"
+#include "partition/radix_histogram.h"
+#include "sort/radix_introsort.h"
+#include "util/bits.h"
+#include "util/timer.h"
+
+namespace mpsm {
+
+uint32_t PMpsmJoin::EffectiveRadixBits(uint32_t team_size) const {
+  if (options_.radix_bits != 0) {
+    // B must be at least log2(T) so that T partitions are expressible.
+    return std::max(options_.radix_bits, bits::Log2Ceil(team_size));
+  }
+  const uint32_t log_t = bits::Log2Ceil(std::max(team_size, 2u));
+  return std::min(18u, std::max(log_t + 5, 10u));
+}
+
+namespace {
+
+/// State shared by all workers of one execution. Workers write only
+/// their own slots; the cross-worker combines happen on worker 0
+/// between barriers.
+struct SharedState {
+  // Phase 1 products.
+  RunSet s_runs;
+  std::vector<EquiHeightHistogram> s_histograms;
+
+  // Phase 2.2 products.
+  std::vector<KeyRange> r_ranges;
+  std::vector<bool> r_has_data;
+  std::vector<RadixHistogram> r_histograms;
+
+  // Phase 2.1 / 2.3 products (built by worker 0).
+  Cdf cdf;
+  KeyNormalizer normalizer;
+  bool r_empty = true;
+  Splitters splitters;
+  ScatterPlan plan;
+
+  // Scatter targets: partition p's array, owned by worker p's node.
+  std::vector<Tuple*> partition_data;
+
+  // Phase 3 products.
+  RunSet r_runs;
+};
+
+}  // namespace
+
+Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
+                                       const Relation& r_private,
+                                       const Relation& s_public,
+                                       ConsumerFactory& consumers,
+                                       PMpsmDiagnostics* diagnostics) const {
+  const uint32_t num_workers = team.size();
+  if (r_private.num_chunks() != num_workers ||
+      s_public.num_chunks() != num_workers) {
+    return Status::InvalidArgument(
+        "relations must be chunked into team.size() chunks");
+  }
+  const uint32_t radix_bits = EffectiveRadixBits(num_workers);
+  const uint32_t num_bounds =
+      std::max(1u, options_.equi_height_factor * num_workers);
+
+  SharedState shared;
+  shared.s_runs.resize(num_workers);
+  shared.s_histograms.resize(num_workers);
+  shared.r_ranges.resize(num_workers);
+  shared.r_has_data.assign(num_workers, false);
+  shared.r_histograms.resize(num_workers);
+  shared.partition_data.resize(num_workers, nullptr);
+  shared.r_runs.resize(num_workers);
+
+  std::vector<std::unique_ptr<numa::Arena>> arenas(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    arenas[w] = std::make_unique<numa::Arena>(
+        team.topology().NodeForWorker(w, num_workers));
+  }
+
+  const MpsmOptions options = options_;
+  WallTimer timer;
+  team.Run([&](WorkerContext& ctx) {
+    const uint32_t w = ctx.worker_id;
+    numa::Arena& arena = *arenas[w];
+
+    // ---------------------------------------------------- phase 1
+    // Sort the public chunk into a local run; derive the equi-height
+    // histogram from the sorted run (nearly free, §4.1).
+    {
+      PhaseScope scope(ctx, kPhaseSortPublic);
+      shared.s_runs[w] = SortChunkIntoRun(s_public.chunk(w), arena, ctx.node,
+                                          ctx.Counters(kPhaseSortPublic));
+      shared.s_histograms[w] =
+          BuildEquiHeightHistogram(shared.s_runs[w], num_bounds);
+      ctx.Counters(kPhaseSortPublic)
+          .CountRead(/*local=*/true, /*sequential=*/false,
+                     uint64_t{num_bounds} * sizeof(Tuple));
+    }
+    // Mandatory synchronization: public runs + histograms complete.
+    ctx.barrier->Wait();
+
+    // ---------------------------------------------------- phase 2
+    {
+      PhaseScope scope(ctx, kPhasePartition);
+      PerfCounters& counters = ctx.Counters(kPhasePartition);
+      const Chunk& chunk = r_private.chunk(w);
+
+      // Phase 2.2a: private key range (one sequential pass).
+      shared.r_ranges[w] = ScanKeyRange(chunk.data, chunk.size);
+      shared.r_has_data[w] = chunk.size > 0;
+      counters.CountRead(chunk.node == ctx.node, /*sequential=*/true,
+                         chunk.size * sizeof(Tuple));
+      ctx.barrier->Wait();
+
+      // Phase 2.1 + key-range merge (worker 0, cheap single-threaded).
+      if (w == 0) {
+        shared.cdf = Cdf::FromHistograms(shared.s_histograms);
+        KeyRange global{};
+        bool any = false;
+        for (uint32_t i = 0; i < ctx.team_size; ++i) {
+          if (!shared.r_has_data[i]) continue;
+          global = any ? MergeKeyRanges(global, shared.r_ranges[i])
+                       : shared.r_ranges[i];
+          any = true;
+        }
+        shared.r_empty = !any;
+        shared.normalizer =
+            KeyNormalizer(any ? global.min_key : 0, any ? global.max_key : 0,
+                          radix_bits);
+      }
+      ctx.barrier->Wait();
+
+      // Phase 2.2b: B-bit radix histogram of the private chunk.
+      shared.r_histograms[w] =
+          BuildRadixHistogram(chunk.data, chunk.size, shared.normalizer);
+      counters.CountRead(chunk.node == ctx.node, /*sequential=*/true,
+                         chunk.size * sizeof(Tuple));
+      ctx.barrier->Wait();
+
+      // Phase 2.3a: splitters + prefix sums (worker 0).
+      if (w == 0) {
+        const RadixHistogram global_r =
+            CombineHistograms(shared.r_histograms);
+        std::vector<double> cluster_s;
+        PartitionCostFn cost;
+        if (options.cost_balanced_splitters) {
+          cluster_s = EstimateClusterS(shared.normalizer, shared.cdf);
+          cost = MakePMpsmCost(ctx.team_size);
+        } else {
+          cost = MakeEquiHeightRCost();
+        }
+        shared.splitters =
+            ComputeSplitters(global_r, cluster_s, ctx.team_size, cost);
+
+        // Per-worker histograms over target partitions.
+        std::vector<std::vector<uint64_t>> worker_partition_hist(
+            ctx.team_size, std::vector<uint64_t>(ctx.team_size, 0));
+        for (uint32_t i = 0; i < ctx.team_size; ++i) {
+          for (size_t c = 0; c < shared.r_histograms[i].size(); ++c) {
+            worker_partition_hist[i]
+                                 [shared.splitters.PartitionOfCluster(
+                                     static_cast<uint32_t>(c))] +=
+                shared.r_histograms[i][c];
+          }
+        }
+        shared.plan = ComputeScatterPlan(worker_partition_hist);
+      }
+      ctx.barrier->Wait();
+
+      // Phase 2.3b: allocate the local partition array (local first
+      // touch places the pages on this worker's node).
+      const uint64_t my_partition_size = shared.plan.partition_sizes[w];
+      if (my_partition_size > 0) {
+        shared.partition_data[w] =
+            arena.AllocateArray<Tuple>(my_partition_size);
+      }
+      ctx.barrier->Wait();
+
+      // Phase 2.3c: scatter. Every worker writes sequentially into its
+      // precomputed sub-partitions — synchronization-free (Figure 6).
+      if (chunk.size > 0) {
+        std::vector<uint64_t> cursor = shared.plan.start_offset[w];
+        const KeyNormalizer& normalizer = shared.normalizer;
+        const Splitters& splitters = shared.splitters;
+        ScatterChunk(
+            chunk.data, chunk.size,
+            [&](uint64_t key) {
+              return splitters.PartitionOfCluster(normalizer.Cluster(key));
+            },
+            shared.partition_data.data(), cursor.data());
+        counters.CountRead(chunk.node == ctx.node, /*sequential=*/true,
+                           chunk.size * sizeof(Tuple));
+        // Classify written bytes per target partition's node. The
+        // scatter maintains T open write streams; Figure 1 exp. 2
+        // measured exactly this pattern, so it is charged at the
+        // random-write rate the model calibrated from that experiment.
+        for (uint32_t p = 0; p < ctx.team_size; ++p) {
+          const uint64_t written =
+              cursor[p] - shared.plan.start_offset[w][p];
+          const numa::NodeId target_node =
+              ctx.topology->NodeForWorker(p, ctx.team_size);
+          counters.CountWrite(target_node == ctx.node,
+                              /*sequential=*/false,
+                              written * sizeof(Tuple));
+        }
+      }
+    }
+    ctx.barrier->Wait();
+
+    // ---------------------------------------------------- phase 3
+    // Sort the local range partition into the private run.
+    {
+      PhaseScope scope(ctx, kPhaseSortPrivate);
+      PerfCounters& counters = ctx.Counters(kPhaseSortPrivate);
+      Run& run = shared.r_runs[w];
+      run.data = shared.partition_data[w];
+      run.size = shared.plan.partition_sizes.empty()
+                     ? 0
+                     : shared.plan.partition_sizes[w];
+      run.node = ctx.node;
+      if (run.size > 0) {
+        sort::RadixIntroSort(run.data, run.size);
+        counters.CountSort(run.size);
+      }
+    }
+    if (options.phase_barriers) ctx.barrier->Wait();
+
+    // ---------------------------------------------------- phase 4
+    {
+      PhaseScope scope(ctx, kPhaseJoin);
+      RunJoinOptions join_options;
+      join_options.kind = options.kind;
+      join_options.search = options.start_search;
+      JoinPrivateAgainstRuns(shared.r_runs[w], shared.s_runs,
+                             /*first_run=*/w, join_options,
+                             consumers.ConsumerForWorker(w), ctx.node,
+                             &ctx.Counters(kPhaseJoin));
+    }
+  });
+
+  if (diagnostics != nullptr) {
+    diagnostics->normalizer = shared.normalizer;
+    diagnostics->cdf = shared.cdf;
+    diagnostics->splitters = shared.splitters;
+    diagnostics->partition_sizes = shared.plan.partition_sizes;
+  }
+  return CollectRunInfo(team, timer.ElapsedSeconds());
+}
+
+}  // namespace mpsm

@@ -1,0 +1,61 @@
+// P-MPSM: the range-partitioned massively parallel sort-merge join
+// (§3.2, §4) — the paper's flagship algorithm.
+//
+// Phases (Figure 5):
+//   1   Sort the public input S into local runs; build equi-height
+//       histograms en passant (f*T bounds per run, §4.1).
+//   2.1 Merge local histograms into the global CDF of S.
+//   2.2 Scan private chunks: key range + B-bit radix histograms (§4.2).
+//   2.3 Compute cost-balanced splitters; combine local histograms into
+//       prefix sums; scatter private chunks into range partitions with
+//       synchronization-free sequential writes (§4.3, Figure 10).
+//   3   Sort each private partition locally.
+//   4   Merge join: each worker joins its partition against all public
+//       runs, locating the start position via interpolation search.
+#pragma once
+
+#include "core/consumers.h"
+#include "core/join_stats.h"
+#include "core/join_types.h"
+#include "parallel/worker_team.h"
+#include "partition/cdf.h"
+#include "partition/key_normalizer.h"
+#include "partition/splitters.h"
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace mpsm {
+
+/// Introspection data exposed for tests and the skew-balancing bench.
+struct PMpsmDiagnostics {
+  KeyNormalizer normalizer;
+  Cdf cdf;
+  Splitters splitters;
+  /// Actual tuples scattered into each partition.
+  std::vector<uint64_t> partition_sizes;
+};
+
+/// The range-partitioned MPSM join.
+class PMpsmJoin {
+ public:
+  explicit PMpsmJoin(MpsmOptions options = {}) : options_(options) {}
+
+  /// Joins `r_private` with `s_public` on `team`, streaming results to
+  /// `consumers`. Both relations must be chunked into team.size()
+  /// chunks. `diagnostics` (optional) receives splitter internals.
+  Result<JoinRunInfo> Execute(WorkerTeam& team, const Relation& r_private,
+                              const Relation& s_public,
+                              ConsumerFactory& consumers,
+                              PMpsmDiagnostics* diagnostics = nullptr) const;
+
+  const MpsmOptions& options() const { return options_; }
+
+  /// Effective radix bits B for a team of `team_size` (resolves the
+  /// options' auto default: max(ceil(log2 T) + 5, 10), capped at 18).
+  uint32_t EffectiveRadixBits(uint32_t team_size) const;
+
+ private:
+  MpsmOptions options_;
+};
+
+}  // namespace mpsm

@@ -1,0 +1,28 @@
+#include "core/run_generation.h"
+
+#include <cstring>
+
+#include "sort/radix_introsort.h"
+
+namespace mpsm {
+
+Run SortChunkIntoRun(const Chunk& chunk, numa::Arena& arena,
+                     numa::NodeId worker_node, PerfCounters& counters) {
+  Run run;
+  run.size = chunk.size;
+  run.node = arena.node();
+  if (chunk.size == 0) return run;
+
+  run.data = arena.AllocateArray<Tuple>(chunk.size);
+  std::memcpy(run.data, chunk.data, chunk.size * sizeof(Tuple));
+  counters.CountRead(chunk.node == worker_node, /*sequential=*/true,
+                     chunk.size * sizeof(Tuple));
+  counters.CountWrite(/*local=*/true, /*sequential=*/true,
+                      chunk.size * sizeof(Tuple));
+
+  sort::RadixIntroSort(run.data, run.size);
+  counters.CountSort(run.size);
+  return run;
+}
+
+}  // namespace mpsm

@@ -1,0 +1,22 @@
+// Run generation: copy a chunk into node-local memory and sort it.
+//
+// Shared by all MPSM variants (phases 1 and 3). Copying remote chunks
+// to local memory before sorting is commandment C1; the paper notes the
+// copy can be amortized with the first partitioning step of sorting —
+// here it is a separate sequential pass, which the counters capture.
+#pragma once
+
+#include "numa/arena.h"
+#include "parallel/counters.h"
+#include "storage/relation.h"
+#include "storage/run.h"
+
+namespace mpsm {
+
+/// Copies `chunk` into `arena` (homed on `worker_node`), sorts it with
+/// Radix/IntroSort, and returns the resulting run. Counts the copy
+/// traffic and the sort work into `counters`.
+Run SortChunkIntoRun(const Chunk& chunk, numa::Arena& arena,
+                     numa::NodeId worker_node, PerfCounters& counters);
+
+}  // namespace mpsm

@@ -1,0 +1,74 @@
+#include "core/run_merge.h"
+
+#include <algorithm>
+
+#include "util/bits.h"
+
+namespace mpsm {
+
+LoserTreeMerger::LoserTreeMerger(std::vector<Run> runs)
+    : runs_(std::move(runs)) {
+  k_ = static_cast<uint32_t>(
+      std::max<size_t>(1, bits::NextPowerOfTwo(runs_.size())));
+  runs_.resize(k_);  // pad with empty runs
+  cursor_.assign(k_, 0);
+  for (const Run& run : runs_) remaining_ += run.size;
+
+  // Build the tree bottom-up: tree_ holds k_ internal nodes; node 0 is
+  // the overall winner, nodes [1, k_) store the loser of their match.
+  tree_.assign(k_, 0);
+  std::vector<uint32_t> winners(2 * k_);
+  for (uint32_t i = 0; i < k_; ++i) winners[k_ + i] = i;
+  for (uint32_t node = k_ - 1; node >= 1; --node) {
+    const uint32_t a = winners[2 * node];
+    const uint32_t b = winners[2 * node + 1];
+    const uint32_t winner = Winner(a, b);
+    winners[node] = winner;
+    tree_[node] = (winner == a) ? b : a;  // store the loser
+  }
+  tree_[0] = winners.size() > 1 ? winners[1] : 0;
+}
+
+uint32_t LoserTreeMerger::Winner(uint32_t a, uint32_t b) const {
+  // Exhausted runs always lose — no key sentinel, so tuples with key
+  // UINT64_MAX merge correctly.
+  const bool a_done = cursor_[a] >= runs_[a].size;
+  const bool b_done = cursor_[b] >= runs_[b].size;
+  if (a_done || b_done) return b_done ? a : b;
+  return runs_[a].data[cursor_[a]].key <= runs_[b].data[cursor_[b]].key
+             ? a
+             : b;
+}
+
+void LoserTreeMerger::Replay(uint32_t run) {
+  // Walk from the run's leaf to the root, swapping with stored losers
+  // whenever they now win.
+  uint32_t winner = run;
+  for (uint32_t node = (k_ + run) / 2; node >= 1; node /= 2) {
+    const uint32_t challenger = tree_[node];
+    if (Winner(winner, challenger) == challenger) {
+      tree_[node] = winner;
+      winner = challenger;
+    }
+  }
+  tree_[0] = winner;
+}
+
+Tuple LoserTreeMerger::Next() {
+  const uint32_t winner = tree_[0];
+  const Tuple result = runs_[winner].data[cursor_[winner]];
+  ++cursor_[winner];
+  --remaining_;
+  Replay(winner);
+  return result;
+}
+
+std::vector<Tuple> MergeRuns(std::vector<Run> runs) {
+  LoserTreeMerger merger(std::move(runs));
+  std::vector<Tuple> out;
+  out.reserve(merger.remaining());
+  while (merger.HasNext()) out.push_back(merger.Next());
+  return out;
+}
+
+}  // namespace mpsm

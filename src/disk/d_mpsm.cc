@@ -1,0 +1,227 @@
+#include "disk/d_mpsm.h"
+
+#include <algorithm>
+#include <atomic>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/merge_join.h"
+#include "disk/page_index.h"
+#include "disk/staging_pipeline.h"
+#include "sort/radix_introsort.h"
+#include "util/timer.h"
+
+namespace mpsm::disk {
+
+namespace {
+
+/// One worker's spooled run: page ids in key order.
+struct SpooledRun {
+  std::vector<PageId> pages;
+  std::vector<uint32_t> counts;
+};
+
+/// Sorts a chunk and spools it; records index entries when `index` is
+/// given (public input) or returns the page list (private input).
+Status SortAndSpool(const Chunk& chunk, uint32_t run_id, PageStore& store,
+                    PerfCounters& counters, PageIndex* index,
+                    SpooledRun* run_out) {
+  std::vector<Tuple> sorted(chunk.begin(), chunk.end());
+  sort::RadixIntroSort(sorted.data(), sorted.size());
+  counters.CountSort(sorted.size());
+  counters.CountRead(/*local=*/true, /*sequential=*/true,
+                     sorted.size() * sizeof(Tuple));
+  counters.CountWrite(/*local=*/true, /*sequential=*/true,
+                      sorted.size() * sizeof(Tuple));
+
+  const size_t per_page = store.tuples_per_page();
+  for (size_t offset = 0; offset < sorted.size(); offset += per_page) {
+    const size_t count = std::min(per_page, sorted.size() - offset);
+    auto page = store.WritePage(sorted.data() + offset, count);
+    if (!page.ok()) return page.status();
+    if (index != nullptr) {
+      index->Add(PageIndexEntry{sorted[offset].key, run_id, *page,
+                                static_cast<uint32_t>(count)});
+    }
+    if (run_out != nullptr) {
+      run_out->pages.push_back(*page);
+      run_out->counts.push_back(static_cast<uint32_t>(count));
+    }
+  }
+  return Status::OK();
+}
+
+/// Sliding window over one worker's private spooled run.
+class PrivateWindow {
+ public:
+  PrivateWindow(const PageStore& store, const SpooledRun& run)
+      : store_(&store), run_(&run) {}
+
+  /// Drops tuples with key < low_key, then loads pages until the window
+  /// covers keys up to `high_key` (or the run is exhausted).
+  Status AdvanceTo(uint64_t low_key, uint64_t high_key) {
+    // Evict the prefix that can never match again (Figure 4: released
+    // from RAM). Compact lazily to stay amortized O(1) per tuple.
+    size_t drop = start_;
+    while (drop < tuples_.size() && tuples_[drop].key < low_key) ++drop;
+    start_ = drop;
+    if (start_ > tuples_.size() / 2 && start_ > 4096) {
+      tuples_.erase(tuples_.begin(),
+                    tuples_.begin() + static_cast<ptrdiff_t>(start_));
+      start_ = 0;
+    }
+
+    // Prefetch forward: keep loading while the last resident key could
+    // still join with this public page.
+    while (next_page_ < run_->pages.size() &&
+           (tuples_.size() == start_ || tuples_.back().key <= high_key)) {
+      const size_t old_size = tuples_.size();
+      tuples_.resize(old_size + store_->tuples_per_page());
+      auto count = store_->ReadPage(run_->pages[next_page_],
+                                    tuples_.data() + old_size);
+      if (!count.ok()) return count.status();
+      tuples_.resize(old_size + *count);
+      ++next_page_;
+    }
+    peak_tuples_ = std::max(peak_tuples_, tuples_.size() - start_);
+    return Status::OK();
+  }
+
+  const Tuple* data() const { return tuples_.data() + start_; }
+  size_t size() const { return tuples_.size() - start_; }
+  size_t peak_tuples() const { return peak_tuples_; }
+
+ private:
+  const PageStore* store_;
+  const SpooledRun* run_;
+  std::vector<Tuple> tuples_;
+  size_t start_ = 0;
+  size_t next_page_ = 0;
+  size_t peak_tuples_ = 0;
+};
+
+}  // namespace
+
+Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
+                                       const Relation& r_private,
+                                       const Relation& s_public,
+                                       ConsumerFactory& consumers,
+                                       DMpsmReport* report) const {
+  const uint32_t num_workers = team.size();
+  if (r_private.num_chunks() != num_workers ||
+      s_public.num_chunks() != num_workers) {
+    return Status::InvalidArgument(
+        "relations must be chunked into team.size() chunks");
+  }
+  if (options_.pool_pages == 0) {
+    return Status::InvalidArgument("pool_pages must be >= 1");
+  }
+
+  PageStoreOptions store_options;
+  store_options.tuples_per_page = options_.tuples_per_page;
+  store_options.directory = options_.directory;
+  store_options.io_delay_us = options_.io_delay_us;
+  PageStore store(store_options);
+  MPSM_RETURN_NOT_OK(store.Open());
+
+  std::vector<PageIndex> index_parts(num_workers);
+  std::vector<SpooledRun> r_runs(num_workers);
+  PageIndex s_index;
+  std::optional<StagingPipeline> pipeline;
+  std::vector<Status> worker_status(num_workers);
+  std::atomic<size_t> peak_window{0};
+
+  WallTimer timer;
+  team.Run([&](WorkerContext& ctx) {
+    const uint32_t w = ctx.worker_id;
+
+    // Phase 1: sort + spool the public chunk; collect index entries.
+    {
+      PhaseScope scope(ctx, kPhaseSortPublic);
+      worker_status[w] = SortAndSpool(s_public.chunk(w), w, store,
+                                      ctx.Counters(kPhaseSortPublic),
+                                      &index_parts[w], nullptr);
+    }
+    ctx.barrier->Wait();
+
+    // Worker 0 merges the page index and starts the prefetch pipeline.
+    if (w == 0) {
+      PhaseScope scope(ctx, kPhasePartition);
+      for (auto& part : index_parts) s_index.Append(part);
+      s_index.Finalize();
+      pipeline.emplace(store, s_index, options_.pool_pages, num_workers);
+      pipeline->Start();
+    }
+    ctx.barrier->Wait();
+
+    // Phase 3: sort + spool the private chunk.
+    {
+      PhaseScope scope(ctx, kPhaseSortPrivate);
+      Status st = SortAndSpool(r_private.chunk(w), w, store,
+                               ctx.Counters(kPhaseSortPrivate), nullptr,
+                               &r_runs[w]);
+      if (worker_status[w].ok()) worker_status[w] = st;
+    }
+    ctx.barrier->Wait();
+    if (!worker_status[w].ok()) return;
+
+    // Phase 4: walk the key domain in page-index order, joining each
+    // public page against the private window.
+    {
+      PhaseScope scope(ctx, kPhaseJoin);
+      PerfCounters& counters = ctx.Counters(kPhaseJoin);
+      JoinConsumer& consumer = consumers.ConsumerForWorker(w);
+      PrivateWindow window(store, r_runs[w]);
+
+      // On error the worker keeps draining (acquire + release) so the
+      // other consumers and the pool never wedge on its frames.
+      bool failed = false;
+      for (size_t pos = 0; pos < s_index.size(); ++pos) {
+        const PageFrame* frame = pipeline->Acquire(pos);
+        if (frame == nullptr) break;  // pipeline stopped on I/O error
+        if (!failed && !frame->tuples.empty()) {
+          const uint64_t high_key = frame->tuples.back().key;
+          Status st = window.AdvanceTo(frame->entry.min_key, high_key);
+          if (!st.ok()) {
+            if (worker_status[w].ok()) worker_status[w] = st;
+            failed = true;
+          } else {
+            const auto scan = MergeJoinRunPair(
+                window.data(), window.size(), frame->tuples.data(),
+                frame->tuples.size(),
+                [&](size_t, const Tuple& r, const Tuple* s, size_t count) {
+                  consumer.OnMatch(r, s, count);
+                  counters.output_tuples += count;
+                });
+            counters.CountRead(/*local=*/true, /*sequential=*/true,
+                               (scan.r_end + scan.s_end) * sizeof(Tuple));
+          }
+        }
+        pipeline->Release(pos);
+      }
+
+      size_t expected = peak_window.load(std::memory_order_relaxed);
+      while (window.peak_tuples() > expected &&
+             !peak_window.compare_exchange_weak(expected,
+                                                window.peak_tuples())) {
+      }
+    }
+  });
+
+  for (const Status& st : worker_status) {
+    MPSM_RETURN_NOT_OK(st);
+  }
+  MPSM_RETURN_NOT_OK(pipeline->status());
+
+  if (report != nullptr) {
+    report->io = store.io_stats();
+    report->peak_pool_pages =
+        pipeline ? pipeline->peak_resident_pages() : 0;
+    report->peak_window_tuples = peak_window.load(std::memory_order_relaxed);
+    report->index_entries = s_index.size();
+  }
+  return CollectRunInfo(team, timer.ElapsedSeconds());
+}
+
+}  // namespace mpsm::disk

@@ -1,0 +1,66 @@
+// D-MPSM: the memory-constrained, disk-enabled MPSM join (§3.1).
+//
+// Both inputs are sorted into runs that are immediately spooled to a
+// page store; only the pages around the key-domain position currently
+// being joined are RAM-resident (Figure 4). All workers move through
+// the key domain synchronously, following the page index; a prefetcher
+// stages upcoming public pages ("yellow") into a bounded pool and pages
+// processed by the slowest worker are released ("green"). Each worker
+// keeps a sliding window of its own private run's pages; the window's
+// low end advances with the index position.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "core/consumers.h"
+#include "core/join_stats.h"
+#include "disk/page_store.h"
+#include "parallel/worker_team.h"
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace mpsm::disk {
+
+/// D-MPSM tuning.
+struct DMpsmOptions {
+  /// Page size in tuples for both spooled inputs.
+  size_t tuples_per_page = 4096;
+  /// Public-input staging pool capacity in pages (the RAM budget for
+  /// shared S pages). >= 1.
+  size_t pool_pages = 64;
+  /// Spool directory and synthetic I/O delay (see PageStoreOptions).
+  std::string directory = "/tmp";
+  uint32_t io_delay_us = 0;
+};
+
+/// Observability for tests and the spill example.
+struct DMpsmReport {
+  IoStats io;
+  /// Peak resident S pages in the shared staging pool.
+  size_t peak_pool_pages = 0;
+  /// Peak private-window tuples over all workers.
+  size_t peak_window_tuples = 0;
+  /// Entries in the S page index.
+  size_t index_entries = 0;
+};
+
+/// The disk-enabled MPSM join (inner joins).
+class DMpsmJoin {
+ public:
+  explicit DMpsmJoin(DMpsmOptions options = {}) : options_(options) {}
+
+  /// Joins `r_private` with `s_public`, spooling all runs through a
+  /// page store. Relations must be chunked into team.size() chunks.
+  Result<JoinRunInfo> Execute(WorkerTeam& team, const Relation& r_private,
+                              const Relation& s_public,
+                              ConsumerFactory& consumers,
+                              DMpsmReport* report = nullptr) const;
+
+  const DMpsmOptions& options() const { return options_; }
+
+ private:
+  DMpsmOptions options_;
+};
+
+}  // namespace mpsm::disk

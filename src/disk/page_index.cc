@@ -1,0 +1,21 @@
+#include "disk/page_index.h"
+
+#include <algorithm>
+#include <tuple>
+
+namespace mpsm::disk {
+
+void PageIndex::Append(const PageIndex& other) {
+  entries_.insert(entries_.end(), other.entries_.begin(),
+                  other.entries_.end());
+}
+
+void PageIndex::Finalize() {
+  std::sort(entries_.begin(), entries_.end(),
+            [](const PageIndexEntry& a, const PageIndexEntry& b) {
+              return std::tie(a.min_key, a.run, a.page) <
+                     std::tie(b.min_key, b.run, b.page);
+            });
+}
+
+}  // namespace mpsm::disk

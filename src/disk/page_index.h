@@ -1,0 +1,49 @@
+// The D-MPSM page index (§3.1, Figure 4).
+//
+// During run generation every spooled page contributes one entry
+// <v_ij, S_i> — the first (minimal) key on the j-th page of run S_i.
+// Sorting the entries by key yields the order in which both the
+// prefetcher and all workers move through the key domain. The index is
+// read-only after construction, so it needs no synchronization.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "disk/page_store.h"
+
+namespace mpsm::disk {
+
+/// One index entry: page `page` of run `run` starts at key `min_key`
+/// and holds `tuple_count` tuples.
+struct PageIndexEntry {
+  uint64_t min_key;
+  uint32_t run;
+  PageId page;
+  uint32_t tuple_count;
+};
+
+/// The sorted page index over all spooled runs of one input.
+class PageIndex {
+ public:
+  /// Adds an entry (any order). Not thread-safe; each worker collects
+  /// its own entries and they are merged via Append.
+  void Add(const PageIndexEntry& entry) { entries_.push_back(entry); }
+
+  /// Appends another index's entries (used to merge per-worker parts).
+  void Append(const PageIndex& other);
+
+  /// Sorts entries by (min_key, run, page). Call once after all Adds.
+  void Finalize();
+
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+  const PageIndexEntry& operator[](size_t i) const { return entries_[i]; }
+
+  const std::vector<PageIndexEntry>& entries() const { return entries_; }
+
+ private:
+  std::vector<PageIndexEntry> entries_;
+};
+
+}  // namespace mpsm::disk

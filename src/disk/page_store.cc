@@ -1,0 +1,91 @@
+#include "disk/page_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+namespace mpsm::disk {
+
+PageStore::PageStore(PageStoreOptions options)
+    : options_(std::move(options)) {}
+
+PageStore::~PageStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status PageStore::Open() {
+  std::string path = options_.directory + "/mpsm_spool_XXXXXX";
+  std::vector<char> buf(path.begin(), path.end());
+  buf.push_back('\0');
+  fd_ = ::mkstemp(buf.data());
+  if (fd_ < 0) {
+    return Status::IoError(std::string("mkstemp: ") + std::strerror(errno));
+  }
+  // Unlink immediately: the file vanishes when the store closes.
+  ::unlink(buf.data());
+  return Status::OK();
+}
+
+Result<PageId> PageStore::WritePage(const Tuple* data, size_t count) {
+  if (fd_ < 0) return Status::Internal("page store not open");
+  if (count > options_.tuples_per_page) {
+    return Status::InvalidArgument("page overflow");
+  }
+  const PageId id = next_page_.fetch_add(1, std::memory_order_relaxed);
+
+  // On-disk layout: [count: u64][tuples...].
+  std::vector<char> page(page_bytes(), 0);
+  const uint64_t count64 = count;
+  std::memcpy(page.data(), &count64, sizeof(count64));
+  std::memcpy(page.data() + sizeof(count64), data, count * sizeof(Tuple));
+
+  const off_t offset = static_cast<off_t>(id) * page_bytes();
+  ssize_t written = ::pwrite(fd_, page.data(), page.size(), offset);
+  if (written != static_cast<ssize_t>(page.size())) {
+    return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+  }
+  pages_written_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.io_delay_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.io_delay_us));
+  }
+  return id;
+}
+
+Result<size_t> PageStore::ReadPage(PageId id, Tuple* out) const {
+  if (fd_ < 0) return Status::Internal("page store not open");
+  if (id >= next_page_.load(std::memory_order_relaxed)) {
+    return Status::InvalidArgument("page id out of range");
+  }
+  std::vector<char> page(page_bytes());
+  const off_t offset = static_cast<off_t>(id) * page_bytes();
+  ssize_t bytes = ::pread(fd_, page.data(), page.size(), offset);
+  if (bytes != static_cast<ssize_t>(page.size())) {
+    return Status::IoError(std::string("pread: ") + std::strerror(errno));
+  }
+  uint64_t count = 0;
+  std::memcpy(&count, page.data(), sizeof(count));
+  if (count > options_.tuples_per_page) {
+    return Status::Internal("corrupt page header");
+  }
+  std::memcpy(out, page.data() + sizeof(count), count * sizeof(Tuple));
+  pages_read_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.io_delay_us > 0) {
+    std::this_thread::sleep_for(
+        std::chrono::microseconds(options_.io_delay_us));
+  }
+  return static_cast<size_t>(count);
+}
+
+IoStats PageStore::io_stats() const {
+  IoStats stats;
+  stats.pages_written = pages_written_.load(std::memory_order_relaxed);
+  stats.pages_read = pages_read_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace mpsm::disk

@@ -1,0 +1,79 @@
+// Temp-file backed page store for spooled runs (D-MPSM, §3.1).
+//
+// HyPer-style main-memory systems spool large intermediate results to
+// disk to preserve RAM for the transactional working set. The store
+// keeps fixed-size pages of tuples in an unlinked temporary file;
+// workers append pages concurrently (atomic page allocation + pwrite at
+// disjoint offsets) and read them back with pread. An optional
+// synthetic per-page I/O delay models a disk; the development machine's
+// page cache would otherwise hide all latency.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+
+#include "storage/tuple.h"
+#include "util/status.h"
+
+namespace mpsm::disk {
+
+/// Identifies a page within a PageStore.
+using PageId = uint64_t;
+
+/// Configuration of a page store.
+struct PageStoreOptions {
+  /// Page payload size in tuples.
+  size_t tuples_per_page = 4096;
+  /// Directory for the backing temp file.
+  std::string directory = "/tmp";
+  /// Synthetic I/O latency per page read/write, microseconds (0 = off).
+  uint32_t io_delay_us = 0;
+};
+
+/// I/O statistics (reads/writes are page-granular).
+struct IoStats {
+  uint64_t pages_written = 0;
+  uint64_t pages_read = 0;
+};
+
+/// Concurrent append/read page store.
+class PageStore {
+ public:
+  explicit PageStore(PageStoreOptions options = {});
+  ~PageStore();
+
+  PageStore(const PageStore&) = delete;
+  PageStore& operator=(const PageStore&) = delete;
+
+  /// Creates the backing file. Must be called before any I/O.
+  Status Open();
+
+  /// Appends one page holding `count` <= tuples_per_page tuples.
+  /// Thread-safe. Returns the new page's id.
+  Result<PageId> WritePage(const Tuple* data, size_t count);
+
+  /// Reads page `id` into `out` (capacity >= tuples_per_page).
+  /// Thread-safe. Returns the tuple count stored on the page.
+  Result<size_t> ReadPage(PageId id, Tuple* out) const;
+
+  size_t tuples_per_page() const { return options_.tuples_per_page; }
+  size_t page_bytes() const {
+    return options_.tuples_per_page * sizeof(Tuple) + sizeof(uint64_t);
+  }
+  uint64_t num_pages() const {
+    return next_page_.load(std::memory_order_relaxed);
+  }
+
+  /// Cumulative I/O counters.
+  IoStats io_stats() const;
+
+ private:
+  PageStoreOptions options_;
+  int fd_ = -1;
+  std::atomic<uint64_t> next_page_{0};
+  mutable std::atomic<uint64_t> pages_read_{0};
+  std::atomic<uint64_t> pages_written_{0};
+};
+
+}  // namespace mpsm::disk

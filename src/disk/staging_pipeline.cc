@@ -1,0 +1,107 @@
+#include "disk/staging_pipeline.h"
+
+#include <cassert>
+
+namespace mpsm::disk {
+
+StagingPipeline::StagingPipeline(const PageStore& store,
+                                 const PageIndex& index,
+                                 size_t capacity_pages,
+                                 uint32_t num_consumers)
+    : store_(store),
+      index_(index),
+      capacity_(capacity_pages == 0 ? 1 : capacity_pages),
+      num_consumers_(num_consumers),
+      slots_(capacity_) {}
+
+StagingPipeline::~StagingPipeline() { Stop(); }
+
+void StagingPipeline::Start() {
+  prefetch_thread_ = std::thread([this] { PrefetchLoop(); });
+}
+
+void StagingPipeline::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  frame_freed_.notify_all();
+  frame_loaded_.notify_all();
+  if (prefetch_thread_.joinable()) prefetch_thread_.join();
+}
+
+void StagingPipeline::PrefetchLoop() {
+  while (true) {
+    size_t pos;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      frame_freed_.wait(lock, [&] {
+        return stop_ || (next_load_ < index_.size() &&
+                         slots_[next_load_ % capacity_].frame == nullptr &&
+                         slots_[next_load_ % capacity_].releases_remaining ==
+                             0);
+      });
+      if (stop_ || next_load_ >= index_.size()) return;
+      pos = next_load_;
+    }
+
+    // Load outside the lock: the I/O (and any synthetic delay) must not
+    // block consumers releasing other frames.
+    auto frame = std::make_unique<PageFrame>();
+    frame->entry = index_[pos];
+    frame->tuples.resize(store_.tuples_per_page());
+    auto count = store_.ReadPage(frame->entry.page, frame->tuples.data());
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!count.ok()) {
+        status_ = count.status();
+        stop_ = true;
+      } else {
+        frame->tuples.resize(*count);
+        Slot& slot = slots_[pos % capacity_];
+        slot.frame = std::move(frame);
+        slot.pos = pos;
+        slot.releases_remaining = num_consumers_;
+        ++next_load_;
+        ++resident_;
+        peak_resident_ = std::max(peak_resident_, resident_);
+      }
+    }
+    frame_loaded_.notify_all();
+  }
+}
+
+const PageFrame* StagingPipeline::Acquire(size_t pos) {
+  std::unique_lock<std::mutex> lock(mu_);
+  frame_loaded_.wait(lock, [&] {
+    return (slots_[pos % capacity_].pos == pos &&
+            slots_[pos % capacity_].frame != nullptr) ||
+           (stop_ && next_load_ <= pos);
+  });
+  return slots_[pos % capacity_].pos == pos
+             ? slots_[pos % capacity_].frame.get()
+             : nullptr;
+}
+
+void StagingPipeline::Release(size_t pos) {
+  bool freed = false;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& slot = slots_[pos % capacity_];
+    if (slot.pos != pos || slot.releases_remaining == 0) return;
+    if (--slot.releases_remaining == 0) {
+      slot.frame.reset();
+      slot.pos = SIZE_MAX;
+      --resident_;
+      freed = true;
+    }
+  }
+  if (freed) frame_freed_.notify_all();
+}
+
+Status StagingPipeline::status() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return status_;
+}
+
+}  // namespace mpsm::disk

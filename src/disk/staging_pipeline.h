@@ -1,0 +1,93 @@
+// The D-MPSM staging pipeline: bounded buffer pool + prefetcher
+// (the green/white/yellow page lifecycle of Figure 4).
+//
+// Workers consume the public input's pages in page-index order. A
+// dedicated prefetch thread loads pages ahead of the fastest worker
+// into a bounded pool of frames; a frame is released (RAM freed) once
+// every worker has processed it — i.e. once the *slowest* worker has
+// moved past it. Pool capacity bounds resident RAM; when it is full the
+// prefetcher (and any worker that ran ahead) simply waits, throttling
+// the fast workers to the slow ones plus the window.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "disk/page_index.h"
+#include "disk/page_store.h"
+#include "util/status.h"
+
+namespace mpsm::disk {
+
+/// A resident page: tuples plus the index entry it belongs to.
+struct PageFrame {
+  std::vector<Tuple> tuples;
+  PageIndexEntry entry;
+};
+
+/// Shared pipeline over one finalized page index.
+class StagingPipeline {
+ public:
+  /// `capacity_pages` bounds resident frames (>= 1); `num_consumers`
+  /// workers will each acquire every index position exactly once.
+  StagingPipeline(const PageStore& store, const PageIndex& index,
+                  size_t capacity_pages, uint32_t num_consumers);
+  ~StagingPipeline();
+
+  StagingPipeline(const StagingPipeline&) = delete;
+  StagingPipeline& operator=(const StagingPipeline&) = delete;
+
+  /// Starts the prefetch thread.
+  void Start();
+
+  /// Blocks until index position `pos` is resident; returns its frame,
+  /// valid until this consumer calls Release(pos). Returns nullptr when
+  /// the pipeline stopped on an I/O error (check status()).
+  const PageFrame* Acquire(size_t pos);
+
+  /// Signals that this consumer is done with position `pos`. After
+  /// num_consumers releases the frame is freed ("green" in Figure 4).
+  /// No-op for positions that never became resident (error shutdown).
+  void Release(size_t pos);
+
+  /// Stops the prefetcher (joins the thread). Called automatically by
+  /// the destructor.
+  void Stop();
+
+  /// Highest number of simultaneously resident frames observed.
+  size_t peak_resident_pages() const { return peak_resident_; }
+
+  /// First I/O error encountered by the prefetcher, if any.
+  Status status() const;
+
+ private:
+  void PrefetchLoop();
+
+  const PageStore& store_;
+  const PageIndex& index_;
+  const size_t capacity_;
+  const uint32_t num_consumers_;
+
+  mutable std::mutex mu_;
+  std::condition_variable frame_loaded_;
+  std::condition_variable frame_freed_;
+  // Ring keyed by index position: slot pos % capacity.
+  struct Slot {
+    std::unique_ptr<PageFrame> frame;
+    size_t pos = SIZE_MAX;
+    uint32_t releases_remaining = 0;
+  };
+  std::vector<Slot> slots_;
+  size_t next_load_ = 0;       // next index position to prefetch
+  size_t resident_ = 0;
+  size_t peak_resident_ = 0;
+  bool stop_ = false;
+  Status status_;
+  std::thread prefetch_thread_;
+};
+
+}  // namespace mpsm::disk

@@ -1,0 +1,51 @@
+#include "numa/arena.h"
+
+#include <cstdlib>
+
+#include "util/bits.h"
+
+namespace mpsm::numa {
+
+Arena::Arena(NodeId node, size_t block_bytes)
+    : node_(node), block_bytes_(block_bytes) {}
+
+Arena::~Arena() {
+  for (Block& block : blocks_) std::free(block.data);
+}
+
+void Arena::AddBlock(size_t min_bytes) {
+  const size_t size = std::max(block_bytes_, min_bytes);
+  void* data = std::aligned_alloc(4096, bits::AlignUp(size, 4096));
+  if (data == nullptr) {
+    // Allocation failure in the arena is unrecoverable for the join —
+    // surface it immediately rather than corrupting state.
+    std::abort();
+  }
+  blocks_.push_back(Block{data, size});
+  cursor_ = static_cast<char*>(data);
+  end_ = cursor_ + size;
+  bytes_reserved_ += size;
+}
+
+void* Arena::AllocateBytes(size_t bytes, size_t alignment) {
+  char* aligned = reinterpret_cast<char*>(
+      bits::AlignUp(reinterpret_cast<uintptr_t>(cursor_), alignment));
+  if (aligned + bytes > end_) {
+    AddBlock(bytes + alignment);
+    aligned = reinterpret_cast<char*>(
+        bits::AlignUp(reinterpret_cast<uintptr_t>(cursor_), alignment));
+  }
+  cursor_ = aligned + bytes;
+  bytes_allocated_ += bytes;
+  return aligned;
+}
+
+NodeArenas::NodeArenas(const Topology& topology, size_t block_bytes)
+    : topology_(&topology) {
+  arenas_.reserve(topology.num_nodes());
+  for (NodeId node = 0; node < topology.num_nodes(); ++node) {
+    arenas_.push_back(std::make_unique<Arena>(node, block_bytes));
+  }
+}
+
+}  // namespace mpsm::numa

@@ -1,0 +1,100 @@
+// Node-tagged bump-pointer memory arenas.
+//
+// Every run / partition array in MPSM lives in exactly one NUMA node's
+// memory. The Arena makes that ownership explicit: allocations are
+// tagged with the arena's home node so algorithms (and the machine
+// model) can classify each access as local or remote. On machines with
+// real NUMA support the arena additionally first-touches pages from the
+// owning thread, which is how Linux places pages without libnuma.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "numa/topology.h"
+
+namespace mpsm::numa {
+
+/// A bump-pointer arena whose memory logically belongs to one NUMA node.
+///
+/// Allocation is O(1); all memory is released when the arena dies.
+/// Thread-compatible: concurrent Allocate calls must be externally
+/// synchronized (in MPSM each worker owns its arenas, so there is no
+/// sharing in the hot path — commandment C3).
+class Arena {
+ public:
+  /// Creates an arena homed on `node`. `block_bytes` is the granularity
+  /// of the underlying allocations.
+  explicit Arena(NodeId node, size_t block_bytes = size_t{8} << 20);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+  Arena(Arena&&) = default;
+  Arena& operator=(Arena&&) = default;
+  ~Arena();
+
+  /// Allocates `count` default-constructible objects of type T, aligned
+  /// to 64 bytes (cache line). The objects are NOT constructed; T must
+  /// be trivially constructible/destructible (tuples, integers).
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    static_assert(std::is_trivially_destructible_v<T>);
+    return static_cast<T*>(AllocateBytes(count * sizeof(T), 64));
+  }
+
+  /// Raw aligned allocation of `bytes` bytes.
+  void* AllocateBytes(size_t bytes, size_t alignment = 64);
+
+  /// Home node of this arena's memory.
+  NodeId node() const { return node_; }
+
+  /// Total bytes handed out so far.
+  size_t bytes_allocated() const { return bytes_allocated_; }
+
+  /// Total bytes reserved from the OS.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  struct Block {
+    void* data = nullptr;
+    size_t size = 0;
+  };
+
+  void AddBlock(size_t min_bytes);
+
+  NodeId node_;
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  char* cursor_ = nullptr;
+  char* end_ = nullptr;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+/// One arena per NUMA node plus a per-worker view; the standard memory
+/// layout for a worker team (worker w allocates from the arena of its
+/// home node).
+class NodeArenas {
+ public:
+  explicit NodeArenas(const Topology& topology,
+                      size_t block_bytes = size_t{8} << 20);
+
+  /// Arena owned by `node`.
+  Arena& OfNode(NodeId node) { return *arenas_[node]; }
+
+  /// Arena local to worker `w` in a team of `team_size`.
+  Arena& ForWorker(uint32_t w, uint32_t team_size) {
+    return OfNode(topology_->NodeForWorker(w, team_size));
+  }
+
+  const Topology& topology() const { return *topology_; }
+
+ private:
+  const Topology* topology_;
+  std::vector<std::unique_ptr<Arena>> arenas_;
+};
+
+}  // namespace mpsm::numa

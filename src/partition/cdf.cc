@@ -1,0 +1,63 @@
+#include "partition/cdf.h"
+
+#include <algorithm>
+
+namespace mpsm {
+
+Cdf Cdf::FromHistograms(const std::vector<EquiHeightHistogram>& locals) {
+  Cdf cdf;
+
+  // Each bound of a run with n tuples and k bounds is a step of height
+  // n/k ending at that key.
+  struct Step {
+    uint64_t key;
+    double height;
+  };
+  std::vector<Step> steps;
+  for (const EquiHeightHistogram& local : locals) {
+    cdf.total_ += local.run_size;
+    if (local.bounds.empty()) continue;
+    const double height =
+        static_cast<double>(local.run_size) / local.bounds.size();
+    for (uint64_t key : local.bounds) steps.push_back(Step{key, height});
+  }
+  std::sort(steps.begin(), steps.end(),
+            [](const Step& a, const Step& b) { return a.key < b.key; });
+
+  // Collapse equal keys and accumulate.
+  double cumulative = 0;
+  for (size_t i = 0; i < steps.size();) {
+    const uint64_t key = steps[i].key;
+    double height = 0;
+    while (i < steps.size() && steps[i].key == key) {
+      height += steps[i].height;
+      ++i;
+    }
+    cumulative += height;
+    cdf.step_keys_.push_back(key);
+    cdf.cumulative_.push_back(cumulative);
+  }
+  return cdf;
+}
+
+double Cdf::EstimateRank(uint64_t key) const {
+  if (step_keys_.empty()) return 0;
+  if (key >= step_keys_.back()) return static_cast<double>(total_);
+
+  // First step with key strictly greater than `key`.
+  const auto it = std::upper_bound(step_keys_.begin(), step_keys_.end(), key);
+  const size_t next = static_cast<size_t>(it - step_keys_.begin());
+  const double below = next == 0 ? 0.0 : cumulative_[next - 1];
+  const uint64_t low_key = next == 0 ? 0 : step_keys_[next - 1];
+  const uint64_t high_key = step_keys_[next];
+  const double step_height =
+      cumulative_[next] - (next == 0 ? 0.0 : cumulative_[next - 1]);
+  if (high_key == low_key) return below;
+
+  // Linear interpolation inside the step ("diagonal connection").
+  const double fraction = static_cast<double>(key - low_key) /
+                          static_cast<double>(high_key - low_key);
+  return below + fraction * step_height;
+}
+
+}  // namespace mpsm

@@ -1,0 +1,48 @@
+// Global cumulative distribution function of the public input S
+// (§4.1, Figure 8).
+//
+// The per-run equi-height histogram bounds of all workers are merged
+// into one step function; ranks between steps are linearly interpolated
+// (the "diagonal connections" of Figure 8). The CDF answers "how many S
+// tuples have key <= k" — the quantity the splitter computation needs
+// to estimate per-partition join cost.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "partition/equi_height.h"
+
+namespace mpsm {
+
+/// Merged, interpolating CDF over all S runs.
+class Cdf {
+ public:
+  Cdf() = default;
+
+  /// Merges per-run equi-height histograms into the global CDF.
+  static Cdf FromHistograms(const std::vector<EquiHeightHistogram>& locals);
+
+  /// Estimated number of S tuples with key <= `key`. Monotonically
+  /// non-decreasing in `key`; returns total() beyond the largest bound.
+  double EstimateRank(uint64_t key) const;
+
+  /// Estimated number of S tuples with key in [low, high).
+  double EstimateRange(uint64_t low, uint64_t high) const {
+    if (high <= low) return 0;
+    return EstimateRank(high - 1) - (low == 0 ? 0.0 : EstimateRank(low - 1));
+  }
+
+  /// Total S cardinality represented.
+  uint64_t total() const { return total_; }
+
+  /// Number of merged steps (diagnostics).
+  size_t num_steps() const { return step_keys_.size(); }
+
+ private:
+  std::vector<uint64_t> step_keys_;        // ascending
+  std::vector<double> cumulative_;         // rank after each step
+  uint64_t total_ = 0;
+};
+
+}  // namespace mpsm

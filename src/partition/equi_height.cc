@@ -1,0 +1,24 @@
+#include "partition/equi_height.h"
+
+#include <cassert>
+
+namespace mpsm {
+
+EquiHeightHistogram BuildEquiHeightHistogram(const Run& run,
+                                             uint32_t num_bounds) {
+  assert(num_bounds > 0);
+  EquiHeightHistogram histogram;
+  histogram.run_size = run.size;
+  if (run.size == 0) return histogram;
+
+  histogram.bounds.reserve(num_bounds);
+  for (uint32_t j = 1; j <= num_bounds; ++j) {
+    // Last element of the j-th equal-count bucket.
+    const size_t index = static_cast<size_t>(
+        (static_cast<unsigned __int128>(run.size) * j) / num_bounds);
+    histogram.bounds.push_back(run.data[index == 0 ? 0 : index - 1].key);
+  }
+  return histogram;
+}
+
+}  // namespace mpsm

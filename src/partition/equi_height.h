@@ -1,0 +1,29 @@
+// Equi-height histograms on sorted runs (§4.1, phase 2.1).
+//
+// Because each public-input run is already sorted, an equi-height
+// histogram is just a strided read of f*T keys — "almost no cost".
+// The per-run histograms are merged into the global CDF of S.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "storage/run.h"
+
+namespace mpsm {
+
+/// An equi-height histogram of one sorted run: `bounds[j]` is the key
+/// of the last tuple of the j-th equal-count bucket; each bucket covers
+/// ~run_size / bounds.size() tuples.
+struct EquiHeightHistogram {
+  std::vector<uint64_t> bounds;
+  uint64_t run_size = 0;
+};
+
+/// Extracts `num_bounds` equi-height bounds from a sorted run. The
+/// paper proposes f*T bounds per worker (oversampling factor f) for
+/// better CDF precision. Empty runs yield an empty histogram.
+EquiHeightHistogram BuildEquiHeightHistogram(const Run& run,
+                                             uint32_t num_bounds);
+
+}  // namespace mpsm

@@ -1,0 +1,56 @@
+// Key normalization for radix clustering (§3.2.1).
+//
+// Radix clustering uses the highest B bits of the join key. When the
+// key domain does not start at zero or does not span a power of two,
+// the keys are first normalized with a subtraction and a shift — the
+// "preprocessing using bitwise shift operations" the paper mentions.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bits.h"
+
+namespace mpsm {
+
+/// Maps join keys from [min_key, max_key] onto radix clusters
+/// [0, 2^B) via (key - min_key) >> shift. Comparison-free and
+/// branch-free in the hot path.
+class KeyNormalizer {
+ public:
+  KeyNormalizer() = default;
+
+  /// Builds a normalizer for keys in [min_key, max_key] with 2^bits
+  /// clusters. Requires min_key <= max_key and bits in [1, 32].
+  KeyNormalizer(uint64_t min_key, uint64_t max_key, uint32_t bits);
+
+  /// Cluster of `key`; keys outside [min, max] are clamped.
+  uint32_t Cluster(uint64_t key) const {
+    if (key <= min_key_) return 0;
+    const uint64_t cluster = (key - min_key_) >> shift_;
+    return cluster >= num_clusters_ ? num_clusters_ - 1
+                                    : static_cast<uint32_t>(cluster);
+  }
+
+  /// Smallest key mapping to `cluster` (cluster 0 maps to min_key).
+  uint64_t ClusterLowKey(uint32_t cluster) const {
+    return min_key_ + (static_cast<uint64_t>(cluster) << shift_);
+  }
+
+  /// One-past-the-largest key of `cluster` (saturating at UINT64_MAX).
+  uint64_t ClusterHighKey(uint32_t cluster) const;
+
+  uint32_t num_clusters() const { return num_clusters_; }
+  uint32_t bits() const { return bits_; }
+  uint32_t shift() const { return shift_; }
+  uint64_t min_key() const { return min_key_; }
+  uint64_t max_key() const { return max_key_; }
+
+ private:
+  uint64_t min_key_ = 0;
+  uint64_t max_key_ = 0;
+  uint32_t shift_ = 0;
+  uint32_t bits_ = 1;
+  uint32_t num_clusters_ = 2;
+};
+
+}  // namespace mpsm

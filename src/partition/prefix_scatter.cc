@@ -1,0 +1,30 @@
+#include "partition/prefix_scatter.h"
+
+#include <cassert>
+
+namespace mpsm {
+
+ScatterPlan ComputeScatterPlan(
+    const std::vector<std::vector<uint64_t>>& worker_histograms) {
+  ScatterPlan plan;
+  if (worker_histograms.empty()) return plan;
+  const size_t num_workers = worker_histograms.size();
+  const size_t num_partitions = worker_histograms[0].size();
+
+  plan.partition_sizes.assign(num_partitions, 0);
+  plan.start_offset.assign(num_workers,
+                           std::vector<uint64_t>(num_partitions, 0));
+
+  for (size_t p = 0; p < num_partitions; ++p) {
+    uint64_t offset = 0;
+    for (size_t w = 0; w < num_workers; ++w) {
+      assert(worker_histograms[w].size() == num_partitions);
+      plan.start_offset[w][p] = offset;
+      offset += worker_histograms[w][p];
+    }
+    plan.partition_sizes[p] = offset;
+  }
+  return plan;
+}
+
+}  // namespace mpsm

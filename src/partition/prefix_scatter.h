@@ -1,0 +1,57 @@
+// Synchronization-free scatter via combined prefix sums (§3.2.1).
+//
+// Every worker builds a local histogram of its chunk over the target
+// partitions. The local histograms are combined into prefix sums so
+// that each (worker, partition) pair owns a precomputed, disjoint index
+// range in the partition's target array. Workers then scatter their
+// tuples with plain sequential writes — no latches, no atomics
+// (Figure 6; adapted from He et al.'s GPU radix join).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "storage/tuple.h"
+
+namespace mpsm {
+
+/// The precomputed write plan for a scatter of W worker chunks into P
+/// target partitions.
+struct ScatterPlan {
+  /// partition_sizes[p]: total tuples that will land in partition p.
+  std::vector<uint64_t> partition_sizes;
+
+  /// start_offset[w][p]: first index in partition p's array reserved
+  /// for worker w (worker w writes [start, start + its_count)).
+  std::vector<std::vector<uint64_t>> start_offset;
+
+  uint32_t num_workers() const {
+    return static_cast<uint32_t>(start_offset.size());
+  }
+  uint32_t num_partitions() const {
+    return static_cast<uint32_t>(partition_sizes.size());
+  }
+};
+
+/// Computes the plan from per-worker partition histograms
+/// (worker_histograms[w][p] = tuples of worker w for partition p).
+/// ps_i[j] = sum_{k<i} h_k[j], exactly the paper's formula.
+ScatterPlan ComputeScatterPlan(
+    const std::vector<std::vector<uint64_t>>& worker_histograms);
+
+/// Scatters chunk[0..n) into per-partition destination arrays.
+/// `partition_of(key)` maps a join key to its target partition;
+/// `dest[p]` is the base pointer of partition p's array; `cursor[p]`
+/// must be initialized to the worker's start offsets from the plan and
+/// is advanced as tuples are written.
+template <typename PartitionOf>
+void ScatterChunk(const Tuple* chunk, size_t n, const PartitionOf& partition_of,
+                  Tuple* const* dest, uint64_t* cursor) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t p = partition_of(chunk[i].key);
+    dest[p][cursor[p]++] = chunk[i];
+  }
+}
+
+}  // namespace mpsm

@@ -1,0 +1,46 @@
+#include "partition/radix_histogram.h"
+
+#include <algorithm>
+
+namespace mpsm {
+
+RadixHistogram BuildRadixHistogram(const Tuple* data, size_t n,
+                                   const KeyNormalizer& normalizer) {
+  RadixHistogram histogram(normalizer.num_clusters(), 0);
+  for (size_t i = 0; i < n; ++i) {
+    ++histogram[normalizer.Cluster(data[i].key)];
+  }
+  return histogram;
+}
+
+RadixHistogram CombineHistograms(const std::vector<RadixHistogram>& locals) {
+  if (locals.empty()) return {};
+  RadixHistogram combined(locals[0].size(), 0);
+  for (const RadixHistogram& local : locals) {
+    for (size_t b = 0; b < combined.size(); ++b) combined[b] += local[b];
+  }
+  return combined;
+}
+
+uint64_t HistogramTotal(const RadixHistogram& histogram) {
+  uint64_t total = 0;
+  for (uint64_t count : histogram) total += count;
+  return total;
+}
+
+KeyRange ScanKeyRange(const Tuple* data, size_t n) {
+  if (n == 0) return {};
+  KeyRange range{data[0].key, data[0].key};
+  for (size_t i = 1; i < n; ++i) {
+    range.min_key = std::min(range.min_key, data[i].key);
+    range.max_key = std::max(range.max_key, data[i].key);
+  }
+  return range;
+}
+
+KeyRange MergeKeyRanges(const KeyRange& a, const KeyRange& b) {
+  return KeyRange{std::min(a.min_key, b.min_key),
+                  std::max(a.max_key, b.max_key)};
+}
+
+}  // namespace mpsm

@@ -1,0 +1,44 @@
+// Radix histograms on private-input chunks (§3.2.1 / §4.2).
+//
+// Each worker scans its chunk once and counts tuples per radix cluster;
+// this is branch-free and comparison-free. Raising the bit count B
+// refines the histogram at almost no extra cost (Figure 9), which the
+// splitter computation exploits for skew resilience.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "partition/key_normalizer.h"
+#include "storage/tuple.h"
+
+namespace mpsm {
+
+/// Counts of tuples per radix cluster.
+using RadixHistogram = std::vector<uint64_t>;
+
+/// Builds the histogram of data[0..n) under `normalizer`.
+RadixHistogram BuildRadixHistogram(const Tuple* data, size_t n,
+                                   const KeyNormalizer& normalizer);
+
+/// Element-wise sum of per-worker histograms (the "global R
+/// distribution histogram" of phase 2.2). All inputs must have equal
+/// size; empty input yields an empty histogram.
+RadixHistogram CombineHistograms(const std::vector<RadixHistogram>& locals);
+
+/// Sum of all buckets.
+uint64_t HistogramTotal(const RadixHistogram& histogram);
+
+/// Scans data[0..n) for min and max key. Returns {0, 0} for n == 0.
+struct KeyRange {
+  uint64_t min_key = 0;
+  uint64_t max_key = 0;
+};
+KeyRange ScanKeyRange(const Tuple* data, size_t n);
+
+/// Merges two key ranges (either side may come from an empty scan, in
+/// which case the other side wins; track emptiness externally).
+KeyRange MergeKeyRanges(const KeyRange& a, const KeyRange& b);
+
+}  // namespace mpsm

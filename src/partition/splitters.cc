@@ -1,0 +1,131 @@
+#include "partition/splitters.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace mpsm {
+
+PartitionCostFn MakePMpsmCost(uint32_t team_size) {
+  return [team_size](uint64_t r, double s) {
+    const double rd = static_cast<double>(r);
+    const double sort_cost = r > 1 ? rd * std::log2(rd) : rd;
+    const double scan_cost = static_cast<double>(team_size) * rd;
+    return sort_cost + scan_cost + s;
+  };
+}
+
+PartitionCostFn MakeEquiHeightRCost() {
+  return [](uint64_t r, double s) {
+    (void)s;
+    return static_cast<double>(r);
+  };
+}
+
+std::vector<double> EstimateClusterS(const KeyNormalizer& normalizer,
+                                     const Cdf& cdf) {
+  std::vector<double> estimates(normalizer.num_clusters());
+  for (uint32_t c = 0; c < normalizer.num_clusters(); ++c) {
+    estimates[c] = cdf.EstimateRange(normalizer.ClusterLowKey(c),
+                                     normalizer.ClusterHighKey(c));
+  }
+  return estimates;
+}
+
+namespace {
+
+// Greedily packs clusters into partitions of cost <= budget. Returns
+// the number of partitions used, or UINT32_MAX when a single cluster
+// already exceeds the budget... which cannot happen because a lone
+// cluster always forms its own partition; instead infeasibility is
+// "needs more than max_partitions partitions".
+uint32_t GreedyPack(const RadixHistogram& r, const std::vector<double>& s,
+                    const PartitionCostFn& cost, double budget,
+                    uint32_t max_partitions,
+                    std::vector<uint32_t>* assignment) {
+  if (assignment != nullptr) {
+    assignment->assign(r.size(), 0);
+  }
+  uint32_t partitions_used = 1;
+  uint64_t acc_r = 0;
+  double acc_s = 0;
+  for (size_t c = 0; c < r.size(); ++c) {
+    const uint64_t next_r = acc_r + r[c];
+    const double next_s = acc_s + (s.empty() ? 0.0 : s[c]);
+    const bool partition_empty = (acc_r == 0 && acc_s == 0);
+    if (!partition_empty && cost(next_r, next_s) > budget) {
+      // Close the current partition; this cluster starts the next one.
+      ++partitions_used;
+      if (partitions_used > max_partitions) return partitions_used;
+      acc_r = r[c];
+      acc_s = s.empty() ? 0.0 : s[c];
+    } else {
+      acc_r = next_r;
+      acc_s = next_s;
+    }
+    if (assignment != nullptr) {
+      (*assignment)[c] = partitions_used - 1;
+    }
+  }
+  return partitions_used;
+}
+
+}  // namespace
+
+Splitters ComputeSplitters(const RadixHistogram& global_r,
+                           const std::vector<double>& cluster_s,
+                           uint32_t num_partitions,
+                           const PartitionCostFn& cost) {
+  assert(num_partitions >= 1);
+  assert(cluster_s.empty() || cluster_s.size() == global_r.size());
+
+  Splitters result;
+  result.num_partitions = num_partitions;
+  if (global_r.empty()) return result;
+
+  // The bottleneck cost is at least the cost of the heaviest single
+  // cluster and at most the cost of everything in one partition.
+  uint64_t total_r = 0;
+  double total_s = 0;
+  double lo = 0;
+  for (size_t c = 0; c < global_r.size(); ++c) {
+    total_r += global_r[c];
+    const double s = cluster_s.empty() ? 0.0 : cluster_s[c];
+    total_s += s;
+    lo = std::max(lo, cost(global_r[c], s));
+  }
+  double hi = std::max(lo, cost(total_r, total_s));
+
+  // Binary search the minimum feasible bottleneck cost.
+  for (int iter = 0; iter < 64 && hi - lo > 1e-6 * (1.0 + hi); ++iter) {
+    const double mid = lo + (hi - lo) / 2;
+    if (GreedyPack(global_r, cluster_s, cost, mid, num_partitions,
+                   nullptr) <= num_partitions) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+
+  const uint32_t used = GreedyPack(global_r, cluster_s, cost, hi,
+                                   num_partitions,
+                                   &result.cluster_to_partition);
+  assert(used <= num_partitions);
+  (void)used;
+
+  // Per-partition diagnostics.
+  result.partition_costs.assign(num_partitions, 0);
+  result.partition_r_sizes.assign(num_partitions, 0);
+  result.partition_s_estimates.assign(num_partitions, 0);
+  for (size_t c = 0; c < global_r.size(); ++c) {
+    const uint32_t p = result.cluster_to_partition[c];
+    result.partition_r_sizes[p] += global_r[c];
+    if (!cluster_s.empty()) result.partition_s_estimates[p] += cluster_s[c];
+  }
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    result.partition_costs[p] =
+        cost(result.partition_r_sizes[p], result.partition_s_estimates[p]);
+  }
+  return result;
+}
+
+}  // namespace mpsm

@@ -1,0 +1,54 @@
+#include "sim/machine_model.h"
+
+#include <algorithm>
+
+namespace mpsm::sim {
+
+double MachineModel::PhaseSeconds(const PerfCounters& c) const {
+  double ns = 0;
+  ns += static_cast<double>(c.bytes_read_local_seq +
+                            c.bytes_written_local_seq) *
+        ns_per_byte_seq_local;
+  ns += static_cast<double>(c.bytes_read_remote_seq +
+                            c.bytes_written_remote_seq) *
+        ns_per_byte_seq_remote;
+  ns += static_cast<double>(c.bytes_read_local_rand +
+                            c.bytes_written_local_rand) *
+        ns_per_byte_rand_local;
+  ns += static_cast<double>(c.bytes_read_remote_rand +
+                            c.bytes_written_remote_rand) *
+        ns_per_byte_rand_remote;
+  ns += static_cast<double>(c.sort_tuple_logs) * ns_per_sort_unit;
+  ns += static_cast<double>(c.sync_acquisitions) * ns_per_sync;
+  ns += static_cast<double>(c.hash_inserts) * ns_per_hash_insert;
+  ns += static_cast<double>(c.hash_probes) * ns_per_hash_probe;
+  return ns * 1e-9;
+}
+
+ModeledExecution ModelExecution(const MachineModel& model,
+                                const std::vector<WorkerStats>& workers) {
+  ModeledExecution result;
+  const uint32_t team_size = static_cast<uint32_t>(workers.size());
+  // Oversubscription: with more workers than physical cores, each
+  // worker effectively runs at cores/team_size speed.
+  const double slowdown =
+      team_size > model.cores
+          ? static_cast<double>(team_size) / model.cores
+          : 1.0;
+
+  result.worker_seconds.assign(team_size, 0.0);
+  for (uint32_t p = 0; p < kNumJoinPhases; ++p) {
+    double slowest = 0;
+    for (uint32_t w = 0; w < team_size; ++w) {
+      const double seconds =
+          model.PhaseSeconds(workers[w].phase_counters[p]) * slowdown;
+      result.worker_seconds[w] += seconds;
+      slowest = std::max(slowest, seconds);
+    }
+    result.phase_seconds[p] = slowest;
+    result.total_seconds += slowest;
+  }
+  return result;
+}
+
+}  // namespace mpsm::sim

@@ -1,0 +1,56 @@
+// The paper's three-phase sorting routine (§2.3):
+//
+//   1. One in-place MSD radix partitioning pass producing 2^8 = 256
+//      partitions on the 8 most significant (used) bits of the key
+//      (histogram -> partition boundaries -> swap into place).
+//   2. IntroSort on each partition: quicksort limited to 2*log2(n)
+//      recursion levels, falling back to heapsort beyond that.
+//   3. Partitions below 16 elements are left to a final insertion-sort
+//      pass that establishes the total order.
+//
+// The routine sorts 16-byte tuples by their 64-bit key; it is what every
+// MPSM worker uses to turn its local chunk into a run. Individual phases
+// are exposed for unit testing and for the kernel benchmarks.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+#include "storage/tuple.h"
+
+namespace mpsm::sort {
+
+/// Number of buckets of the MSD radix pass (8 bits).
+inline constexpr uint32_t kRadixBuckets = 256;
+
+/// Quicksort-to-insertion-sort cutoff (paper: 16 elements).
+inline constexpr size_t kInsertionThreshold = 16;
+
+/// Sorts data[0..n) by key using the full Radix/IntroSort pipeline.
+void RadixIntroSort(Tuple* data, size_t n);
+
+/// Sorts data[0..n) by key with plain introsort (no radix pass); used
+/// for small arrays and as a comparison point.
+void IntroSort(Tuple* data, size_t n);
+
+/// Insertion sort; exposed for testing. Sorts data[0..n) by key.
+void InsertionSort(Tuple* data, size_t n);
+
+/// Bottom-up heapsort; exposed for testing. Sorts data[0..n) by key.
+void HeapSort(Tuple* data, size_t n);
+
+/// In-place MSD radix partitioning ("American flag" pass): permutes
+/// data[0..n) so that bucket b = (key >> shift) & 0xFF occupies
+/// [bounds[b], bounds[b+1]). Returns the 257-entry boundary array.
+std::array<size_t, kRadixBuckets + 1> MsdRadixPartition(Tuple* data, size_t n,
+                                                        uint32_t shift);
+
+/// Shift such that the top 8 significant bits of keys <= max_key select
+/// the radix bucket (0 when max_key < 256).
+uint32_t RadixShiftForMaxKey(uint64_t max_key);
+
+/// True iff data[0..n) is non-decreasing in key.
+bool IsSortedByKey(const Tuple* data, size_t n);
+
+}  // namespace mpsm::sort

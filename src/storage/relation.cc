@@ -1,0 +1,56 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mpsm {
+
+Relation Relation::Allocate(const numa::Topology& topology, size_t num_tuples,
+                            uint32_t num_chunks) {
+  assert(num_chunks > 0);
+  Relation rel;
+  rel.size_ = num_tuples;
+  rel.storage_.resize(num_tuples);
+  rel.chunks_.resize(num_chunks);
+  rel.chunk_offsets_.resize(num_chunks);
+
+  const size_t base = num_tuples / num_chunks;
+  const size_t remainder = num_tuples % num_chunks;
+  size_t offset = 0;
+  for (uint32_t i = 0; i < num_chunks; ++i) {
+    const size_t chunk_size = base + (i < remainder ? 1 : 0);
+    rel.chunk_offsets_[i] = offset;
+    rel.chunks_[i] = Chunk{rel.storage_.data() + offset, chunk_size,
+                           topology.NodeForWorker(i, num_chunks)};
+    offset += chunk_size;
+  }
+  return rel;
+}
+
+Relation Relation::FromVector(std::vector<Tuple> tuples) {
+  Relation rel;
+  rel.size_ = tuples.size();
+  rel.storage_ = std::move(tuples);
+  rel.chunks_ = {Chunk{rel.storage_.data(), rel.size_, 0}};
+  rel.chunk_offsets_ = {0};
+  return rel;
+}
+
+const Tuple& Relation::At(size_t index) const {
+  assert(index < size_);
+  auto it = std::upper_bound(chunk_offsets_.begin(), chunk_offsets_.end(),
+                             index);
+  const size_t chunk_index = static_cast<size_t>(it - chunk_offsets_.begin()) - 1;
+  return chunks_[chunk_index].data[index - chunk_offsets_[chunk_index]];
+}
+
+std::vector<Tuple> Relation::ToVector() const {
+  std::vector<Tuple> out;
+  out.reserve(size_);
+  for (const Chunk& chunk : chunks_) {
+    out.insert(out.end(), chunk.begin(), chunk.end());
+  }
+  return out;
+}
+
+}  // namespace mpsm

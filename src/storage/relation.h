@@ -1,0 +1,67 @@
+// In-memory relations, chunked across NUMA nodes.
+//
+// A Relation models a table column-group of join tuples as it arrives at
+// the join operator: logically one sequence, physically divided into
+// per-worker chunks, each homed on a NUMA node (the node of the worker
+// that loaded/produced it). All MPSM phases operate on these chunks.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numa/topology.h"
+#include "storage/tuple.h"
+#include "util/status.h"
+
+namespace mpsm {
+
+/// A contiguous slice of tuples homed on one NUMA node.
+struct Chunk {
+  Tuple* data = nullptr;
+  size_t size = 0;
+  numa::NodeId node = 0;
+
+  Tuple* begin() const { return data; }
+  Tuple* end() const { return data + size; }
+};
+
+/// A chunked in-memory relation.
+///
+/// Owns its tuple storage. Chunks are sized evenly; chunk i is tagged
+/// with the node of worker i (socket-major placement), modeling data
+/// that was loaded NUMA-partitioned as the paper assumes.
+class Relation {
+ public:
+  Relation() = default;
+
+  /// Allocates a relation of `num_tuples` tuples divided into
+  /// `num_chunks` chunks placed per `topology`. Contents are
+  /// uninitialized; use a workload generator to fill them.
+  static Relation Allocate(const numa::Topology& topology, size_t num_tuples,
+                           uint32_t num_chunks);
+
+  /// Builds a single-chunk relation from an existing tuple vector
+  /// (convenience for tests).
+  static Relation FromVector(std::vector<Tuple> tuples);
+
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  uint32_t num_chunks() const { return static_cast<uint32_t>(chunks_.size()); }
+
+  const Chunk& chunk(uint32_t i) const { return chunks_[i]; }
+  Chunk& chunk(uint32_t i) { return chunks_[i]; }
+
+  /// Global tuple access (crosses chunk boundaries); O(log #chunks).
+  const Tuple& At(size_t index) const;
+
+  /// Copies all chunks into one contiguous vector (tests/debugging).
+  std::vector<Tuple> ToVector() const;
+
+ private:
+  std::vector<Tuple> storage_;
+  std::vector<Chunk> chunks_;
+  std::vector<size_t> chunk_offsets_;  // start offset of each chunk
+  size_t size_ = 0;
+};
+
+}  // namespace mpsm

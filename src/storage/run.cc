@@ -1,0 +1,18 @@
+#include "storage/run.h"
+
+namespace mpsm {
+
+bool IsSortedRun(const Run& run) {
+  for (size_t i = 1; i < run.size; ++i) {
+    if (run.data[i - 1].key > run.data[i].key) return false;
+  }
+  return true;
+}
+
+size_t TotalSize(const RunSet& runs) {
+  size_t total = 0;
+  for (const Run& run : runs) total += run.size;
+  return total;
+}
+
+}  // namespace mpsm

@@ -1,0 +1,36 @@
+// Sorted runs: the intermediate representation of all MPSM variants.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "numa/topology.h"
+#include "storage/tuple.h"
+
+namespace mpsm {
+
+/// A key-sorted array of tuples homed on one NUMA node.
+struct Run {
+  Tuple* data = nullptr;
+  size_t size = 0;
+  numa::NodeId node = 0;
+
+  const Tuple* begin() const { return data; }
+  const Tuple* end() const { return data + size; }
+  bool empty() const { return size == 0; }
+
+  /// Smallest / largest key; run must be non-empty.
+  uint64_t MinKey() const { return data[0].key; }
+  uint64_t MaxKey() const { return data[size - 1].key; }
+};
+
+/// All runs of one input, indexed by producing worker.
+using RunSet = std::vector<Run>;
+
+/// True iff `run` is non-decreasing in key.
+bool IsSortedRun(const Run& run);
+
+/// Total number of tuples across a run set.
+size_t TotalSize(const RunSet& runs);
+
+}  // namespace mpsm

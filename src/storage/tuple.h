@@ -1,0 +1,28 @@
+// The tuple format used throughout the paper's evaluation:
+// a 64-bit join key and a 64-bit payload (record id / data pointer).
+#pragma once
+
+#include <cstdint>
+
+namespace mpsm {
+
+/// 16-byte join tuple: [joinkey: 64-bit, payload: 64-bit] (paper §5.1).
+struct Tuple {
+  uint64_t key;
+  uint64_t payload;
+
+  friend bool operator==(const Tuple& a, const Tuple& b) {
+    return a.key == b.key && a.payload == b.payload;
+  }
+};
+
+static_assert(sizeof(Tuple) == 16, "tuple layout must stay 16 bytes");
+
+/// Orders tuples by join key (payload is not part of the sort key).
+struct TupleKeyLess {
+  bool operator()(const Tuple& a, const Tuple& b) const {
+    return a.key < b.key;
+  }
+};
+
+}  // namespace mpsm

@@ -1,0 +1,45 @@
+// Bit-manipulation helpers used by radix clustering, histograms and the
+// key normalizer.
+#pragma once
+
+#include <bit>
+#include <cstdint>
+
+namespace mpsm::bits {
+
+/// True iff v is zero or a power of two.
+constexpr bool IsPowerOfTwoOrZero(uint64_t v) { return (v & (v - 1)) == 0; }
+
+/// True iff v is a (nonzero) power of two.
+constexpr bool IsPowerOfTwo(uint64_t v) { return v != 0 && IsPowerOfTwoOrZero(v); }
+
+/// Smallest power of two >= v (v must be <= 2^63).
+constexpr uint64_t NextPowerOfTwo(uint64_t v) {
+  if (v <= 1) return 1;
+  return uint64_t{1} << (64 - std::countl_zero(v - 1));
+}
+
+/// floor(log2(v)); v must be nonzero.
+constexpr uint32_t Log2Floor(uint64_t v) {
+  return 63 - static_cast<uint32_t>(std::countl_zero(v));
+}
+
+/// ceil(log2(v)); v must be nonzero.
+constexpr uint32_t Log2Ceil(uint64_t v) {
+  return v <= 1 ? 0 : Log2Floor(v - 1) + 1;
+}
+
+/// Number of significant (used) bits in v: 0 for 0, Log2Floor(v)+1 otherwise.
+constexpr uint32_t BitWidth(uint64_t v) {
+  return static_cast<uint32_t>(std::bit_width(v));
+}
+
+/// ceil(a / b) for b > 0.
+constexpr uint64_t CeilDiv(uint64_t a, uint64_t b) { return (a + b - 1) / b; }
+
+/// Rounds v up to the next multiple of alignment (a power of two).
+constexpr uint64_t AlignUp(uint64_t v, uint64_t alignment) {
+  return (v + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace mpsm::bits

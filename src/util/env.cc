@@ -1,0 +1,49 @@
+#include "util/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace mpsm {
+
+std::optional<std::string> GetEnv(const std::string& name) {
+  const char* value = std::getenv(name.c_str());
+  if (value == nullptr) return std::nullopt;
+  return std::string(value);
+}
+
+int64_t GetEnvInt(const std::string& name, int64_t fallback) {
+  auto value = GetEnv(name);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const int64_t parsed = std::strtoll(value->c_str(), &end, 10);
+  if (end == value->c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+double GetEnvDouble(const std::string& name, double fallback) {
+  auto value = GetEnv(name);
+  if (!value) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(value->c_str(), &end);
+  if (end == value->c_str() || *end != '\0') return fallback;
+  return parsed;
+}
+
+bool GetEnvBool(const std::string& name, bool fallback) {
+  auto value = GetEnv(name);
+  if (!value) return fallback;
+  std::string lowered = *value;
+  std::transform(lowered.begin(), lowered.end(), lowered.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  if (lowered == "1" || lowered == "true" || lowered == "yes" ||
+      lowered == "on") {
+    return true;
+  }
+  if (lowered == "0" || lowered == "false" || lowered == "no" ||
+      lowered == "off") {
+    return false;
+  }
+  return fallback;
+}
+
+}  // namespace mpsm

@@ -1,0 +1,24 @@
+// Environment-variable driven configuration knobs shared by tests and
+// benches (e.g. MPSM_SCALE_LOG2 to shrink/grow workloads).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+
+namespace mpsm {
+
+/// Reads an environment variable, if set.
+std::optional<std::string> GetEnv(const std::string& name);
+
+/// Reads an integer environment variable; returns `fallback` when unset
+/// or unparsable.
+int64_t GetEnvInt(const std::string& name, int64_t fallback);
+
+/// Reads a floating point environment variable with fallback.
+double GetEnvDouble(const std::string& name, double fallback);
+
+/// Reads a boolean environment variable ("1"/"true"/"yes" are true).
+bool GetEnvBool(const std::string& name, bool fallback);
+
+}  // namespace mpsm

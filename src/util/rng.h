@@ -1,0 +1,65 @@
+// Deterministic, fast pseudo-random number generation for workload
+// generators and property tests. Not cryptographic.
+#pragma once
+
+#include <cstdint>
+
+namespace mpsm {
+
+/// SplitMix64: used to seed/bootstrap other generators and as a cheap
+/// stateless mixer. Reference: Steele, Lea, Flood (2014).
+constexpr uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9E3779B97F4A7C15ull;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256**: fast, high-quality 64-bit PRNG (Blackman & Vigna).
+/// Deterministic for a given seed across platforms.
+class Xoshiro256 {
+ public:
+  explicit Xoshiro256(uint64_t seed) {
+    uint64_t sm = seed;
+    for (auto& word : s_) word = SplitMix64(sm);
+  }
+
+  /// Next uniformly distributed 64-bit value.
+  uint64_t Next() {
+    const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  /// Uniform value in [0, bound) without modulo bias (Lemire's method).
+  uint64_t NextBounded(uint64_t bound) {
+    // 128-bit multiply keeps the distribution unbiased enough for
+    // workload generation (single-pass variant).
+    return static_cast<uint64_t>(
+        (static_cast<unsigned __int128>(Next()) * bound) >> 64);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() { return (Next() >> 11) * 0x1.0p-53; }
+
+  // UniformRandomBitGenerator interface for <algorithm> interop.
+  using result_type = uint64_t;
+  static constexpr uint64_t min() { return 0; }
+  static constexpr uint64_t max() { return ~uint64_t{0}; }
+  uint64_t operator()() { return Next(); }
+
+ private:
+  static constexpr uint64_t Rotl(uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+  uint64_t s_[4];
+};
+
+}  // namespace mpsm

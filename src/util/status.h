@@ -1,0 +1,129 @@
+// Status / Result error-handling primitives.
+//
+// The library does not throw exceptions from its hot paths. API-level
+// operations that can fail (I/O, configuration validation) return a Status
+// or a Result<T>, in the style of Arrow / RocksDB.
+#pragma once
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <utility>
+
+namespace mpsm {
+
+/// Coarse error taxonomy for the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kOutOfMemory,
+  kIoError,
+  kInternal,
+  kNotSupported,
+};
+
+/// Human-readable name of a StatusCode (e.g. "InvalidArgument").
+const char* StatusCodeName(StatusCode code);
+
+/// Lightweight success-or-error value returned by fallible operations.
+///
+/// An OK status carries no message and is cheap to copy. Error statuses
+/// carry a code and a free-form message.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status NotSupported(std::string msg) {
+    return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-Status union: holds T on success, an error Status otherwise.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (success).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+  /// Implicit construction from an error status. `status.ok()` must be false.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "Result constructed from OK status without value");
+  }
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Access to the contained value; requires ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;
+};
+
+/// Propagates an error status out of the enclosing function.
+#define MPSM_RETURN_NOT_OK(expr)                 \
+  do {                                           \
+    ::mpsm::Status _st = (expr);                 \
+    if (!_st.ok()) return _st;                   \
+  } while (0)
+
+/// Evaluates a Result expression, assigning the value into `lhs` or
+/// propagating the error.
+#define MPSM_ASSIGN_OR_RETURN(lhs, expr)         \
+  auto MPSM_CONCAT_(_res_, __LINE__) = (expr);   \
+  if (!MPSM_CONCAT_(_res_, __LINE__).ok())       \
+    return MPSM_CONCAT_(_res_, __LINE__).status(); \
+  lhs = std::move(MPSM_CONCAT_(_res_, __LINE__)).value()
+
+#define MPSM_CONCAT_IMPL_(a, b) a##b
+#define MPSM_CONCAT_(a, b) MPSM_CONCAT_IMPL_(a, b)
+
+}  // namespace mpsm

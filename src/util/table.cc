@@ -1,0 +1,54 @@
+#include "util/table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace mpsm {
+
+void TablePrinter::SetHeader(std::vector<std::string> header) {
+  header_ = std::move(header);
+}
+
+void TablePrinter::AddRow(std::vector<std::string> row) {
+  assert(row.size() == header_.size());
+  rows_.push_back(std::move(row));
+}
+
+std::string TablePrinter::ToString() const {
+  std::vector<size_t> widths(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto append_row = [&](std::string& out, const std::vector<std::string>& row) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      out += row[c];
+      if (c + 1 < row.size()) {
+        out.append(widths[c] - row[c].size() + 2, ' ');
+      }
+    }
+    out += '\n';
+  };
+
+  std::string out;
+  append_row(out, header_);
+  std::vector<std::string> rule;
+  rule.reserve(header_.size());
+  for (size_t c = 0; c < header_.size(); ++c) {
+    rule.emplace_back(widths[c], '-');
+  }
+  append_row(out, rule);
+  for (const auto& row : rows_) append_row(out, row);
+  return out;
+}
+
+void TablePrinter::Print() const {
+  const std::string rendered = ToString();
+  std::fwrite(rendered.data(), 1, rendered.size(), stdout);
+  std::fflush(stdout);
+}
+
+}  // namespace mpsm

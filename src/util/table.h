@@ -1,0 +1,56 @@
+// Minimal fixed-width ASCII table printer used by the benchmark harness
+// to emit the paper's figure series in a readable form.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace mpsm {
+
+/// Accumulates rows of string cells and prints them as an aligned table.
+///
+/// Example output:
+///   algorithm  multiplicity  phase1[ms]  total[ms]
+///   ---------  ------------  ----------  ---------
+///   p-mpsm     4             118.2       407.8
+class TablePrinter {
+ public:
+  /// Sets the column headers; must be called before AddRow.
+  void SetHeader(std::vector<std::string> header);
+
+  /// Appends one data row. Row length must equal the header length.
+  void AddRow(std::vector<std::string> row);
+
+  /// Convenience: formats arithmetic values with %g / integrals directly.
+  template <typename... Args>
+  void AddRowValues(const Args&... args) {
+    std::vector<std::string> row;
+    (row.push_back(FormatCell(args)), ...);
+    AddRow(std::move(row));
+  }
+
+  /// Renders the table to a string.
+  std::string ToString() const;
+
+  /// Prints the table to stdout.
+  void Print() const;
+
+ private:
+  static std::string FormatCell(const std::string& s) { return s; }
+  static std::string FormatCell(const char* s) { return s; }
+  static std::string FormatCell(double v) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.1f", v);
+    return buf;
+  }
+  template <typename T>
+  static std::string FormatCell(const T& v) {
+    return std::to_string(v);
+  }
+
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace mpsm

@@ -1,0 +1,120 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <vector>
+
+namespace mpsm::workload {
+
+uint64_t DrawKey(KeyDistribution distribution, uint64_t domain,
+                 Xoshiro256& rng) {
+  assert(domain > 0);
+  switch (distribution) {
+    case KeyDistribution::kUniform:
+      return rng.NextBounded(domain);
+    case KeyDistribution::kSkewLowEnd: {
+      // 80% of the keys fall into the low 20% of the domain.
+      const uint64_t band = std::max<uint64_t>(1, domain / 5);
+      if (rng.NextDouble() < 0.8) return rng.NextBounded(band);
+      return band + rng.NextBounded(std::max<uint64_t>(1, domain - band));
+    }
+    case KeyDistribution::kSkewHighEnd: {
+      const uint64_t band = std::max<uint64_t>(1, domain / 5);
+      const uint64_t low_span = domain > band ? domain - band : 1;
+      if (rng.NextDouble() < 0.8) {
+        return low_span + rng.NextBounded(band);
+      }
+      return rng.NextBounded(low_span);
+    }
+  }
+  return 0;
+}
+
+namespace {
+
+/// Payloads stay below 2^32 so payload sums never overflow 64 bits.
+uint64_t DrawPayload(Xoshiro256& rng) {
+  return rng.Next() & 0xFFFFFFFFull;
+}
+
+void FillRelation(Relation& rel, KeyDistribution distribution,
+                  uint64_t domain, uint64_t seed) {
+  for (uint32_t c = 0; c < rel.num_chunks(); ++c) {
+    // Independent stream per chunk: deterministic regardless of chunk
+    // count/iteration order.
+    Xoshiro256 rng(seed ^ (0x517CC1B727220A95ull * (c + 1)));
+    Chunk& chunk = rel.chunk(c);
+    for (size_t i = 0; i < chunk.size; ++i) {
+      chunk.data[i] = Tuple{DrawKey(distribution, domain, rng),
+                            DrawPayload(rng)};
+    }
+  }
+}
+
+void FillForeignKey(Relation& s, const std::vector<uint64_t>& r_keys,
+                    uint64_t seed) {
+  for (uint32_t c = 0; c < s.num_chunks(); ++c) {
+    Xoshiro256 rng(seed ^ (0xA24BAED4963EE407ull * (c + 1)));
+    Chunk& chunk = s.chunk(c);
+    for (size_t i = 0; i < chunk.size; ++i) {
+      const uint64_t key = r_keys.empty()
+                               ? rng.Next()
+                               : r_keys[rng.NextBounded(r_keys.size())];
+      chunk.data[i] = Tuple{key, DrawPayload(rng)};
+    }
+  }
+}
+
+/// Rearranges S into global (rough) key order: tuples sorted by key are
+/// dealt into chunks front to back, then each chunk is shuffled
+/// internally — "small to large join key order, no total order" (§5.5).
+void ApplyKeyOrderedArrangement(Relation& s, uint64_t seed) {
+  std::vector<Tuple> all = s.ToVector();
+  std::sort(all.begin(), all.end(), TupleKeyLess{});
+  size_t offset = 0;
+  for (uint32_t c = 0; c < s.num_chunks(); ++c) {
+    Chunk& chunk = s.chunk(c);
+    std::copy(all.begin() + offset, all.begin() + offset + chunk.size,
+              chunk.data);
+    offset += chunk.size;
+    Xoshiro256 rng(seed ^ (0x2545F4914F6CDD1Dull * (c + 1)));
+    std::shuffle(chunk.begin(), chunk.end(), rng);
+  }
+}
+
+}  // namespace
+
+Dataset Generate(const numa::Topology& topology, uint32_t num_chunks,
+                 const DatasetSpec& spec) {
+  Dataset dataset;
+  const size_t s_tuples = static_cast<size_t>(
+      std::llround(spec.multiplicity * static_cast<double>(spec.r_tuples)));
+
+  dataset.r = Relation::Allocate(topology, spec.r_tuples, num_chunks);
+  dataset.s = Relation::Allocate(topology, s_tuples, num_chunks);
+
+  FillRelation(dataset.r, spec.r_distribution, spec.key_domain, spec.seed);
+
+  if (spec.s_mode == SKeyMode::kForeignKey) {
+    std::vector<uint64_t> r_keys;
+    r_keys.reserve(spec.r_tuples);
+    for (uint32_t c = 0; c < dataset.r.num_chunks(); ++c) {
+      const Chunk& chunk = dataset.r.chunk(c);
+      for (size_t i = 0; i < chunk.size; ++i) {
+        r_keys.push_back(chunk.data[i].key);
+      }
+    }
+    FillForeignKey(dataset.s, r_keys, spec.seed + 1);
+  } else {
+    FillRelation(dataset.s, spec.s_distribution, spec.key_domain,
+                 spec.seed + 1);
+  }
+
+  if (spec.s_arrangement == Arrangement::kKeyOrdered) {
+    ApplyKeyOrderedArrangement(dataset.s, spec.seed + 2);
+  }
+  return dataset;
+}
+
+}  // namespace mpsm::workload

@@ -1,0 +1,69 @@
+// Workload generators for the paper's evaluation scenarios (§5.1).
+//
+// Datasets are pairs (R, S) of join relations: |R| fixed, |S| =
+// multiplicity * |R|, keys 64-bit in [0, 2^32), payloads 64-bit.
+// Variants: uniform keys, foreign-key S (every S tuple joins), 80:20
+// skew at either end of the domain (Figure 16's negatively correlated
+// pair), and location skew (S arranged in rough key order, §5.5).
+#pragma once
+
+#include <cstdint>
+
+#include "numa/topology.h"
+#include "storage/relation.h"
+#include "util/rng.h"
+
+namespace mpsm::workload {
+
+/// Key distributions for generated relations.
+enum class KeyDistribution : uint8_t {
+  kUniform,      // uniform over the domain
+  kSkewLowEnd,   // 80% of keys in the low 20% of the domain
+  kSkewHighEnd,  // 80% of keys in the high 20% of the domain
+};
+
+/// How S keys relate to R keys.
+enum class SKeyMode : uint8_t {
+  /// S keys drawn independently from the same domain/distribution.
+  kIndependent,
+  /// Foreign-key style: each S key is the key of a random R tuple
+  /// (every S tuple has exactly |matching R tuples| partners).
+  kForeignKey,
+};
+
+/// Physical arrangement of S (location skew, §5.5).
+enum class Arrangement : uint8_t {
+  kShuffled,     // no location skew (the default in all experiments)
+  kKeyOrdered,   // extreme location skew: S globally arranged small ->
+                 // large so Ri's partners concentrate in one Sj
+                 // (clusters still unsorted internally)
+};
+
+/// Full dataset specification.
+struct DatasetSpec {
+  size_t r_tuples = 1u << 20;
+  double multiplicity = 4.0;        // |S| = multiplicity * |R|
+  uint64_t key_domain = uint64_t{1} << 32;
+  KeyDistribution r_distribution = KeyDistribution::kUniform;
+  KeyDistribution s_distribution = KeyDistribution::kUniform;
+  SKeyMode s_mode = SKeyMode::kForeignKey;
+  Arrangement s_arrangement = Arrangement::kShuffled;
+  uint64_t seed = 42;
+};
+
+/// A generated join workload.
+struct Dataset {
+  Relation r;
+  Relation s;
+};
+
+/// Generates the dataset chunked into `num_chunks` chunks per relation
+/// (one per worker) placed on `topology`.
+Dataset Generate(const numa::Topology& topology, uint32_t num_chunks,
+                 const DatasetSpec& spec);
+
+/// Draws one key from `distribution` over [0, domain).
+uint64_t DrawKey(KeyDistribution distribution, uint64_t domain,
+                 Xoshiro256& rng);
+
+}  // namespace mpsm::workload

@@ -1,0 +1,53 @@
+#include "workload/query.h"
+
+#include "baseline/radix_join.h"
+#include "baseline/wisconsin_join.h"
+#include "core/b_mpsm.h"
+#include "core/consumers.h"
+#include "core/p_mpsm.h"
+
+namespace mpsm::workload {
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kPMpsm:
+      return "p-mpsm";
+    case Algorithm::kBMpsm:
+      return "b-mpsm";
+    case Algorithm::kWisconsin:
+      return "wisconsin";
+    case Algorithm::kRadix:
+      return "radix (vw)";
+  }
+  return "unknown";
+}
+
+Result<QueryResult> RunBenchmarkQuery(Algorithm algorithm, WorkerTeam& team,
+                                      const Relation& r, const Relation& s,
+                                      const MpsmOptions& options) {
+  MaxPayloadSumFactory consumers(team.size());
+
+  Result<JoinRunInfo> info = Status::Internal("unreachable");
+  switch (algorithm) {
+    case Algorithm::kPMpsm:
+      info = PMpsmJoin(options).Execute(team, r, s, consumers);
+      break;
+    case Algorithm::kBMpsm:
+      info = BMpsmJoin(options).Execute(team, r, s, consumers);
+      break;
+    case Algorithm::kWisconsin:
+      info = baseline::WisconsinHashJoin().Execute(team, r, s, consumers);
+      break;
+    case Algorithm::kRadix:
+      info = baseline::RadixHashJoin().Execute(team, r, s, consumers);
+      break;
+  }
+  if (!info.ok()) return info.status();
+
+  QueryResult result;
+  result.max_sum = consumers.Result();
+  result.info = std::move(info).value();
+  return result;
+}
+
+}  // namespace mpsm::workload

@@ -1,0 +1,43 @@
+// The paper's benchmark query harness (§5.1):
+//
+//   SELECT max(R.payload + S.payload)
+//   FROM R, S WHERE R.joinkey = S.joinkey
+//
+// One entry point runs the query with any of the implemented join
+// algorithms, so tests and benches compare like for like.
+#pragma once
+
+#include <optional>
+
+#include "core/join_stats.h"
+#include "core/join_types.h"
+#include "parallel/worker_team.h"
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace mpsm::workload {
+
+/// Join algorithms the harness can dispatch to.
+enum class Algorithm : uint8_t {
+  kPMpsm,      // range-partitioned MPSM (the paper's flagship)
+  kBMpsm,      // basic MPSM
+  kWisconsin,  // no-partition hash join baseline
+  kRadix,      // radix hash join baseline (Vectorwise stand-in)
+};
+
+/// Display name ("p-mpsm", "wisconsin", ...).
+const char* AlgorithmName(Algorithm algorithm);
+
+/// The query's answer plus execution statistics.
+struct QueryResult {
+  std::optional<uint64_t> max_sum;  // nullopt for an empty join
+  JoinRunInfo info;
+};
+
+/// Runs the benchmark query. `r` plays the private/build role, `s` the
+/// public/probe role (callers decide role reversal by swapping).
+Result<QueryResult> RunBenchmarkQuery(Algorithm algorithm, WorkerTeam& team,
+                                      const Relation& r, const Relation& s,
+                                      const MpsmOptions& options = {});
+
+}  // namespace mpsm::workload

@@ -1,0 +1,246 @@
+// P-MPSM internals: radix-bit resolution, diagnostics, options
+// interactions, and counter-balance invariants.
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/consumers.h"
+#include "core/p_mpsm.h"
+#include "numa/topology.h"
+#include "workload/generator.h"
+
+namespace mpsm {
+namespace {
+
+numa::Topology Topo() { return numa::Topology::Simulated(4, 8); }
+
+TEST(EffectiveRadixBitsTest, DefaultScalesWithTeam) {
+  PMpsmJoin join;
+  EXPECT_EQ(join.EffectiveRadixBits(1), 10u);   // max(log2(2)+5, 10)
+  EXPECT_EQ(join.EffectiveRadixBits(4), 10u);
+  EXPECT_EQ(join.EffectiveRadixBits(32), 10u);  // log2(32)+5 = 10
+  EXPECT_EQ(join.EffectiveRadixBits(64), 11u);
+  EXPECT_EQ(join.EffectiveRadixBits(1024), 15u);
+}
+
+TEST(EffectiveRadixBitsTest, ExplicitBitsRespectedButClampedToLogT) {
+  MpsmOptions options;
+  options.radix_bits = 7;
+  EXPECT_EQ(PMpsmJoin(options).EffectiveRadixBits(16), 7u);
+  // B must be at least log2(T) to express T partitions.
+  EXPECT_EQ(PMpsmJoin(options).EffectiveRadixBits(512), 9u);
+}
+
+TEST(PMpsmDiagnosticsTest, PartitionSizesCoverR) {
+  const auto topology = Topo();
+  workload::DatasetSpec spec;
+  spec.r_tuples = 20000;
+  spec.multiplicity = 2.0;
+  const auto dataset = workload::Generate(topology, 8, spec);
+
+  WorkerTeam team(topology, 8);
+  CountFactory counts(8);
+  PMpsmDiagnostics diagnostics;
+  auto info = PMpsmJoin().Execute(team, dataset.r, dataset.s, counts,
+                                  &diagnostics);
+  ASSERT_TRUE(info.ok());
+
+  EXPECT_EQ(diagnostics.partition_sizes.size(), 8u);
+  EXPECT_EQ(std::accumulate(diagnostics.partition_sizes.begin(),
+                            diagnostics.partition_sizes.end(), uint64_t{0}),
+            dataset.r.size());
+  EXPECT_EQ(diagnostics.cdf.total(), dataset.s.size());
+  EXPECT_EQ(diagnostics.splitters.num_partitions, 8u);
+  // The normalizer spans the actual R key range.
+  EXPECT_LE(diagnostics.normalizer.min_key(),
+            diagnostics.normalizer.max_key());
+}
+
+TEST(PMpsmDiagnosticsTest, UniformDataGivesBalancedPartitions) {
+  const auto topology = Topo();
+  workload::DatasetSpec spec;
+  spec.r_tuples = 80000;
+  spec.multiplicity = 1.0;
+  const auto dataset = workload::Generate(topology, 8, spec);
+
+  WorkerTeam team(topology, 8);
+  CountFactory counts(8);
+  PMpsmDiagnostics diagnostics;
+  ASSERT_TRUE(PMpsmJoin()
+                  .Execute(team, dataset.r, dataset.s, counts, &diagnostics)
+                  .ok());
+  const uint64_t expected = dataset.r.size() / 8;
+  for (uint64_t size : diagnostics.partition_sizes) {
+    EXPECT_NEAR(static_cast<double>(size), static_cast<double>(expected),
+                0.25 * expected);
+  }
+}
+
+TEST(PMpsmDiagnosticsTest, SkewedDataStillCostBalanced) {
+  const auto topology = Topo();
+  workload::DatasetSpec spec;
+  spec.r_tuples = 100000;
+  spec.multiplicity = 1.0;
+  spec.r_distribution = workload::KeyDistribution::kSkewLowEnd;
+  spec.s_mode = workload::SKeyMode::kForeignKey;  // S skewed like R
+  const auto dataset = workload::Generate(topology, 8, spec);
+
+  WorkerTeam team(topology, 8);
+  CountFactory counts(8);
+  PMpsmDiagnostics diagnostics;
+  ASSERT_TRUE(PMpsmJoin()
+                  .Execute(team, dataset.r, dataset.s, counts, &diagnostics)
+                  .ok());
+  // Estimated per-partition costs balanced within 2x of the mean.
+  const auto& costs = diagnostics.splitters.partition_costs;
+  const double avg =
+      std::accumulate(costs.begin(), costs.end(), 0.0) / costs.size();
+  for (double cost : costs) {
+    EXPECT_LT(cost, 2.0 * avg);
+  }
+}
+
+TEST(PMpsmOptionsTest, AllSearchStrategiesAgree) {
+  const auto topology = Topo();
+  workload::DatasetSpec spec;
+  spec.r_tuples = 15000;
+  spec.multiplicity = 2.0;
+  const auto dataset = workload::Generate(topology, 4, spec);
+  WorkerTeam team(topology, 4);
+
+  uint64_t reference = 0;
+  bool first = true;
+  for (auto search : {StartSearch::kInterpolation, StartSearch::kBinary,
+                      StartSearch::kLinear}) {
+    MpsmOptions options;
+    options.start_search = search;
+    CountFactory counts(4);
+    ASSERT_TRUE(
+        PMpsmJoin(options).Execute(team, dataset.r, dataset.s, counts).ok());
+    if (first) {
+      reference = counts.Result();
+      first = false;
+    } else {
+      EXPECT_EQ(counts.Result(), reference);
+    }
+  }
+  EXPECT_GT(reference, 0u);
+}
+
+TEST(PMpsmOptionsTest, RadixBitSweepAgrees) {
+  const auto topology = Topo();
+  workload::DatasetSpec spec;
+  spec.r_tuples = 15000;
+  spec.multiplicity = 1.0;
+  spec.r_distribution = workload::KeyDistribution::kSkewHighEnd;
+  const auto dataset = workload::Generate(topology, 4, spec);
+  WorkerTeam team(topology, 4);
+
+  CountFactory base(4);
+  ASSERT_TRUE(PMpsmJoin().Execute(team, dataset.r, dataset.s, base).ok());
+  for (uint32_t bits : {2u, 5u, 8u, 12u, 16u}) {
+    MpsmOptions options;
+    options.radix_bits = bits;
+    CountFactory counts(4);
+    ASSERT_TRUE(
+        PMpsmJoin(options).Execute(team, dataset.r, dataset.s, counts).ok());
+    EXPECT_EQ(counts.Result(), base.Result()) << "bits=" << bits;
+  }
+}
+
+TEST(PMpsmOptionsTest, EquiHeightFactorSweepAgrees) {
+  const auto topology = Topo();
+  workload::DatasetSpec spec;
+  spec.r_tuples = 10000;
+  spec.multiplicity = 2.0;
+  const auto dataset = workload::Generate(topology, 4, spec);
+  WorkerTeam team(topology, 4);
+
+  CountFactory base(4);
+  ASSERT_TRUE(PMpsmJoin().Execute(team, dataset.r, dataset.s, base).ok());
+  for (uint32_t f : {1u, 2u, 16u}) {
+    MpsmOptions options;
+    options.equi_height_factor = f;
+    CountFactory counts(4);
+    ASSERT_TRUE(
+        PMpsmJoin(options).Execute(team, dataset.r, dataset.s, counts).ok());
+    EXPECT_EQ(counts.Result(), base.Result()) << "f=" << f;
+  }
+}
+
+TEST(PMpsmOptionsTest, NoPhaseBarriersStillCorrect) {
+  const auto topology = Topo();
+  workload::DatasetSpec spec;
+  spec.r_tuples = 12000;
+  spec.multiplicity = 2.0;
+  const auto dataset = workload::Generate(topology, 6, spec);
+  WorkerTeam team(topology, 6);
+
+  MpsmOptions options;
+  options.phase_barriers = false;
+  CountFactory counts(6);
+  ASSERT_TRUE(
+      PMpsmJoin(options).Execute(team, dataset.r, dataset.s, counts).ok());
+  CountFactory reference(6);
+  ASSERT_TRUE(PMpsmJoin().Execute(team, dataset.r, dataset.s, reference)
+                  .ok());
+  EXPECT_EQ(counts.Result(), reference.Result());
+}
+
+TEST(PMpsmCountersTest, ScatterWritesExactlyR) {
+  const auto topology = Topo();
+  workload::DatasetSpec spec;
+  spec.r_tuples = 30000;
+  spec.multiplicity = 1.0;
+  const auto dataset = workload::Generate(topology, 8, spec);
+  WorkerTeam team(topology, 8);
+
+  CountFactory counts(8);
+  auto info = PMpsmJoin().Execute(team, dataset.r, dataset.s, counts);
+  ASSERT_TRUE(info.ok());
+  const auto& partition = info->aggregate.phase_counters[kPhasePartition];
+  EXPECT_EQ(partition.bytes_written_local_rand +
+                partition.bytes_written_remote_rand,
+            dataset.r.size() * sizeof(Tuple));
+}
+
+TEST(PMpsmCountersTest, SortWorkCoversBothInputs) {
+  const auto topology = Topo();
+  workload::DatasetSpec spec;
+  spec.r_tuples = 20000;
+  spec.multiplicity = 3.0;
+  const auto dataset = workload::Generate(topology, 4, spec);
+  WorkerTeam team(topology, 4);
+
+  CountFactory counts(4);
+  auto info = PMpsmJoin().Execute(team, dataset.r, dataset.s, counts);
+  ASSERT_TRUE(info.ok());
+  const auto total = info->aggregate.TotalCounters();
+  EXPECT_EQ(total.sort_tuples, dataset.r.size() + dataset.s.size());
+}
+
+TEST(JoinRunInfoTest, PhaseBreakdownRendering) {
+  const auto topology = Topo();
+  workload::DatasetSpec spec;
+  spec.r_tuples = 5000;
+  spec.multiplicity = 1.0;
+  const auto dataset = workload::Generate(topology, 2, spec);
+  WorkerTeam team(topology, 2);
+  CountFactory counts(2);
+  auto info = PMpsmJoin().Execute(team, dataset.r, dataset.s, counts);
+  ASSERT_TRUE(info.ok());
+
+  EXPECT_EQ(info->workers.size(), 2u);
+  EXPECT_GT(info->wall_seconds, 0.0);
+  EXPECT_GT(info->critical_path_seconds, 0.0);
+  const auto phases = info->MaxPhaseSeconds();
+  double sum = 0;
+  for (double p : phases) sum += p;
+  EXPECT_GT(sum, 0.0);
+  const std::string breakdown = info->PhaseBreakdownString();
+  EXPECT_NE(breakdown.find("phase 1"), std::string::npos);
+  EXPECT_NE(breakdown.find("critical path"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace mpsm

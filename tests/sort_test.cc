@@ -1,0 +1,233 @@
+// The paper's Radix/IntroSort (§2.3): correctness across sizes and
+// distributions, phase components, and structural properties.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <tuple>
+#include <vector>
+
+#include "sort/radix_introsort.h"
+#include "util/rng.h"
+
+namespace mpsm::sort {
+namespace {
+
+enum class Dist {
+  kUniform,
+  kSorted,
+  kReverse,
+  kAllEqual,
+  kFewDistinct,
+  kSkewLow,
+  kOrganPipe,
+  kHighBitsOnly,
+  kFullRange64,
+};
+
+const char* DistName(Dist d) {
+  switch (d) {
+    case Dist::kUniform: return "uniform";
+    case Dist::kSorted: return "sorted";
+    case Dist::kReverse: return "reverse";
+    case Dist::kAllEqual: return "allequal";
+    case Dist::kFewDistinct: return "fewdistinct";
+    case Dist::kSkewLow: return "skewlow";
+    case Dist::kOrganPipe: return "organpipe";
+    case Dist::kHighBitsOnly: return "highbits";
+    case Dist::kFullRange64: return "full64";
+  }
+  return "?";
+}
+
+std::vector<Tuple> MakeData(Dist dist, size_t n, uint64_t seed) {
+  Xoshiro256 rng(seed);
+  std::vector<Tuple> data(n);
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t key = 0;
+    switch (dist) {
+      case Dist::kUniform:
+        key = rng.NextBounded(uint64_t{1} << 32);
+        break;
+      case Dist::kSorted:
+        key = i;
+        break;
+      case Dist::kReverse:
+        key = n - i;
+        break;
+      case Dist::kAllEqual:
+        key = 42;
+        break;
+      case Dist::kFewDistinct:
+        key = rng.NextBounded(7);
+        break;
+      case Dist::kSkewLow:
+        key = rng.NextDouble() < 0.9 ? rng.NextBounded(100)
+                                     : rng.NextBounded(uint64_t{1} << 30);
+        break;
+      case Dist::kOrganPipe:
+        key = i < n / 2 ? i : n - i;
+        break;
+      case Dist::kHighBitsOnly:
+        // Only the top byte varies: stresses the radix pass.
+        key = rng.NextBounded(256) << 56;
+        break;
+      case Dist::kFullRange64:
+        key = rng.Next();
+        break;
+    }
+    data[i] = Tuple{key, i};  // payload records original position
+  }
+  return data;
+}
+
+// Checks that `sorted` is a key-sorted permutation of `original`.
+void ExpectSortedPermutation(const std::vector<Tuple>& original,
+                             std::vector<Tuple> sorted) {
+  ASSERT_EQ(original.size(), sorted.size());
+  EXPECT_TRUE(IsSortedByKey(sorted.data(), sorted.size()));
+  // Permutation check via payloads (each payload unique in MakeData).
+  auto expected = original;
+  auto full_less = [](const Tuple& a, const Tuple& b) {
+    return std::tie(a.key, a.payload) < std::tie(b.key, b.payload);
+  };
+  std::sort(expected.begin(), expected.end(), full_less);
+  std::sort(sorted.begin(), sorted.end(), full_less);
+  EXPECT_EQ(expected, sorted);
+}
+
+class RadixIntroSortTest
+    : public testing::TestWithParam<std::tuple<Dist, size_t>> {};
+
+TEST_P(RadixIntroSortTest, SortsCorrectly) {
+  const auto [dist, n] = GetParam();
+  const auto original = MakeData(dist, n, 17 + n);
+  auto data = original;
+  RadixIntroSort(data.data(), data.size());
+  ExpectSortedPermutation(original, data);
+}
+
+TEST_P(RadixIntroSortTest, IntroSortAloneSortsCorrectly) {
+  const auto [dist, n] = GetParam();
+  const auto original = MakeData(dist, n, 31 + n);
+  auto data = original;
+  IntroSort(data.data(), data.size());
+  ExpectSortedPermutation(original, data);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, RadixIntroSortTest,
+    testing::Combine(testing::Values(Dist::kUniform, Dist::kSorted,
+                                     Dist::kReverse, Dist::kAllEqual,
+                                     Dist::kFewDistinct, Dist::kSkewLow,
+                                     Dist::kOrganPipe, Dist::kHighBitsOnly,
+                                     Dist::kFullRange64),
+                     testing::Values<size_t>(0, 1, 2, 15, 16, 17, 100, 1000,
+                                             65536)),
+    [](const testing::TestParamInfo<std::tuple<Dist, size_t>>& info) {
+      return std::string(DistName(std::get<0>(info.param))) + "_n" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// --------------------------------------------------------- components
+
+TEST(InsertionSortTest, SortsSmallArrays) {
+  for (size_t n : {0u, 1u, 2u, 5u, 16u, 40u}) {
+    auto original = MakeData(Dist::kUniform, n, n);
+    auto data = original;
+    InsertionSort(data.data(), n);
+    ExpectSortedPermutation(original, data);
+  }
+}
+
+TEST(HeapSortTest, SortsAllDistributions) {
+  for (Dist d : {Dist::kUniform, Dist::kReverse, Dist::kAllEqual,
+                 Dist::kFewDistinct}) {
+    auto original = MakeData(d, 2000, 5);
+    auto data = original;
+    HeapSort(data.data(), data.size());
+    ExpectSortedPermutation(original, data);
+  }
+}
+
+TEST(MsdRadixPartitionTest, BucketsArePureAndBoundsTight) {
+  auto data = MakeData(Dist::kUniform, 50000, 3);
+  const uint32_t shift = RadixShiftForMaxKey(uint64_t{1} << 32);
+  const auto bounds = MsdRadixPartition(data.data(), data.size(), shift);
+
+  EXPECT_EQ(bounds[0], 0u);
+  EXPECT_EQ(bounds[kRadixBuckets], data.size());
+  for (uint32_t b = 0; b < kRadixBuckets; ++b) {
+    EXPECT_LE(bounds[b], bounds[b + 1]);
+    for (size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
+      EXPECT_EQ((data[i].key >> shift) & 0xFF, b);
+    }
+  }
+}
+
+TEST(MsdRadixPartitionTest, IsPermutation) {
+  const auto original = MakeData(Dist::kUniform, 10000, 11);
+  auto data = original;
+  MsdRadixPartition(data.data(), data.size(),
+                    RadixShiftForMaxKey(uint64_t{1} << 32));
+  auto a = original;
+  auto b = data;
+  auto full_less = [](const Tuple& x, const Tuple& y) {
+    return std::tie(x.key, x.payload) < std::tie(y.key, y.payload);
+  };
+  std::sort(a.begin(), a.end(), full_less);
+  std::sort(b.begin(), b.end(), full_less);
+  EXPECT_EQ(a, b);
+}
+
+TEST(MsdRadixPartitionTest, PartitionOrderMatchesKeyOrder) {
+  // After the MSD pass, bucket b's keys all precede bucket b+1's keys
+  // (the property that makes bucket-local introsort sufficient).
+  auto data = MakeData(Dist::kUniform, 20000, 13);
+  uint64_t max_key = 0;
+  for (const auto& t : data) max_key = std::max(max_key, t.key);
+  const uint32_t shift = RadixShiftForMaxKey(max_key);
+  const auto bounds = MsdRadixPartition(data.data(), data.size(), shift);
+  uint64_t previous_max = 0;
+  for (uint32_t b = 0; b < kRadixBuckets; ++b) {
+    for (size_t i = bounds[b]; i < bounds[b + 1]; ++i) {
+      EXPECT_GE(data[i].key >> shift, previous_max >> shift);
+    }
+    if (bounds[b + 1] > bounds[b]) {
+      previous_max = uint64_t{b} << shift;
+    }
+  }
+}
+
+TEST(RadixShiftTest, SelectsTopEightSignificantBits) {
+  EXPECT_EQ(RadixShiftForMaxKey(0), 0u);
+  EXPECT_EQ(RadixShiftForMaxKey(255), 0u);
+  EXPECT_EQ(RadixShiftForMaxKey(256), 1u);
+  EXPECT_EQ(RadixShiftForMaxKey((uint64_t{1} << 32) - 1), 24u);
+  EXPECT_EQ(RadixShiftForMaxKey(~uint64_t{0}), 56u);
+}
+
+TEST(IsSortedByKeyTest, DetectsOrder) {
+  std::vector<Tuple> sorted = {{1, 0}, {1, 9}, {2, 0}, {5, 0}};
+  std::vector<Tuple> unsorted = {{1, 0}, {3, 0}, {2, 0}};
+  EXPECT_TRUE(IsSortedByKey(sorted.data(), sorted.size()));
+  EXPECT_FALSE(IsSortedByKey(unsorted.data(), unsorted.size()));
+  EXPECT_TRUE(IsSortedByKey(nullptr, 0));
+}
+
+// Payload must travel with its key (16-byte tuple moves, not key-only).
+TEST(RadixIntroSortTest, PayloadsStayAttached) {
+  auto data = MakeData(Dist::kUniform, 5000, 23);
+  std::vector<uint64_t> expected_payload_by_key(5000);
+  // Make keys unique so the key->payload map is well defined.
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i].key = (data[i].key << 13) | i;
+  }
+  auto original = data;
+  RadixIntroSort(data.data(), data.size());
+  for (const Tuple& t : data) {
+    EXPECT_EQ(t.payload, original[t.key & 0x1FFF].payload);
+  }
+}
+
+}  // namespace
+}  // namespace mpsm::sort

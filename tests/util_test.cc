@@ -1,0 +1,235 @@
+// Tests for util: Status/Result, bit helpers, RNG, env, table printer.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <set>
+
+#include "util/bits.h"
+#include "util/env.h"
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/table.h"
+#include "util/timer.h"
+
+namespace mpsm {
+namespace {
+
+// ----------------------------------------------------------- Status
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad B");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad B");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad B");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kOutOfMemory), "OutOfMemory");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kIoError), "IoError");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kInternal), "Internal");
+  EXPECT_STREQ(StatusCodeName(StatusCode::kNotSupported), "NotSupported");
+}
+
+TEST(StatusTest, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::IoError("x"), Status::IoError("x"));
+  EXPECT_FALSE(Status::IoError("x") == Status::IoError("y"));
+  EXPECT_FALSE(Status::IoError("x") == Status::Internal("x"));
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r(7);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(*r, 7);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r(Status::Internal("boom"));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string v = std::move(r).value();
+  EXPECT_EQ(v, "hello");
+}
+
+// ------------------------------------------------------------- bits
+
+TEST(BitsTest, PowerOfTwo) {
+  EXPECT_TRUE(bits::IsPowerOfTwo(1));
+  EXPECT_TRUE(bits::IsPowerOfTwo(1024));
+  EXPECT_FALSE(bits::IsPowerOfTwo(0));
+  EXPECT_FALSE(bits::IsPowerOfTwo(3));
+  EXPECT_TRUE(bits::IsPowerOfTwoOrZero(0));
+}
+
+TEST(BitsTest, NextPowerOfTwo) {
+  EXPECT_EQ(bits::NextPowerOfTwo(0), 1u);
+  EXPECT_EQ(bits::NextPowerOfTwo(1), 1u);
+  EXPECT_EQ(bits::NextPowerOfTwo(2), 2u);
+  EXPECT_EQ(bits::NextPowerOfTwo(3), 4u);
+  EXPECT_EQ(bits::NextPowerOfTwo(1025), 2048u);
+  EXPECT_EQ(bits::NextPowerOfTwo(uint64_t{1} << 40), uint64_t{1} << 40);
+}
+
+TEST(BitsTest, Log2) {
+  EXPECT_EQ(bits::Log2Floor(1), 0u);
+  EXPECT_EQ(bits::Log2Floor(2), 1u);
+  EXPECT_EQ(bits::Log2Floor(3), 1u);
+  EXPECT_EQ(bits::Log2Floor(uint64_t{1} << 63), 63u);
+  EXPECT_EQ(bits::Log2Ceil(1), 0u);
+  EXPECT_EQ(bits::Log2Ceil(2), 1u);
+  EXPECT_EQ(bits::Log2Ceil(3), 2u);
+  EXPECT_EQ(bits::Log2Ceil(1024), 10u);
+  EXPECT_EQ(bits::Log2Ceil(1025), 11u);
+}
+
+TEST(BitsTest, BitWidth) {
+  EXPECT_EQ(bits::BitWidth(0), 0u);
+  EXPECT_EQ(bits::BitWidth(1), 1u);
+  EXPECT_EQ(bits::BitWidth(255), 8u);
+  EXPECT_EQ(bits::BitWidth(256), 9u);
+}
+
+TEST(BitsTest, CeilDivAndAlign) {
+  EXPECT_EQ(bits::CeilDiv(10, 3), 4u);
+  EXPECT_EQ(bits::CeilDiv(9, 3), 3u);
+  EXPECT_EQ(bits::AlignUp(13, 8), 16u);
+  EXPECT_EQ(bits::AlignUp(16, 8), 16u);
+  EXPECT_EQ(bits::AlignUp(0, 64), 0u);
+}
+
+// -------------------------------------------------------------- rng
+
+TEST(RngTest, Deterministic) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, SeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) equal += (a.Next() == b.Next());
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, BoundedStaysInBounds) {
+  Xoshiro256 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(37), 37u);
+  }
+}
+
+TEST(RngTest, BoundedCoversRange) {
+  Xoshiro256 rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(RngTest, DoubleInUnitInterval) {
+  Xoshiro256 rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, RoughlyUniform) {
+  Xoshiro256 rng(5);
+  int buckets[10] = {};
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++buckets[rng.NextBounded(10)];
+  for (int b = 0; b < 10; ++b) {
+    EXPECT_NEAR(buckets[b], n / 10, n / 100);
+  }
+}
+
+// -------------------------------------------------------------- env
+
+TEST(EnvTest, MissingVariable) {
+  unsetenv("MPSM_TEST_VAR");
+  EXPECT_FALSE(GetEnv("MPSM_TEST_VAR").has_value());
+  EXPECT_EQ(GetEnvInt("MPSM_TEST_VAR", 5), 5);
+  EXPECT_EQ(GetEnvDouble("MPSM_TEST_VAR", 0.5), 0.5);
+  EXPECT_TRUE(GetEnvBool("MPSM_TEST_VAR", true));
+}
+
+TEST(EnvTest, ParsesInt) {
+  setenv("MPSM_TEST_VAR", "42", 1);
+  EXPECT_EQ(GetEnvInt("MPSM_TEST_VAR", 5), 42);
+  setenv("MPSM_TEST_VAR", "-3", 1);
+  EXPECT_EQ(GetEnvInt("MPSM_TEST_VAR", 5), -3);
+  setenv("MPSM_TEST_VAR", "junk", 1);
+  EXPECT_EQ(GetEnvInt("MPSM_TEST_VAR", 5), 5);
+  unsetenv("MPSM_TEST_VAR");
+}
+
+TEST(EnvTest, ParsesBool) {
+  setenv("MPSM_TEST_VAR", "true", 1);
+  EXPECT_TRUE(GetEnvBool("MPSM_TEST_VAR", false));
+  setenv("MPSM_TEST_VAR", "0", 1);
+  EXPECT_FALSE(GetEnvBool("MPSM_TEST_VAR", true));
+  setenv("MPSM_TEST_VAR", "maybe", 1);
+  EXPECT_TRUE(GetEnvBool("MPSM_TEST_VAR", true));
+  unsetenv("MPSM_TEST_VAR");
+}
+
+TEST(EnvTest, ParsesDouble) {
+  setenv("MPSM_TEST_VAR", "2.5", 1);
+  EXPECT_DOUBLE_EQ(GetEnvDouble("MPSM_TEST_VAR", 1.0), 2.5);
+  unsetenv("MPSM_TEST_VAR");
+}
+
+// ------------------------------------------------------------ table
+
+TEST(TableTest, AlignsColumns) {
+  TablePrinter table;
+  table.SetHeader({"name", "value"});
+  table.AddRow({"x", "1"});
+  table.AddRow({"longer", "23"});
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find("name    value"), std::string::npos);
+  EXPECT_NE(out.find("------  -----"), std::string::npos);
+  EXPECT_NE(out.find("longer  23"), std::string::npos);
+}
+
+TEST(TableTest, FormatsValues) {
+  TablePrinter table;
+  table.SetHeader({"a", "b", "c"});
+  table.AddRowValues(7, 2.5, "str");
+  const std::string out = table.ToString();
+  EXPECT_NE(out.find('7'), std::string::npos);
+  EXPECT_NE(out.find("2.5"), std::string::npos);
+  EXPECT_NE(out.find("str"), std::string::npos);
+}
+
+// ------------------------------------------------------------ timer
+
+TEST(TimerTest, MeasuresElapsed) {
+  WallTimer timer;
+  const double t0 = timer.ElapsedSeconds();
+  EXPECT_GE(t0, 0.0);
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 2000000; ++i) sink = sink + i;
+  EXPECT_GE(timer.ElapsedSeconds(), t0);
+  EXPECT_NEAR(timer.ElapsedMillis(), timer.ElapsedSeconds() * 1e3,
+              timer.ElapsedSeconds() * 10);
+}
+
+}  // namespace
+}  // namespace mpsm

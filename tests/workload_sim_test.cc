@@ -1,0 +1,273 @@
+// Workload generators (§5.1 datasets) and the calibrated machine model.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "core/consumers.h"
+#include "core/p_mpsm.h"
+#include "numa/topology.h"
+#include "sim/machine_model.h"
+#include "workload/generator.h"
+#include "workload/query.h"
+
+namespace mpsm {
+namespace {
+
+using workload::Arrangement;
+using workload::DatasetSpec;
+using workload::KeyDistribution;
+using workload::SKeyMode;
+
+numa::Topology Topo() { return numa::Topology::Simulated(4, 8); }
+
+// --------------------------------------------------------- generator
+
+TEST(GeneratorTest, CardinalitiesMatchSpec) {
+  DatasetSpec spec;
+  spec.r_tuples = 1000;
+  spec.multiplicity = 4.0;
+  const auto dataset = workload::Generate(Topo(), 8, spec);
+  EXPECT_EQ(dataset.r.size(), 1000u);
+  EXPECT_EQ(dataset.s.size(), 4000u);
+  EXPECT_EQ(dataset.r.num_chunks(), 8u);
+  EXPECT_EQ(dataset.s.num_chunks(), 8u);
+}
+
+TEST(GeneratorTest, FractionalMultiplicity) {
+  DatasetSpec spec;
+  spec.r_tuples = 1000;
+  spec.multiplicity = 0.25;
+  const auto dataset = workload::Generate(Topo(), 4, spec);
+  EXPECT_EQ(dataset.s.size(), 250u);
+}
+
+TEST(GeneratorTest, Deterministic) {
+  DatasetSpec spec;
+  spec.r_tuples = 500;
+  spec.seed = 7;
+  const auto a = workload::Generate(Topo(), 4, spec);
+  const auto b = workload::Generate(Topo(), 4, spec);
+  EXPECT_EQ(a.r.ToVector(), b.r.ToVector());
+  EXPECT_EQ(a.s.ToVector(), b.s.ToVector());
+
+  spec.seed = 8;
+  const auto c = workload::Generate(Topo(), 4, spec);
+  EXPECT_NE(a.r.ToVector(), c.r.ToVector());
+}
+
+TEST(GeneratorTest, KeysStayInDomain) {
+  DatasetSpec spec;
+  spec.r_tuples = 20000;
+  spec.key_domain = 1 << 16;
+  spec.s_mode = SKeyMode::kIndependent;
+  for (auto dist : {KeyDistribution::kUniform, KeyDistribution::kSkewLowEnd,
+                    KeyDistribution::kSkewHighEnd}) {
+    spec.r_distribution = dist;
+    const auto dataset = workload::Generate(Topo(), 4, spec);
+    for (const auto& t : dataset.r.ToVector()) {
+      EXPECT_LT(t.key, spec.key_domain);
+    }
+  }
+}
+
+TEST(GeneratorTest, SkewLowEndPutsEightyPercentInLowBand) {
+  DatasetSpec spec;
+  spec.r_tuples = 50000;
+  spec.key_domain = 100000;
+  spec.r_distribution = KeyDistribution::kSkewLowEnd;
+  const auto dataset = workload::Generate(Topo(), 4, spec);
+  size_t low = 0;
+  for (const auto& t : dataset.r.ToVector()) low += (t.key < 20000);
+  // The 20% tail draws from outside the band, so the band holds ~80%.
+  EXPECT_NEAR(static_cast<double>(low) / dataset.r.size(), 0.8, 0.01);
+}
+
+TEST(GeneratorTest, SkewHighEndMirrors) {
+  DatasetSpec spec;
+  spec.r_tuples = 50000;
+  spec.key_domain = 100000;
+  spec.r_distribution = KeyDistribution::kSkewHighEnd;
+  const auto dataset = workload::Generate(Topo(), 4, spec);
+  size_t high = 0;
+  for (const auto& t : dataset.r.ToVector()) high += (t.key >= 80000);
+  EXPECT_NEAR(static_cast<double>(high) / dataset.r.size(), 0.8, 0.01);
+}
+
+TEST(GeneratorTest, ForeignKeySAlwaysJoins) {
+  DatasetSpec spec;
+  spec.r_tuples = 2000;
+  spec.multiplicity = 3.0;
+  spec.s_mode = SKeyMode::kForeignKey;
+  const auto dataset = workload::Generate(Topo(), 4, spec);
+  std::map<uint64_t, int> r_keys;
+  for (const auto& t : dataset.r.ToVector()) r_keys[t.key] = 1;
+  for (const auto& t : dataset.s.ToVector()) {
+    EXPECT_TRUE(r_keys.count(t.key)) << t.key;
+  }
+}
+
+TEST(GeneratorTest, PayloadsBounded) {
+  // Payloads < 2^32 so the benchmark query's sums cannot overflow.
+  DatasetSpec spec;
+  spec.r_tuples = 5000;
+  const auto dataset = workload::Generate(Topo(), 4, spec);
+  for (const auto& t : dataset.r.ToVector()) {
+    EXPECT_LT(t.payload, uint64_t{1} << 32);
+  }
+}
+
+TEST(GeneratorTest, KeyOrderedArrangementClustersKeys) {
+  DatasetSpec spec;
+  spec.r_tuples = 10000;
+  spec.multiplicity = 1.0;
+  spec.s_arrangement = Arrangement::kKeyOrdered;
+  const auto dataset = workload::Generate(Topo(), 4, spec);
+  // Chunk key ranges must be (nearly) disjoint and ascending: max of
+  // chunk c <= min of chunk c+1.
+  for (uint32_t c = 0; c + 1 < dataset.s.num_chunks(); ++c) {
+    uint64_t max_c = 0, min_next = ~uint64_t{0};
+    const Chunk& cur = dataset.s.chunk(c);
+    const Chunk& next = dataset.s.chunk(c + 1);
+    for (size_t i = 0; i < cur.size; ++i) {
+      max_c = std::max(max_c, cur.data[i].key);
+    }
+    for (size_t i = 0; i < next.size; ++i) {
+      min_next = std::min(min_next, next.data[i].key);
+    }
+    EXPECT_LE(max_c, min_next);
+  }
+  // But within a chunk the tuples are NOT sorted ("no total order").
+  const Chunk& chunk0 = dataset.s.chunk(0);
+  bool sorted = true;
+  for (size_t i = 1; i < chunk0.size; ++i) {
+    if (chunk0.data[i - 1].key > chunk0.data[i].key) sorted = false;
+  }
+  EXPECT_FALSE(sorted);
+}
+
+TEST(GeneratorTest, AlgorithmNames) {
+  EXPECT_STREQ(workload::AlgorithmName(workload::Algorithm::kPMpsm),
+               "p-mpsm");
+  EXPECT_STREQ(workload::AlgorithmName(workload::Algorithm::kWisconsin),
+               "wisconsin");
+}
+
+// ------------------------------------------------------ machine model
+
+TEST(MachineModelTest, PhaseSecondsLinearInCounters) {
+  const auto model = sim::MachineModel::HyPer1();
+  PerfCounters c;
+  c.CountRead(true, true, 1'000'000'000);  // 1 GB local sequential
+  const double t1 = model.PhaseSeconds(c);
+  EXPECT_NEAR(t1, 0.52, 1e-9);
+
+  c.CountRead(true, true, 1'000'000'000);
+  EXPECT_NEAR(model.PhaseSeconds(c), 2 * t1, 1e-9);
+}
+
+TEST(MachineModelTest, RemoteCostsMoreThanLocal) {
+  const auto model = sim::MachineModel::HyPer1();
+  PerfCounters local, remote;
+  local.CountRead(true, true, 1 << 30);
+  remote.CountRead(false, true, 1 << 30);
+  EXPECT_GT(model.PhaseSeconds(remote), model.PhaseSeconds(local));
+  // Figure 1 exp 3 ratio: ~1.2x for sequential.
+  EXPECT_NEAR(model.PhaseSeconds(remote) / model.PhaseSeconds(local), 1.2,
+              0.05);
+
+  PerfCounters local_rand, remote_rand;
+  local_rand.CountRead(true, false, 1 << 30);
+  remote_rand.CountRead(false, false, 1 << 30);
+  // Random remote ~3x random local (Figure 1 exp 1 territory).
+  EXPECT_NEAR(model.PhaseSeconds(remote_rand) /
+                  model.PhaseSeconds(local_rand),
+              3.0, 0.3);
+}
+
+TEST(MachineModelTest, ModelExecutionTakesPhaseMaxima) {
+  const auto model = sim::MachineModel::HyPer1();
+  std::vector<WorkerStats> workers(2);
+  workers[0].phase_counters[kPhaseSortPublic].CountRead(true, true, 1 << 30);
+  workers[1].phase_counters[kPhaseJoin].CountRead(true, true, 2 << 30);
+  const auto modeled = sim::ModelExecution(model, workers);
+  // Phase totals: max over workers per phase, summed.
+  EXPECT_NEAR(modeled.total_seconds,
+              modeled.phase_seconds[kPhaseSortPublic] +
+                  modeled.phase_seconds[kPhaseJoin],
+              1e-12);
+  EXPECT_GT(modeled.phase_seconds[kPhaseJoin],
+            modeled.phase_seconds[kPhaseSortPublic]);
+  EXPECT_EQ(modeled.worker_seconds.size(), 2u);
+}
+
+TEST(MachineModelTest, OversubscriptionSlowdown) {
+  const auto model = sim::MachineModel::HyPer1();  // 32 cores
+  std::vector<WorkerStats> team32(32), team64(64);
+  for (auto& w : team32) {
+    w.phase_counters[kPhaseJoin].CountRead(true, true, 1 << 28);
+  }
+  for (auto& w : team64) {
+    w.phase_counters[kPhaseJoin].CountRead(true, true, 1 << 27);
+  }
+  // 64 hyper-threads each do half the work but run at half speed:
+  // total time stays flat (the Figure 13 plateau).
+  const double t32 = sim::ModelExecution(model, team32).total_seconds;
+  const double t64 = sim::ModelExecution(model, team64).total_seconds;
+  EXPECT_NEAR(t64, t32, t32 * 0.01);
+}
+
+TEST(MachineModelTest, SortCalibrationMatchesFigure1) {
+  // Figure 1: sorting a 50M-tuple chunk locally took 12946 ms.
+  const auto model = sim::MachineModel::HyPer1();
+  PerfCounters c;
+  c.CountSort(50ull << 20);
+  const double seconds = model.PhaseSeconds(c);
+  EXPECT_NEAR(seconds, 12.946, 1.5);
+  // NUMA-agnostic (globally allocated array): 41734 ms, factor ~3.2.
+  EXPECT_NEAR(seconds * model.global_sort_penalty, 41.7, 5.0);
+}
+
+TEST(MachineModelTest, SyncCalibrationMatchesFigure1) {
+  // Figure 1 exp 2: synchronized scatter of 50M tuples cost 22756 ms vs
+  // 7440 ms without latches => ~306 ns per test-and-set.
+  const auto model = sim::MachineModel::HyPer1();
+  PerfCounters with_sync;
+  with_sync.sync_acquisitions = 50ull << 20;
+  EXPECT_NEAR(model.PhaseSeconds(with_sync), 22.756 - 7.440, 2.0);
+}
+
+// P-MPSM traffic shape on the model: phase 2 writes mostly remote
+// (scatter), phase 4 reads mostly sequential, no sync anywhere.
+TEST(MachineModelTest, PMpsmCountersObeyCommandments) {
+  const auto topology = numa::Topology::Simulated(4, 2);
+  DatasetSpec spec;
+  spec.r_tuples = 40000;
+  spec.multiplicity = 2.0;
+  const auto dataset = workload::Generate(topology, 8, spec);
+
+  WorkerTeam team(topology, 8);
+  CountFactory counts(8);
+  auto info = PMpsmJoin().Execute(team, dataset.r, dataset.s, counts);
+  ASSERT_TRUE(info.ok());
+
+  const auto total = info->aggregate.TotalCounters();
+  // C3: no fine-grained synchronization at all.
+  EXPECT_EQ(total.sync_acquisitions, 0u);
+  // C2: random remote *reads* only from interpolation-search probes,
+  // which are a vanishing fraction of total bytes.
+  EXPECT_LT(static_cast<double>(total.bytes_read_remote_rand),
+            0.01 * static_cast<double>(total.TotalBytes()));
+  // The scatter phase writes across nodes (T open streams, charged at
+  // the Figure-1-calibrated multi-stream/random write rate), and only
+  // R is scattered — bounded by |R| tuples.
+  const auto& partition =
+      info->aggregate.phase_counters[kPhasePartition];
+  const uint64_t scatter_bytes = partition.bytes_written_remote_rand +
+                                 partition.bytes_written_local_rand;
+  EXPECT_GT(scatter_bytes, 0u);
+  EXPECT_LE(scatter_bytes, dataset.r.size() * sizeof(Tuple));
+}
+
+}  // namespace
+}  // namespace mpsm
