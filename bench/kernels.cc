@@ -11,6 +11,7 @@
 #include "partition/cdf.h"
 #include "partition/equi_height.h"
 #include "partition/key_normalizer.h"
+#include "partition/prefix_scatter.h"
 #include "partition/radix_histogram.h"
 #include "sort/radix_introsort.h"
 #include "storage/run.h"
@@ -39,7 +40,20 @@ void BM_RadixIntroSort(benchmark::State& state) {
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
 }
-BENCHMARK(BM_RadixIntroSort)->Arg(1 << 16)->Arg(1 << 20);
+BENCHMARK(BM_RadixIntroSort)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
+
+void BM_RadixSortMultiPass(benchmark::State& state) {
+  const auto input = RandomTuples(state.range(0));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto data = input;
+    state.ResumeTiming();
+    sort::RadixIntroSortMultiPass(data.data(), data.size());
+    benchmark::DoNotOptimize(data.data());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_RadixSortMultiPass)->Arg(1 << 16)->Arg(1 << 20)->Arg(1 << 22);
 
 void BM_StdSort(benchmark::State& state) {
   const auto input = RandomTuples(state.range(0));
@@ -54,22 +68,33 @@ void BM_StdSort(benchmark::State& state) {
 }
 BENCHMARK(BM_StdSort)->Arg(1 << 16)->Arg(1 << 20);
 
-void BM_MergeJoinKernel(benchmark::State& state) {
+// A/B pair for the merge kernel: identical workload, scalar kernel vs
+// the prefetch-pipelined variant (distance = kDefaultMergePrefetchDistance).
+void MergeJoinBench(benchmark::State& state, uint32_t prefetch_distance) {
   auto r = RandomTuples(state.range(0), 1);
   auto s = RandomTuples(state.range(0) * 4, 2);
   sort::RadixIntroSort(r.data(), r.size());
   sort::RadixIntroSort(s.data(), s.size());
   for (auto _ : state) {
     uint64_t matches = 0;
-    MergeJoinRunPair(r.data(), r.size(), s.data(), s.size(),
-                     [&](size_t, const Tuple&, const Tuple*, size_t count) {
-                       matches += count;
-                     });
+    MergeJoinRunPairWith(prefetch_distance, r.data(), r.size(), s.data(),
+                         s.size(),
+                         [&](size_t, const Tuple&, const Tuple*,
+                             size_t count) { matches += count; });
     benchmark::DoNotOptimize(matches);
   }
   state.SetItemsProcessed(state.iterations() * (r.size() + s.size()));
 }
-BENCHMARK(BM_MergeJoinKernel)->Arg(1 << 16)->Arg(1 << 19);
+
+void BM_MergeJoinKernel(benchmark::State& state) {
+  MergeJoinBench(state, 0);
+}
+BENCHMARK(BM_MergeJoinKernel)->Arg(1 << 16)->Arg(1 << 19)->Arg(1 << 21);
+
+void BM_MergeJoinKernelPrefetch(benchmark::State& state) {
+  MergeJoinBench(state, kDefaultMergePrefetchDistance);
+}
+BENCHMARK(BM_MergeJoinKernelPrefetch)->Arg(1 << 16)->Arg(1 << 19)->Arg(1 << 21);
 
 void BM_RadixHistogram(benchmark::State& state) {
   const auto data = RandomTuples(1 << 20);
@@ -132,6 +157,57 @@ void BM_ScatterAtomicCursor(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * data.size());
 }
 BENCHMARK(BM_ScatterAtomicCursor);
+
+// A/B pair for the phase-2.3 scatter: one plan (histogram + prefix
+// sums) built outside the timed region, then the scalar loop vs. the
+// write-combining kernel scatter the same tuples into the same layout.
+// args: {log2 tuples, partition fan-out (power of two)}.
+void ScatterBench(benchmark::State& state, ScatterKind kind) {
+  const size_t n = size_t{1} << state.range(0);
+  const uint32_t partitions = static_cast<uint32_t>(state.range(1));
+  const uint64_t mask = partitions - 1;
+  const auto data = RandomTuples(n);
+  const auto partition_of = [mask](uint64_t key) {
+    return static_cast<uint32_t>(key & mask);
+  };
+
+  std::vector<uint64_t> histogram(partitions, 0);
+  for (const auto& t : data) ++histogram[partition_of(t.key)];
+  std::vector<Tuple> out(n);
+  std::vector<Tuple*> dest(partitions);
+  uint64_t offset = 0;
+  for (uint32_t p = 0; p < partitions; ++p) {
+    dest[p] = out.data() + offset;
+    offset += histogram[p];
+  }
+
+  std::vector<uint64_t> cursor(partitions);
+  for (auto _ : state) {
+    std::fill(cursor.begin(), cursor.end(), 0);
+    ScatterChunkWith(kind, data.data(), n, partition_of, dest.data(),
+                     cursor.data(), partitions);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_ScatterScalar(benchmark::State& state) {
+  ScatterBench(state, ScatterKind::kScalar);
+}
+BENCHMARK(BM_ScatterScalar)
+    ->Args({20, 32})
+    ->Args({20, 512})
+    ->Args({20, 2048})
+    ->Args({22, 1024});
+
+void BM_ScatterWriteCombining(benchmark::State& state) {
+  ScatterBench(state, ScatterKind::kWriteCombining);
+}
+BENCHMARK(BM_ScatterWriteCombining)
+    ->Args({20, 32})
+    ->Args({20, 512})
+    ->Args({20, 2048})
+    ->Args({22, 1024});
 
 void BM_LowerBound(benchmark::State& state) {
   auto data = RandomTuples(1 << 22);

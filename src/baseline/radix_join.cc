@@ -146,21 +146,26 @@ Result<JoinRunInfo> RadixHashJoin::Execute(WorkerTeam& team,
       auto scatter = [&](const Chunk& chunk, const ScatterPlan& plan,
                          const std::vector<uint64_t>& part_offset,
                          std::vector<Tuple>& out) {
+        std::vector<Tuple*> dest(p1);
         std::vector<uint64_t> cursor(p1);
         for (uint32_t p = 0; p < p1; ++p) {
-          cursor[p] = part_offset[p] + plan.start_offset[w][p];
+          dest[p] = out.data() + part_offset[p];
+          cursor[p] = plan.start_offset[w][p];
         }
-        for (size_t i = 0; i < chunk.size; ++i) {
-          const uint32_t p = HashDigit(chunk.data[i].key, 0, pass1_bits);
-          out[cursor[p]++] = chunk.data[i];
-        }
+        ScatterChunkWith(
+            options_.scatter, chunk.data, chunk.size,
+            [&](uint64_t key) { return HashDigit(key, 0, pass1_bits); },
+            dest.data(), cursor.data(), p1);
         counters.CountRead(chunk.node == ctx.node, /*sequential=*/true,
                            chunk.size * sizeof(Tuple));
+        // Scalar pass-1 writes hop between 2^B1 streams (random rate);
+        // write combining batches them into line bursts (sequential).
+        const bool combined_writes =
+            options_.scatter == ScatterKind::kWriteCombining;
         for (uint32_t p = 0; p < p1; ++p) {
-          const uint64_t written =
-              cursor[p] - (part_offset[p] + plan.start_offset[w][p]);
+          const uint64_t written = cursor[p] - plan.start_offset[w][p];
           counters.CountWrite(PartitionNode(p, num_nodes) == ctx.node,
-                              /*sequential=*/false,
+                              /*sequential=*/combined_writes,
                               written * sizeof(Tuple));
         }
       };

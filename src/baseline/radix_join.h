@@ -13,6 +13,7 @@
 #include "core/consumers.h"
 #include "core/join_stats.h"
 #include "parallel/worker_team.h"
+#include "partition/scatter_kind.h"
 #include "storage/relation.h"
 #include "util/status.h"
 
@@ -28,6 +29,9 @@ struct RadixJoinOptions {
   /// Target tuples per final fragment for auto bit selection
   /// (cache-resident build side).
   uint32_t target_fragment_tuples = 2048;
+  /// Scatter implementation of the pass-1 partitioning writes (the
+  /// 2^B1-way fan-out is exactly where write combining pays off).
+  ScatterKind scatter = ScatterKind::kWriteCombining;
 };
 
 /// The radix-partitioned hash join (inner joins).

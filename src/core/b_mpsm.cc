@@ -37,7 +37,8 @@ Result<JoinRunInfo> BMpsmJoin::Execute(WorkerTeam& team,
     {
       PhaseScope scope(ctx, kPhaseSortPublic);
       s_runs[w] = SortChunkIntoRun(s_public.chunk(w), arena, ctx.node,
-                                   ctx.Counters(kPhaseSortPublic));
+                                   ctx.Counters(kPhaseSortPublic),
+                                   options.sort, options.sort_config);
     }
     // The one mandatory synchronization point: all public runs must be
     // complete before any worker starts joining against them.
@@ -48,7 +49,8 @@ Result<JoinRunInfo> BMpsmJoin::Execute(WorkerTeam& team,
     {
       PhaseScope scope(ctx, kPhaseSortPrivate);
       r_runs[w] = SortChunkIntoRun(r_private.chunk(w), arena, ctx.node,
-                                   ctx.Counters(kPhaseSortPrivate));
+                                   ctx.Counters(kPhaseSortPrivate),
+                                   options.sort, options.sort_config);
     }
     if (options.phase_barriers) ctx.barrier->Wait();
 
@@ -58,6 +60,8 @@ Result<JoinRunInfo> BMpsmJoin::Execute(WorkerTeam& team,
       RunJoinOptions join_options;
       join_options.kind = options.kind;
       join_options.search = options.start_search;
+      join_options.prefetch_distance = options.merge_prefetch_distance;
+      join_options.skip_private_prefix = options.merge_skip_private_prefix;
       JoinPrivateAgainstRuns(r_runs[w], s_runs, /*first_run=*/w,
                              join_options, consumers.ConsumerForWorker(w),
                              ctx.node, &ctx.Counters(kPhaseJoin));

@@ -4,7 +4,9 @@
 #include <cstdint>
 #include <functional>
 
+#include "partition/scatter_kind.h"
 #include "partition/splitters.h"
+#include "sort/radix_introsort.h"
 
 namespace mpsm {
 
@@ -20,6 +22,11 @@ enum class JoinKind : uint8_t {
 
 /// Name of a JoinKind ("inner", "left-semi", ...).
 const char* JoinKindName(JoinKind kind);
+
+/// Default lookahead (in tuples) of the prefetch-pipelined merge
+/// kernel: 16 tuples = 4 cache lines, roughly one memory latency ahead
+/// of a ~1 tuple/cycle merge loop.
+inline constexpr uint32_t kDefaultMergePrefetchDistance = 16;
 
 /// Strategy for locating the merge-join start position in a public run
 /// (§3.2.2 ablation).
@@ -55,6 +62,31 @@ struct MpsmOptions {
   /// comparable across workers (the paper's phase breakdown charts).
   /// The algorithm itself only requires the single sort/join barrier.
   bool phase_barriers = true;
+
+  // ------------------------------------------- cache-conscious kernels
+  // Each hot path keeps its scalar implementation selectable for A/B
+  // benchmarking (docs/tuning.md); the defaults are the fast variants.
+
+  /// Sort that turns chunks/partitions into runs (phases 1 and 3).
+  sort::SortKind sort = sort::SortKind::kMultiPassRadix;
+
+  /// Bucket threshold / pass cap of the multi-pass radix sort.
+  sort::RadixSortConfig sort_config;
+
+  /// Scatter implementation for phase 2.3 range partitioning. P-MPSM's
+  /// fan-out equals the team size, and below ~100 partitions the
+  /// scalar loop measures faster (docs/tuning.md), so scalar is the
+  /// right default here; the radix baseline's 2^B1-way pass defaults
+  /// to write combining instead (RadixJoinOptions).
+  ScatterKind scatter = ScatterKind::kScalar;
+
+  /// Software-prefetch lookahead (tuples) of the merge-join kernel;
+  /// 0 selects the scalar kernel.
+  uint32_t merge_prefetch_distance = kDefaultMergePrefetchDistance;
+
+  /// Skip non-overlapping private-run prefixes in the join phase with
+  /// the same start search used for public runs.
+  bool merge_skip_private_prefix = true;
 };
 
 }  // namespace mpsm

@@ -71,42 +71,62 @@ uint64_t JoinPrivateAgainstRuns(const Run& ri, const RunSet& s_runs,
     if (start == sj.size) continue;
     if (sj.data[start].key > ri.MaxKey()) continue;
 
+    // Symmetric skip: private tuples below the public run's first
+    // relevant key cannot match either; locate the private start with
+    // the same search instead of advancing the merge one-by-one.
+    size_t r_start = 0;
+    if (options.skip_private_prefix) {
+      SearchStats r_search;
+      r_start = FindStart(ri.data, ri.size, sj.data[start].key,
+                          options.search, &r_search);
+      if (counters != nullptr) {
+        counters->CountRead(/*local=*/true, /*sequential=*/false,
+                            r_search.probes * sizeof(Tuple));
+      }
+      if (r_start == ri.size) continue;
+    }
+
+    const Tuple* r_base = ri.data + r_start;
+    const size_t r_size = ri.size - r_start;
+    const Tuple* s_base = sj.data + start;
+    const size_t s_size = sj.size - start;
+    const auto merge = [&](auto&& on_match) {
+      return MergeJoinRunPairWith(options.prefetch_distance, r_base, r_size,
+                                  s_base, s_size, on_match);
+    };
+
     MergeScan scan;
     switch (options.kind) {
       case JoinKind::kInner:
-        scan = MergeJoinRunPair(
-            ri.data, ri.size, sj.data + start, sj.size - start,
-            [&](size_t, const Tuple& r, const Tuple* s, size_t count) {
-              consumer.OnMatch(r, s, count);
-              output += count;
-            });
+        scan = merge([&](size_t, const Tuple& r, const Tuple* s,
+                         size_t count) {
+          consumer.OnMatch(r, s, count);
+          output += count;
+        });
         break;
       case JoinKind::kLeftSemi:
-        scan = MergeJoinRunPair(
-            ri.data, ri.size, sj.data + start, sj.size - start,
-            [&](size_t idx, const Tuple& r, const Tuple* s, size_t) {
-              if (!matched.Get(idx)) {
-                matched.Set(idx);
-                consumer.OnMatch(r, s, 1);
-                ++output;
-              }
-            });
+        scan = merge([&](size_t idx, const Tuple& r, const Tuple* s,
+                         size_t) {
+          idx += r_start;
+          if (!matched.Get(idx)) {
+            matched.Set(idx);
+            consumer.OnMatch(r, s, 1);
+            ++output;
+          }
+        });
         break;
       case JoinKind::kLeftAnti:
-        scan = MergeJoinRunPair(
-            ri.data, ri.size, sj.data + start, sj.size - start,
-            [&](size_t idx, const Tuple&, const Tuple*, size_t) {
-              matched.Set(idx);
-            });
+        scan = merge([&](size_t idx, const Tuple&, const Tuple*, size_t) {
+          matched.Set(idx + r_start);
+        });
         break;
       case JoinKind::kLeftOuter:
-        scan = MergeJoinRunPair(
-            ri.data, ri.size, sj.data + start, sj.size - start,
-            [&](size_t idx, const Tuple& r, const Tuple* s, size_t count) {
-              matched.Set(idx);
-              consumer.OnMatch(r, s, count);
-              output += count;
-            });
+        scan = merge([&](size_t idx, const Tuple& r, const Tuple* s,
+                         size_t count) {
+          matched.Set(idx + r_start);
+          consumer.OnMatch(r, s, count);
+          output += count;
+        });
         break;
     }
 

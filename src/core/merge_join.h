@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "core/consumers.h"
@@ -45,18 +46,24 @@ struct MergeScan {
   uint64_t matches = 0;
 };
 
-/// Merge-joins sorted arrays r[0..nr) and s[0..ns).
-///
-/// `on_match(r_index, r_tuple, s_group_begin, s_group_count)` fires once
-/// per private tuple per equal-key group of public tuples. Handles
-/// duplicates on both sides.
-template <typename OnMatch>
-MergeScan MergeJoinRunPair(const Tuple* r, size_t nr, const Tuple* s,
-                           size_t ns, OnMatch&& on_match) {
+namespace internal {
+
+/// Shared merge loop; `kPrefetch` selects the pipelined variant that
+/// keeps both run cursors `prefetch_tuples` ahead in flight.
+template <bool kPrefetch, typename OnMatch>
+MergeScan MergeJoinLoop(const Tuple* r, size_t nr, const Tuple* s, size_t ns,
+                        size_t prefetch_tuples, OnMatch&& on_match) {
   MergeScan scan;
   size_t i = 0;
   size_t j = 0;
   while (i < nr && j < ns) {
+    if constexpr (kPrefetch) {
+      // Touch the line `prefetch_tuples` ahead of each cursor. Reads
+      // past the run tail are harmless (prefetch never faults), and
+      // duplicate prefetches of a resident line are ~free.
+      __builtin_prefetch(r + i + prefetch_tuples, /*rw=*/0, /*locality=*/3);
+      __builtin_prefetch(s + j + prefetch_tuples, /*rw=*/0, /*locality=*/3);
+    }
     const uint64_t r_key = r[i].key;
     if (r_key < s[j].key) {
       ++i;
@@ -79,10 +86,58 @@ MergeScan MergeJoinRunPair(const Tuple* r, size_t nr, const Tuple* s,
   return scan;
 }
 
+}  // namespace internal
+
+/// Merge-joins sorted arrays r[0..nr) and s[0..ns).
+///
+/// `on_match(r_index, r_tuple, s_group_begin, s_group_count)` fires once
+/// per private tuple per equal-key group of public tuples. Handles
+/// duplicates on both sides.
+template <typename OnMatch>
+MergeScan MergeJoinRunPair(const Tuple* r, size_t nr, const Tuple* s,
+                           size_t ns, OnMatch&& on_match) {
+  return internal::MergeJoinLoop<false>(r, nr, s, ns, 0,
+                                        std::forward<OnMatch>(on_match));
+}
+
+/// Prefetch-pipelined variant of MergeJoinRunPair: issues software
+/// prefetches `prefetch_tuples` ahead of both run cursors so the merge
+/// streams from memory instead of stalling on each new cache line
+/// (public runs are mostly remote, §3.3). Identical output contract.
+template <typename OnMatch>
+MergeScan MergeJoinRunPairPrefetch(const Tuple* r, size_t nr, const Tuple* s,
+                                   size_t ns, size_t prefetch_tuples,
+                                   OnMatch&& on_match) {
+  return internal::MergeJoinLoop<true>(r, nr, s, ns, prefetch_tuples,
+                                       std::forward<OnMatch>(on_match));
+}
+
+/// Kernel dispatch: the pipelined variant when `prefetch_tuples` > 0,
+/// the scalar kernel otherwise (the `merge_prefetch_distance` knob).
+template <typename OnMatch>
+MergeScan MergeJoinRunPairWith(size_t prefetch_tuples, const Tuple* r,
+                               size_t nr, const Tuple* s, size_t ns,
+                               OnMatch&& on_match) {
+  return prefetch_tuples > 0
+             ? MergeJoinRunPairPrefetch(r, nr, s, ns, prefetch_tuples,
+                                        std::forward<OnMatch>(on_match))
+             : MergeJoinRunPair(r, nr, s, ns,
+                                std::forward<OnMatch>(on_match));
+}
+
 /// Options for the per-worker run-join driver.
 struct RunJoinOptions {
   JoinKind kind = JoinKind::kInner;
   StartSearch search = StartSearch::kInterpolation;
+
+  /// Software-prefetch lookahead of the merge kernel, in tuples;
+  /// 0 selects the scalar kernel.
+  uint32_t prefetch_distance = kDefaultMergePrefetchDistance;
+
+  /// Skip the private run's non-overlapping prefix with the same start
+  /// search used for the public run (the scalar driver only skips the
+  /// public side), saving one-by-one advances when Ri starts below Sj.
+  bool skip_private_prefix = true;
 };
 
 /// Joins private run `ri` against every run in `s_runs`, starting with

@@ -96,7 +96,8 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
     {
       PhaseScope scope(ctx, kPhaseSortPublic);
       shared.s_runs[w] = SortChunkIntoRun(s_public.chunk(w), arena, ctx.node,
-                                          ctx.Counters(kPhaseSortPublic));
+                                          ctx.Counters(kPhaseSortPublic),
+                                          options.sort, options.sort_config);
       shared.s_histograms[w] =
           BuildEquiHeightHistogram(shared.s_runs[w], num_bounds);
       ctx.Counters(kPhaseSortPublic)
@@ -189,25 +190,29 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
         std::vector<uint64_t> cursor = shared.plan.start_offset[w];
         const KeyNormalizer& normalizer = shared.normalizer;
         const Splitters& splitters = shared.splitters;
-        ScatterChunk(
-            chunk.data, chunk.size,
+        ScatterChunkWith(
+            options.scatter, chunk.data, chunk.size,
             [&](uint64_t key) {
               return splitters.PartitionOfCluster(normalizer.Cluster(key));
             },
-            shared.partition_data.data(), cursor.data());
+            shared.partition_data.data(), cursor.data(), ctx.team_size);
         counters.CountRead(chunk.node == ctx.node, /*sequential=*/true,
                            chunk.size * sizeof(Tuple));
         // Classify written bytes per target partition's node. The
-        // scatter maintains T open write streams; Figure 1 exp. 2
-        // measured exactly this pattern, so it is charged at the
-        // random-write rate the model calibrated from that experiment.
+        // scalar scatter maintains T open write streams — the pattern
+        // Figure 1 exp. 2 measured, charged at the calibrated
+        // random-write rate. Write combining flushes line-sized bursts
+        // instead, so it is charged at the sequential rate to keep the
+        // model in step with the measured behavior (docs/tuning.md).
+        const bool combined_writes =
+            options.scatter == ScatterKind::kWriteCombining;
         for (uint32_t p = 0; p < ctx.team_size; ++p) {
           const uint64_t written =
               cursor[p] - shared.plan.start_offset[w][p];
           const numa::NodeId target_node =
               ctx.topology->NodeForWorker(p, ctx.team_size);
           counters.CountWrite(target_node == ctx.node,
-                              /*sequential=*/false,
+                              /*sequential=*/combined_writes,
                               written * sizeof(Tuple));
         }
       }
@@ -226,7 +231,8 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
                      : shared.plan.partition_sizes[w];
       run.node = ctx.node;
       if (run.size > 0) {
-        sort::RadixIntroSort(run.data, run.size);
+        sort::SortTuples(run.data, run.size, options.sort,
+                         options.sort_config);
         counters.CountSort(run.size);
       }
     }
@@ -238,6 +244,8 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
       RunJoinOptions join_options;
       join_options.kind = options.kind;
       join_options.search = options.start_search;
+      join_options.prefetch_distance = options.merge_prefetch_distance;
+      join_options.skip_private_prefix = options.merge_skip_private_prefix;
       JoinPrivateAgainstRuns(shared.r_runs[w], shared.s_runs,
                              /*first_run=*/w, join_options,
                              consumers.ConsumerForWorker(w), ctx.node,

@@ -7,7 +7,9 @@
 namespace mpsm {
 
 Run SortChunkIntoRun(const Chunk& chunk, numa::Arena& arena,
-                     numa::NodeId worker_node, PerfCounters& counters) {
+                     numa::NodeId worker_node, PerfCounters& counters,
+                     sort::SortKind sort_kind,
+                     const sort::RadixSortConfig& sort_config) {
   Run run;
   run.size = chunk.size;
   run.node = arena.node();
@@ -20,7 +22,7 @@ Run SortChunkIntoRun(const Chunk& chunk, numa::Arena& arena,
   counters.CountWrite(/*local=*/true, /*sequential=*/true,
                       chunk.size * sizeof(Tuple));
 
-  sort::RadixIntroSort(run.data, run.size);
+  sort::SortTuples(run.data, run.size, sort_kind, sort_config);
   counters.CountSort(run.size);
   return run;
 }

@@ -8,15 +8,20 @@
 
 #include "numa/arena.h"
 #include "parallel/counters.h"
+#include "sort/radix_introsort.h"
 #include "storage/relation.h"
 #include "storage/run.h"
 
 namespace mpsm {
 
 /// Copies `chunk` into `arena` (homed on `worker_node`), sorts it with
-/// Radix/IntroSort, and returns the resulting run. Counts the copy
-/// traffic and the sort work into `counters`.
+/// the sort selected by `sort_kind`, and returns the resulting run.
+/// Counts the copy traffic and the sort work into `counters`. The sort
+/// kind is deliberately not defaulted: callers must thread the
+/// options' choice through (the default policy lives in MpsmOptions).
 Run SortChunkIntoRun(const Chunk& chunk, numa::Arena& arena,
-                     numa::NodeId worker_node, PerfCounters& counters);
+                     numa::NodeId worker_node, PerfCounters& counters,
+                     sort::SortKind sort_kind,
+                     const sort::RadixSortConfig& sort_config = {});
 
 }  // namespace mpsm

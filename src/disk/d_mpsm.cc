@@ -26,9 +26,10 @@ struct SpooledRun {
 /// given (public input) or returns the page list (private input).
 Status SortAndSpool(const Chunk& chunk, uint32_t run_id, PageStore& store,
                     PerfCounters& counters, PageIndex* index,
-                    SpooledRun* run_out) {
+                    SpooledRun* run_out, sort::SortKind sort_kind,
+                    const sort::RadixSortConfig& sort_config) {
   std::vector<Tuple> sorted(chunk.begin(), chunk.end());
-  sort::RadixIntroSort(sorted.data(), sorted.size());
+  sort::SortTuples(sorted.data(), sorted.size(), sort_kind, sort_config);
   counters.CountSort(sorted.size());
   counters.CountRead(/*local=*/true, /*sequential=*/true,
                      sorted.size() * sizeof(Tuple));
@@ -141,7 +142,8 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
       PhaseScope scope(ctx, kPhaseSortPublic);
       worker_status[w] = SortAndSpool(s_public.chunk(w), w, store,
                                       ctx.Counters(kPhaseSortPublic),
-                                      &index_parts[w], nullptr);
+                                      &index_parts[w], nullptr,
+                                      options_.sort, options_.sort_config);
     }
     ctx.barrier->Wait();
 
@@ -160,7 +162,8 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
       PhaseScope scope(ctx, kPhaseSortPrivate);
       Status st = SortAndSpool(r_private.chunk(w), w, store,
                                ctx.Counters(kPhaseSortPrivate), nullptr,
-                               &r_runs[w]);
+                               &r_runs[w], options_.sort,
+                               options_.sort_config);
       if (worker_status[w].ok()) worker_status[w] = st;
     }
     ctx.barrier->Wait();
@@ -187,9 +190,9 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
             if (worker_status[w].ok()) worker_status[w] = st;
             failed = true;
           } else {
-            const auto scan = MergeJoinRunPair(
-                window.data(), window.size(), frame->tuples.data(),
-                frame->tuples.size(),
+            const auto scan = MergeJoinRunPairWith(
+                options_.merge_prefetch_distance, window.data(),
+                window.size(), frame->tuples.data(), frame->tuples.size(),
                 [&](size_t, const Tuple& r, const Tuple* s, size_t count) {
                   consumer.OnMatch(r, s, count);
                   counters.output_tuples += count;

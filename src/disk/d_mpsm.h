@@ -15,8 +15,10 @@
 
 #include "core/consumers.h"
 #include "core/join_stats.h"
+#include "core/join_types.h"
 #include "disk/page_store.h"
 #include "parallel/worker_team.h"
+#include "sort/radix_introsort.h"
 #include "storage/relation.h"
 #include "util/status.h"
 
@@ -32,6 +34,16 @@ struct DMpsmOptions {
   /// Spool directory and synthetic I/O delay (see PageStoreOptions).
   std::string directory = "/tmp";
   uint32_t io_delay_us = 0;
+
+  /// Sort used when spooling chunks (docs/tuning.md).
+  sort::SortKind sort = sort::SortKind::kMultiPassRadix;
+
+  /// Bucket threshold / pass cap of the multi-pass radix sort.
+  sort::RadixSortConfig sort_config;
+
+  /// Software-prefetch lookahead (tuples) of the page merge-join
+  /// kernel; 0 selects the scalar kernel.
+  uint32_t merge_prefetch_distance = kDefaultMergePrefetchDistance;
 };
 
 /// Observability for tests and the spill example.

@@ -24,7 +24,41 @@ ScatterPlan ComputeScatterPlan(
     }
     plan.partition_sizes[p] = offset;
   }
+  assert(ScatterPlanIsConsistent(plan, worker_histograms));
   return plan;
+}
+
+bool ScatterPlanIsConsistent(
+    const ScatterPlan& plan,
+    const std::vector<std::vector<uint64_t>>& worker_histograms) {
+  const size_t num_workers = worker_histograms.size();
+  if (plan.start_offset.size() != num_workers) return false;
+  const size_t num_partitions = plan.partition_sizes.size();
+  for (size_t w = 0; w < num_workers; ++w) {
+    if (worker_histograms[w].size() != num_partitions) return false;
+    if (plan.start_offset[w].size() != num_partitions) return false;
+  }
+  for (size_t p = 0; p < num_partitions; ++p) {
+    uint64_t offset = 0;
+    for (size_t w = 0; w < num_workers; ++w) {
+      // Worker w's range [offset, offset + hist) must start exactly
+      // where worker w-1's ended: disjoint and gap-free.
+      if (plan.start_offset[w][p] != offset) return false;
+      offset += worker_histograms[w][p];
+    }
+    if (plan.partition_sizes[p] != offset) return false;
+  }
+  return true;
+}
+
+const char* ScatterKindName(ScatterKind kind) {
+  switch (kind) {
+    case ScatterKind::kScalar:
+      return "scalar";
+    case ScatterKind::kWriteCombining:
+      return "write-combining";
+  }
+  return "unknown";
 }
 
 }  // namespace mpsm

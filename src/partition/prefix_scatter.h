@@ -10,8 +10,15 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
+#include <memory>
 #include <vector>
 
+#if defined(__SSE2__)
+#include <emmintrin.h>
+#endif
+
+#include "partition/scatter_kind.h"
 #include "storage/tuple.h"
 
 namespace mpsm {
@@ -40,6 +47,14 @@ struct ScatterPlan {
 ScatterPlan ComputeScatterPlan(
     const std::vector<std::vector<uint64_t>>& worker_histograms);
 
+/// Checks the plan's invariants against the histograms it was built
+/// from: per partition, worker ranges start at 0, are consecutive and
+/// disjoint (offset[w+1] = offset[w] + hist[w]), and sum to
+/// partition_sizes. Used in debug assertions before scattering.
+bool ScatterPlanIsConsistent(
+    const ScatterPlan& plan,
+    const std::vector<std::vector<uint64_t>>& worker_histograms);
+
 /// Scatters chunk[0..n) into per-partition destination arrays.
 /// `partition_of(key)` maps a join key to its target partition;
 /// `dest[p]` is the base pointer of partition p's array; `cursor[p]`
@@ -51,6 +66,129 @@ void ScatterChunk(const Tuple* chunk, size_t n, const PartitionOf& partition_of,
   for (size_t i = 0; i < n; ++i) {
     const uint32_t p = partition_of(chunk[i].key);
     dest[p][cursor[p]++] = chunk[i];
+  }
+}
+
+/// Tuples per software write-combining buffer: 256 B (four cache
+/// lines) per partition — the measured sweet spot among 1/2/4-line
+/// buffers. Current speedup-vs-fan-out numbers live in docs/tuning.md
+/// and BENCH_kernels.json (bench_kernels BM_Scatter*); write combining
+/// pays off above ~100 partitions and regresses below.
+inline constexpr size_t kWcBufferTuples = 16;
+
+namespace internal {
+
+/// One partition's staging buffer, cache-line aligned so flushes read
+/// whole lines.
+struct alignas(64) WcBuffer {
+  Tuple slot[kWcBufferTuples];
+};
+
+/// Flushes one full staging buffer to `dst`. When `dst` sits on a
+/// cache-line boundary (the steady state after the head fix-up below),
+/// the flush issues only full-line streaming stores: they bypass the
+/// cache — right, because scattered partitions are far larger than L2
+/// and are next read by a different pass — and never trigger
+/// read-for-ownership of the destination lines. Unaligned destinations
+/// (non-SSE2 builds, odd base pointers) fall back to memcpy.
+inline void FlushWcBufferFull(Tuple* dst, const Tuple* src) {
+#if defined(__SSE2__)
+  if ((reinterpret_cast<uintptr_t>(dst) & 63) == 0) {
+    for (size_t k = 0; k < kWcBufferTuples; k += 4) {
+      const __m128i v0 =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(src + k));
+      const __m128i v1 =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(src + k + 1));
+      const __m128i v2 =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(src + k + 2));
+      const __m128i v3 =
+          _mm_load_si128(reinterpret_cast<const __m128i*>(src + k + 3));
+      _mm_stream_si128(reinterpret_cast<__m128i*>(dst + k), v0);
+      _mm_stream_si128(reinterpret_cast<__m128i*>(dst + k + 1), v1);
+      _mm_stream_si128(reinterpret_cast<__m128i*>(dst + k + 2), v2);
+      _mm_stream_si128(reinterpret_cast<__m128i*>(dst + k + 3), v3);
+    }
+    return;
+  }
+#endif
+  std::memcpy(dst, src, kWcBufferTuples * sizeof(Tuple));
+}
+
+}  // namespace internal
+
+/// Write-combining variant of ScatterChunk: tuples are staged in
+/// per-partition buffers and flushed in 256-byte bursts of full-line
+/// streaming stores, turning the T random write streams of the scalar
+/// scatter into ~n/kWcBufferTuples line-sized transactions (Balkesen et
+/// al.; Polychroniou & Ross). A worker's first flush per partition is a
+/// short scalar "head" that advances the destination to a cache-line
+/// boundary (plan offsets are arbitrary), so every later flush is
+/// line-aligned. Same contract as ScatterChunk, including partial-
+/// buffer drain at chunk end; `num_partitions` is the number of entries
+/// behind `dest`/`cursor`.
+template <typename PartitionOf>
+void ScatterChunkWriteCombining(const Tuple* chunk, size_t n,
+                                const PartitionOf& partition_of,
+                                Tuple* const* dest, uint64_t* cursor,
+                                uint32_t num_partitions) {
+  if (n == 0) return;
+  // for_overwrite: every slot is written before it is read, so skip
+  // the value-initialization memset (256 B/partition).
+  auto buffers =
+      std::make_unique_for_overwrite<internal::WcBuffer[]>(num_partitions);
+  std::vector<uint32_t> fill(num_partitions, 0);
+  // First-flush size per partition: the tuples needed to reach the
+  // next 64-byte boundary (0 head => a full buffer). Tuple bases are
+  // always 16-byte aligned, so the head is 0..3 tuples.
+  std::vector<uint32_t> target(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    const uintptr_t addr = reinterpret_cast<uintptr_t>(dest[p] + cursor[p]);
+    const uint32_t head =
+        static_cast<uint32_t>((64 - (addr & 63)) & 63) / sizeof(Tuple);
+    target[p] = head == 0 ? kWcBufferTuples : head;
+  }
+
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t p = partition_of(chunk[i].key);
+    buffers[p].slot[fill[p]++] = chunk[i];
+    if (fill[p] == target[p]) {
+      Tuple* dst = dest[p] + cursor[p];
+      if (target[p] == kWcBufferTuples) {
+        internal::FlushWcBufferFull(dst, buffers[p].slot);
+      } else {
+        std::memcpy(dst, buffers[p].slot, fill[p] * sizeof(Tuple));
+      }
+      cursor[p] += fill[p];
+      fill[p] = 0;
+      target[p] = kWcBufferTuples;
+    }
+  }
+
+  // Drain partially filled buffers (chunk sizes are rarely multiples
+  // of the buffer size).
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    if (fill[p] > 0) {
+      std::memcpy(dest[p] + cursor[p], buffers[p].slot,
+                  fill[p] * sizeof(Tuple));
+      cursor[p] += fill[p];
+    }
+  }
+#if defined(__SSE2__)
+  // Make the streaming stores visible before the post-scatter barrier.
+  _mm_sfence();
+#endif
+}
+
+/// Dispatches to the scatter implementation selected by `kind`.
+template <typename PartitionOf>
+void ScatterChunkWith(ScatterKind kind, const Tuple* chunk, size_t n,
+                      const PartitionOf& partition_of, Tuple* const* dest,
+                      uint64_t* cursor, uint32_t num_partitions) {
+  if (kind == ScatterKind::kWriteCombining) {
+    ScatterChunkWriteCombining(chunk, n, partition_of, dest, cursor,
+                               num_partitions);
+  } else {
+    ScatterChunk(chunk, n, partition_of, dest, cursor);
   }
 }
 

@@ -1,0 +1,19 @@
+// ScatterKind enum, split from prefix_scatter.h so option structs can
+// name the knob without pulling in the scatter kernels (SSE
+// intrinsics, staging-buffer templates).
+#pragma once
+
+#include <cstdint>
+
+namespace mpsm {
+
+/// Scatter implementation used for the range-partitioning write phase.
+enum class ScatterKind : uint8_t {
+  kScalar,          // one random write per tuple (the paper's Figure 6)
+  kWriteCombining,  // cache-line staging buffers + streaming stores
+};
+
+/// Name of a ScatterKind ("scalar", "write-combining").
+const char* ScatterKindName(ScatterKind kind);
+
+}  // namespace mpsm

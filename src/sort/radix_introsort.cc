@@ -169,4 +169,70 @@ void RadixIntroSort(Tuple* data, size_t n) {
   }
 }
 
+namespace {
+
+// Invariant: all keys in data[0..n) agree on every bit >= shift + 8
+// (the first call starts at the top of the significant bits, and each
+// level fixes 8 more). Hence once shift reaches 0, a bucket holds one
+// repeated key and needs no further sorting.
+void MultiPassRecurse(Tuple* data, size_t n, uint32_t shift,
+                      uint32_t passes_left, const RadixSortConfig& config) {
+  const auto bounds = MsdRadixPartition(data, n, shift);
+  for (uint32_t b = 0; b < kRadixBuckets; ++b) {
+    const size_t size = bounds[b + 1] - bounds[b];
+    if (size < 2) continue;
+    Tuple* bucket = data + bounds[b];
+    if (shift == 0) continue;  // bucket keys are fully equal
+    if (size > config.repartition_threshold && passes_left > 1) {
+      MultiPassRecurse(bucket, size, shift >= 8 ? shift - 8 : 0,
+                       passes_left - 1, config);
+    } else {
+      IntroSort(bucket, size);
+    }
+  }
+}
+
+}  // namespace
+
+void RadixIntroSortMultiPass(Tuple* data, size_t n,
+                             const RadixSortConfig& config) {
+  if (n < 2) return;
+  if (n <= kRadixBuckets * 4) {
+    IntroSort(data, n);
+    return;
+  }
+
+  uint64_t max_key = 0;
+  for (size_t i = 0; i < n; ++i) max_key = std::max(max_key, data[i].key);
+  MultiPassRecurse(data, n, RadixShiftForMaxKey(max_key),
+                   std::max(config.max_passes, 1u), config);
+}
+
+void SortTuples(Tuple* data, size_t n, SortKind kind,
+                const RadixSortConfig& config) {
+  switch (kind) {
+    case SortKind::kSinglePassRadix:
+      RadixIntroSort(data, n);
+      return;
+    case SortKind::kMultiPassRadix:
+      RadixIntroSortMultiPass(data, n, config);
+      return;
+    case SortKind::kIntroSort:
+      IntroSort(data, n);
+      return;
+  }
+}
+
+const char* SortKindName(SortKind kind) {
+  switch (kind) {
+    case SortKind::kSinglePassRadix:
+      return "single-pass-radix";
+    case SortKind::kMultiPassRadix:
+      return "multi-pass-radix";
+    case SortKind::kIntroSort:
+      return "introsort";
+  }
+  return "unknown";
+}
+
 }  // namespace mpsm::sort

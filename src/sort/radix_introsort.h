@@ -27,8 +27,43 @@ inline constexpr uint32_t kRadixBuckets = 256;
 /// Quicksort-to-insertion-sort cutoff (paper: 16 elements).
 inline constexpr size_t kInsertionThreshold = 16;
 
+/// Which sort turns a chunk into a run.
+enum class SortKind : uint8_t {
+  kSinglePassRadix,  // the paper's single MSD pass + introsort (§2.3)
+  kMultiPassRadix,   // recursive MSD passes above a bucket threshold
+  kIntroSort,        // no radix pass (comparison baseline)
+};
+
+/// Name of a SortKind ("single-pass-radix", ...).
+const char* SortKindName(SortKind kind);
+
+/// Tuning knobs of the multi-pass MSD radix sort.
+struct RadixSortConfig {
+  /// Buckets larger than this many tuples are re-partitioned on the
+  /// next 8 key bits instead of handed to introsort. The default keeps
+  /// introsort working sets around 256 * 16 = 4096 tuples (64 KiB),
+  /// comfortably inside L2.
+  size_t repartition_threshold = kRadixBuckets * kInsertionThreshold;
+
+  /// Hard cap on the number of 8-bit MSD passes (1 == the paper's
+  /// single pass); bounds the recursion on adversarial distributions.
+  uint32_t max_passes = 4;
+};
+
 /// Sorts data[0..n) by key using the full Radix/IntroSort pipeline.
 void RadixIntroSort(Tuple* data, size_t n);
+
+/// Cache-conscious variant of RadixIntroSort: buckets that come out of
+/// an MSD pass larger than config.repartition_threshold are recursively
+/// re-partitioned on the next 8 key bits (up to config.max_passes
+/// passes) before falling back to introsort, so the
+/// comparison-sorted leaves always fit in cache.
+void RadixIntroSortMultiPass(Tuple* data, size_t n,
+                             const RadixSortConfig& config = {});
+
+/// Dispatches to the sort selected by `kind`.
+void SortTuples(Tuple* data, size_t n, SortKind kind,
+                const RadixSortConfig& config = {});
 
 /// Sorts data[0..n) by key with plain introsort (no radix pass); used
 /// for small arrays and as a comparison point.

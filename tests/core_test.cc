@@ -190,6 +190,42 @@ TEST(MergeJoinKernelTest, DisjointRangesTerminateEarly) {
   EXPECT_EQ(scan.s_end, 0u);  // never advanced past the first s key
 }
 
+TEST(MergeJoinKernelTest, PrefetchVariantIsEquivalent) {
+  // The pipelined kernel must produce the same pairs, scan positions,
+  // and match counts as the scalar kernel for every input shape,
+  // including runs shorter than the prefetch distance.
+  Xoshiro256 rng(27);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::vector<Tuple> r(rng.NextBounded(300)), s(rng.NextBounded(300));
+    uint64_t payload = 0;
+    for (auto& t : r) t = Tuple{rng.NextBounded(50), payload++};
+    for (auto& t : s) t = Tuple{rng.NextBounded(50), payload++};
+    sort::RadixIntroSort(r.data(), r.size());
+    sort::RadixIntroSort(s.data(), s.size());
+
+    std::vector<Pair> scalar_pairs, prefetch_pairs;
+    const auto scalar_scan = MergeJoinRunPair(
+        r.data(), r.size(), s.data(), s.size(),
+        [&](size_t, const Tuple& rt, const Tuple* sg, size_t n) {
+          for (size_t i = 0; i < n; ++i) {
+            scalar_pairs.push_back(Pair{rt.payload, sg[i].payload});
+          }
+        });
+    const auto prefetch_scan = MergeJoinRunPairPrefetch(
+        r.data(), r.size(), s.data(), s.size(),
+        kDefaultMergePrefetchDistance,
+        [&](size_t, const Tuple& rt, const Tuple* sg, size_t n) {
+          for (size_t i = 0; i < n; ++i) {
+            prefetch_pairs.push_back(Pair{rt.payload, sg[i].payload});
+          }
+        });
+    EXPECT_EQ(scalar_pairs, prefetch_pairs) << "trial " << trial;
+    EXPECT_EQ(scalar_scan.matches, prefetch_scan.matches);
+    EXPECT_EQ(scalar_scan.r_end, prefetch_scan.r_end);
+    EXPECT_EQ(scalar_scan.s_end, prefetch_scan.s_end);
+  }
+}
+
 TEST(MergeJoinKernelTest, EmptySides) {
   const auto r = SortedKeys({1, 2});
   auto scan = MergeJoinRunPair(r.data(), r.size(), nullptr, 0,

@@ -239,6 +239,44 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(std::get<2>(info.param));
     });
 
+TEST(DMpsmTest, KernelKnobsMatchReference) {
+  // The disk variant's sort/prefetch knobs (docs/tuning.md) must not
+  // change the join result, including the scalar fallbacks.
+  const auto topology = numa::Topology::Simulated(2, 8);
+  workload::DatasetSpec spec;
+  spec.r_tuples = 5000;
+  spec.multiplicity = 2.0;
+  spec.key_domain = 16000;
+  spec.seed = 91;
+  const uint32_t team_size = 4;
+  const auto dataset = workload::Generate(topology, team_size, spec);
+
+  CountFactory reference(1);
+  const uint64_t expected = baseline::ReferenceJoin(
+      dataset.r.ToVector(), dataset.s.ToVector(), JoinKind::kInner,
+      reference.ConsumerForWorker(0));
+
+  for (sort::SortKind sort_kind :
+       {sort::SortKind::kSinglePassRadix, sort::SortKind::kMultiPassRadix,
+        sort::SortKind::kIntroSort}) {
+    for (uint32_t prefetch : {0u, kDefaultMergePrefetchDistance}) {
+      DMpsmOptions options;
+      options.tuples_per_page = 128;
+      options.pool_pages = 4;
+      options.sort = sort_kind;
+      options.merge_prefetch_distance = prefetch;
+
+      WorkerTeam team(topology, team_size);
+      CountFactory counts(team_size);
+      const auto info =
+          DMpsmJoin(options).Execute(team, dataset.r, dataset.s, counts);
+      ASSERT_TRUE(info.ok()) << info.status().ToString();
+      EXPECT_EQ(counts.Result(), expected)
+          << sort::SortKindName(sort_kind) << "/pf" << prefetch;
+    }
+  }
+}
+
 TEST(DMpsmTest, MaxSumMatchesReference) {
   const auto topology = numa::Topology::Simulated(2, 4);
   workload::DatasetSpec spec;

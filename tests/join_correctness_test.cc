@@ -213,6 +213,70 @@ INSTANTIATE_TEST_SUITE_P(
       return name;
     });
 
+// ------------------------------------ kernel option matrix (tuning.md)
+
+TEST(KernelOptionsTest, AllKernelCombinationsMatchReference) {
+  // Every combination of the cache-conscious knobs (scatter kind, sort
+  // kind, prefetch on/off, prefix skip on/off) must produce the
+  // reference count through both P-MPSM and B-MPSM; the fast defaults
+  // may differ from the scalar paths only in speed.
+  const auto topology = TestTopology();
+  DatasetSpec spec;
+  spec.r_tuples = 12000;
+  spec.multiplicity = 1.5;
+  spec.key_domain = 30000;
+  spec.s_mode = SKeyMode::kIndependent;
+  spec.seed = 4242;
+  const uint32_t team_size = 4;
+  const auto dataset = workload::Generate(topology, team_size, spec);
+
+  CountFactory reference(1);
+  const uint64_t expected =
+      baseline::ReferenceJoin(dataset.r.ToVector(), dataset.s.ToVector(),
+                              JoinKind::kInner,
+                              reference.ConsumerForWorker(0));
+
+  for (ScatterKind scatter :
+       {ScatterKind::kScalar, ScatterKind::kWriteCombining}) {
+    for (sort::SortKind sort_kind :
+         {sort::SortKind::kSinglePassRadix, sort::SortKind::kMultiPassRadix,
+          sort::SortKind::kIntroSort}) {
+      for (uint32_t prefetch : {0u, kDefaultMergePrefetchDistance}) {
+        for (bool skip_prefix : {false, true}) {
+          MpsmOptions options;
+          options.scatter = scatter;
+          options.sort = sort_kind;
+          options.merge_prefetch_distance = prefetch;
+          options.merge_skip_private_prefix = skip_prefix;
+
+          const auto label = [&] {
+            return std::string(ScatterKindName(scatter)) + "/" +
+                   sort::SortKindName(sort_kind) + "/pf" +
+                   std::to_string(prefetch) + "/skip" +
+                   std::to_string(skip_prefix);
+          };
+          {
+            WorkerTeam team(topology, team_size);
+            CountFactory counts(team_size);
+            const auto info = PMpsmJoin(options).Execute(team, dataset.r,
+                                                         dataset.s, counts);
+            ASSERT_TRUE(info.ok()) << info.status().ToString();
+            EXPECT_EQ(counts.Result(), expected) << "p-mpsm " << label();
+          }
+          {
+            WorkerTeam team(topology, team_size);
+            CountFactory counts(team_size);
+            const auto info = BMpsmJoin(options).Execute(team, dataset.r,
+                                                         dataset.s, counts);
+            ASSERT_TRUE(info.ok()) << info.status().ToString();
+            EXPECT_EQ(counts.Result(), expected) << "b-mpsm " << label();
+          }
+        }
+      }
+    }
+  }
+}
+
 // --------------------------------------------- materialized row check
 
 TEST(JoinOutputTest, MaterializedRowsMatchReferenceMultiset) {

@@ -164,6 +164,136 @@ TEST(ScatterChunkTest, ScattersToCorrectPartitions) {
   for (const auto& t : odd) EXPECT_EQ(t.key & 1, 1u);
 }
 
+// ------------------------------------- write-combining scatter
+
+// Runs the scalar and write-combining scatters over the same chunk and
+// expects bit-identical partition arrays and final cursors. `dest`
+// offsets come from a real per-worker plan so flush targets start at
+// arbitrary (line-misaligned) positions.
+template <typename PartitionOf>
+void ExpectWcMatchesScalar(const std::vector<Tuple>& chunk,
+                           uint32_t num_partitions,
+                           const PartitionOf& partition_of,
+                           uint64_t worker_start = 0) {
+  std::vector<uint64_t> hist(num_partitions, 0);
+  for (const auto& t : chunk) ++hist[partition_of(t.key)];
+
+  // Layout: every partition gets `worker_start` tuples of headroom (a
+  // previous worker's range) marked with a sentinel that must survive.
+  const Tuple sentinel{~uint64_t{0}, ~uint64_t{0}};
+  std::vector<std::vector<Tuple>> scalar_parts(num_partitions),
+      wc_parts(num_partitions);
+  std::vector<Tuple*> scalar_dest(num_partitions), wc_dest(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    scalar_parts[p].assign(worker_start + hist[p], sentinel);
+    wc_parts[p].assign(worker_start + hist[p], sentinel);
+    scalar_dest[p] = scalar_parts[p].data();
+    wc_dest[p] = wc_parts[p].data();
+  }
+
+  std::vector<uint64_t> scalar_cursor(num_partitions, worker_start);
+  std::vector<uint64_t> wc_cursor(num_partitions, worker_start);
+  ScatterChunk(chunk.data(), chunk.size(), partition_of, scalar_dest.data(),
+               scalar_cursor.data());
+  ScatterChunkWriteCombining(chunk.data(), chunk.size(), partition_of,
+                             wc_dest.data(), wc_cursor.data(),
+                             num_partitions);
+
+  EXPECT_EQ(scalar_cursor, wc_cursor);
+  for (uint32_t p = 0; p < num_partitions; ++p) {
+    EXPECT_EQ(scalar_parts[p], wc_parts[p]) << "partition " << p;
+  }
+}
+
+TEST(WriteCombiningScatterTest, MatchesScalarOnRandomChunk) {
+  Xoshiro256 rng(31);
+  // Chunk size is deliberately not a multiple of kWcBufferTuples, so
+  // every partition ends on a partial-buffer drain.
+  std::vector<Tuple> chunk(100003);
+  for (uint64_t i = 0; i < chunk.size(); ++i) {
+    chunk[i] = Tuple{rng.NextBounded(1 << 20), i};
+  }
+  ExpectWcMatchesScalar(chunk, 13,
+                        [](uint64_t key) {
+                          return static_cast<uint32_t>(key % 13);
+                        });
+}
+
+TEST(WriteCombiningScatterTest, MisalignedStartOffsets) {
+  // Start cursors 1..7 exercise the scalar head fix-up before the
+  // flushes become line-aligned.
+  Xoshiro256 rng(37);
+  std::vector<Tuple> chunk(4096 + 9);
+  for (uint64_t i = 0; i < chunk.size(); ++i) {
+    chunk[i] = Tuple{rng.Next(), i};
+  }
+  for (uint64_t start : {1u, 2u, 3u, 5u, 7u}) {
+    ExpectWcMatchesScalar(chunk, 8,
+                          [](uint64_t key) {
+                            return static_cast<uint32_t>(key & 7);
+                          },
+                          start);
+  }
+}
+
+TEST(WriteCombiningScatterTest, EmptyPartitionsStayUntouched) {
+  // Keys map onto 3 of 11 partitions; the other 8 must see no writes.
+  std::vector<Tuple> chunk;
+  for (uint64_t i = 0; i < 1000; ++i) chunk.push_back(Tuple{i % 3, i});
+  ExpectWcMatchesScalar(chunk, 11, [](uint64_t key) {
+    return static_cast<uint32_t>(key);  // only 0, 1, 2 occur
+  });
+}
+
+TEST(WriteCombiningScatterTest, SinglePartitionDegenerates) {
+  std::vector<Tuple> chunk;
+  for (uint64_t i = 0; i < 777; ++i) chunk.push_back(Tuple{i, i});
+  ExpectWcMatchesScalar(chunk, 1, [](uint64_t) { return 0u; });
+}
+
+TEST(WriteCombiningScatterTest, ChunksSmallerThanBuffer) {
+  for (size_t n : {0u, 1u, 2u, 7u,
+                   static_cast<unsigned>(kWcBufferTuples) - 1,
+                   static_cast<unsigned>(kWcBufferTuples),
+                   static_cast<unsigned>(kWcBufferTuples) + 1}) {
+    std::vector<Tuple> chunk;
+    for (uint64_t i = 0; i < n; ++i) chunk.push_back(Tuple{i, i});
+    ExpectWcMatchesScalar(chunk, 4, [](uint64_t key) {
+      return static_cast<uint32_t>(key & 3);
+    });
+  }
+}
+
+TEST(ScatterPlanValidationTest, AcceptsComputedPlans) {
+  Xoshiro256 rng(19);
+  std::vector<std::vector<uint64_t>> hist(6, std::vector<uint64_t>(9));
+  for (auto& h : hist) {
+    for (auto& v : h) v = rng.NextBounded(100);
+  }
+  const auto plan = ComputeScatterPlan(hist);
+  EXPECT_TRUE(ScatterPlanIsConsistent(plan, hist));
+}
+
+TEST(ScatterPlanValidationTest, RejectsTamperedPlans) {
+  const std::vector<std::vector<uint64_t>> hist = {{4, 3}, {3, 4}};
+  const auto good = ComputeScatterPlan(hist);
+
+  auto overlapping = good;
+  overlapping.start_offset[1][0] = 3;  // overlaps worker 0's [0, 4)
+  EXPECT_FALSE(ScatterPlanIsConsistent(overlapping, hist));
+
+  auto wrong_size = good;
+  wrong_size.partition_sizes[1] = 8;  // histograms say 7
+  EXPECT_FALSE(ScatterPlanIsConsistent(wrong_size, hist));
+
+  auto missing_worker = good;
+  missing_worker.start_offset.pop_back();
+  EXPECT_FALSE(ScatterPlanIsConsistent(missing_worker, hist));
+
+  // Histograms that disagree with the plan's shape.
+  EXPECT_FALSE(ScatterPlanIsConsistent(good, {{4, 3, 0}, {3, 4, 0}}));
+}
+
 // ----------------------------------------------- equi-height + CDF
 
 std::vector<Tuple> SortedTuples(size_t n, uint64_t seed, uint64_t domain) {

@@ -114,6 +114,49 @@ TEST_P(RadixIntroSortTest, IntroSortAloneSortsCorrectly) {
   ExpectSortedPermutation(original, data);
 }
 
+TEST_P(RadixIntroSortTest, MultiPassSortsCorrectly) {
+  const auto [dist, n] = GetParam();
+  const auto original = MakeData(dist, n, 47 + n);
+  auto data = original;
+  RadixIntroSortMultiPass(data.data(), data.size());
+  ExpectSortedPermutation(original, data);
+}
+
+TEST_P(RadixIntroSortTest, MultiPassDeepRecursionSortsCorrectly) {
+  // Tiny threshold + generous pass budget drives the recursion to its
+  // maximum depth (shift 0 / all passes) on every distribution.
+  const auto [dist, n] = GetParam();
+  const auto original = MakeData(dist, n, 53 + n);
+  auto data = original;
+  RadixSortConfig config;
+  config.repartition_threshold = 1;
+  config.max_passes = 8;
+  RadixIntroSortMultiPass(data.data(), data.size(), config);
+  ExpectSortedPermutation(original, data);
+}
+
+TEST_P(RadixIntroSortTest, MultiPassSinglePassConfigSortsCorrectly) {
+  // max_passes = 1 degenerates to the paper's single-pass pipeline.
+  const auto [dist, n] = GetParam();
+  const auto original = MakeData(dist, n, 59 + n);
+  auto data = original;
+  RadixSortConfig config;
+  config.max_passes = 1;
+  RadixIntroSortMultiPass(data.data(), data.size(), config);
+  ExpectSortedPermutation(original, data);
+}
+
+TEST_P(RadixIntroSortTest, SortTuplesDispatchesAllKinds) {
+  const auto [dist, n] = GetParam();
+  for (SortKind kind : {SortKind::kSinglePassRadix, SortKind::kMultiPassRadix,
+                        SortKind::kIntroSort}) {
+    const auto original = MakeData(dist, n, 61 + n);
+    auto data = original;
+    SortTuples(data.data(), data.size(), kind);
+    ExpectSortedPermutation(original, data);
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(
     Sweep, RadixIntroSortTest,
     testing::Combine(testing::Values(Dist::kUniform, Dist::kSorted,
@@ -204,6 +247,38 @@ TEST(RadixShiftTest, SelectsTopEightSignificantBits) {
   EXPECT_EQ(RadixShiftForMaxKey(256), 1u);
   EXPECT_EQ(RadixShiftForMaxKey((uint64_t{1} << 32) - 1), 24u);
   EXPECT_EQ(RadixShiftForMaxKey(~uint64_t{0}), 56u);
+}
+
+TEST(RadixIntroSortMultiPassTest, RepartitionsHotBuckets) {
+  // 2^17 tuples on a 32-bit domain leave each first-pass bucket with
+  // ~512 tuples; a threshold of 64 forces the second pass everywhere.
+  const size_t n = 1 << 17;
+  const auto original = MakeData(Dist::kUniform, n, 71);
+  auto data = original;
+  RadixSortConfig config;
+  config.repartition_threshold = 64;
+  config.max_passes = 4;
+  RadixIntroSortMultiPass(data.data(), data.size(), config);
+  ExpectSortedPermutation(original, data);
+}
+
+TEST(RadixIntroSortMultiPassTest, AllEqualKeysTerminate) {
+  // A bucket of equal keys can never shrink by re-partitioning; the
+  // pass cap (and the shift-0 stop) must end the recursion.
+  auto original = MakeData(Dist::kAllEqual, 100000, 73);
+  auto data = original;
+  RadixSortConfig config;
+  config.repartition_threshold = 16;
+  config.max_passes = 8;
+  RadixIntroSortMultiPass(data.data(), data.size(), config);
+  ExpectSortedPermutation(original, data);
+}
+
+TEST(SortKindNameTest, NamesAllKinds) {
+  EXPECT_STREQ(SortKindName(SortKind::kSinglePassRadix),
+               "single-pass-radix");
+  EXPECT_STREQ(SortKindName(SortKind::kMultiPassRadix), "multi-pass-radix");
+  EXPECT_STREQ(SortKindName(SortKind::kIntroSort), "introsort");
 }
 
 TEST(IsSortedByKeyTest, DetectsOrder) {

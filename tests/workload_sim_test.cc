@@ -258,13 +258,15 @@ TEST(MachineModelTest, PMpsmCountersObeyCommandments) {
   // which are a vanishing fraction of total bytes.
   EXPECT_LT(static_cast<double>(total.bytes_read_remote_rand),
             0.01 * static_cast<double>(total.TotalBytes()));
-  // The scatter phase writes across nodes (T open streams, charged at
-  // the Figure-1-calibrated multi-stream/random write rate), and only
-  // R is scattered — bounded by |R| tuples.
+  // The scatter phase writes across nodes, and only R is scattered —
+  // bounded by |R| tuples. (The rate class depends on the scatter
+  // kind: random for scalar, sequential for write combining.)
   const auto& partition =
       info->aggregate.phase_counters[kPhasePartition];
   const uint64_t scatter_bytes = partition.bytes_written_remote_rand +
-                                 partition.bytes_written_local_rand;
+                                 partition.bytes_written_local_rand +
+                                 partition.bytes_written_remote_seq +
+                                 partition.bytes_written_local_seq;
   EXPECT_GT(scatter_bytes, 0u);
   EXPECT_LE(scatter_bytes, dataset.r.size() * sizeof(Tuple));
 }
