@@ -23,13 +23,16 @@ struct Balance {
   double worker_max_ms = 0;
   double worker_min_ms = 0;
   double worker_avg_ms = 0;
+  double phase4_ms = 0;
 };
 
 Balance RunWithSplitters(WorkerTeam& team, const Relation& r,
-                         const Relation& s, bool cost_balanced) {
+                         const Relation& s, bool cost_balanced,
+                         SchedulerKind scheduler = SchedulerKind::kStatic) {
   MpsmOptions options;
   options.cost_balanced_splitters = cost_balanced;
   options.radix_bits = 10;  // paper: granularity 1024 for this experiment
+  options.scheduler = scheduler;
   Balance balance;
   balance.run =
       RunAndModel(workload::Algorithm::kPMpsm, team, r, s, options);
@@ -41,6 +44,7 @@ Balance RunWithSplitters(WorkerTeam& team, const Relation& r,
   double sum = 0;
   for (double t : per_worker) sum += t;
   balance.worker_avg_ms = sum / per_worker.size() * 1e3;
+  balance.phase4_ms = balance.run.modeled.phase_seconds[kPhaseJoin] * 1e3;
   return balance;
 }
 
@@ -66,19 +70,35 @@ void Main() {
       RunWithSplitters(team, dataset.r, dataset.s, /*cost_balanced=*/false);
   const auto equi_cost =
       RunWithSplitters(team, dataset.r, dataset.s, /*cost_balanced=*/true);
+  // Scheduler A/B (docs/scheduler.md): the same splitters with morsel-
+  // driven work stealing, so idle workers absorb the overloaded
+  // workers' phase-4 merges.
+  const auto equi_height_stealing =
+      RunWithSplitters(team, dataset.r, dataset.s, /*cost_balanced=*/false,
+                       SchedulerKind::kStealing);
+  const auto equi_cost_stealing =
+      RunWithSplitters(team, dataset.r, dataset.s, /*cost_balanced=*/true,
+                       SchedulerKind::kStealing);
 
   TablePrinter table;
-  table.SetHeader({"partitioning", "model total[ms]", "worker max[ms]",
-                   "worker min[ms]", "imbalance max/avg", "wall[ms]"});
+  table.SetHeader({"partitioning", "model total[ms]", "model p4[ms]",
+                   "worker max[ms]", "worker min[ms]", "imbalance max/avg",
+                   "wall[ms]"});
   auto add = [&](const char* name, const Balance& b) {
-    table.AddRow({name, Ms(b.run.modeled_ms), Ms(b.worker_max_ms),
-                  Ms(b.worker_min_ms),
+    table.AddRow({name, Ms(b.run.modeled_ms), Ms(b.phase4_ms),
+                  Ms(b.worker_max_ms), Ms(b.worker_min_ms),
                   Ratio(b.worker_max_ms, b.worker_avg_ms),
                   Ms(b.run.wall_ms)});
   };
   add("equi-height R (fig 16b)", equi_height);
   add("equi-cost R+S (fig 16c)", equi_cost);
+  add("equi-height + stealing", equi_height_stealing);
+  add("equi-cost + stealing", equi_cost_stealing);
   table.Print();
+  std::printf("\nscheduler A/B: stealing cuts the equi-height phase-4 "
+              "bottleneck %s (model)\n",
+              Ratio(equi_height.phase4_ms, equi_height_stealing.phase4_ms)
+                  .c_str());
 
   // Per-worker profile (modeled), the bar chart of Figures 16b/16c.
   std::printf("\nPer-worker modeled totals [ms]:\n");

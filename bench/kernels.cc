@@ -1,21 +1,29 @@
 // google-benchmark micro-kernels for the primitives every MPSM phase is
-// built from: sorting, merge join, histograms, scatter, search, CDF.
+// built from: sorting, merge join, histograms, scatter, search, CDF —
+// plus the phase-scheduler A/B (static vs stealing) on a skewed join.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <atomic>
 #include <vector>
 
+#include "core/consumers.h"
 #include "core/interpolation_search.h"
 #include "core/merge_join.h"
+#include "core/p_mpsm.h"
+#include "numa/topology.h"
+#include "parallel/worker_team.h"
 #include "partition/cdf.h"
 #include "partition/equi_height.h"
 #include "partition/key_normalizer.h"
 #include "partition/prefix_scatter.h"
 #include "partition/radix_histogram.h"
+#include "sim/machine_model.h"
 #include "sort/radix_introsort.h"
 #include "storage/run.h"
+#include "util/env.h"
 #include "util/rng.h"
+#include "workload/generator.h"
 
 namespace mpsm {
 namespace {
@@ -224,6 +232,69 @@ void BM_LowerBound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LowerBound)->Arg(0)->Arg(1);
+
+// Scheduler A/B on the Figure 16 workload: negatively correlated 80:20
+// skew with the equi-height strawman splitters, so the static scripts
+// leave the low-key workers with most of the phase-4 merge work. The
+// stealing scheduler spreads those merges as morsels. Wall time on a
+// single-core dev VM cannot show parallel balance, so the modeled
+// HyPer1 phase times are exported as counters (bench/common.h
+// convention: the machine model carries the parallelism signal);
+// model_phase4_ms is the number the scheduler A/B is judged on.
+// MPSM_SKEW_BENCH_LOG2 scales |R| (default 2^16; CI smoke uses less).
+void PMpsmSkewBench(benchmark::State& state, SchedulerKind scheduler) {
+  const auto topology = numa::Topology::HyPer1();
+  const uint32_t team_size = 32;
+  workload::DatasetSpec spec;
+  spec.r_tuples = size_t{1} << GetEnvInt("MPSM_SKEW_BENCH_LOG2", 16);
+  spec.multiplicity = 4;
+  spec.key_domain = spec.r_tuples * 5 / 2;
+  spec.r_distribution = workload::KeyDistribution::kSkewHighEnd;
+  spec.s_distribution = workload::KeyDistribution::kSkewLowEnd;
+  spec.s_mode = workload::SKeyMode::kIndependent;
+  spec.seed = 42;
+  const auto dataset = workload::Generate(topology, team_size, spec);
+  WorkerTeam team(topology, team_size);
+
+  MpsmOptions options;
+  options.scheduler = scheduler;
+  options.cost_balanced_splitters = false;  // fig 16b: skewed phase 4
+
+  double phase4_ms = 0;
+  double total_ms = 0;
+  double stolen = 0;
+  for (auto _ : state) {
+    CountFactory counts(team_size);
+    auto info = PMpsmJoin(options).Execute(team, dataset.r, dataset.s,
+                                           counts);
+    if (!info.ok()) {
+      state.SkipWithError("join failed");
+      return;
+    }
+    benchmark::DoNotOptimize(counts.Result());
+    const auto modeled =
+        sim::ModelExecution(sim::MachineModel::HyPer1(), info->workers);
+    phase4_ms = modeled.phase_seconds[kPhaseJoin] * 1e3;
+    total_ms = modeled.total_seconds * 1e3;
+    stolen = static_cast<double>(
+        info->aggregate.TotalCounters().morsels_stolen);
+  }
+  state.counters["model_phase4_ms"] = phase4_ms;
+  state.counters["model_total_ms"] = total_ms;
+  state.counters["morsels_stolen"] = stolen;
+  state.SetItemsProcessed(state.iterations() *
+                          (dataset.r.size() + dataset.s.size()));
+}
+
+void BM_PMpsmSkewJoinStatic(benchmark::State& state) {
+  PMpsmSkewBench(state, SchedulerKind::kStatic);
+}
+BENCHMARK(BM_PMpsmSkewJoinStatic)->Unit(benchmark::kMillisecond);
+
+void BM_PMpsmSkewJoinStealing(benchmark::State& state) {
+  PMpsmSkewBench(state, SchedulerKind::kStealing);
+}
+BENCHMARK(BM_PMpsmSkewJoinStealing)->Unit(benchmark::kMillisecond);
 
 void BM_CdfEstimateRank(benchmark::State& state) {
   auto data = RandomTuples(1 << 20);

@@ -1,10 +1,10 @@
 #include "baseline/radix_join.h"
 
-#include <atomic>
 #include <memory>
 #include <vector>
 
 #include "baseline/hash_table.h"
+#include "parallel/task_scheduler.h"
 #include "partition/prefix_scatter.h"
 #include "util/bits.h"
 #include "util/timer.h"
@@ -107,146 +107,189 @@ Result<JoinRunInfo> RadixHashJoin::Execute(WorkerTeam& team,
       s_hist(num_workers);
   ScatterPlan r_plan, s_plan;
   std::vector<uint64_t> r_part_offset(p1 + 1, 0), s_part_offset(p1 + 1, 0);
-  std::atomic<uint32_t> task_counter{0};
 
-  WallTimer timer;
-  team.Run([&](WorkerContext& ctx) {
-    const uint32_t w = ctx.worker_id;
+  // Per-worker pass-2 scratch (reused across claimed partitions).
+  std::vector<std::vector<Tuple>> r_local(num_workers), s_local(num_workers);
+  std::vector<std::vector<uint64_t>> r_sub(num_workers,
+                                           std::vector<uint64_t>(p2 + 1)),
+      s_sub(num_workers, std::vector<uint64_t>(p2 + 1));
+  std::vector<std::vector<int32_t>> heads_scratch(num_workers),
+      next_scratch(num_workers);
 
-    // ---------------- pass 1: histograms ----------------
-    {
-      PhaseScope scope(ctx, kPhasePartition);
-      PerfCounters& counters = ctx.Counters(kPhasePartition);
-      auto histogram = [&](const Chunk& chunk) {
-        std::vector<uint64_t> h(p1, 0);
-        for (size_t i = 0; i < chunk.size; ++i) {
-          ++h[HashDigit(chunk.data[i].key, 0, pass1_bits)];
-        }
-        counters.CountRead(chunk.node == ctx.node, /*sequential=*/true,
-                           chunk.size * sizeof(Tuple));
-        return h;
-      };
-      r_hist[w] = histogram(r_build.chunk(w));
-      s_hist[w] = histogram(s_probe.chunk(w));
-      ctx.barrier->Wait();
+  const auto chunk_morsels = [num_workers] { return ChunkMorsels(num_workers); };
 
-      if (w == 0) {
-        r_plan = ComputeScatterPlan(r_hist);
-        s_plan = ComputeScatterPlan(s_hist);
-        for (uint32_t p = 0; p < p1; ++p) {
-          r_part_offset[p + 1] = r_part_offset[p] + r_plan.partition_sizes[p];
-          s_part_offset[p + 1] = s_part_offset[p] + s_plan.partition_sizes[p];
-        }
-      }
-      ctx.barrier->Wait();
+  PhasePipeline pipeline(team.topology(), num_workers, options_.scheduler);
 
-      // ---------------- pass 1: scatter (cross-NUMA) ----------------
-      // Writes hop between 2^B1 open streams spread over all nodes —
-      // the non-local partitioning the paper criticizes (Figure 2b).
-      auto scatter = [&](const Chunk& chunk, const ScatterPlan& plan,
-                         const std::vector<uint64_t>& part_offset,
-                         std::vector<Tuple>& out) {
-        std::vector<Tuple*> dest(p1);
-        std::vector<uint64_t> cursor(p1);
-        for (uint32_t p = 0; p < p1; ++p) {
-          dest[p] = out.data() + part_offset[p];
-          cursor[p] = plan.start_offset[w][p];
-        }
-        ScatterChunkWith(
-            options_.scatter, chunk.data, chunk.size,
-            [&](uint64_t key) { return HashDigit(key, 0, pass1_bits); },
-            dest.data(), cursor.data(), p1);
-        counters.CountRead(chunk.node == ctx.node, /*sequential=*/true,
-                           chunk.size * sizeof(Tuple));
-        // Scalar pass-1 writes hop between 2^B1 streams (random rate);
-        // write combining batches them into line bursts (sequential).
-        const bool combined_writes =
-            options_.scatter == ScatterKind::kWriteCombining;
-        for (uint32_t p = 0; p < p1; ++p) {
-          const uint64_t written = cursor[p] - plan.start_offset[w][p];
-          counters.CountWrite(PartitionNode(p, num_nodes) == ctx.node,
-                              /*sequential=*/combined_writes,
-                              written * sizeof(Tuple));
-        }
-      };
-      scatter(r_build.chunk(w), r_plan, r_part_offset, r_out);
-      scatter(s_probe.chunk(w), s_plan, s_part_offset, s_out);
-    }
-    ctx.barrier->Wait();
-
-    // ------- pass 2 (local sub-partitioning) + fragment joins -------
-    JoinConsumer& consumer = consumers.ConsumerForWorker(w);
-    std::vector<Tuple> r_local, s_local;
-    std::vector<uint64_t> r_sub(p2 + 1), s_sub(p2 + 1);
-    std::vector<int32_t> heads_scratch, next_scratch;
-
-    while (true) {
-      const uint32_t p = task_counter.fetch_add(1, std::memory_order_relaxed);
-      if (p >= p1) break;
-
-      const Slice r_part{r_out.data() + r_part_offset[p],
-                         r_part_offset[p + 1] - r_part_offset[p]};
-      const Slice s_part{s_out.data() + s_part_offset[p],
-                         s_part_offset[p + 1] - s_part_offset[p]};
-      const bool part_local = PartitionNode(p, num_nodes) == ctx.node;
-
-      if (pass2_bits == 0) {
-        PhaseScope scope(ctx, kPhaseJoin);
-        PerfCounters& counters = ctx.Counters(kPhaseJoin);
-        ++counters.sync_acquisitions;  // task-queue claim
-        counters.CountRead(part_local, /*sequential=*/true,
-                           (r_part.size + s_part.size) * sizeof(Tuple));
-        FragmentHashJoin(r_part, s_part, consumer, counters, heads_scratch,
-                         next_scratch);
-        continue;
-      }
-
-      // Local second pass: copy into worker-local scratch grouped by
-      // the next B2 hash bits (sequential local writes).
-      {
-        PhaseScope scope(ctx, kPhaseSortPrivate);
-        PerfCounters& counters = ctx.Counters(kPhaseSortPrivate);
-        ++counters.sync_acquisitions;  // task-queue claim
-        auto subpartition = [&](const Slice& part, std::vector<Tuple>& local,
-                                std::vector<uint64_t>& sub_offset) {
-          local.resize(part.size);
-          std::vector<uint64_t> h(p2, 0);
-          for (size_t i = 0; i < part.size; ++i) {
-            ++h[HashDigit(part.data[i].key, pass1_bits, pass2_bits)];
+  // ---------------- pass 1: histograms ----------------
+  pipeline.AddPhase(
+      kPhasePartition, chunk_morsels,
+      [&](WorkerContext& ctx, const Morsel& morsel) {
+        const uint32_t w = morsel.task;
+        PerfCounters& counters = ctx.Counters(kPhasePartition);
+        auto histogram = [&](const Chunk& chunk) {
+          std::vector<uint64_t> h(p1, 0);
+          for (size_t i = 0; i < chunk.size; ++i) {
+            ++h[HashDigit(chunk.data[i].key, 0, pass1_bits)];
           }
-          sub_offset[0] = 0;
-          for (uint32_t b = 0; b < p2; ++b) {
-            sub_offset[b + 1] = sub_offset[b] + h[b];
-          }
-          std::vector<uint64_t> cursor(sub_offset.begin(),
-                                       sub_offset.end() - 1);
-          for (size_t i = 0; i < part.size; ++i) {
-            const uint32_t b =
-                HashDigit(part.data[i].key, pass1_bits, pass2_bits);
-            local[cursor[b]++] = part.data[i];
-          }
-          counters.CountRead(part_local, /*sequential=*/true,
-                             2 * part.size * sizeof(Tuple));
-          counters.CountWrite(/*local=*/true, /*sequential=*/true,
-                              part.size * sizeof(Tuple));
+          counters.CountRead(chunk.node == ctx.node, /*sequential=*/true,
+                             chunk.size * sizeof(Tuple));
+          return h;
         };
-        subpartition(r_part, r_local, r_sub);
-        subpartition(s_part, s_local, s_sub);
-      }
+        r_hist[w] = histogram(r_build.chunk(w));
+        s_hist[w] = histogram(s_probe.chunk(w));
+      });
 
-      {
-        PhaseScope scope(ctx, kPhaseJoin);
-        PerfCounters& counters = ctx.Counters(kPhaseJoin);
-        for (uint32_t b = 0; b < p2; ++b) {
-          FragmentHashJoin(
-              Slice{r_local.data() + r_sub[b], r_sub[b + 1] - r_sub[b]},
-              Slice{s_local.data() + s_sub[b], s_sub[b + 1] - s_sub[b]},
-              consumer, counters, heads_scratch, next_scratch);
-        }
-      }
+  pipeline.AddSerial(kPhasePartition, [&](WorkerContext&) {
+    r_plan = ComputeScatterPlan(r_hist);
+    s_plan = ComputeScatterPlan(s_hist);
+    for (uint32_t p = 0; p < p1; ++p) {
+      r_part_offset[p + 1] = r_part_offset[p] + r_plan.partition_sizes[p];
+      s_part_offset[p + 1] = s_part_offset[p] + s_plan.partition_sizes[p];
     }
   });
 
+  // ---------------- pass 1: scatter (cross-NUMA) ----------------
+  // Writes hop between 2^B1 open streams spread over all nodes — the
+  // non-local partitioning the paper criticizes (Figure 2b). Plan rows
+  // are per source chunk, so a stolen scatter morsel still writes only
+  // chunk w's precomputed target ranges.
+  pipeline.AddPhase(
+      kPhasePartition, chunk_morsels,
+      [&](WorkerContext& ctx, const Morsel& morsel) {
+        const uint32_t w = morsel.task;
+        PerfCounters& counters = ctx.Counters(kPhasePartition);
+        auto scatter = [&](const Chunk& chunk, const ScatterPlan& plan,
+                           const std::vector<uint64_t>& part_offset,
+                           std::vector<Tuple>& out) {
+          std::vector<Tuple*> dest(p1);
+          std::vector<uint64_t> cursor(p1);
+          for (uint32_t p = 0; p < p1; ++p) {
+            dest[p] = out.data() + part_offset[p];
+            cursor[p] = plan.start_offset[w][p];
+          }
+          const ScatterKind scatter_kind =
+              ResolveScatterKind(options_.scatter, chunk.size, p1);
+          ScatterChunkWith(
+              scatter_kind, chunk.data, chunk.size,
+              [&](uint64_t key) { return HashDigit(key, 0, pass1_bits); },
+              dest.data(), cursor.data(), p1);
+          counters.CountRead(chunk.node == ctx.node, /*sequential=*/true,
+                             chunk.size * sizeof(Tuple));
+          // Scalar pass-1 writes hop between 2^B1 streams (random
+          // rate); write combining batches them into line bursts
+          // (sequential).
+          const bool combined_writes =
+              scatter_kind == ScatterKind::kWriteCombining;
+          for (uint32_t p = 0; p < p1; ++p) {
+            const uint64_t written = cursor[p] - plan.start_offset[w][p];
+            counters.CountWrite(PartitionNode(p, num_nodes) == ctx.node,
+                                /*sequential=*/combined_writes,
+                                written * sizeof(Tuple));
+          }
+        };
+        scatter(r_build.chunk(w), r_plan, r_part_offset, r_out);
+        scatter(s_probe.chunk(w), s_plan, s_part_offset, s_out);
+      });
+
+  // ------- pass 2 (local sub-partitioning) + fragment joins -------
+  // One morsel per pass-1 partition, homed on a worker of the node that
+  // owns the partition (block-cyclic placement): the scheduler hands
+  // each node its local partitions first and lets idle workers steal —
+  // the legacy atomic task counter, upgraded with locality.
+  std::vector<std::vector<uint32_t>> node_workers(
+      team.topology().num_nodes());
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    node_workers[team.topology().NodeForWorker(w, num_workers)].push_back(w);
+  }
+  pipeline.AddPhase(
+      kPhaseJoin,
+      [&] {
+        std::vector<Morsel> morsels;
+        morsels.reserve(p1);
+        for (uint32_t p = 0; p < p1; ++p) {
+          const auto& owners = node_workers[PartitionNode(p, num_nodes)];
+          const uint32_t home = owners.empty()
+                                    ? p % num_workers
+                                    : owners[(p / num_nodes) % owners.size()];
+          morsels.push_back(Morsel{home, p, 0, 0});
+        }
+        return morsels;
+      },
+      [&](WorkerContext& ctx, const Morsel& morsel) {
+        const uint32_t w = ctx.worker_id;
+        const uint32_t p = morsel.task;
+        JoinConsumer& consumer = consumers.ConsumerForWorker(w);
+
+        const Slice r_part{r_out.data() + r_part_offset[p],
+                           r_part_offset[p + 1] - r_part_offset[p]};
+        const Slice s_part{s_out.data() + s_part_offset[p],
+                           s_part_offset[p + 1] - s_part_offset[p]};
+        const bool part_local = PartitionNode(p, num_nodes) == ctx.node;
+
+        if (pass2_bits == 0) {
+          PhaseScope scope(ctx, kPhaseJoin);
+          PerfCounters& counters = ctx.Counters(kPhaseJoin);
+          counters.CountRead(part_local, /*sequential=*/true,
+                             (r_part.size + s_part.size) * sizeof(Tuple));
+          FragmentHashJoin(r_part, s_part, consumer, counters,
+                           heads_scratch[w], next_scratch[w]);
+          return;
+        }
+
+        // Local second pass: copy into worker-local scratch grouped by
+        // the next B2 hash bits (sequential local writes).
+        {
+          PhaseScope scope(ctx, kPhaseSortPrivate);
+          PerfCounters& counters = ctx.Counters(kPhaseSortPrivate);
+          auto subpartition = [&](const Slice& part,
+                                  std::vector<Tuple>& local,
+                                  std::vector<uint64_t>& sub_offset) {
+            local.resize(part.size);
+            std::vector<uint64_t> h(p2, 0);
+            for (size_t i = 0; i < part.size; ++i) {
+              ++h[HashDigit(part.data[i].key, pass1_bits, pass2_bits)];
+            }
+            sub_offset[0] = 0;
+            for (uint32_t b = 0; b < p2; ++b) {
+              sub_offset[b + 1] = sub_offset[b] + h[b];
+            }
+            std::vector<uint64_t> cursor(sub_offset.begin(),
+                                         sub_offset.end() - 1);
+            for (size_t i = 0; i < part.size; ++i) {
+              const uint32_t b =
+                  HashDigit(part.data[i].key, pass1_bits, pass2_bits);
+              local[cursor[b]++] = part.data[i];
+            }
+            counters.CountRead(part_local, /*sequential=*/true,
+                               2 * part.size * sizeof(Tuple));
+            counters.CountWrite(/*local=*/true, /*sequential=*/true,
+                                part.size * sizeof(Tuple));
+          };
+          subpartition(r_part, r_local[w], r_sub[w]);
+          subpartition(s_part, s_local[w], s_sub[w]);
+        }
+
+        {
+          PhaseScope scope(ctx, kPhaseJoin);
+          PerfCounters& counters = ctx.Counters(kPhaseJoin);
+          for (uint32_t b = 0; b < p2; ++b) {
+            FragmentHashJoin(
+                Slice{r_local[w].data() + r_sub[w][b],
+                      r_sub[w][b + 1] - r_sub[w][b]},
+                Slice{s_local[w].data() + s_sub[w][b],
+                      s_sub[w][b + 1] - s_sub[w][b]},
+                consumer, counters, heads_scratch[w], next_scratch[w]);
+          }
+        }
+      },
+      // Self-timed: the body splits its time between the pass-2 slot
+      // and the join slot, mirroring the legacy per-task PhaseScopes.
+      // Claims (the former explicit sync_acquisitions) are charged to
+      // the join slot by the scheduler.
+      PhasePipeline::PhaseOptions{.self_timed = true});
+
+  WallTimer timer;
+  pipeline.Run(team, /*phase_barriers=*/true);
   return CollectRunInfo(team, timer.ElapsedSeconds());
 }
 

@@ -12,6 +12,7 @@
 
 #include "core/consumers.h"
 #include "core/join_stats.h"
+#include "parallel/scheduler_kind.h"
 #include "parallel/worker_team.h"
 #include "partition/scatter_kind.h"
 #include "storage/relation.h"
@@ -29,9 +30,17 @@ struct RadixJoinOptions {
   /// Target tuples per final fragment for auto bit selection
   /// (cache-resident build side).
   uint32_t target_fragment_tuples = 2048;
-  /// Scatter implementation of the pass-1 partitioning writes (the
-  /// 2^B1-way fan-out is exactly where write combining pays off).
-  ScatterKind scatter = ScatterKind::kWriteCombining;
+  /// Scatter implementation of the pass-1 partitioning writes. kAuto
+  /// resolves per the ~100-partition crossover (docs/tuning.md): the
+  /// 2^B1-way fan-out picks write combining except for tiny inputs.
+  ScatterKind scatter = ScatterKind::kAuto;
+
+  /// How pass-2/join tasks are distributed (docs/scheduler.md).
+  /// Stealing reproduces the legacy dynamic task counter but with
+  /// NUMA-aware, locality-first dispatch: partitions queue on their
+  /// owning node and idle workers steal cross-node. Static pre-assigns
+  /// partitions round-robin to the owning node's workers (A/B knob).
+  SchedulerKind scheduler = SchedulerKind::kStealing;
 };
 
 /// The radix-partitioned hash join (inner joins).

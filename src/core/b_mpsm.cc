@@ -1,9 +1,11 @@
 #include "core/b_mpsm.h"
 
 #include <memory>
+#include <vector>
 
 #include "core/merge_join.h"
 #include "core/run_generation.h"
+#include "parallel/task_scheduler.h"
 #include "util/timer.h"
 
 namespace mpsm {
@@ -28,46 +30,71 @@ Result<JoinRunInfo> BMpsmJoin::Execute(WorkerTeam& team,
   }
 
   const MpsmOptions options = options_;
+  RunJoinOptions join_options;
+  join_options.kind = options.kind;
+  join_options.search = options.start_search;
+  join_options.prefetch_distance = options.merge_prefetch_distance;
+  join_options.skip_private_prefix = options.merge_skip_private_prefix;
+
+  PhasePipeline pipeline(team.topology(), num_workers, options.scheduler);
+
+  // Phase 1: sort each public chunk into a local run. The run stays
+  // homed on the chunk's worker even when the morsel is stolen (the
+  // arena belongs to the task, not the executor). The closing barrier
+  // is the one mandatory synchronization point: all public runs must be
+  // complete before any worker starts joining against them.
+  pipeline.AddPhase(
+      kPhaseSortPublic, [&] { return ChunkMorsels(num_workers); },
+      [&](WorkerContext& ctx, const Morsel& morsel) {
+        s_runs[morsel.task] = SortChunkIntoRun(
+            s_public.chunk(morsel.task), *arenas[morsel.task], ctx.node,
+            ctx.Counters(kPhaseSortPublic), options.sort,
+            options.sort_config);
+      });
+
+  // Phase 3 slot: sort the private chunks (B-MPSM has no partition
+  // phase; the kPhasePartition slot stays empty).
+  pipeline.AddPhase(
+      kPhaseSortPrivate, [&] { return ChunkMorsels(num_workers); },
+      [&](WorkerContext& ctx, const Morsel& morsel) {
+        r_runs[morsel.task] = SortChunkIntoRun(
+            r_private.chunk(morsel.task), *arenas[morsel.task], ctx.node,
+            ctx.Counters(kPhaseSortPrivate), options.sort,
+            options.sort_config);
+      },
+      PhasePipeline::PhaseOptions{.optional_barrier = true});
+
+  // Phase 4: merge join the private runs against all public runs.
+  if (options.scheduler == SchedulerKind::kStatic) {
+    // The paper's script: worker w drives its own run i = w over every
+    // public run, staggering the starting run.
+    pipeline.AddPhase(
+        kPhaseJoin, [&] { return ChunkMorsels(num_workers); },
+        [&](WorkerContext& ctx, const Morsel& morsel) {
+          JoinPrivateAgainstRuns(r_runs[morsel.task], s_runs,
+                                 /*first_run=*/morsel.task, join_options,
+                                 consumers.ConsumerForWorker(ctx.worker_id),
+                                 ctx.node, &ctx.Counters(kPhaseJoin));
+        });
+  } else {
+    // Range-sliced (run pair x merge range) morsels; built lazily so
+    // the slicing sees the actual run sizes.
+    pipeline.AddPhase(
+        kPhaseJoin,
+        [&] {
+          return MergeJoinMorsels(r_runs, num_workers, options.kind,
+                                  options.morsel_tuples);
+        },
+        [&](WorkerContext& ctx, const Morsel& morsel) {
+          ExecuteMergeJoinMorsel(morsel, r_runs, s_runs, join_options,
+                                 consumers.ConsumerForWorker(ctx.worker_id),
+                                 ctx.node, &ctx.Counters(kPhaseJoin));
+        },
+        PhasePipeline::PhaseOptions{.eager = false});
+  }
+
   WallTimer timer;
-  team.Run([&](WorkerContext& ctx) {
-    const uint32_t w = ctx.worker_id;
-    numa::Arena& arena = *arenas[w];
-
-    // Phase 1: sort the public input chunk into a local run.
-    {
-      PhaseScope scope(ctx, kPhaseSortPublic);
-      s_runs[w] = SortChunkIntoRun(s_public.chunk(w), arena, ctx.node,
-                                   ctx.Counters(kPhaseSortPublic),
-                                   options.sort, options.sort_config);
-    }
-    // The one mandatory synchronization point: all public runs must be
-    // complete before any worker starts joining against them.
-    ctx.barrier->Wait();
-
-    // Phase 3 slot: sort the private input chunk (B-MPSM has no
-    // partition phase; the kPhasePartition slot stays empty).
-    {
-      PhaseScope scope(ctx, kPhaseSortPrivate);
-      r_runs[w] = SortChunkIntoRun(r_private.chunk(w), arena, ctx.node,
-                                   ctx.Counters(kPhaseSortPrivate),
-                                   options.sort, options.sort_config);
-    }
-    if (options.phase_barriers) ctx.barrier->Wait();
-
-    // Phase 4: merge join the private run against all public runs.
-    {
-      PhaseScope scope(ctx, kPhaseJoin);
-      RunJoinOptions join_options;
-      join_options.kind = options.kind;
-      join_options.search = options.start_search;
-      join_options.prefetch_distance = options.merge_prefetch_distance;
-      join_options.skip_private_prefix = options.merge_skip_private_prefix;
-      JoinPrivateAgainstRuns(r_runs[w], s_runs, /*first_run=*/w,
-                             join_options, consumers.ConsumerForWorker(w),
-                             ctx.node, &ctx.Counters(kPhaseJoin));
-    }
-  });
-
+  pipeline.Run(team, options.phase_barriers);
   return CollectRunInfo(team, timer.ElapsedSeconds());
 }
 

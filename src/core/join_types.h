@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <functional>
 
+#include "parallel/scheduler_kind.h"
 #include "partition/scatter_kind.h"
 #include "partition/splitters.h"
 #include "sort/radix_introsort.h"
@@ -63,6 +64,18 @@ struct MpsmOptions {
   /// The algorithm itself only requires the single sort/join barrier.
   bool phase_barriers = true;
 
+  // ------------------------------------------------ phase orchestration
+  /// How phase work is distributed over the team: the paper's static
+  /// per-worker scripts, or morsel-driven NUMA-aware work stealing so
+  /// idle workers absorb stragglers' phase-3 sorts and phase-4 merges
+  /// (docs/scheduler.md). Identical join output either way.
+  SchedulerKind scheduler = SchedulerKind::kStatic;
+
+  /// Target tuples per stealable morsel (scatter blocks, sort buckets,
+  /// merge ranges). Smaller morsels balance better but add claim
+  /// overhead; 2^14 tuples = 256 KiB keeps a morsel around one L2.
+  uint32_t morsel_tuples = 1u << 14;
+
   // ------------------------------------------- cache-conscious kernels
   // Each hot path keeps its scalar implementation selectable for A/B
   // benchmarking (docs/tuning.md); the defaults are the fast variants.
@@ -73,12 +86,14 @@ struct MpsmOptions {
   /// Bucket threshold / pass cap of the multi-pass radix sort.
   sort::RadixSortConfig sort_config;
 
-  /// Scatter implementation for phase 2.3 range partitioning. P-MPSM's
-  /// fan-out equals the team size, and below ~100 partitions the
-  /// scalar loop measures faster (docs/tuning.md), so scalar is the
-  /// right default here; the radix baseline's 2^B1-way pass defaults
-  /// to write combining instead (RadixJoinOptions).
-  ScatterKind scatter = ScatterKind::kScalar;
+  /// Scatter implementation for phase 2.3 range partitioning. kAuto
+  /// picks per execution from the fan-out/input size (write combining
+  /// above the ~100-partition crossover, the scalar loop below —
+  /// docs/tuning.md). P-MPSM's fan-out equals the team size, so small
+  /// teams resolve to scalar and only 100+-worker teams flip to write
+  /// combining; explicit kScalar/kWriteCombining still force a kernel
+  /// for A/B runs.
+  ScatterKind scatter = ScatterKind::kAuto;
 
   /// Software-prefetch lookahead (tuples) of the merge-join kernel;
   /// 0 selects the scalar kernel.

@@ -43,6 +43,10 @@ uint64_t JoinPrivateAgainstRuns(const Run& ri, const RunSet& s_runs,
                                 PerfCounters* counters) {
   if (ri.empty()) return 0;
 
+  // The private run is local to its producing worker, but a stolen
+  // phase-4 morsel executes on another node — classify against the
+  // run's actual home.
+  const bool r_local = ri.node == worker_node;
   const bool needs_bitmap = options.kind != JoinKind::kInner;
   MatchBitmap matched;
   if (needs_bitmap) matched = MatchBitmap(ri.size);
@@ -80,7 +84,7 @@ uint64_t JoinPrivateAgainstRuns(const Run& ri, const RunSet& s_runs,
       r_start = FindStart(ri.data, ri.size, sj.data[start].key,
                           options.search, &r_search);
       if (counters != nullptr) {
-        counters->CountRead(/*local=*/true, /*sequential=*/false,
+        counters->CountRead(r_local, /*sequential=*/false,
                             r_search.probes * sizeof(Tuple));
       }
       if (r_start == ri.size) continue;
@@ -132,9 +136,10 @@ uint64_t JoinPrivateAgainstRuns(const Run& ri, const RunSet& s_runs,
 
     if (counters != nullptr) {
       // The private run is rescanned for every public run (sequential,
-      // always local); the public run is scanned from the start
-      // position to wherever the merge stopped (sequential).
-      counters->CountRead(/*local=*/true, /*sequential=*/true,
+      // local unless this is a stolen morsel); the public run is
+      // scanned from the start position to wherever the merge stopped
+      // (sequential).
+      counters->CountRead(r_local, /*sequential=*/true,
                           scan.r_end * sizeof(Tuple));
       counters->CountRead(s_local, /*sequential=*/true,
                           scan.s_end * sizeof(Tuple));
@@ -151,13 +156,64 @@ uint64_t JoinPrivateAgainstRuns(const Run& ri, const RunSet& s_runs,
       }
     }
     if (counters != nullptr) {
-      counters->CountRead(/*local=*/true, /*sequential=*/true,
+      counters->CountRead(r_local, /*sequential=*/true,
                           ri.size * sizeof(Tuple));
     }
   }
 
   if (counters != nullptr) counters->output_tuples += output;
   return output;
+}
+
+std::vector<Morsel> MergeJoinMorsels(const RunSet& r_runs,
+                                     uint32_t num_public_runs, JoinKind kind,
+                                     uint64_t morsel_tuples) {
+  std::vector<Morsel> morsels;
+  const uint32_t num_private = static_cast<uint32_t>(r_runs.size());
+  for (uint32_t i = 0; i < num_private; ++i) {
+    const Run& ri = r_runs[i];
+    if (ri.empty()) continue;
+    if (kind != JoinKind::kInner) {
+      morsels.push_back(Morsel{i, i, 0, ri.size});
+      continue;
+    }
+    const auto ranges = SliceRanges(ri.size, morsel_tuples);
+    for (uint32_t offset = 0; offset < num_public_runs; ++offset) {
+      // Stagger the public runs per private run, like the static
+      // driver, so concurrent morsels fan out across nodes.
+      const uint32_t j = (i + offset) % num_public_runs;
+      for (const auto& [begin, end] : ranges) {
+        morsels.push_back(Morsel{i, i * num_public_runs + j, begin, end});
+      }
+    }
+  }
+  return morsels;
+}
+
+void ExecuteMergeJoinMorsel(const Morsel& morsel, const RunSet& r_runs,
+                            const RunSet& s_runs,
+                            const RunJoinOptions& options,
+                            JoinConsumer& consumer, numa::NodeId worker_node,
+                            PerfCounters* counters) {
+  const uint32_t num_public = static_cast<uint32_t>(s_runs.size());
+  if (options.kind != JoinKind::kInner) {
+    JoinPrivateAgainstRuns(r_runs[morsel.task], s_runs,
+                           /*first_run=*/morsel.task, options, consumer,
+                           worker_node, counters);
+    return;
+  }
+  const uint32_t i = morsel.task / num_public;
+  const uint32_t j = morsel.task % num_public;
+  if (morsel.end <= morsel.begin) return;
+  const Run& ri = r_runs[i];
+  // An inner join emits independently per private tuple, so a tuple
+  // range of the private run joined against one public run is a
+  // self-contained unit of work.
+  const Run segment{ri.data + morsel.begin, morsel.end - morsel.begin,
+                    ri.node};
+  const RunSet single{s_runs[j]};
+  JoinPrivateAgainstRuns(segment, single, /*first_run=*/0, options, consumer,
+                         worker_node, counters);
 }
 
 }  // namespace mpsm

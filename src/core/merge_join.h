@@ -17,6 +17,7 @@
 #include "core/join_types.h"
 #include "numa/topology.h"
 #include "parallel/counters.h"
+#include "parallel/task_scheduler.h"
 #include "storage/run.h"
 
 namespace mpsm {
@@ -152,5 +153,25 @@ uint64_t JoinPrivateAgainstRuns(const Run& ri, const RunSet& s_runs,
                                 JoinConsumer& consumer,
                                 numa::NodeId worker_node,
                                 PerfCounters* counters);
+
+/// Builds the stealing scheduler's phase-4 morsels. Inner joins are
+/// sliced finely — one morsel per (private run i, public run j, tuple
+/// range of i), task = i * |s_runs| + j, public runs staggered per i —
+/// so a hot partition's merge work spreads over idle workers. The
+/// bitmap-carrying kinds (semi/anti/outer) get one morsel per private
+/// run (task = i, the full driver): the match bitmap spans all public
+/// runs and must stay single-owner.
+std::vector<Morsel> MergeJoinMorsels(const RunSet& r_runs,
+                                     uint32_t num_public_runs, JoinKind kind,
+                                     uint64_t morsel_tuples);
+
+/// Executes one MergeJoinMorsels morsel. `worker_node` is the
+/// *executing* worker's node; locality is classified against the runs'
+/// homes, so stolen morsels are charged remote traffic.
+void ExecuteMergeJoinMorsel(const Morsel& morsel, const RunSet& r_runs,
+                            const RunSet& s_runs,
+                            const RunJoinOptions& options,
+                            JoinConsumer& consumer, numa::NodeId worker_node,
+                            PerfCounters* counters);
 
 }  // namespace mpsm

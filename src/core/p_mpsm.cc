@@ -1,10 +1,15 @@
 #include "core/p_mpsm.h"
 
 #include <algorithm>
+#include <array>
+#include <cassert>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "core/merge_join.h"
 #include "core/run_generation.h"
+#include "parallel/task_scheduler.h"
 #include "partition/equi_height.h"
 #include "partition/prefix_scatter.h"
 #include "partition/radix_histogram.h"
@@ -25,31 +30,42 @@ uint32_t PMpsmJoin::EffectiveRadixBits(uint32_t team_size) const {
 
 namespace {
 
-/// State shared by all workers of one execution. Workers write only
-/// their own slots; the cross-worker combines happen on worker 0
-/// between barriers.
+/// State shared by all workers of one execution. Each morsel writes
+/// only its own slots; the cross-task combines happen in the
+/// pipeline's serial steps between barriers.
 struct SharedState {
   // Phase 1 products.
   RunSet s_runs;
   std::vector<EquiHeightHistogram> s_histograms;
 
-  // Phase 2.2 products.
-  std::vector<KeyRange> r_ranges;
-  std::vector<bool> r_has_data;
-  std::vector<RadixHistogram> r_histograms;
+  // The private input sliced into scatter blocks; one plan row each.
+  // Static scheduling keeps one block per chunk (the paper's layout:
+  // row w == worker w); stealing slices to ~morsel_tuples.
+  std::vector<ScatterBlock> blocks;
 
-  // Phase 2.1 / 2.3 products (built by worker 0).
+  // Phase 2.2 products, per block.
+  std::vector<KeyRange> block_ranges;
+  std::vector<uint8_t> block_has_data;
+  std::vector<RadixHistogram> block_histograms;
+
+  // Phase 2.1 / 2.3 products (built in serial steps).
   Cdf cdf;
   KeyNormalizer normalizer;
-  bool r_empty = true;
   Splitters splitters;
-  ScatterPlan plan;
+  std::vector<std::vector<uint64_t>> block_partition_hist;
+  ScatterPlan plan;  // rows = blocks, columns = partitions
 
   // Scatter targets: partition p's array, owned by worker p's node.
   std::vector<Tuple*> partition_data;
 
   // Phase 3 products.
   RunSet r_runs;
+  // Stealing mode splits an oversized partition sort into one MSD pass
+  // plus stealable bucket-sort morsels; the pass's bucket bounds and
+  // shift live here between the two sub-phases.
+  std::vector<std::array<size_t, sort::kRadixBuckets + 1>> partition_bounds;
+  std::vector<uint32_t> partition_shift;
+  std::vector<uint8_t> partition_split;
 };
 
 }  // namespace
@@ -68,15 +84,29 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
   const uint32_t radix_bits = EffectiveRadixBits(num_workers);
   const uint32_t num_bounds =
       std::max(1u, options_.equi_height_factor * num_workers);
+  const MpsmOptions options = options_;
+  const bool stealing = options.scheduler == SchedulerKind::kStealing;
 
   SharedState shared;
   shared.s_runs.resize(num_workers);
   shared.s_histograms.resize(num_workers);
-  shared.r_ranges.resize(num_workers);
-  shared.r_has_data.assign(num_workers, false);
-  shared.r_histograms.resize(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    const uint64_t chunk_size = r_private.chunk(w).size;
+    const uint64_t slice =
+        stealing ? std::max<uint64_t>(options.morsel_tuples, 1) : chunk_size;
+    for (const auto& [begin, end] : SliceRanges(chunk_size, slice)) {
+      shared.blocks.push_back(ScatterBlock{w, begin, end});
+    }
+  }
+  const uint32_t num_blocks = static_cast<uint32_t>(shared.blocks.size());
+  shared.block_ranges.resize(num_blocks);
+  shared.block_has_data.assign(num_blocks, 0);
+  shared.block_histograms.resize(num_blocks);
   shared.partition_data.resize(num_workers, nullptr);
   shared.r_runs.resize(num_workers);
+  shared.partition_bounds.resize(num_workers);
+  shared.partition_shift.assign(num_workers, 0);
+  shared.partition_split.assign(num_workers, 0);
 
   std::vector<std::unique_ptr<numa::Arena>> arenas(num_workers);
   for (uint32_t w = 0; w < num_workers; ++w) {
@@ -84,120 +114,169 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
         team.topology().NodeForWorker(w, num_workers));
   }
 
-  const MpsmOptions options = options_;
-  WallTimer timer;
-  team.Run([&](WorkerContext& ctx) {
-    const uint32_t w = ctx.worker_id;
-    numa::Arena& arena = *arenas[w];
-
-    // ---------------------------------------------------- phase 1
-    // Sort the public chunk into a local run; derive the equi-height
-    // histogram from the sorted run (nearly free, §4.1).
-    {
-      PhaseScope scope(ctx, kPhaseSortPublic);
-      shared.s_runs[w] = SortChunkIntoRun(s_public.chunk(w), arena, ctx.node,
-                                          ctx.Counters(kPhaseSortPublic),
-                                          options.sort, options.sort_config);
-      shared.s_histograms[w] =
-          BuildEquiHeightHistogram(shared.s_runs[w], num_bounds);
-      ctx.Counters(kPhaseSortPublic)
-          .CountRead(/*local=*/true, /*sequential=*/false,
-                     uint64_t{num_bounds} * sizeof(Tuple));
+  const auto chunk_morsels = [num_workers] { return ChunkMorsels(num_workers); };
+  const auto block_morsels = [&shared] {
+    std::vector<Morsel> morsels;
+    morsels.reserve(shared.blocks.size());
+    for (uint32_t b = 0; b < shared.blocks.size(); ++b) {
+      morsels.push_back(Morsel{shared.blocks[b].chunk, b, 0, 0});
     }
-    // Mandatory synchronization: public runs + histograms complete.
-    ctx.barrier->Wait();
+    return morsels;
+  };
 
-    // ---------------------------------------------------- phase 2
-    {
-      PhaseScope scope(ctx, kPhasePartition);
-      PerfCounters& counters = ctx.Counters(kPhasePartition);
-      const Chunk& chunk = r_private.chunk(w);
+  PhasePipeline pipeline(team.topology(), num_workers, options.scheduler);
 
-      // Phase 2.2a: private key range (one sequential pass).
-      shared.r_ranges[w] = ScanKeyRange(chunk.data, chunk.size);
-      shared.r_has_data[w] = chunk.size > 0;
-      counters.CountRead(chunk.node == ctx.node, /*sequential=*/true,
-                         chunk.size * sizeof(Tuple));
-      ctx.barrier->Wait();
+  // ---------------------------------------------------- phase 1
+  // Sort the public chunks into local runs; derive the equi-height
+  // histograms from the sorted runs (nearly free, §4.1). Mandatory
+  // closing barrier: runs + histograms complete before phase 2 reads
+  // them.
+  pipeline.AddPhase(kPhaseSortPublic, chunk_morsels,
+                    [&](WorkerContext& ctx, const Morsel& morsel) {
+                      const uint32_t w = morsel.task;
+                      PerfCounters& counters =
+                          ctx.Counters(kPhaseSortPublic);
+                      shared.s_runs[w] = SortChunkIntoRun(
+                          s_public.chunk(w), *arenas[w], ctx.node, counters,
+                          options.sort, options.sort_config);
+                      shared.s_histograms[w] = BuildEquiHeightHistogram(
+                          shared.s_runs[w], num_bounds);
+                      counters.CountRead(
+                          shared.s_runs[w].node == ctx.node,
+                          /*sequential=*/false,
+                          uint64_t{num_bounds} * sizeof(Tuple));
+                    });
 
-      // Phase 2.1 + key-range merge (worker 0, cheap single-threaded).
-      if (w == 0) {
-        shared.cdf = Cdf::FromHistograms(shared.s_histograms);
-        KeyRange global{};
-        bool any = false;
-        for (uint32_t i = 0; i < ctx.team_size; ++i) {
-          if (!shared.r_has_data[i]) continue;
-          global = any ? MergeKeyRanges(global, shared.r_ranges[i])
-                       : shared.r_ranges[i];
-          any = true;
-        }
-        shared.r_empty = !any;
-        shared.normalizer =
-            KeyNormalizer(any ? global.min_key : 0, any ? global.max_key : 0,
-                          radix_bits);
+  // ---------------------------------------------------- phase 2
+  // Phase 2.2a: private key ranges (one sequential pass per block).
+  pipeline.AddPhase(
+      kPhasePartition, block_morsels,
+      [&](WorkerContext& ctx, const Morsel& morsel) {
+        const ScatterBlock& block = shared.blocks[morsel.task];
+        const Chunk& chunk = r_private.chunk(block.chunk);
+        const uint64_t size = block.end - block.begin;
+        shared.block_ranges[morsel.task] =
+            ScanKeyRange(chunk.data + block.begin, size);
+        shared.block_has_data[morsel.task] = size > 0;
+        ctx.Counters(kPhasePartition)
+            .CountRead(chunk.node == ctx.node, /*sequential=*/true,
+                       size * sizeof(Tuple));
+      });
+
+  // Phase 2.1 + key-range merge (cheap single-threaded).
+  pipeline.AddSerial(kPhasePartition, [&](WorkerContext&) {
+    shared.cdf = Cdf::FromHistograms(shared.s_histograms);
+    KeyRange global{};
+    bool any = false;
+    for (uint32_t b = 0; b < num_blocks; ++b) {
+      if (!shared.block_has_data[b]) continue;
+      global = any ? MergeKeyRanges(global, shared.block_ranges[b])
+                   : shared.block_ranges[b];
+      any = true;
+    }
+    shared.normalizer =
+        KeyNormalizer(any ? global.min_key : 0, any ? global.max_key : 0,
+                      radix_bits);
+  });
+
+  // Phase 2.2b: B-bit radix histogram of each block.
+  pipeline.AddPhase(
+      kPhasePartition, block_morsels,
+      [&](WorkerContext& ctx, const Morsel& morsel) {
+        const ScatterBlock& block = shared.blocks[morsel.task];
+        const Chunk& chunk = r_private.chunk(block.chunk);
+        const uint64_t size = block.end - block.begin;
+        shared.block_histograms[morsel.task] = BuildRadixHistogram(
+            chunk.data + block.begin, size, shared.normalizer);
+        ctx.Counters(kPhasePartition)
+            .CountRead(chunk.node == ctx.node, /*sequential=*/true,
+                       size * sizeof(Tuple));
+      });
+
+  // Phase 2.3a: splitters + prefix-sum scatter plan over blocks.
+  pipeline.AddSerial(kPhasePartition, [&](WorkerContext& ctx) {
+    const RadixHistogram global_r =
+        CombineHistograms(shared.block_histograms);
+    std::vector<double> cluster_s;
+    PartitionCostFn cost;
+    if (options.cost_balanced_splitters) {
+      cluster_s = EstimateClusterS(shared.normalizer, shared.cdf);
+      cost = MakePMpsmCost(ctx.team_size);
+    } else {
+      cost = MakeEquiHeightRCost();
+    }
+    shared.splitters =
+        ComputeSplitters(global_r, cluster_s, ctx.team_size, cost);
+
+    // Per-block histograms over target partitions: one plan row per
+    // block, so every scatter morsel owns disjoint target ranges.
+    shared.block_partition_hist.assign(
+        num_blocks, std::vector<uint64_t>(ctx.team_size, 0));
+    for (uint32_t b = 0; b < num_blocks; ++b) {
+      for (size_t c = 0; c < shared.block_histograms[b].size(); ++c) {
+        shared.block_partition_hist
+            [b][shared.splitters.PartitionOfCluster(
+                static_cast<uint32_t>(c))] += shared.block_histograms[b][c];
       }
-      ctx.barrier->Wait();
+    }
+    shared.plan = ComputeScatterPlan(shared.block_partition_hist);
 
-      // Phase 2.2b: B-bit radix histogram of the private chunk.
-      shared.r_histograms[w] =
-          BuildRadixHistogram(chunk.data, chunk.size, shared.normalizer);
-      counters.CountRead(chunk.node == ctx.node, /*sequential=*/true,
-                         chunk.size * sizeof(Tuple));
-      ctx.barrier->Wait();
+#ifndef NDEBUG
+    // The morsel slicing must cover each chunk exactly once (no tuple
+    // scattered twice, none dropped) and the plan rows must match it —
+    // the invariants the synchronization-free scatter rests on.
+    std::vector<uint64_t> chunk_sizes(num_workers);
+    for (uint32_t w = 0; w < num_workers; ++w) {
+      chunk_sizes[w] = r_private.chunk(w).size;
+    }
+    assert(ScatterBlocksTileChunks(shared.blocks, chunk_sizes));
+    assert(ScatterPlanIsConsistent(shared.plan,
+                                   shared.block_partition_hist));
+#endif
+  });
 
-      // Phase 2.3a: splitters + prefix sums (worker 0).
-      if (w == 0) {
-        const RadixHistogram global_r =
-            CombineHistograms(shared.r_histograms);
-        std::vector<double> cluster_s;
-        PartitionCostFn cost;
-        if (options.cost_balanced_splitters) {
-          cluster_s = EstimateClusterS(shared.normalizer, shared.cdf);
-          cost = MakePMpsmCost(ctx.team_size);
-        } else {
-          cost = MakeEquiHeightRCost();
+  // Phase 2.3b: allocate the partition arrays. Pinned to the owning
+  // worker even under stealing: the local first touch is what places
+  // the pages on the partition's node.
+  pipeline.AddPhase(
+      kPhasePartition, chunk_morsels,
+      [&](WorkerContext&, const Morsel& morsel) {
+        const uint32_t w = morsel.task;
+        const uint64_t size =
+            shared.plan.partition_sizes.empty()
+                ? 0
+                : shared.plan.partition_sizes[w];
+        if (size > 0) {
+          shared.partition_data[w] = arenas[w]->AllocateArray<Tuple>(size);
         }
-        shared.splitters =
-            ComputeSplitters(global_r, cluster_s, ctx.team_size, cost);
+      },
+      PhasePipeline::PhaseOptions{.pinned = true});
 
-        // Per-worker histograms over target partitions.
-        std::vector<std::vector<uint64_t>> worker_partition_hist(
-            ctx.team_size, std::vector<uint64_t>(ctx.team_size, 0));
-        for (uint32_t i = 0; i < ctx.team_size; ++i) {
-          for (size_t c = 0; c < shared.r_histograms[i].size(); ++c) {
-            worker_partition_hist[i]
-                                 [shared.splitters.PartitionOfCluster(
-                                     static_cast<uint32_t>(c))] +=
-                shared.r_histograms[i][c];
-          }
-        }
-        shared.plan = ComputeScatterPlan(worker_partition_hist);
-      }
-      ctx.barrier->Wait();
-
-      // Phase 2.3b: allocate the local partition array (local first
-      // touch places the pages on this worker's node).
-      const uint64_t my_partition_size = shared.plan.partition_sizes[w];
-      if (my_partition_size > 0) {
-        shared.partition_data[w] =
-            arena.AllocateArray<Tuple>(my_partition_size);
-      }
-      ctx.barrier->Wait();
-
-      // Phase 2.3c: scatter. Every worker writes sequentially into its
-      // precomputed sub-partitions — synchronization-free (Figure 6).
-      if (chunk.size > 0) {
-        std::vector<uint64_t> cursor = shared.plan.start_offset[w];
+  // Phase 2.3c: scatter. Every block writes sequentially into its
+  // precomputed sub-partitions — synchronization-free (Figure 6) even
+  // across stolen morsels, because each plan row is block-private.
+  pipeline.AddPhase(
+      kPhasePartition, block_morsels,
+      [&](WorkerContext& ctx, const Morsel& morsel) {
+        const uint32_t b = morsel.task;
+        const ScatterBlock& block = shared.blocks[b];
+        const Chunk& chunk = r_private.chunk(block.chunk);
+        const uint64_t size = block.end - block.begin;
+        if (size == 0) return;
+        PerfCounters& counters = ctx.Counters(kPhasePartition);
+        std::vector<uint64_t> cursor = shared.plan.start_offset[b];
         const KeyNormalizer& normalizer = shared.normalizer;
         const Splitters& splitters = shared.splitters;
+        const ScatterKind scatter =
+            ResolveScatterKind(options.scatter, size, ctx.team_size);
         ScatterChunkWith(
-            options.scatter, chunk.data, chunk.size,
+            scatter, chunk.data + block.begin, size,
             [&](uint64_t key) {
               return splitters.PartitionOfCluster(normalizer.Cluster(key));
             },
             shared.partition_data.data(), cursor.data(), ctx.team_size);
         counters.CountRead(chunk.node == ctx.node, /*sequential=*/true,
-                           chunk.size * sizeof(Tuple));
+                           size * sizeof(Tuple));
         // Classify written bytes per target partition's node. The
         // scalar scatter maintains T open write streams — the pattern
         // Figure 1 exp. 2 measured, charged at the calibrated
@@ -205,53 +284,139 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
         // instead, so it is charged at the sequential rate to keep the
         // model in step with the measured behavior (docs/tuning.md).
         const bool combined_writes =
-            options.scatter == ScatterKind::kWriteCombining;
+            scatter == ScatterKind::kWriteCombining;
         for (uint32_t p = 0; p < ctx.team_size; ++p) {
           const uint64_t written =
-              cursor[p] - shared.plan.start_offset[w][p];
+              cursor[p] - shared.plan.start_offset[b][p];
           const numa::NodeId target_node =
               ctx.topology->NodeForWorker(p, ctx.team_size);
           counters.CountWrite(target_node == ctx.node,
                               /*sequential=*/combined_writes,
                               written * sizeof(Tuple));
         }
-      }
-    }
-    ctx.barrier->Wait();
+      });
 
-    // ---------------------------------------------------- phase 3
-    // Sort the local range partition into the private run.
-    {
-      PhaseScope scope(ctx, kPhaseSortPrivate);
-      PerfCounters& counters = ctx.Counters(kPhaseSortPrivate);
-      Run& run = shared.r_runs[w];
-      run.data = shared.partition_data[w];
-      run.size = shared.plan.partition_sizes.empty()
-                     ? 0
-                     : shared.plan.partition_sizes[w];
-      run.node = ctx.node;
-      if (run.size > 0) {
-        sort::SortTuples(run.data, run.size, options.sort,
-                         options.sort_config);
-        counters.CountSort(run.size);
-      }
-    }
-    if (options.phase_barriers) ctx.barrier->Wait();
+  // ---------------------------------------------------- phase 3
+  // Sort each range partition into the private run. Static mode sorts
+  // partition w whole on worker w (the paper's script). Stealing mode
+  // splits oversized partitions: one MSD radix pass per partition
+  // (morsel below), then stealable bucket-sort morsels (next phase) so
+  // idle workers absorb a hot partition's sort.
+  const uint64_t split_threshold =
+      std::max<uint64_t>(2 * options.morsel_tuples, 2 * sort::kRadixBuckets);
+  pipeline.AddPhase(
+      kPhaseSortPrivate, chunk_morsels,
+      [&](WorkerContext& ctx, const Morsel& morsel) {
+        const uint32_t w = morsel.task;
+        PerfCounters& counters = ctx.Counters(kPhaseSortPrivate);
+        Run& run = shared.r_runs[w];
+        run.data = shared.partition_data[w];
+        run.size = shared.plan.partition_sizes.empty()
+                       ? 0
+                       : shared.plan.partition_sizes[w];
+        run.node = team.topology().NodeForWorker(w, num_workers);
+        if (run.size == 0) return;
+        const bool split = stealing &&
+                           options.sort != sort::SortKind::kIntroSort &&
+                           run.size > split_threshold;
+        if (!split) {
+          sort::SortTuples(run.data, run.size, options.sort,
+                           options.sort_config);
+          counters.CountSort(run.size);
+          return;
+        }
+        uint64_t max_key = 0;
+        for (size_t i = 0; i < run.size; ++i) {
+          max_key = std::max(max_key, run.data[i].key);
+        }
+        shared.partition_shift[w] = sort::RadixShiftForMaxKey(max_key);
+        shared.partition_bounds[w] = sort::MsdRadixPartition(
+            run.data, run.size, shared.partition_shift[w]);
+        shared.partition_split[w] = 1;
+        // One 256-way pass fixes 8 key bits: charge 8 n*log units; the
+        // bucket morsels charge the rest (CountSort per bucket).
+        counters.sort_tuple_logs += uint64_t{8} * run.size;
+      },
+      // The legacy phase_barriers knob only made the sort/join barrier
+      // optional; preserved here (static mode only — worker w's phase-4
+      // script reads nothing but its own partition's run).
+      PhasePipeline::PhaseOptions{.optional_barrier = true});
 
-    // ---------------------------------------------------- phase 4
-    {
-      PhaseScope scope(ctx, kPhaseJoin);
-      RunJoinOptions join_options;
-      join_options.kind = options.kind;
-      join_options.search = options.start_search;
-      join_options.prefetch_distance = options.merge_prefetch_distance;
-      join_options.skip_private_prefix = options.merge_skip_private_prefix;
-      JoinPrivateAgainstRuns(shared.r_runs[w], shared.s_runs,
-                             /*first_run=*/w, join_options,
-                             consumers.ConsumerForWorker(w), ctx.node,
-                             &ctx.Counters(kPhaseJoin));
-    }
-  });
+  if (stealing) {
+    // Phase 3 (continued): bucket-sort morsels of the split partitions.
+    pipeline.AddPhase(
+        kPhaseSortPrivate,
+        [&] {
+          std::vector<Morsel> morsels;
+          for (uint32_t w = 0; w < num_workers; ++w) {
+            if (!shared.partition_split[w]) continue;
+            const auto& bounds = shared.partition_bounds[w];
+            uint32_t first = 0;
+            uint64_t acc = 0;
+            for (uint32_t b = 0; b < sort::kRadixBuckets; ++b) {
+              acc += bounds[b + 1] - bounds[b];
+              if (acc >= options.morsel_tuples ||
+                  b + 1 == sort::kRadixBuckets) {
+                if (acc > 0) {
+                  morsels.push_back(Morsel{w, w, first, b + 1});
+                }
+                first = b + 1;
+                acc = 0;
+              }
+            }
+          }
+          return morsels;
+        },
+        [&](WorkerContext& ctx, const Morsel& morsel) {
+          const uint32_t w = morsel.task;
+          const Run& run = shared.r_runs[w];
+          const auto& bounds = shared.partition_bounds[w];
+          sort::SortMsdBuckets(run.data, bounds,
+                               static_cast<uint32_t>(morsel.begin),
+                               static_cast<uint32_t>(morsel.end),
+                               shared.partition_shift[w], options.sort,
+                               options.sort_config);
+          PerfCounters& counters = ctx.Counters(kPhaseSortPrivate);
+          for (uint64_t b = morsel.begin; b < morsel.end; ++b) {
+            counters.CountSort(bounds[b + 1] - bounds[b]);
+          }
+        },
+        PhasePipeline::PhaseOptions{.eager = false});
+  }
+
+  // ---------------------------------------------------- phase 4
+  RunJoinOptions join_options;
+  join_options.kind = options.kind;
+  join_options.search = options.start_search;
+  join_options.prefetch_distance = options.merge_prefetch_distance;
+  join_options.skip_private_prefix = options.merge_skip_private_prefix;
+  if (!stealing) {
+    pipeline.AddPhase(
+        kPhaseJoin, chunk_morsels,
+        [&](WorkerContext& ctx, const Morsel& morsel) {
+          JoinPrivateAgainstRuns(shared.r_runs[morsel.task], shared.s_runs,
+                                 /*first_run=*/morsel.task, join_options,
+                                 consumers.ConsumerForWorker(ctx.worker_id),
+                                 ctx.node, &ctx.Counters(kPhaseJoin));
+        });
+  } else {
+    pipeline.AddPhase(
+        kPhaseJoin,
+        [&] {
+          return MergeJoinMorsels(shared.r_runs, num_workers, options.kind,
+                                  options.morsel_tuples);
+        },
+        [&](WorkerContext& ctx, const Morsel& morsel) {
+          ExecuteMergeJoinMorsel(morsel, shared.r_runs, shared.s_runs,
+                                 join_options,
+                                 consumers.ConsumerForWorker(ctx.worker_id),
+                                 ctx.node, &ctx.Counters(kPhaseJoin));
+        },
+        PhasePipeline::PhaseOptions{.eager = false});
+  }
+
+  WallTimer timer;
+  pipeline.Run(team, options.phase_barriers);
 
   if (diagnostics != nullptr) {
     diagnostics->normalizer = shared.normalizer;

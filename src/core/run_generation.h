@@ -1,9 +1,10 @@
 // Run generation: copy a chunk into node-local memory and sort it.
 //
 // Shared by all MPSM variants (phases 1 and 3). Copying remote chunks
-// to local memory before sorting is commandment C1; the paper notes the
-// copy can be amortized with the first partitioning step of sorting —
-// here it is a separate sequential pass, which the counters capture.
+// to local memory before sorting is commandment C1; the copy is fused
+// into the sort's first MSD radix pass (the §2.3 amortization the
+// paper notes), so the chunk is materialized locally already grouped
+// by its top radix digit.
 #pragma once
 
 #include "numa/arena.h"

@@ -9,6 +9,7 @@
 #include "core/merge_join.h"
 #include "disk/page_index.h"
 #include "disk/staging_pipeline.h"
+#include "parallel/task_scheduler.h"
 #include "sort/radix_introsort.h"
 #include "util/timer.h"
 
@@ -24,22 +25,30 @@ struct SpooledRun {
 
 /// Sorts a chunk and spools it; records index entries when `index` is
 /// given (public input) or returns the page list (private input).
-Status SortAndSpool(const Chunk& chunk, uint32_t run_id, PageStore& store,
+/// `worker_node` is the executing worker's node: a stolen spool morsel
+/// reads the chunk remotely (the sort scratch stays executor-local).
+Status SortAndSpool(const Chunk& chunk, uint32_t run_id,
+                    numa::NodeId worker_node, PageStore& store,
                     PerfCounters& counters, PageIndex* index,
                     SpooledRun* run_out, sort::SortKind sort_kind,
                     const sort::RadixSortConfig& sort_config) {
-  std::vector<Tuple> sorted(chunk.begin(), chunk.end());
-  sort::SortTuples(sorted.data(), sorted.size(), sort_kind, sort_config);
-  counters.CountSort(sorted.size());
-  counters.CountRead(/*local=*/true, /*sequential=*/true,
-                     sorted.size() * sizeof(Tuple));
+  // The materializing copy is fused into the sort's first MSD pass
+  // (§2.3 amortization, SortCopyInto); counters keep charging copy +
+  // sort so the model stays comparable across sort kinds. for_overwrite
+  // scratch: every slot is written by the fused copy before it is read.
+  auto sorted = std::make_unique_for_overwrite<Tuple[]>(chunk.size);
+  sort::SortCopyInto(chunk.data, chunk.size, sorted.get(), sort_kind,
+                     sort_config, /*src_is_local=*/chunk.node == worker_node);
+  counters.CountSort(chunk.size);
+  counters.CountRead(chunk.node == worker_node, /*sequential=*/true,
+                     chunk.size * sizeof(Tuple));
   counters.CountWrite(/*local=*/true, /*sequential=*/true,
-                      sorted.size() * sizeof(Tuple));
+                      chunk.size * sizeof(Tuple));
 
   const size_t per_page = store.tuples_per_page();
-  for (size_t offset = 0; offset < sorted.size(); offset += per_page) {
-    const size_t count = std::min(per_page, sorted.size() - offset);
-    auto page = store.WritePage(sorted.data() + offset, count);
+  for (size_t offset = 0; offset < chunk.size; offset += per_page) {
+    const size_t count = std::min(per_page, chunk.size - offset);
+    auto page = store.WritePage(sorted.get() + offset, count);
     if (!page.ok()) return page.status();
     if (index != nullptr) {
       index->Add(PageIndexEntry{sorted[offset].key, run_id, *page,
@@ -118,6 +127,7 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
   if (options_.pool_pages == 0) {
     return Status::InvalidArgument("pool_pages must be >= 1");
   }
+  const bool stealing = options_.scheduler == SchedulerKind::kStealing;
 
   PageStoreOptions store_options;
   store_options.tuples_per_page = options_.tuples_per_page;
@@ -132,85 +142,102 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
   std::optional<StagingPipeline> pipeline;
   std::vector<Status> worker_status(num_workers);
   std::atomic<size_t> peak_window{0};
+  std::atomic<uint64_t> consumer_loads{0};
+
+  PhasePipeline phases(team.topology(), num_workers, options_.scheduler);
+
+  // Phase 1: sort + spool the public chunks; collect index entries.
+  // Spooling is already concurrency-safe (the page store hands out
+  // page ids under its own latch), so the morsels are stealable.
+  phases.AddPhase(
+      kPhaseSortPublic, [&] { return ChunkMorsels(num_workers); },
+      [&](WorkerContext& ctx, const Morsel& morsel) {
+        const uint32_t w = morsel.task;
+        worker_status[w] = SortAndSpool(
+            s_public.chunk(w), w, ctx.node, store,
+            ctx.Counters(kPhaseSortPublic), &index_parts[w], nullptr,
+            options_.sort, options_.sort_config);
+      });
+
+  // Merge the page index and start the prefetch pipeline.
+  phases.AddSerial(kPhasePartition, [&](WorkerContext&) {
+    for (auto& part : index_parts) s_index.Append(part);
+    s_index.Finalize();
+    pipeline.emplace(store, s_index, options_.pool_pages, num_workers,
+                     /*consumer_loads=*/stealing);
+    pipeline->Start();
+  });
+
+  // Phase 3: sort + spool the private chunks.
+  phases.AddPhase(
+      kPhaseSortPrivate, [&] { return ChunkMorsels(num_workers); },
+      [&](WorkerContext& ctx, const Morsel& morsel) {
+        const uint32_t w = morsel.task;
+        Status st = SortAndSpool(r_private.chunk(w), w, ctx.node, store,
+                                 ctx.Counters(kPhaseSortPrivate), nullptr,
+                                 &r_runs[w], options_.sort,
+                                 options_.sort_config);
+        if (worker_status[w].ok()) worker_status[w] = st;
+      });
+
+  // Phase 4: walk the key domain in page-index order, joining each
+  // public page against the private window. The walk is stateful per
+  // consumer (window + in-order releases), so its morsels stay pinned;
+  // under the stealing scheduler the *page fetches* are the stealable
+  // unit instead (StagingPipeline consumer_loads).
+  phases.AddPhase(
+      kPhaseJoin, [&] { return ChunkMorsels(num_workers); },
+      [&](WorkerContext& ctx, const Morsel& morsel) {
+        const uint32_t w = morsel.task;
+        PerfCounters& counters = ctx.Counters(kPhaseJoin);
+        JoinConsumer& consumer = consumers.ConsumerForWorker(w);
+        PrivateWindow window(store, r_runs[w]);
+        uint64_t loads = 0;
+
+        // On error — whether from this consumer's earlier spool phases
+        // or mid-walk — the worker keeps draining (acquire + release)
+        // so the other consumers and the pool never wedge waiting for
+        // its releases.
+        bool failed = !worker_status[w].ok();
+        for (size_t pos = 0; pos < s_index.size(); ++pos) {
+          const PageFrame* frame = pipeline->Acquire(pos, &loads);
+          if (frame == nullptr) break;  // pipeline stopped on I/O error
+          if (!failed && !frame->tuples.empty()) {
+            const uint64_t high_key = frame->tuples.back().key;
+            Status st = window.AdvanceTo(frame->entry.min_key, high_key);
+            if (!st.ok()) {
+              if (worker_status[w].ok()) worker_status[w] = st;
+              failed = true;
+            } else {
+              const auto scan = MergeJoinRunPairWith(
+                  options_.merge_prefetch_distance, window.data(),
+                  window.size(), frame->tuples.data(),
+                  frame->tuples.size(),
+                  [&](size_t, const Tuple& r, const Tuple* s,
+                      size_t count) {
+                    consumer.OnMatch(r, s, count);
+                    counters.output_tuples += count;
+                  });
+              counters.CountRead(/*local=*/true, /*sequential=*/true,
+                                 (scan.r_end + scan.s_end) * sizeof(Tuple));
+            }
+          }
+          pipeline->Release(pos);
+        }
+        // Each consumer-performed page read was one stolen fetch task.
+        counters.morsels_executed += loads;
+        consumer_loads.fetch_add(loads, std::memory_order_relaxed);
+
+        size_t expected = peak_window.load(std::memory_order_relaxed);
+        while (window.peak_tuples() > expected &&
+               !peak_window.compare_exchange_weak(expected,
+                                                  window.peak_tuples())) {
+        }
+      },
+      PhasePipeline::PhaseOptions{.pinned = true});
 
   WallTimer timer;
-  team.Run([&](WorkerContext& ctx) {
-    const uint32_t w = ctx.worker_id;
-
-    // Phase 1: sort + spool the public chunk; collect index entries.
-    {
-      PhaseScope scope(ctx, kPhaseSortPublic);
-      worker_status[w] = SortAndSpool(s_public.chunk(w), w, store,
-                                      ctx.Counters(kPhaseSortPublic),
-                                      &index_parts[w], nullptr,
-                                      options_.sort, options_.sort_config);
-    }
-    ctx.barrier->Wait();
-
-    // Worker 0 merges the page index and starts the prefetch pipeline.
-    if (w == 0) {
-      PhaseScope scope(ctx, kPhasePartition);
-      for (auto& part : index_parts) s_index.Append(part);
-      s_index.Finalize();
-      pipeline.emplace(store, s_index, options_.pool_pages, num_workers);
-      pipeline->Start();
-    }
-    ctx.barrier->Wait();
-
-    // Phase 3: sort + spool the private chunk.
-    {
-      PhaseScope scope(ctx, kPhaseSortPrivate);
-      Status st = SortAndSpool(r_private.chunk(w), w, store,
-                               ctx.Counters(kPhaseSortPrivate), nullptr,
-                               &r_runs[w], options_.sort,
-                               options_.sort_config);
-      if (worker_status[w].ok()) worker_status[w] = st;
-    }
-    ctx.barrier->Wait();
-    if (!worker_status[w].ok()) return;
-
-    // Phase 4: walk the key domain in page-index order, joining each
-    // public page against the private window.
-    {
-      PhaseScope scope(ctx, kPhaseJoin);
-      PerfCounters& counters = ctx.Counters(kPhaseJoin);
-      JoinConsumer& consumer = consumers.ConsumerForWorker(w);
-      PrivateWindow window(store, r_runs[w]);
-
-      // On error the worker keeps draining (acquire + release) so the
-      // other consumers and the pool never wedge on its frames.
-      bool failed = false;
-      for (size_t pos = 0; pos < s_index.size(); ++pos) {
-        const PageFrame* frame = pipeline->Acquire(pos);
-        if (frame == nullptr) break;  // pipeline stopped on I/O error
-        if (!failed && !frame->tuples.empty()) {
-          const uint64_t high_key = frame->tuples.back().key;
-          Status st = window.AdvanceTo(frame->entry.min_key, high_key);
-          if (!st.ok()) {
-            if (worker_status[w].ok()) worker_status[w] = st;
-            failed = true;
-          } else {
-            const auto scan = MergeJoinRunPairWith(
-                options_.merge_prefetch_distance, window.data(),
-                window.size(), frame->tuples.data(), frame->tuples.size(),
-                [&](size_t, const Tuple& r, const Tuple* s, size_t count) {
-                  consumer.OnMatch(r, s, count);
-                  counters.output_tuples += count;
-                });
-            counters.CountRead(/*local=*/true, /*sequential=*/true,
-                               (scan.r_end + scan.s_end) * sizeof(Tuple));
-          }
-        }
-        pipeline->Release(pos);
-      }
-
-      size_t expected = peak_window.load(std::memory_order_relaxed);
-      while (window.peak_tuples() > expected &&
-             !peak_window.compare_exchange_weak(expected,
-                                                window.peak_tuples())) {
-      }
-    }
-  });
+  phases.Run(team, /*phase_barriers=*/true);
 
   for (const Status& st : worker_status) {
     MPSM_RETURN_NOT_OK(st);
@@ -223,6 +250,8 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
         pipeline ? pipeline->peak_resident_pages() : 0;
     report->peak_window_tuples = peak_window.load(std::memory_order_relaxed);
     report->index_entries = s_index.size();
+    report->consumer_page_loads =
+        consumer_loads.load(std::memory_order_relaxed);
   }
   return CollectRunInfo(team, timer.ElapsedSeconds());
 }

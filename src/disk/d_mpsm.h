@@ -17,6 +17,7 @@
 #include "core/join_stats.h"
 #include "core/join_types.h"
 #include "disk/page_store.h"
+#include "parallel/scheduler_kind.h"
 #include "parallel/worker_team.h"
 #include "sort/radix_introsort.h"
 #include "storage/relation.h"
@@ -44,6 +45,12 @@ struct DMpsmOptions {
   /// Software-prefetch lookahead (tuples) of the page merge-join
   /// kernel; 0 selects the scalar kernel.
   uint32_t merge_prefetch_distance = kDefaultMergePrefetchDistance;
+
+  /// Phase orchestration (docs/scheduler.md). Stealing makes the
+  /// sort+spool work of phases 1/3 stealable morsels and turns page
+  /// fetches into tasks blocked consumers execute themselves
+  /// (StagingPipeline consumer_loads).
+  SchedulerKind scheduler = SchedulerKind::kStatic;
 };
 
 /// Observability for tests and the spill example.
@@ -55,6 +62,9 @@ struct DMpsmReport {
   size_t peak_window_tuples = 0;
   /// Entries in the S page index.
   size_t index_entries = 0;
+  /// Page reads performed by consumers instead of the prefetch thread
+  /// (stealing scheduler only — the "page fetches as tasks" path).
+  uint64_t consumer_page_loads = 0;
 };
 
 /// The disk-enabled MPSM join (inner joins).

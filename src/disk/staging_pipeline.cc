@@ -7,11 +7,13 @@ namespace mpsm::disk {
 StagingPipeline::StagingPipeline(const PageStore& store,
                                  const PageIndex& index,
                                  size_t capacity_pages,
-                                 uint32_t num_consumers)
+                                 uint32_t num_consumers,
+                                 bool consumer_loads)
     : store_(store),
       index_(index),
       capacity_(capacity_pages == 0 ? 1 : capacity_pages),
       num_consumers_(num_consumers),
+      consumer_loads_(consumer_loads),
       slots_(capacity_) {}
 
 StagingPipeline::~StagingPipeline() { Stop(); }
@@ -30,57 +32,93 @@ void StagingPipeline::Stop() {
   if (prefetch_thread_.joinable()) prefetch_thread_.join();
 }
 
+bool StagingPipeline::ClaimableLocked() const {
+  if (stop_ || next_claim_ >= index_.size()) return false;
+  const Slot& slot = slots_[next_claim_ % capacity_];
+  // A ring slot is free once it holds no frame, no in-flight load, and
+  // no pending releases of an older position.
+  return slot.frame == nullptr && !slot.loading &&
+         slot.releases_remaining == 0;
+}
+
+std::optional<size_t> StagingPipeline::TryClaimLocked() {
+  if (!ClaimableLocked()) return std::nullopt;
+  slots_[next_claim_ % capacity_].loading = true;
+  return next_claim_++;
+}
+
+void StagingPipeline::LoadPosition(size_t pos) {
+  // I/O happens outside the lock: a read (and any synthetic delay)
+  // must not block consumers releasing other frames or other loaders.
+  auto frame = std::make_unique<PageFrame>();
+  frame->entry = index_[pos];
+  frame->tuples.resize(store_.tuples_per_page());
+  auto count = store_.ReadPage(frame->entry.page, frame->tuples.data());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    Slot& slot = slots_[pos % capacity_];
+    slot.loading = false;
+    if (!count.ok()) {
+      if (status_.ok()) status_ = count.status();
+      stop_ = true;
+    } else if (stop_) {
+      // Error shutdown elsewhere: drop the frame, consumers drain.
+    } else {
+      frame->tuples.resize(*count);
+      slot.frame = std::move(frame);
+      slot.pos = pos;
+      slot.releases_remaining = num_consumers_;
+      ++resident_;
+      peak_resident_ = std::max(peak_resident_, resident_);
+    }
+  }
+  frame_loaded_.notify_all();
+  frame_freed_.notify_all();
+}
+
 void StagingPipeline::PrefetchLoop() {
   while (true) {
     size_t pos;
     {
       std::unique_lock<std::mutex> lock(mu_);
       frame_freed_.wait(lock, [&] {
-        return stop_ || (next_load_ < index_.size() &&
-                         slots_[next_load_ % capacity_].frame == nullptr &&
-                         slots_[next_load_ % capacity_].releases_remaining ==
-                             0);
+        return stop_ || next_claim_ >= index_.size() || ClaimableLocked();
       });
-      if (stop_ || next_load_ >= index_.size()) return;
-      pos = next_load_;
-    }
-
-    // Load outside the lock: the I/O (and any synthetic delay) must not
-    // block consumers releasing other frames.
-    auto frame = std::make_unique<PageFrame>();
-    frame->entry = index_[pos];
-    frame->tuples.resize(store_.tuples_per_page());
-    auto count = store_.ReadPage(frame->entry.page, frame->tuples.data());
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (!count.ok()) {
-        status_ = count.status();
-        stop_ = true;
-      } else {
-        frame->tuples.resize(*count);
-        Slot& slot = slots_[pos % capacity_];
-        slot.frame = std::move(frame);
-        slot.pos = pos;
-        slot.releases_remaining = num_consumers_;
-        ++next_load_;
-        ++resident_;
-        peak_resident_ = std::max(peak_resident_, resident_);
+      auto claimed = TryClaimLocked();
+      if (!claimed.has_value()) {
+        if (stop_ || next_claim_ >= index_.size()) return;
+        continue;  // a consumer claimed it first; re-evaluate
       }
+      pos = *claimed;
     }
-    frame_loaded_.notify_all();
+    LoadPosition(pos);
   }
 }
 
-const PageFrame* StagingPipeline::Acquire(size_t pos) {
+const PageFrame* StagingPipeline::Acquire(size_t pos,
+                                          uint64_t* loads_performed) {
   std::unique_lock<std::mutex> lock(mu_);
-  frame_loaded_.wait(lock, [&] {
-    return (slots_[pos % capacity_].pos == pos &&
-            slots_[pos % capacity_].frame != nullptr) ||
-           (stop_ && next_load_ <= pos);
-  });
-  return slots_[pos % capacity_].pos == pos
-             ? slots_[pos % capacity_].frame.get()
-             : nullptr;
+  while (true) {
+    Slot& slot = slots_[pos % capacity_];
+    if (slot.pos == pos && slot.frame != nullptr) return slot.frame.get();
+    if (stop_) return nullptr;
+    if (consumer_loads_) {
+      // Productive wait: fetch the next claimable page ourselves (it is
+      // `pos` or an earlier/later position some consumer needs).
+      if (auto claimed = TryClaimLocked()) {
+        lock.unlock();
+        LoadPosition(*claimed);
+        if (loads_performed != nullptr) ++*loads_performed;
+        lock.lock();
+        continue;
+      }
+    }
+    frame_loaded_.wait(lock, [&] {
+      const Slot& s = slots_[pos % capacity_];
+      return (s.pos == pos && s.frame != nullptr) || stop_ ||
+             (consumer_loads_ && ClaimableLocked());
+    });
+  }
 }
 
 void StagingPipeline::Release(size_t pos) {
@@ -96,7 +134,12 @@ void StagingPipeline::Release(size_t pos) {
       freed = true;
     }
   }
-  if (freed) frame_freed_.notify_all();
+  if (freed) {
+    frame_freed_.notify_all();
+    // In consumer_loads mode a freed slot is also a claim opportunity
+    // for consumers blocked in Acquire.
+    if (consumer_loads_) frame_loaded_.notify_all();
+  }
 }
 
 Status StagingPipeline::status() const {

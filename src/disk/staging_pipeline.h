@@ -8,12 +8,19 @@
 // moved past it. Pool capacity bounds resident RAM; when it is full the
 // prefetcher (and any worker that ran ahead) simply waits, throttling
 // the fast workers to the slow ones plus the window.
+//
+// With `consumer_loads` (the stealing scheduler's mode), page fetches
+// become stealable tasks: a consumer that would otherwise block on a
+// non-resident page claims the next unclaimed index position itself and
+// performs the read, so I/O spreads over idle workers instead of
+// serializing behind the single prefetch thread.
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <thread>
 #include <vector>
 
@@ -34,8 +41,11 @@ class StagingPipeline {
  public:
   /// `capacity_pages` bounds resident frames (>= 1); `num_consumers`
   /// workers will each acquire every index position exactly once.
+  /// `consumer_loads` lets blocked consumers claim and perform page
+  /// reads themselves (see file comment).
   StagingPipeline(const PageStore& store, const PageIndex& index,
-                  size_t capacity_pages, uint32_t num_consumers);
+                  size_t capacity_pages, uint32_t num_consumers,
+                  bool consumer_loads = false);
   ~StagingPipeline();
 
   StagingPipeline(const StagingPipeline&) = delete;
@@ -46,8 +56,11 @@ class StagingPipeline {
 
   /// Blocks until index position `pos` is resident; returns its frame,
   /// valid until this consumer calls Release(pos). Returns nullptr when
-  /// the pipeline stopped on an I/O error (check status()).
-  const PageFrame* Acquire(size_t pos);
+  /// the pipeline stopped on an I/O error (check status()). In
+  /// consumer_loads mode the wait is productive: the caller loads
+  /// claimable pages instead of sleeping, and `loads_performed` (when
+  /// given) is incremented per page this caller read.
+  const PageFrame* Acquire(size_t pos, uint64_t* loads_performed = nullptr);
 
   /// Signals that this consumer is done with position `pos`. After
   /// num_consumers releases the frame is freed ("green" in Figure 4).
@@ -61,16 +74,27 @@ class StagingPipeline {
   /// Highest number of simultaneously resident frames observed.
   size_t peak_resident_pages() const { return peak_resident_; }
 
-  /// First I/O error encountered by the prefetcher, if any.
+  /// First I/O error encountered by a loader, if any.
   Status status() const;
 
  private:
   void PrefetchLoop();
+  /// True when the next unclaimed index position's pool slot is free;
+  /// caller must hold mu_. The single claim rule behind TryClaimLocked
+  /// and every wait predicate that wakes a would-be loader.
+  bool ClaimableLocked() const;
+  /// Claims the next unclaimed index position whose pool slot is free;
+  /// caller must hold mu_. Returns nullopt when nothing is claimable.
+  std::optional<size_t> TryClaimLocked();
+  /// Reads the page of claimed position `pos` (no lock held during
+  /// I/O) and publishes or discards the frame.
+  void LoadPosition(size_t pos);
 
   const PageStore& store_;
   const PageIndex& index_;
   const size_t capacity_;
   const uint32_t num_consumers_;
+  const bool consumer_loads_;
 
   mutable std::mutex mu_;
   std::condition_variable frame_loaded_;
@@ -80,9 +104,10 @@ class StagingPipeline {
     std::unique_ptr<PageFrame> frame;
     size_t pos = SIZE_MAX;
     uint32_t releases_remaining = 0;
+    bool loading = false;
   };
   std::vector<Slot> slots_;
-  size_t next_load_ = 0;       // next index position to prefetch
+  size_t next_claim_ = 0;      // next index position to claim for loading
   size_t resident_ = 0;
   size_t peak_resident_ = 0;
   bool stop_ = false;

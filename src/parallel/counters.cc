@@ -37,6 +37,8 @@ PerfCounters& PerfCounters::operator+=(const PerfCounters& other) {
   sort_tuples += other.sort_tuples;
   sort_tuple_logs += other.sort_tuple_logs;
   sync_acquisitions += other.sync_acquisitions;
+  morsels_executed += other.morsels_executed;
+  morsels_stolen += other.morsels_stolen;
   hash_probes += other.hash_probes;
   hash_inserts += other.hash_inserts;
   output_tuples += other.output_tuples;

@@ -44,8 +44,17 @@ struct PerfCounters {
   uint64_t sort_tuple_logs = 0;
 
   // Fine-grained synchronization events (latch/CAS acquisitions);
-  // MPSM keeps this at zero in all hot paths by design.
+  // MPSM keeps this at zero in all hot paths by design. The stealing
+  // scheduler's morsel claims count here (one atomic per claim).
   uint64_t sync_acquisitions = 0;
+
+  // Morsel-driven scheduling (parallel/task_scheduler.h): morsels this
+  // worker executed, and how many of those were stolen from another
+  // NUMA node's queue (each steal moves the claim line — and usually
+  // the morsel's data — across the interconnect; the machine model
+  // charges ns_per_steal on top of the byte traffic).
+  uint64_t morsels_executed = 0;
+  uint64_t morsels_stolen = 0;
 
   // Hash table operations (baselines).
   uint64_t hash_probes = 0;

@@ -1,0 +1,19 @@
+// SchedulerKind enum, split from task_scheduler.h so option structs can
+// name the knob without pulling in the scheduler machinery (atomics,
+// std::function pipelines) — same pattern as partition/scatter_kind.h.
+#pragma once
+
+#include <cstdint>
+
+namespace mpsm {
+
+/// How a join's phases are orchestrated across the worker team.
+enum class SchedulerKind : uint8_t {
+  kStatic,    // the paper's fixed per-worker phase scripts
+  kStealing,  // morsel-driven tasks with NUMA-aware work stealing
+};
+
+/// Name of a SchedulerKind ("static", "stealing").
+const char* SchedulerKindName(SchedulerKind kind);
+
+}  // namespace mpsm

@@ -51,12 +51,38 @@ bool ScatterPlanIsConsistent(
   return true;
 }
 
+bool ScatterBlocksTileChunks(const std::vector<ScatterBlock>& blocks,
+                             const std::vector<uint64_t>& chunk_sizes) {
+  // Gather each chunk's block ranges in slicing order. Blocks of one
+  // chunk are emitted in ascending range order by the slicers, so an
+  // order-preserving sweep suffices; an out-of-order, overlapping or
+  // gapped tiling fails the cursor check below.
+  std::vector<std::vector<std::pair<uint64_t, uint64_t>>> per_chunk(
+      chunk_sizes.size());
+  for (const ScatterBlock& block : blocks) {
+    if (block.chunk >= chunk_sizes.size()) return false;
+    if (block.begin > block.end) return false;
+    per_chunk[block.chunk].emplace_back(block.begin, block.end);
+  }
+  for (size_t c = 0; c < chunk_sizes.size(); ++c) {
+    uint64_t cursor = 0;
+    for (const auto& [begin, end] : per_chunk[c]) {
+      if (begin != cursor) return false;  // gap or overlap
+      cursor = end;
+    }
+    if (cursor != chunk_sizes[c]) return false;  // tail not covered
+  }
+  return true;
+}
+
 const char* ScatterKindName(ScatterKind kind) {
   switch (kind) {
     case ScatterKind::kScalar:
       return "scalar";
     case ScatterKind::kWriteCombining:
       return "write-combining";
+    case ScatterKind::kAuto:
+      return "auto";
   }
   return "unknown";
 }

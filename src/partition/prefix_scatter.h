@@ -55,6 +55,23 @@ bool ScatterPlanIsConsistent(
     const ScatterPlan& plan,
     const std::vector<std::vector<uint64_t>>& worker_histograms);
 
+/// When the scatter runs as morsels, each plan row corresponds to a
+/// *block* — a sub-range of a source chunk — instead of a whole worker
+/// chunk. One block, one row.
+struct ScatterBlock {
+  uint32_t chunk = 0;   // source chunk index
+  uint64_t begin = 0;   // tuple range within the chunk, half-open
+  uint64_t end = 0;
+};
+
+/// Validates the morsel slicing behind a per-block ScatterPlan: the
+/// blocks of each chunk must tile [0, chunk_sizes[c]) exactly once —
+/// no gap, no overlap, no stray chunk ids, every chunk covered. Used in
+/// debug assertions before a task-sliced scatter (with
+/// ScatterPlanIsConsistent covering the per-row offset math).
+bool ScatterBlocksTileChunks(const std::vector<ScatterBlock>& blocks,
+                             const std::vector<uint64_t>& chunk_sizes);
+
 /// Scatters chunk[0..n) into per-partition destination arrays.
 /// `partition_of(key)` maps a join key to its target partition;
 /// `dest[p]` is the base pointer of partition p's array; `cursor[p]`
@@ -179,11 +196,13 @@ void ScatterChunkWriteCombining(const Tuple* chunk, size_t n,
 #endif
 }
 
-/// Dispatches to the scatter implementation selected by `kind`.
+/// Dispatches to the scatter implementation selected by `kind`
+/// (kAuto resolves against the fan-out crossover first).
 template <typename PartitionOf>
 void ScatterChunkWith(ScatterKind kind, const Tuple* chunk, size_t n,
                       const PartitionOf& partition_of, Tuple* const* dest,
                       uint64_t* cursor, uint32_t num_partitions) {
+  kind = ResolveScatterKind(kind, n, num_partitions);
   if (kind == ScatterKind::kWriteCombining) {
     ScatterChunkWriteCombining(chunk, n, partition_of, dest, cursor,
                                num_partitions);

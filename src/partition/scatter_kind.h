@@ -11,9 +11,27 @@ namespace mpsm {
 enum class ScatterKind : uint8_t {
   kScalar,          // one random write per tuple (the paper's Figure 6)
   kWriteCombining,  // cache-line staging buffers + streaming stores
+  kAuto,            // pick per call from fan-out/input size (tuning.md)
 };
 
-/// Name of a ScatterKind ("scalar", "write-combining").
+/// Name of a ScatterKind ("scalar", "write-combining", "auto").
 const char* ScatterKindName(ScatterKind kind);
+
+/// Fan-out at and above which write combining beats the scalar scatter
+/// (measured crossover ~100 partitions, docs/tuning.md).
+inline constexpr uint32_t kScatterAutoFanoutCrossover = 100;
+
+/// Resolves kAuto against the measured crossover: write combining for
+/// fan-outs of kScatterAutoFanoutCrossover+ partitions (given enough
+/// tuples to fill its staging buffers), the scalar loop otherwise.
+/// Non-auto kinds pass through.
+inline ScatterKind ResolveScatterKind(ScatterKind kind, size_t num_tuples,
+                                      uint32_t num_partitions) {
+  if (kind != ScatterKind::kAuto) return kind;
+  return num_partitions >= kScatterAutoFanoutCrossover &&
+                 num_tuples >= num_partitions
+             ? ScatterKind::kWriteCombining
+             : ScatterKind::kScalar;
+}
 
 }  // namespace mpsm

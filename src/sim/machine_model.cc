@@ -20,6 +20,7 @@ double MachineModel::PhaseSeconds(const PerfCounters& c) const {
         ns_per_byte_rand_remote;
   ns += static_cast<double>(c.sort_tuple_logs) * ns_per_sort_unit;
   ns += static_cast<double>(c.sync_acquisitions) * ns_per_sync;
+  ns += static_cast<double>(c.morsels_stolen) * ns_per_steal;
   ns += static_cast<double>(c.hash_inserts) * ns_per_hash_insert;
   ns += static_cast<double>(c.hash_probes) * ns_per_hash_probe;
   return ns * 1e-9;

@@ -51,6 +51,14 @@ struct MachineModel {
   // One contended test-and-set latch acquisition.
   double ns_per_sync = 306.0;
 
+  // Extra cost of one cross-node morsel steal: the victim queue's head
+  // line bounces across the interconnect and the stolen morsel's
+  // metadata is fetched remotely. The stolen morsel's *data* traffic is
+  // already captured by the byte counters (a stealing worker classifies
+  // its reads/writes against its own node). Roughly two remote cache
+  // line transfers on the paper's 4-socket QPI box.
+  double ns_per_steal = 500.0;
+
   // Hash-table operations (beyond their counted memory traffic).
   double ns_per_hash_insert = 40.0;
   double ns_per_hash_probe = 30.0;

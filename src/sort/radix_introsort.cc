@@ -1,6 +1,7 @@
 #include "sort/radix_introsort.h"
 
 #include <algorithm>
+#include <cstring>
 #include <utility>
 
 #include "util/bits.h"
@@ -193,6 +194,85 @@ void MultiPassRecurse(Tuple* data, size_t n, uint32_t shift,
 }
 
 }  // namespace
+
+std::array<size_t, kRadixBuckets + 1> MsdRadixPartitionCopy(const Tuple* src,
+                                                            size_t n,
+                                                            uint32_t shift,
+                                                            Tuple* dst) {
+  std::array<size_t, kRadixBuckets + 1> bounds{};
+
+  std::array<size_t, kRadixBuckets> histogram{};
+  for (size_t i = 0; i < n; ++i) {
+    ++histogram[(src[i].key >> shift) & 0xFF];
+  }
+
+  size_t offset = 0;
+  for (uint32_t b = 0; b < kRadixBuckets; ++b) {
+    bounds[b] = offset;
+    offset += histogram[b];
+  }
+  bounds[kRadixBuckets] = offset;
+
+  // The copy doubles as the scatter: each source tuple lands directly
+  // in its bucket's range of dst.
+  std::array<size_t, kRadixBuckets> head;
+  std::copy(bounds.begin(), bounds.begin() + kRadixBuckets, head.begin());
+  for (size_t i = 0; i < n; ++i) {
+    dst[head[(src[i].key >> shift) & 0xFF]++] = src[i];
+  }
+  return bounds;
+}
+
+void SortMsdBuckets(Tuple* data,
+                    const std::array<size_t, kRadixBuckets + 1>& bounds,
+                    uint32_t bucket_begin, uint32_t bucket_end,
+                    uint32_t shift, SortKind kind,
+                    const RadixSortConfig& config) {
+  for (uint32_t b = bucket_begin; b < bucket_end; ++b) {
+    const size_t size = bounds[b + 1] - bounds[b];
+    if (size < 2) continue;
+    if (shift == 0) continue;  // one repeated key per bucket
+    Tuple* bucket = data + bounds[b];
+    if (kind == SortKind::kMultiPassRadix &&
+        size > config.repartition_threshold && config.max_passes > 1) {
+      MultiPassRecurse(bucket, size, shift >= 8 ? shift - 8 : 0,
+                       config.max_passes - 1, config);
+    } else {
+      IntroSort(bucket, size);
+    }
+  }
+}
+
+void SortCopyInto(const Tuple* src, size_t n, Tuple* dst, SortKind kind,
+                  const RadixSortConfig& config, bool src_is_local) {
+  if (n == 0) return;
+  if (kind == SortKind::kIntroSort || n <= kRadixBuckets * 4) {
+    std::memcpy(dst, src, n * sizeof(Tuple));
+    SortTuples(dst, n, kind, config);
+    return;
+  }
+
+  if (!src_is_local) {
+    // C1: cross the interconnect once — copy + max-key in one pass,
+    // then radix-partition in place on the local destination (still
+    // one sweep cheaper than copy + separate max scan + partition).
+    uint64_t max_key = 0;
+    for (size_t i = 0; i < n; ++i) {
+      dst[i] = src[i];
+      max_key = std::max(max_key, dst[i].key);
+    }
+    const uint32_t shift = RadixShiftForMaxKey(max_key);
+    const auto bounds = MsdRadixPartition(dst, n, shift);
+    SortMsdBuckets(dst, bounds, 0, kRadixBuckets, shift, kind, config);
+    return;
+  }
+
+  uint64_t max_key = 0;
+  for (size_t i = 0; i < n; ++i) max_key = std::max(max_key, src[i].key);
+  const uint32_t shift = RadixShiftForMaxKey(max_key);
+  const auto bounds = MsdRadixPartitionCopy(src, n, shift, dst);
+  SortMsdBuckets(dst, bounds, 0, kRadixBuckets, shift, kind, config);
+}
 
 void RadixIntroSortMultiPass(Tuple* data, size_t n,
                              const RadixSortConfig& config) {

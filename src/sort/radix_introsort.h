@@ -81,6 +81,42 @@ void HeapSort(Tuple* data, size_t n);
 std::array<size_t, kRadixBuckets + 1> MsdRadixPartition(Tuple* data, size_t n,
                                                         uint32_t shift);
 
+/// Out-of-place MSD pass that fuses a copy into the partitioning
+/// (the §2.3 amortization): dst[0..n) receives src's tuples grouped by
+/// the 8-bit digit at `shift`, replacing the separate copy-then-permute
+/// passes of copy + MsdRadixPartition. src and dst must not overlap.
+/// Returns the same 257-entry boundary array.
+std::array<size_t, kRadixBuckets + 1> MsdRadixPartitionCopy(const Tuple* src,
+                                                            size_t n,
+                                                            uint32_t shift,
+                                                            Tuple* dst);
+
+/// Finishes buckets [bucket_begin, bucket_end) of an MSD pass at
+/// `shift` to a total order with the policy of `kind`/`config`
+/// (further MSD passes for oversized buckets under kMultiPassRadix,
+/// introsort otherwise; shift 0 buckets hold one repeated key and are
+/// skipped). Exposed per bucket *range* so the morsel scheduler can
+/// spread one oversized partition's bucket sorts over idle workers.
+void SortMsdBuckets(Tuple* data,
+                    const std::array<size_t, kRadixBuckets + 1>& bounds,
+                    uint32_t bucket_begin, uint32_t bucket_end,
+                    uint32_t shift, SortKind kind,
+                    const RadixSortConfig& config = {});
+
+/// Copies src[0..n) into dst[0..n) and sorts dst by key. For the radix
+/// sort kinds the copy is fused with the first MSD pass; plain
+/// memcpy + sort for kIntroSort and tiny inputs. No overlap allowed.
+///
+/// `src_is_local` steers the fusion around commandment C1 (touch
+/// remote data once): a local source is swept three times
+/// (max-key, histogram, scatter via MsdRadixPartitionCopy — cheaper
+/// than copy-then-permute); a remote source is read exactly once by a
+/// fused copy+max-key pass, with the radix pass running in place on
+/// the local destination.
+void SortCopyInto(const Tuple* src, size_t n, Tuple* dst, SortKind kind,
+                  const RadixSortConfig& config = {},
+                  bool src_is_local = true);
+
 /// Shift such that the top 8 significant bits of keys <= max_key select
 /// the radix bucket (0 when max_key < 256).
 uint32_t RadixShiftForMaxKey(uint64_t max_key);

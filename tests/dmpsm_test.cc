@@ -277,6 +277,51 @@ TEST(DMpsmTest, KernelKnobsMatchReference) {
   }
 }
 
+TEST(DMpsmTest, StealingSchedulerMatchesStatic) {
+  // Under the stealing scheduler the sort+spool phases are stealable
+  // morsels and page fetches become consumer-executed tasks
+  // (StagingPipeline consumer_loads); the join result must be
+  // identical, and with a tiny pool the blocked consumers should be
+  // performing loads themselves.
+  const auto topology = numa::Topology::Simulated(2, 8);
+  workload::DatasetSpec spec;
+  spec.r_tuples = 8000;
+  spec.multiplicity = 2.0;
+  spec.key_domain = 24000;
+  spec.seed = 17;
+  const uint32_t team_size = 4;
+  const auto dataset = workload::Generate(topology, team_size, spec);
+  WorkerTeam team(topology, team_size);
+
+  DMpsmOptions static_options;
+  static_options.tuples_per_page = 64;
+  static_options.pool_pages = 2;
+  CountFactory static_counts(team_size);
+  DMpsmReport static_report;
+  ASSERT_TRUE(DMpsmJoin(static_options)
+                  .Execute(team, dataset.r, dataset.s, static_counts,
+                           &static_report)
+                  .ok());
+  EXPECT_EQ(static_report.consumer_page_loads, 0u);
+
+  DMpsmOptions stealing_options = static_options;
+  stealing_options.scheduler = SchedulerKind::kStealing;
+  CountFactory stealing_counts(team_size);
+  DMpsmReport stealing_report;
+  ASSERT_TRUE(DMpsmJoin(stealing_options)
+                  .Execute(team, dataset.r, dataset.s, stealing_counts,
+                           &stealing_report)
+                  .ok());
+
+  EXPECT_GT(static_counts.Result(), 0u);
+  EXPECT_EQ(stealing_counts.Result(), static_counts.Result());
+  EXPECT_LE(stealing_report.peak_pool_pages, stealing_options.pool_pages);
+  // With a 2-page pool and 4 consumers marching over 100+ pages, some
+  // fetches land on consumers (the prefetch thread alone cannot keep
+  // every wait non-productive).
+  EXPECT_GT(stealing_report.consumer_page_loads, 0u);
+}
+
 TEST(DMpsmTest, MaxSumMatchesReference) {
   const auto topology = numa::Topology::Simulated(2, 4);
   workload::DatasetSpec spec;

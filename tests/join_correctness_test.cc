@@ -217,9 +217,10 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(KernelOptionsTest, AllKernelCombinationsMatchReference) {
   // Every combination of the cache-conscious knobs (scatter kind, sort
-  // kind, prefetch on/off, prefix skip on/off) must produce the
-  // reference count through both P-MPSM and B-MPSM; the fast defaults
-  // may differ from the scalar paths only in speed.
+  // kind, prefetch on/off, prefix skip on/off) and both schedulers
+  // (static and stealing) must produce the reference count through
+  // both P-MPSM and B-MPSM; the fast defaults may differ from the
+  // scalar paths only in speed.
   const auto topology = TestTopology();
   DatasetSpec spec;
   spec.r_tuples = 12000;
@@ -236,21 +237,27 @@ TEST(KernelOptionsTest, AllKernelCombinationsMatchReference) {
                               JoinKind::kInner,
                               reference.ConsumerForWorker(0));
 
-  for (ScatterKind scatter :
-       {ScatterKind::kScalar, ScatterKind::kWriteCombining}) {
+  for (SchedulerKind scheduler :
+       {SchedulerKind::kStatic, SchedulerKind::kStealing}) {
+    for (ScatterKind scatter :
+         {ScatterKind::kScalar, ScatterKind::kWriteCombining,
+          ScatterKind::kAuto}) {
     for (sort::SortKind sort_kind :
          {sort::SortKind::kSinglePassRadix, sort::SortKind::kMultiPassRadix,
           sort::SortKind::kIntroSort}) {
       for (uint32_t prefetch : {0u, kDefaultMergePrefetchDistance}) {
         for (bool skip_prefix : {false, true}) {
           MpsmOptions options;
+          options.scheduler = scheduler;
           options.scatter = scatter;
           options.sort = sort_kind;
           options.merge_prefetch_distance = prefetch;
           options.merge_skip_private_prefix = skip_prefix;
+          options.morsel_tuples = 1024;  // small enough to slice at test size
 
           const auto label = [&] {
-            return std::string(ScatterKindName(scatter)) + "/" +
+            return std::string(SchedulerKindName(scheduler)) + "/" +
+                   ScatterKindName(scatter) + "/" +
                    sort::SortKindName(sort_kind) + "/pf" +
                    std::to_string(prefetch) + "/skip" +
                    std::to_string(skip_prefix);
@@ -273,6 +280,7 @@ TEST(KernelOptionsTest, AllKernelCombinationsMatchReference) {
           }
         }
       }
+    }
     }
   }
 }

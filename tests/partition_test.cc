@@ -294,6 +294,57 @@ TEST(ScatterPlanValidationTest, RejectsTamperedPlans) {
   EXPECT_FALSE(ScatterPlanIsConsistent(good, {{4, 3, 0}, {3, 4, 0}}));
 }
 
+// ------------------------------------- morsel-sliced scatter blocks
+
+TEST(ScatterBlockValidationTest, AcceptsExactTilings) {
+  // Chunk 0 sliced into three blocks, chunk 1 into one, chunk 2 empty
+  // with the canonical single empty block.
+  const std::vector<ScatterBlock> blocks = {
+      {0, 0, 10}, {0, 10, 20}, {0, 20, 25}, {1, 0, 7}, {2, 0, 0}};
+  EXPECT_TRUE(ScatterBlocksTileChunks(blocks, {25, 7, 0}));
+}
+
+TEST(ScatterBlockValidationTest, RejectsGapsOverlapsAndStrays) {
+  // Gap: chunk 0 misses [10, 12).
+  EXPECT_FALSE(
+      ScatterBlocksTileChunks({{0, 0, 10}, {0, 12, 25}}, {25}));
+  // Overlap: [8, 10) scattered twice.
+  EXPECT_FALSE(
+      ScatterBlocksTileChunks({{0, 0, 10}, {0, 8, 25}}, {25}));
+  // Tail not covered.
+  EXPECT_FALSE(ScatterBlocksTileChunks({{0, 0, 20}}, {25}));
+  // Uncovered chunk.
+  EXPECT_FALSE(ScatterBlocksTileChunks({{0, 0, 25}}, {25, 7}));
+  // Stray chunk id.
+  EXPECT_FALSE(ScatterBlocksTileChunks({{1, 0, 25}}, {25}));
+  // Inverted range.
+  EXPECT_FALSE(ScatterBlocksTileChunks({{0, 10, 5}}, {25}));
+}
+
+// ------------------------------------------------ auto scatter kind
+
+TEST(ScatterKindTest, AutoResolvesAtFanoutCrossover) {
+  // Below the ~100-partition crossover: scalar.
+  EXPECT_EQ(ResolveScatterKind(ScatterKind::kAuto, 1 << 20, 32),
+            ScatterKind::kScalar);
+  // At/above it with enough tuples: write combining.
+  EXPECT_EQ(ResolveScatterKind(ScatterKind::kAuto, 1 << 20, 512),
+            ScatterKind::kWriteCombining);
+  EXPECT_EQ(ResolveScatterKind(ScatterKind::kAuto, 1 << 20,
+                               kScatterAutoFanoutCrossover),
+            ScatterKind::kWriteCombining);
+  // Big fan-out but fewer tuples than partitions: staging buffers
+  // cannot fill, scalar wins.
+  EXPECT_EQ(ResolveScatterKind(ScatterKind::kAuto, 64, 2048),
+            ScatterKind::kScalar);
+  // Explicit kinds pass through untouched.
+  EXPECT_EQ(ResolveScatterKind(ScatterKind::kScalar, 1 << 20, 512),
+            ScatterKind::kScalar);
+  EXPECT_EQ(ResolveScatterKind(ScatterKind::kWriteCombining, 64, 8),
+            ScatterKind::kWriteCombining);
+  EXPECT_STREQ(ScatterKindName(ScatterKind::kAuto), "auto");
+}
+
 // ----------------------------------------------- equi-height + CDF
 
 std::vector<Tuple> SortedTuples(size_t n, uint64_t seed, uint64_t domain) {

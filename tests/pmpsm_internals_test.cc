@@ -2,6 +2,7 @@
 // interactions, and counter-balance invariants.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <numeric>
 
 #include "core/consumers.h"
@@ -237,6 +238,110 @@ TEST(PMpsmCountersTest, SortWorkCoversBothInputs) {
   ASSERT_TRUE(info.ok());
   const auto total = info->aggregate.TotalCounters();
   EXPECT_EQ(total.sort_tuples, dataset.r.size() + dataset.s.size());
+}
+
+// ------------------------------------- scheduler A/B (location skew)
+
+// Fig-16-style negatively correlated skew with the equi-height
+// strawman splitters: partition sizes are deliberately unbalanced, so
+// the static script leaves one straggler with most of phases 3/4.
+workload::Dataset SkewedDataset(const numa::Topology& topology,
+                                uint32_t team_size) {
+  workload::DatasetSpec spec;
+  spec.r_tuples = 60000;
+  spec.multiplicity = 2.0;
+  spec.key_domain = 150000;
+  spec.r_distribution = workload::KeyDistribution::kSkewHighEnd;
+  spec.s_distribution = workload::KeyDistribution::kSkewLowEnd;
+  spec.s_mode = workload::SKeyMode::kIndependent;
+  spec.seed = 4242;
+  return workload::Generate(topology, team_size, spec);
+}
+
+MpsmOptions SkewOptions(SchedulerKind scheduler) {
+  MpsmOptions options;
+  options.scheduler = scheduler;
+  options.cost_balanced_splitters = false;  // force partition imbalance
+  options.morsel_tuples = 2048;
+  return options;
+}
+
+TEST(SchedulerABTest, StealingMatchesStaticUnderLocationSkew) {
+  const auto topology = Topo();
+  const uint32_t team_size = 8;
+  const auto dataset = SkewedDataset(topology, team_size);
+  WorkerTeam team(topology, team_size);
+
+  CountFactory static_counts(team_size);
+  ASSERT_TRUE(PMpsmJoin(SkewOptions(SchedulerKind::kStatic))
+                  .Execute(team, dataset.r, dataset.s, static_counts)
+                  .ok());
+  CountFactory stealing_counts(team_size);
+  ASSERT_TRUE(PMpsmJoin(SkewOptions(SchedulerKind::kStealing))
+                  .Execute(team, dataset.r, dataset.s, stealing_counts)
+                  .ok());
+  EXPECT_GT(static_counts.Result(), 0u);
+  EXPECT_EQ(stealing_counts.Result(), static_counts.Result());
+}
+
+TEST(SchedulerABTest, StealingMatchesStaticForAllJoinKinds) {
+  const auto topology = Topo();
+  const uint32_t team_size = 4;
+  const auto dataset = SkewedDataset(topology, team_size);
+  WorkerTeam team(topology, team_size);
+
+  for (JoinKind kind : {JoinKind::kInner, JoinKind::kLeftSemi,
+                        JoinKind::kLeftAnti, JoinKind::kLeftOuter}) {
+    MpsmOptions static_options = SkewOptions(SchedulerKind::kStatic);
+    static_options.kind = kind;
+    MpsmOptions stealing_options = SkewOptions(SchedulerKind::kStealing);
+    stealing_options.kind = kind;
+
+    CountFactory static_counts(team_size);
+    ASSERT_TRUE(PMpsmJoin(static_options)
+                    .Execute(team, dataset.r, dataset.s, static_counts)
+                    .ok());
+    CountFactory stealing_counts(team_size);
+    ASSERT_TRUE(PMpsmJoin(stealing_options)
+                    .Execute(team, dataset.r, dataset.s, stealing_counts)
+                    .ok());
+    EXPECT_EQ(stealing_counts.Result(), static_counts.Result())
+        << JoinKindName(kind);
+  }
+}
+
+// No worker idles while morsels remain: by construction a Claim only
+// fails once every queue is drained, so the morsel totals must match
+// the slicing exactly — every phase-4 morsel executed exactly once,
+// across all workers, stolen or not.
+TEST(SchedulerABTest, AllMergeMorselsExecutedExactlyOnce) {
+  const auto topology = Topo();
+  const uint32_t team_size = 8;
+  const auto dataset = SkewedDataset(topology, team_size);
+  WorkerTeam team(topology, team_size);
+
+  const MpsmOptions options = SkewOptions(SchedulerKind::kStealing);
+  CountFactory counts(team_size);
+  PMpsmDiagnostics diagnostics;
+  auto info = PMpsmJoin(options).Execute(team, dataset.r, dataset.s, counts,
+                                         &diagnostics);
+  ASSERT_TRUE(info.ok());
+
+  // Expected phase-4 morsels: per non-empty partition i,
+  // ceil(size_i / morsel_tuples) ranges x team_size public runs.
+  uint64_t expected = 0;
+  for (uint64_t size : diagnostics.partition_sizes) {
+    if (size == 0) continue;
+    const uint64_t ranges =
+        (size + options.morsel_tuples - 1) / options.morsel_tuples;
+    expected += ranges * team_size;
+  }
+  const auto& join_counters =
+      info->aggregate.phase_counters[kPhaseJoin];
+  EXPECT_EQ(join_counters.morsels_executed, expected);
+  // The slicing is genuinely fine-grained: far more morsels than the
+  // static script's one-per-worker, so stragglers have work to give up.
+  EXPECT_GT(expected, uint64_t{team_size} * team_size);
 }
 
 TEST(JoinRunInfoTest, PhaseBreakdownRendering) {

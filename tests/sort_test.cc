@@ -274,6 +274,34 @@ TEST(RadixIntroSortMultiPassTest, AllEqualKeysTerminate) {
   ExpectSortedPermutation(original, data);
 }
 
+TEST(SortCopyIntoTest, MatchesCopyThenSortAcrossKindsAndLocality) {
+  // The fused copy+first-pass must equal memcpy + SortTuples for every
+  // sort kind, for both the local (3-sweep fused scatter) and remote
+  // (single-sweep copy, in-place pass) source paths, across sizes that
+  // cover the tiny-input fallback and the multi-pass recursion.
+  for (Dist dist : {Dist::kUniform, Dist::kAllEqual, Dist::kFewDistinct,
+                    Dist::kFullRange64}) {
+    for (size_t n : {size_t{0}, size_t{100}, size_t{5000}, size_t{80000}}) {
+      const auto src = MakeData(dist, n, 77);
+      auto expected = src;
+      std::sort(expected.begin(), expected.end(), TupleKeyLess{});
+      for (SortKind kind : {SortKind::kSinglePassRadix,
+                            SortKind::kMultiPassRadix, SortKind::kIntroSort}) {
+        for (bool src_is_local : {true, false}) {
+          std::vector<Tuple> dst(n, Tuple{~0ull, ~0ull});
+          SortCopyInto(src.data(), n, dst.data(), kind, {}, src_is_local);
+          ASSERT_TRUE(IsSortedByKey(dst.data(), n))
+              << DistName(dist) << " n=" << n << " " << SortKindName(kind)
+              << (src_is_local ? " local" : " remote");
+          for (size_t i = 0; i < n; ++i) {
+            ASSERT_EQ(dst[i].key, expected[i].key) << i;
+          }
+        }
+      }
+    }
+  }
+}
+
 TEST(SortKindNameTest, NamesAllKinds) {
   EXPECT_STREQ(SortKindName(SortKind::kSinglePassRadix),
                "single-pass-radix");

@@ -228,6 +228,47 @@ TEST(MachineModelTest, SortCalibrationMatchesFigure1) {
   EXPECT_NEAR(seconds * model.global_sort_penalty, 41.7, 5.0);
 }
 
+TEST(MachineModelTest, RemoteStealsAreCharged) {
+  const auto model = sim::MachineModel::HyPer1();
+  PerfCounters local_claims;
+  local_claims.morsels_executed = 1000;  // locality-first hits: free
+  EXPECT_DOUBLE_EQ(model.PhaseSeconds(local_claims), 0.0);
+
+  PerfCounters steals;
+  steals.morsels_executed = 1000;
+  steals.morsels_stolen = 1000;
+  EXPECT_NEAR(model.PhaseSeconds(steals), 1000 * model.ns_per_steal * 1e-9,
+              1e-12);
+}
+
+// Stealing P-MPSM: same commandment profile as static except for the
+// scheduler's claim atomics, which the counters make visible.
+TEST(MachineModelTest, PMpsmStealingCountersAccountClaims) {
+  const auto topology = numa::Topology::Simulated(4, 2);
+  DatasetSpec spec;
+  spec.r_tuples = 40000;
+  spec.multiplicity = 2.0;
+  const auto dataset = workload::Generate(topology, 8, spec);
+
+  WorkerTeam team(topology, 8);
+  MpsmOptions options;
+  options.scheduler = SchedulerKind::kStealing;
+  CountFactory counts(8);
+  auto info = PMpsmJoin(options).Execute(team, dataset.r, dataset.s, counts);
+  ASSERT_TRUE(info.ok());
+
+  const auto total = info->aggregate.TotalCounters();
+  EXPECT_GT(total.morsels_executed, 0u);
+  // Every stolen morsel was also an executed morsel and a claim.
+  EXPECT_LE(total.morsels_stolen, total.morsels_executed);
+  EXPECT_LE(total.sync_acquisitions, total.morsels_executed);
+  // Cross-check against the static run: identical output.
+  CountFactory static_counts(8);
+  ASSERT_TRUE(
+      PMpsmJoin().Execute(team, dataset.r, dataset.s, static_counts).ok());
+  EXPECT_EQ(counts.Result(), static_counts.Result());
+}
+
 TEST(MachineModelTest, SyncCalibrationMatchesFigure1) {
   // Figure 1 exp 2: synchronized scatter of 50M tuples cost 22756 ms vs
   // 7440 ms without latches => ~306 ns per test-and-set.
