@@ -12,13 +12,13 @@ namespace {
 void Main() {
   Banner("Ablation", "join start search strategy (real times)");
   const auto topology = numa::Topology::HyPer1();
-  WorkerTeam team(topology, BenchWorkers());
+  auto engine = MakeBenchEngine(topology);
 
   workload::DatasetSpec spec;
   spec.r_tuples = BenchRTuples();
   spec.multiplicity = 4;
   spec.seed = 42;
-  const auto dataset = workload::Generate(topology, team.size(), spec);
+  const auto dataset = workload::Generate(topology, BenchWorkers(), spec);
 
   TablePrinter table;
   table.SetHeader({"strategy", "join wall[ms]", "total wall[ms]",
@@ -29,7 +29,7 @@ void Main() {
         std::pair{StartSearch::kLinear, "linear"}}) {
     MpsmOptions options;
     options.start_search = search;
-    const auto run = RunAndModel(workload::Algorithm::kPMpsm, team,
+    const auto run = RunAndModel(workload::Algorithm::kPMpsm, engine,
                                  dataset.r, dataset.s, options);
     double join_wall = 0;
     uint64_t probe_bytes = 0;

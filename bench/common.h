@@ -19,6 +19,7 @@
 #include <string>
 
 #include "core/join_stats.h"
+#include "engine/engine.h"
 #include "sim/machine_model.h"
 #include "util/env.h"
 #include "util/table.h"
@@ -37,6 +38,16 @@ inline uint32_t BenchWorkers() {
   return static_cast<uint32_t>(GetEnvInt("MPSM_BENCH_WORKERS", 32));
 }
 
+/// The benches' engine session: HyPer1 topology, team of
+/// BenchWorkers() workers, reused across every query of a bench run
+/// (one topology probe, one team spawn).
+inline engine::Engine MakeBenchEngine(const numa::Topology& topology,
+                                      uint32_t workers = BenchWorkers()) {
+  engine::EngineOptions options;
+  options.workers = workers;
+  return engine::Engine(topology, options);
+}
+
 /// One benchmarked execution: measured + modeled.
 struct BenchRun {
   JoinRunInfo info;
@@ -45,11 +56,13 @@ struct BenchRun {
   double modeled_ms = 0;
 };
 
-/// Runs the benchmark query with `algorithm` and models it on HyPer1.
-inline BenchRun RunAndModel(workload::Algorithm algorithm, WorkerTeam& team,
-                            const Relation& r, const Relation& s,
+/// Runs the benchmark query with `algorithm` on the engine session and
+/// models it on HyPer1.
+inline BenchRun RunAndModel(workload::Algorithm algorithm,
+                            engine::Engine& engine, const Relation& r,
+                            const Relation& s,
                             const MpsmOptions& options = {}) {
-  auto result = workload::RunBenchmarkQuery(algorithm, team, r, s, options);
+  auto result = workload::RunBenchmarkQuery(algorithm, engine, r, s, options);
   if (!result.ok()) {
     std::fprintf(stderr, "bench: %s failed: %s\n",
                  workload::AlgorithmName(algorithm),

@@ -24,7 +24,7 @@ const std::vector<std::pair<int, PaperRow>> kPaper = {
 void Main() {
   Banner("Figure 12", "uniform data, multiplicity sweep");
   const auto topology = numa::Topology::HyPer1();
-  WorkerTeam team(topology, BenchWorkers());
+  auto engine = MakeBenchEngine(topology);
 
   TablePrinter table;
   table.SetHeader({"multiplicity", "algorithm", "paper[ms]", "model[ms]",
@@ -39,14 +39,14 @@ void Main() {
     spec.r_tuples = BenchRTuples();
     spec.multiplicity = multiplicity;
     spec.seed = 42;
-    const auto dataset = workload::Generate(topology, team.size(), spec);
+    const auto dataset = workload::Generate(topology, BenchWorkers(), spec);
 
-    const auto mpsm =
-        RunAndModel(workload::Algorithm::kPMpsm, team, dataset.r, dataset.s);
-    const auto vw =
-        RunAndModel(workload::Algorithm::kRadix, team, dataset.r, dataset.s);
-    const auto wisconsin = RunAndModel(workload::Algorithm::kWisconsin, team,
-                                       dataset.r, dataset.s);
+    const auto mpsm = RunAndModel(workload::Algorithm::kPMpsm, engine,
+                                  dataset.r, dataset.s);
+    const auto vw = RunAndModel(workload::Algorithm::kRadix, engine,
+                                dataset.r, dataset.s);
+    const auto wisconsin = RunAndModel(workload::Algorithm::kWisconsin,
+                                       engine, dataset.r, dataset.s);
 
     auto add = [&](const char* name, const BenchRun& run, double paper_ms) {
       table.AddRow({std::to_string(multiplicity), name, Ms(paper_ms),

@@ -35,13 +35,16 @@ void Main() {
     spec.r_tuples = BenchRTuples();
     spec.multiplicity = 4;
     spec.seed = 42;
-    WorkerTeam team(topology, parallelism);
+    // One engine per parallelism: the sweep varies the team size, so
+    // each step is its own session (both queries inside it reuse the
+    // team).
+    auto engine = MakeBenchEngine(topology, parallelism);
     const auto dataset = workload::Generate(topology, parallelism, spec);
 
-    const auto mpsm =
-        RunAndModel(workload::Algorithm::kPMpsm, team, dataset.r, dataset.s);
-    const auto vw =
-        RunAndModel(workload::Algorithm::kRadix, team, dataset.r, dataset.s);
+    const auto mpsm = RunAndModel(workload::Algorithm::kPMpsm, engine,
+                                  dataset.r, dataset.s);
+    const auto vw = RunAndModel(workload::Algorithm::kRadix, engine,
+                                dataset.r, dataset.s);
     if (parallelism == 2) {
       mpsm_base = mpsm.modeled_ms;
       vw_base = vw.modeled_ms;

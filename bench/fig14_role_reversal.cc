@@ -25,7 +25,7 @@ const std::vector<std::pair<int, PaperRow>> kPaper = {
 void Main() {
   Banner("Figure 14", "role reversal: private input choice");
   const auto topology = numa::Topology::HyPer1();
-  WorkerTeam team(topology, BenchWorkers());
+  auto engine = MakeBenchEngine(topology);
 
   TablePrinter table;
   table.SetHeader({"multiplicity", "private", "paper[ms]", "model[ms]",
@@ -36,13 +36,13 @@ void Main() {
     spec.r_tuples = BenchRTuples();
     spec.multiplicity = multiplicity;
     spec.seed = 42;
-    const auto dataset = workload::Generate(topology, team.size(), spec);
+    const auto dataset = workload::Generate(topology, BenchWorkers(), spec);
 
     const auto r_private =
-        RunAndModel(workload::Algorithm::kPMpsm, team, dataset.r, dataset.s);
+        RunAndModel(workload::Algorithm::kPMpsm, engine, dataset.r, dataset.s);
     // Role reversal: swap the arguments.
     const auto s_private =
-        RunAndModel(workload::Algorithm::kPMpsm, team, dataset.s, dataset.r);
+        RunAndModel(workload::Algorithm::kPMpsm, engine, dataset.s, dataset.r);
 
     table.AddRow({std::to_string(multiplicity), "R (|R|)",
                   Ms(paper.r_private), Ms(r_private.modeled_ms),

@@ -40,7 +40,7 @@ Relation RotateChunks(const numa::Topology& topology, const Relation& rel) {
 void Main() {
   Banner("Figure 15", "location skew in S (multiplicity 4)");
   const auto topology = numa::Topology::HyPer1();
-  WorkerTeam team(topology, BenchWorkers());
+  auto engine = MakeBenchEngine(topology);
 
   workload::DatasetSpec spec;
   spec.r_tuples = BenchRTuples();
@@ -48,16 +48,16 @@ void Main() {
   spec.seed = 42;
 
   spec.s_arrangement = workload::Arrangement::kShuffled;
-  const auto shuffled = workload::Generate(topology, team.size(), spec);
+  const auto shuffled = workload::Generate(topology, BenchWorkers(), spec);
   spec.s_arrangement = workload::Arrangement::kKeyOrdered;
-  const auto ordered = workload::Generate(topology, team.size(), spec);
+  const auto ordered = workload::Generate(topology, BenchWorkers(), spec);
   const Relation rotated = RotateChunks(topology, ordered.s);
 
-  const auto none = RunAndModel(workload::Algorithm::kPMpsm, team,
+  const auto none = RunAndModel(workload::Algorithm::kPMpsm, engine,
                                 shuffled.r, shuffled.s);
-  const auto local = RunAndModel(workload::Algorithm::kPMpsm, team,
+  const auto local = RunAndModel(workload::Algorithm::kPMpsm, engine,
                                  ordered.r, ordered.s);
-  const auto remote = RunAndModel(workload::Algorithm::kPMpsm, team,
+  const auto remote = RunAndModel(workload::Algorithm::kPMpsm, engine,
                                   ordered.r, rotated);
 
   TablePrinter table;

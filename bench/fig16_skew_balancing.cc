@@ -26,7 +26,7 @@ struct Balance {
   double phase4_ms = 0;
 };
 
-Balance RunWithSplitters(WorkerTeam& team, const Relation& r,
+Balance RunWithSplitters(engine::Engine& engine, const Relation& r,
                          const Relation& s, bool cost_balanced,
                          SchedulerKind scheduler = SchedulerKind::kStatic) {
   MpsmOptions options;
@@ -35,7 +35,7 @@ Balance RunWithSplitters(WorkerTeam& team, const Relation& r,
   options.scheduler = scheduler;
   Balance balance;
   balance.run =
-      RunAndModel(workload::Algorithm::kPMpsm, team, r, s, options);
+      RunAndModel(workload::Algorithm::kPMpsm, engine, r, s, options);
   const auto& per_worker = balance.run.modeled.worker_seconds;
   balance.worker_max_ms =
       *std::max_element(per_worker.begin(), per_worker.end()) * 1e3;
@@ -51,7 +51,7 @@ Balance RunWithSplitters(WorkerTeam& team, const Relation& r,
 void Main() {
   Banner("Figure 16", "negatively correlated 80:20 skew, splitter quality");
   const auto topology = numa::Topology::HyPer1();
-  WorkerTeam team(topology, BenchWorkers());
+  auto engine = MakeBenchEngine(topology);
 
   workload::DatasetSpec spec;
   spec.r_tuples = BenchRTuples();
@@ -64,20 +64,20 @@ void Main() {
   spec.s_distribution = workload::KeyDistribution::kSkewLowEnd;
   spec.s_mode = workload::SKeyMode::kIndependent;
   spec.seed = 42;
-  const auto dataset = workload::Generate(topology, team.size(), spec);
+  const auto dataset = workload::Generate(topology, BenchWorkers(), spec);
 
   const auto equi_height =
-      RunWithSplitters(team, dataset.r, dataset.s, /*cost_balanced=*/false);
+      RunWithSplitters(engine, dataset.r, dataset.s, /*cost_balanced=*/false);
   const auto equi_cost =
-      RunWithSplitters(team, dataset.r, dataset.s, /*cost_balanced=*/true);
+      RunWithSplitters(engine, dataset.r, dataset.s, /*cost_balanced=*/true);
   // Scheduler A/B (docs/scheduler.md): the same splitters with morsel-
   // driven work stealing, so idle workers absorb the overloaded
   // workers' phase-4 merges.
   const auto equi_height_stealing =
-      RunWithSplitters(team, dataset.r, dataset.s, /*cost_balanced=*/false,
+      RunWithSplitters(engine, dataset.r, dataset.s, /*cost_balanced=*/false,
                        SchedulerKind::kStealing);
   const auto equi_cost_stealing =
-      RunWithSplitters(team, dataset.r, dataset.s, /*cost_balanced=*/true,
+      RunWithSplitters(engine, dataset.r, dataset.s, /*cost_balanced=*/true,
                        SchedulerKind::kStealing);
 
   TablePrinter table;
@@ -104,7 +104,7 @@ void Main() {
   std::printf("\nPer-worker modeled totals [ms]:\n");
   TablePrinter workers;
   workers.SetHeader({"worker", "equi-height", "equi-cost"});
-  for (uint32_t w = 0; w < team.size(); ++w) {
+  for (uint32_t w = 0; w < BenchWorkers(); ++w) {
     workers.AddRow({std::to_string(w),
                     Ms(equi_height.run.modeled.worker_seconds[w] * 1e3),
                     Ms(equi_cost.run.modeled.worker_seconds[w] * 1e3)});

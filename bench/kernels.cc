@@ -11,6 +11,7 @@
 #include "core/interpolation_search.h"
 #include "core/merge_join.h"
 #include "core/p_mpsm.h"
+#include "engine/engine.h"
 #include "numa/topology.h"
 #include "parallel/worker_team.h"
 #include "partition/cdf.h"
@@ -295,6 +296,66 @@ void BM_PMpsmSkewJoinStealing(benchmark::State& state) {
   PMpsmSkewBench(state, SchedulerKind::kStealing);
 }
 BENCHMARK(BM_PMpsmSkewJoinStealing)->Unit(benchmark::kMillisecond);
+
+// Engine-path overhead A/B: the same P-MPSM join once through the
+// direct variant class and once through the engine front door (plan +
+// validate + dispatch on a reused session). The engine run forces
+// P-MPSM so both sides execute identical work; the delta is the
+// planner, which must stay under 1% of wall time (tracked in
+// BENCH_kernels.json). MPSM_ENGINE_BENCH_LOG2 scales |R| (default
+// 2^16).
+void PMpsmEnginePathBench(benchmark::State& state, bool through_engine) {
+  const auto topology = numa::Topology::HyPer1();
+  const uint32_t team_size = 32;
+  workload::DatasetSpec spec;
+  spec.r_tuples = size_t{1} << GetEnvInt("MPSM_ENGINE_BENCH_LOG2", 16);
+  spec.multiplicity = 4;
+  spec.seed = 42;
+  const auto dataset = workload::Generate(topology, team_size, spec);
+
+  engine::EngineOptions engine_options;
+  engine_options.workers = team_size;
+  engine::Engine engine(topology, engine_options);
+  WorkerTeam team(topology, team_size);
+
+  double plan_ms = 0;
+  for (auto _ : state) {
+    CountFactory counts(team_size);
+    if (through_engine) {
+      engine::JoinSpec join;
+      join.r = &dataset.r;
+      join.s = &dataset.s;
+      join.consumers = &counts;
+      join.algorithm = engine::Algorithm::kPMpsm;
+      auto report = engine.Execute(join);
+      if (!report.ok()) {
+        state.SkipWithError("engine join failed");
+        return;
+      }
+      plan_ms = report->plan_seconds * 1e3;
+    } else {
+      auto info = PMpsmJoin().Execute(team, dataset.r, dataset.s, counts);
+      if (!info.ok()) {
+        state.SkipWithError("join failed");
+        return;
+      }
+    }
+    benchmark::DoNotOptimize(counts.Result());
+  }
+  if (through_engine) state.counters["plan_ms"] = plan_ms;
+  state.SetItemsProcessed(state.iterations() *
+                          (dataset.r.size() + dataset.s.size()));
+}
+
+void BM_PMpsmJoinDirect(benchmark::State& state) {
+  PMpsmEnginePathBench(state, /*through_engine=*/false);
+}
+BENCHMARK(BM_PMpsmJoinDirect)->Unit(benchmark::kMillisecond);
+
+void BM_PMpsmJoinEngine(benchmark::State& state) {
+  PMpsmEnginePathBench(state, /*through_engine=*/true);
+}
+BENCHMARK(BM_PMpsmJoinEngine)->Unit(benchmark::kMillisecond);
 
 void BM_CdfEstimateRank(benchmark::State& state) {
   auto data = RandomTuples(1 << 20);

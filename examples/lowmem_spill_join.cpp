@@ -1,65 +1,73 @@
-// RAM-constrained joining with D-MPSM (§3.1): spool both inputs to
-// disk as sorted paged runs, then join while keeping only the pages
-// around the current key-domain position resident (Figure 4).
+// RAM-constrained joining through the engine: give the JoinSpec a
+// memory budget and the planner spills via D-MPSM (§3.1) on its own —
+// spool both inputs to disk as sorted paged runs, then join while
+// keeping only the pages around the current key-domain position
+// resident (Figure 4). The staging pool is sized from the budget.
 //
 // HyPer-style systems do this to keep precious RAM for the
 // transactional working set while batch queries run alongside.
 #include <cstdio>
 
 #include "core/consumers.h"
-#include "disk/d_mpsm.h"
-#include "numa/topology.h"
+#include "engine/engine.h"
 #include "workload/generator.h"
 
 int main() {
   using namespace mpsm;
 
-  const auto topology = numa::Topology::Probe();
+  engine::Engine engine;
   const uint32_t workers = 4;
-  WorkerTeam team(topology, workers);
 
   workload::DatasetSpec spec;
   spec.r_tuples = 1u << 18;
   spec.multiplicity = 4.0;
-  const auto dataset = workload::Generate(topology, workers, spec);
+  const auto dataset = workload::Generate(engine.topology(), workers, spec);
   const size_t input_bytes =
       (dataset.r.size() + dataset.s.size()) * sizeof(Tuple);
 
-  // Three RAM budgets for the shared S staging pool.
-  for (const size_t pool_pages : {size_t{4}, size_t{32}, size_t{256}}) {
-    disk::DMpsmOptions options;
-    options.tuples_per_page = 4096;
-    options.pool_pages = pool_pages;
-    // options.io_delay_us = 200;  // uncomment to model a spinning disk
-
+  // Shrinking RAM budgets for the same join. The first fits the whole
+  // working set (inputs + runs), so the planner stays in memory; the
+  // others force the spill path with ever smaller staging pools.
+  for (const uint64_t budget_mb : {64, 8, 2, 1}) {
     MaxPayloadSumFactory aggregate(workers);
-    disk::DMpsmReport report;
-    auto info = disk::DMpsmJoin(options).Execute(team, dataset.r, dataset.s,
-                                                 aggregate, &report);
-    if (!info.ok()) {
-      std::fprintf(stderr, "d-mpsm failed: %s\n",
-                   info.status().ToString().c_str());
+    engine::JoinSpec join;
+    join.r = &dataset.r;
+    join.s = &dataset.s;
+    join.consumers = &aggregate;
+    join.memory_budget_bytes = budget_mb << 20;
+
+    auto report = engine.Execute(join);
+    if (!report.ok()) {
+      std::fprintf(stderr, "join failed: %s\n",
+                   report.status().ToString().c_str());
       return 1;
     }
 
-    const size_t pool_bytes =
-        report.peak_pool_pages * options.tuples_per_page * sizeof(Tuple);
-    const size_t window_bytes = report.peak_window_tuples * sizeof(Tuple);
-    std::printf(
-        "pool=%4zu pages  agg=%llu  wall=%7.1f ms  io: %llu written / "
-        "%llu read pages\n"
-        "                 peak resident: pool %.1f MB + private window "
-        "%.2f MB  (inputs: %.1f MB)\n",
-        pool_pages,
-        static_cast<unsigned long long>(aggregate.Result().value_or(0)),
-        info->wall_seconds * 1e3,
-        static_cast<unsigned long long>(report.io.pages_written),
-        static_cast<unsigned long long>(report.io.pages_read),
-        pool_bytes / 1e6, window_bytes / 1e6, input_bytes / 1e6);
+    std::printf("budget=%3llu MB -> %-9s agg=%llu  wall=%7.1f ms\n",
+                static_cast<unsigned long long>(budget_mb),
+                engine::AlgorithmName(report->plan.algorithm),
+                static_cast<unsigned long long>(
+                    aggregate.Result().value_or(0)),
+                report->info.wall_seconds * 1e3);
+    if (report->dmpsm.has_value()) {
+      const auto& d = *report->dmpsm;
+      const auto& options = report->plan.dmpsm;
+      const size_t pool_bytes =
+          d.peak_pool_pages * options.tuples_per_page * sizeof(Tuple);
+      const size_t window_bytes = d.peak_window_tuples * sizeof(Tuple);
+      std::printf(
+          "               pool %zu pages; io %llu written / %llu read; "
+          "peak resident %.2f MB pool + %.2f MB window (inputs %.1f MB)\n",
+          options.pool_pages,
+          static_cast<unsigned long long>(d.io.pages_written),
+          static_cast<unsigned long long>(d.io.pages_read),
+          pool_bytes / 1e6, window_bytes / 1e6, input_bytes / 1e6);
+    }
   }
 
   std::printf(
-      "\nThe join's resident set is the staging pool plus a small\n"
-      "per-worker window of its own run — independent of input size.\n");
+      "\nThe spill path's resident set is the staging pool plus a small\n"
+      "per-worker window of its own run — the budget, not the input\n"
+      "size, bounds RAM. One engine session served every budget.\n");
   return 0;
 }

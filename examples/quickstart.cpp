@@ -1,54 +1,83 @@
-// Quickstart: join two relations with P-MPSM and aggregate the result.
+// Quickstart: join two relations through the engine front door.
+//
+// The whole join is five lines — describe the join, hand it to the
+// engine, read the answer:
+//
+//   engine::Engine engine;                       // probe machine once
+//   engine::JoinSpec spec;
+//   spec.r = &r; spec.s = &s; spec.consumers = &aggregate;
+//   auto report = engine.Execute(spec);          // plan -> validate -> run
+//   aggregate.Result();                          // the answer
+//
+// No algorithm choice, no option structs: the cost-model planner picks
+// the MPSM variant (or a hash baseline) from the workload statistics,
+// the NUMA topology, and the memory budget, and the report says what it
+// chose and why (docs/engine.md has the decision table).
 //
 // Build & run:
 //   cmake -B build -G Ninja && cmake --build build
-//   ./build/examples/quickstart
+//   ./build/example_quickstart
 #include <cstdio>
 
 #include "core/consumers.h"
-#include "core/p_mpsm.h"
-#include "numa/topology.h"
-#include "parallel/worker_team.h"
+#include "engine/engine.h"
 #include "workload/generator.h"
 
 int main() {
   using namespace mpsm;
 
-  // 1. Describe the machine. Probe() reads the real NUMA layout; on a
-  //    laptop this degenerates to one node, which is fine — MPSM only
-  //    gets faster with more nodes.
-  const numa::Topology topology = numa::Topology::Probe();
+  // 1. One engine per process (or per tenant): it probes the NUMA
+  //    topology at construction and reuses its pinned worker team
+  //    across every query of the session.
+  engine::Engine engine;
   const uint32_t workers = 8;
   std::printf("machine: %s, team of %u workers\n",
-              topology.ToString().c_str(), workers);
+              engine.topology().ToString().c_str(), workers);
 
-  // 2. Create a workload: |R| = 1M tuples, |S| = 4x|R| foreign keys.
+  // 2. Create a workload: |R| = 1M tuples, |S| = 4x|R| foreign keys,
+  //    chunked one chunk per worker (how data arrives at the operator).
   workload::DatasetSpec spec;
   spec.r_tuples = 1u << 20;
   spec.multiplicity = 4.0;
-  const auto dataset = workload::Generate(topology, workers, spec);
+  const auto dataset = workload::Generate(engine.topology(), workers, spec);
 
   // 3. Run the paper's benchmark query:
   //    SELECT max(R.payload + S.payload) WHERE R.joinkey = S.joinkey.
   //    The smaller relation plays the private role (R), the larger the
   //    public role (S) — see the role-reversal experiment.
-  WorkerTeam team(topology, workers);
   MaxPayloadSumFactory aggregate(workers);
-  PMpsmJoin join;
-  auto info = join.Execute(team, dataset.r, dataset.s, aggregate);
-  if (!info.ok()) {
+  engine::JoinSpec join;
+  join.r = &dataset.r;
+  join.s = &dataset.s;
+  join.consumers = &aggregate;
+  auto report = engine.Execute(join);
+  if (!report.ok()) {
     std::fprintf(stderr, "join failed: %s\n",
-                 info.status().ToString().c_str());
+                 report.status().ToString().c_str());
     return 1;
   }
 
-  // 4. Inspect results and the phase breakdown.
+  // 4. The report folds the plan (what ran, and why), the phase
+  //    breakdown, and the variant diagnostics into one struct.
   std::printf("max(R.payload + S.payload) = %llu\n",
               static_cast<unsigned long long>(
                   aggregate.Result().value_or(0)));
-  std::printf("output tuples = %llu, wall = %.1f ms\n",
-              static_cast<unsigned long long>(info->output_tuples),
-              info->wall_seconds * 1e3);
-  std::printf("%s", info->PhaseBreakdownString().c_str());
+  std::printf("output tuples = %llu, wall = %.1f ms, planning = %.2f ms\n",
+              static_cast<unsigned long long>(report->info.output_tuples),
+              report->info.wall_seconds * 1e3, report->plan_seconds * 1e3);
+  std::printf("%s", report->plan.ToString().c_str());
+  std::printf("%s", report->info.PhaseBreakdownString().c_str());
+
+  // 5. Sessions amortize: a second query reuses the probed topology
+  //    and the spawned team (stats prove it).
+  MaxPayloadSumFactory again(workers);
+  join.consumers = &again;
+  if (!engine.Execute(join).ok()) return 1;
+  std::printf(
+      "\nsession: %llu queries, %llu team spawn(s), %llu topology "
+      "probe(s)\n",
+      static_cast<unsigned long long>(engine.stats().queries_executed),
+      static_cast<unsigned long long>(engine.stats().team_spawns),
+      static_cast<unsigned long long>(engine.stats().topology_probes));
   return 0;
 }

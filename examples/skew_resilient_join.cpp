@@ -1,23 +1,25 @@
-// Skew resilience (§4): joining inputs with negatively correlated
-// 80:20 key skew — the worst case for static range partitioning — and
-// watching the CDF + splitter machinery balance the load.
+// Skew resilience (§4) through the engine: joining inputs with
+// negatively correlated 80:20 key skew — the worst case for static
+// range partitioning — and watching the CDF + splitter machinery
+// balance the load. The planner's sampled skew estimate shows up in
+// the plan; the splitter A/B forces P-MPSM (the experiment is about
+// its splitters) via EngineOptions overrides.
 //
 // Also demonstrates the future-work join variants (semi / anti /
-// outer) that the library implements on top of the same kernel.
+// outer): planned automatically — non-inner joins are MPSM-family
+// territory, the hash baselines drop out.
 #include <algorithm>
 #include <cstdio>
 
 #include "core/consumers.h"
-#include "core/p_mpsm.h"
-#include "numa/topology.h"
+#include "engine/engine.h"
 #include "workload/generator.h"
 
 int main() {
   using namespace mpsm;
 
-  const auto topology = numa::Topology::Probe();
+  engine::Engine engine;
   const uint32_t workers = 8;
-  WorkerTeam team(topology, workers);
 
   // R: 80% of keys at the high end. S: 80% at the low end. 4x size.
   workload::DatasetSpec spec;
@@ -27,23 +29,31 @@ int main() {
   spec.r_distribution = workload::KeyDistribution::kSkewHighEnd;
   spec.s_distribution = workload::KeyDistribution::kSkewLowEnd;
   spec.s_mode = workload::SKeyMode::kIndependent;
-  const auto dataset = workload::Generate(topology, workers, spec);
+  const auto dataset = workload::Generate(engine.topology(), workers, spec);
 
   auto run = [&](bool cost_balanced) {
-    MpsmOptions options;
-    options.cost_balanced_splitters = cost_balanced;
-    options.radix_bits = 10;
+    engine::EngineOptions options = engine.options();
+    options.force_algorithm = engine::Algorithm::kPMpsm;
+    options.mpsm.cost_balanced_splitters = cost_balanced;
+    options.mpsm.radix_bits = 10;
+
     CountFactory counts(workers);
-    PMpsmDiagnostics diagnostics;
-    auto info = PMpsmJoin(options).Execute(team, dataset.r, dataset.s,
-                                           counts, &diagnostics);
-    if (!info.ok()) {
-      std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+    engine::JoinSpec join;
+    join.r = &dataset.r;
+    join.s = &dataset.s;
+    join.consumers = &counts;
+    join.options = &options;
+    auto report = engine.Execute(join);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
       std::exit(1);
     }
-    std::printf("\n%s splitters: %llu matches\n",
+    std::printf("\n%s splitters: %llu matches (planner skew estimate "
+                "~%.1fx)\n",
                 cost_balanced ? "equi-cost" : "equi-height",
-                static_cast<unsigned long long>(counts.Result()));
+                static_cast<unsigned long long>(counts.Result()),
+                report->plan.inputs.skew);
+    const auto& diagnostics = *report->pmpsm;
     std::printf("  partition sizes (R tuples): ");
     for (uint64_t size : diagnostics.partition_sizes) {
       std::printf("%llu ", static_cast<unsigned long long>(size));
@@ -65,22 +75,31 @@ int main() {
   run(/*cost_balanced=*/false);  // Figure 16b: balanced |Ri|, bad join
   run(/*cost_balanced=*/true);   // Figure 16c: balanced total cost
 
-  // Join variants on the same skewed data (§7 future work,
-  // implemented here): how many R tuples have / lack partners?
+  // Join variants on the same skewed data (§7 future work, implemented
+  // here): how many R tuples have / lack partners? No forcing — the
+  // planner restricts non-inner joins to the MPSM family on its own.
   std::printf("\njoin variants (R=%zu tuples):\n", dataset.r.size());
   for (const auto kind : {JoinKind::kInner, JoinKind::kLeftSemi,
                           JoinKind::kLeftAnti, JoinKind::kLeftOuter}) {
-    MpsmOptions options;
-    options.kind = kind;
     CountFactory counts(workers);
-    auto info =
-        PMpsmJoin(options).Execute(team, dataset.r, dataset.s, counts);
-    if (!info.ok()) {
-      std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+    engine::JoinSpec join;
+    join.r = &dataset.r;
+    join.s = &dataset.s;
+    join.kind = kind;
+    join.consumers = &counts;
+    auto report = engine.Execute(join);
+    if (!report.ok()) {
+      std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
       return 1;
     }
-    std::printf("  %-11s -> %llu output tuples\n", JoinKindName(kind),
-                static_cast<unsigned long long>(counts.Result()));
+    std::printf("  %-11s -> %llu output tuples (via %s)\n",
+                JoinKindName(kind),
+                static_cast<unsigned long long>(counts.Result()),
+                engine::AlgorithmName(report->plan.algorithm));
   }
+  std::printf("\nsession: %llu queries on %llu team spawn(s)\n",
+              static_cast<unsigned long long>(
+                  engine.stats().queries_executed),
+              static_cast<unsigned long long>(engine.stats().team_spawns));
   return 0;
 }

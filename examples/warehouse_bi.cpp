@@ -1,25 +1,24 @@
 // Operational BI on a warehouse schema — the paper's §1/§5.1
 // motivation: orders (dimension-ish) joined with 4x as many orderline
-// facts, in "real time", on all cores.
+// facts, in "real time", on all cores — all through one engine session.
 //
 // Demonstrates: role reversal (why the big table must stay public),
-// algorithm comparison on the same data, and consuming the join with
-// different consumers (aggregation vs materialization).
+// like-for-like algorithm comparison via the benchmark-query harness
+// (now including the D-MPSM spill path), and forcing an algorithm when
+// a downstream consumer depends on its physical output property.
 #include <algorithm>
 #include <cstdio>
 
 #include "core/consumers.h"
-#include "core/p_mpsm.h"
-#include "numa/topology.h"
+#include "engine/engine.h"
 #include "workload/generator.h"
 #include "workload/query.h"
 
 int main() {
   using namespace mpsm;
 
-  const auto topology = numa::Topology::Probe();
   const uint32_t workers = 8;
-  WorkerTeam team(topology, workers);
+  engine::Engine engine;
 
   // orders: 1M rows; orderlines: 4M rows, foreign key into orders.
   // (The paper sizes this at Amazon scale — 4B orderlines — on 1 TB.)
@@ -27,12 +26,12 @@ int main() {
   spec.r_tuples = 1u << 20;
   spec.multiplicity = 4.0;
   spec.s_mode = workload::SKeyMode::kForeignKey;
-  const auto dataset = workload::Generate(topology, workers, spec);
+  const auto dataset = workload::Generate(engine.topology(), workers, spec);
   const Relation& orders = dataset.r;
   const Relation& orderlines = dataset.s;
 
   std::printf("orders=%zu orderlines=%zu on %s\n\n", orders.size(),
-              orderlines.size(), topology.ToString().c_str());
+              orderlines.size(), engine.topology().ToString().c_str());
 
   // --- Query 1: revenue-style aggregate over the join, both role
   // assignments. The smaller input should be private (range
@@ -41,7 +40,7 @@ int main() {
     const Relation& r = orders_private ? orders : orderlines;
     const Relation& s = orders_private ? orderlines : orders;
     auto result =
-        workload::RunBenchmarkQuery(workload::Algorithm::kPMpsm, team, r, s);
+        workload::RunBenchmarkQuery(workload::Algorithm::kPMpsm, engine, r, s);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
       return 1;
@@ -52,13 +51,15 @@ int main() {
                 result->info.wall_seconds * 1e3);
   }
 
-  // --- Query 2: same join executed by every algorithm in the library;
-  // all must agree (and on a NUMA box, P-MPSM wins).
+  // --- Query 2: same join executed by every algorithm in the library
+  // (the harness forces each one onto the planner); all must agree —
+  // and on a NUMA box, P-MPSM wins.
   std::printf("\nalgorithm comparison:\n");
   for (const auto algorithm :
        {workload::Algorithm::kPMpsm, workload::Algorithm::kBMpsm,
-        workload::Algorithm::kWisconsin, workload::Algorithm::kRadix}) {
-    auto result = workload::RunBenchmarkQuery(algorithm, team, orders,
+        workload::Algorithm::kDMpsm, workload::Algorithm::kWisconsin,
+        workload::Algorithm::kRadix}) {
+    auto result = workload::RunBenchmarkQuery(algorithm, engine, orders,
                                               orderlines);
     if (!result.ok()) {
       std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -70,15 +71,33 @@ int main() {
                 result->info.wall_seconds * 1e3);
   }
 
-  // --- Query 3: materialize the join output and exploit its quasi-
+  // --- Query 3: what would the planner itself pick? EXPLAIN without
+  // executing.
+  {
+    engine::JoinSpec join;
+    join.r = &orders;
+    join.s = &orderlines;
+    auto plan = engine.Plan(join);
+    if (plan.ok()) {
+      std::printf("\nplanner's own choice for this workload:\n%s",
+                  plan->ToString().c_str());
+    }
+  }
+
+  // --- Query 4: materialize the join output and exploit its quasi-
   // sorted order (each worker's output is a short sequence of sorted
   // runs) for cheap early aggregation — the §6/§7 "interesting
-  // physical property".
+  // physical property". That property belongs to MPSM, so this query
+  // forces the algorithm instead of letting the planner choose.
   MaterializeFactory rows(workers);
-  MpsmOptions options;
-  auto info = PMpsmJoin(options).Execute(team, orders, orderlines, rows);
-  if (!info.ok()) {
-    std::fprintf(stderr, "%s\n", info.status().ToString().c_str());
+  engine::JoinSpec join;
+  join.r = &orders;
+  join.s = &orderlines;
+  join.consumers = &rows;
+  join.algorithm = engine::Algorithm::kPMpsm;
+  auto report = engine.Execute(join);
+  if (!report.ok()) {
+    std::fprintf(stderr, "%s\n", report.status().ToString().c_str());
     return 1;
   }
   size_t total_rows = 0;
@@ -95,5 +114,12 @@ int main() {
       "(each worker's output is ~%u sorted runs -> sort-based group-by\n"
       "downstream needs only a tiny run merge, not a full sort)\n",
       total_rows, total_descents, workers, workers);
+
+  std::printf(
+      "\nsession: %llu queries, %llu team spawn(s), %llu topology "
+      "probe(s)\n",
+      static_cast<unsigned long long>(engine.stats().queries_executed),
+      static_cast<unsigned long long>(engine.stats().team_spawns),
+      static_cast<unsigned long long>(engine.stats().topology_probes));
   return 0;
 }

@@ -69,6 +69,26 @@ void FragmentHashJoin(Slice r, Slice s, JoinConsumer& consumer,
 
 }  // namespace
 
+Status RadixJoinOptions::Validate() const {
+  if (pass1_bits == 0 && pass2_bits != 0) {
+    return Status::InvalidArgument(
+        "pass2_bits requires explicit pass1_bits (pass1_bits == 0 "
+        "selects auto for both passes)");
+  }
+  // 2^(B1+B2) fragment headers: beyond 24 total bits the partition
+  // metadata dwarfs the data being joined.
+  if (pass1_bits > 16) {
+    return Status::InvalidArgument("pass1_bits must be <= 16");
+  }
+  if (pass1_bits + pass2_bits > 24) {
+    return Status::InvalidArgument("pass1_bits + pass2_bits must be <= 24");
+  }
+  if (target_fragment_tuples == 0) {
+    return Status::InvalidArgument("target_fragment_tuples must be >= 1");
+  }
+  return Status::OK();
+}
+
 std::pair<uint32_t, uint32_t> RadixHashJoin::EffectiveBits(
     size_t r_size) const {
   if (options_.pass1_bits != 0) {

@@ -41,6 +41,10 @@ struct RadixJoinOptions {
   /// owning node and idle workers steal cross-node. Static pre-assigns
   /// partitions round-robin to the owning node's workers (A/B knob).
   SchedulerKind scheduler = SchedulerKind::kStealing;
+
+  /// Checks every knob against its legal range. The engine front door
+  /// calls this before planning.
+  Status Validate() const;
 };
 
 /// The radix-partitioned hash join (inner joins).

@@ -8,6 +8,7 @@
 #include "partition/scatter_kind.h"
 #include "partition/splitters.h"
 #include "sort/radix_introsort.h"
+#include "util/status.h"
 
 namespace mpsm {
 
@@ -102,6 +103,13 @@ struct MpsmOptions {
   /// Skip non-overlapping private-run prefixes in the join phase with
   /// the same start search used for public runs.
   bool merge_skip_private_prefix = true;
+
+  /// Checks every knob against its legal range for a team of
+  /// `team_size` workers. The engine front door calls this before
+  /// planning; the variant classes themselves stay lenient (e.g.
+  /// EffectiveRadixBits clamps an undersized radix_bits) so the
+  /// internal layer keeps its paper-fidelity behavior.
+  Status Validate(uint32_t team_size) const;
 };
 
 }  // namespace mpsm

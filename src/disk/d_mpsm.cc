@@ -113,6 +113,19 @@ class PrivateWindow {
 
 }  // namespace
 
+Status DMpsmOptions::Validate() const {
+  if (tuples_per_page == 0) {
+    return Status::InvalidArgument("tuples_per_page must be >= 1");
+  }
+  if (pool_pages == 0) {
+    return Status::InvalidArgument("pool_pages must be >= 1");
+  }
+  if (directory.empty()) {
+    return Status::InvalidArgument("directory must be non-empty");
+  }
+  return sort_config.Validate();
+}
+
 Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
                                        const Relation& r_private,
                                        const Relation& s_public,
@@ -124,9 +137,7 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
     return Status::InvalidArgument(
         "relations must be chunked into team.size() chunks");
   }
-  if (options_.pool_pages == 0) {
-    return Status::InvalidArgument("pool_pages must be >= 1");
-  }
+  MPSM_RETURN_NOT_OK(options_.Validate());
   const bool stealing = options_.scheduler == SchedulerKind::kStealing;
 
   PageStoreOptions store_options;

@@ -51,6 +51,10 @@ struct DMpsmOptions {
   /// fetches into tasks blocked consumers execute themselves
   /// (StagingPipeline consumer_loads).
   SchedulerKind scheduler = SchedulerKind::kStatic;
+
+  /// Checks every knob against its legal range (e.g. pool_pages >= 1).
+  /// Execute and the engine front door both call this.
+  Status Validate() const;
 };
 
 /// Observability for tests and the spill example.

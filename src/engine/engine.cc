@@ -1,0 +1,109 @@
+#include "engine/engine.h"
+
+#include <utility>
+
+#include "baseline/radix_join.h"
+#include "baseline/wisconsin_join.h"
+#include "core/b_mpsm.h"
+#include "util/timer.h"
+
+namespace mpsm::engine {
+
+Engine::Engine(EngineOptions options)
+    : topology_(numa::Topology::Probe()), options_(std::move(options)) {
+  stats_.topology_probes = 1;
+}
+
+Engine::Engine(const numa::Topology& topology, EngineOptions options)
+    : topology_(topology), options_(std::move(options)) {}
+
+Engine::~Engine() = default;
+
+uint32_t Engine::TeamSizeFor(const JoinSpec& spec) const {
+  const EngineOptions& options = spec.options ? *spec.options : options_;
+  if (options.workers != 0) return options.workers;
+  if (spec.r != nullptr && spec.r->num_chunks() != 0) {
+    return spec.r->num_chunks();
+  }
+  return std::max(topology_.num_cores(), 1u);
+}
+
+WorkerTeam& Engine::TeamFor(uint32_t team_size) {
+  if (team_ == nullptr || team_->size() != team_size) {
+    team_ = std::make_unique<WorkerTeam>(topology_, team_size);
+    ++stats_.team_spawns;
+  }
+  return *team_;
+}
+
+Result<JoinPlan> Engine::Plan(const JoinSpec& spec) const {
+  const EngineOptions& options = spec.options ? *spec.options : options_;
+  Planner planner(&topology_, &options);
+  return planner.Plan(spec, TeamSizeFor(spec));
+}
+
+Result<JoinReport> Engine::Execute(const JoinSpec& spec) {
+  if (spec.r == nullptr || spec.s == nullptr) {
+    return Status::InvalidArgument("JoinSpec needs both input relations");
+  }
+  if (spec.consumers == nullptr) {
+    return Status::InvalidArgument("JoinSpec needs a consumer factory");
+  }
+  const uint32_t team_size = TeamSizeFor(spec);
+  if (spec.r->num_chunks() != team_size ||
+      spec.s->num_chunks() != team_size) {
+    return Status::InvalidArgument(
+        "inputs must be chunked into one chunk per worker (" +
+        std::to_string(team_size) + "): |R| chunks = " +
+        std::to_string(spec.r->num_chunks()) + ", |S| chunks = " +
+        std::to_string(spec.s->num_chunks()));
+  }
+
+  JoinReport report;
+  WallTimer plan_timer;
+  {
+    const EngineOptions& options = spec.options ? *spec.options : options_;
+    Planner planner(&topology_, &options);
+    MPSM_ASSIGN_OR_RETURN(report.plan, planner.Plan(spec, team_size));
+  }
+  report.plan_seconds = plan_timer.ElapsedSeconds();
+  ++stats_.plans_created;
+  stats_.plan_seconds_total += report.plan_seconds;
+
+  WorkerTeam& team = TeamFor(team_size);
+  Result<JoinRunInfo> info = Status::Internal("unreachable");
+  switch (report.plan.algorithm) {
+    case Algorithm::kPMpsm: {
+      report.pmpsm.emplace();
+      info = PMpsmJoin(report.plan.mpsm)
+                 .Execute(team, *spec.r, *spec.s, *spec.consumers,
+                          &*report.pmpsm);
+      break;
+    }
+    case Algorithm::kBMpsm:
+      info = BMpsmJoin(report.plan.mpsm)
+                 .Execute(team, *spec.r, *spec.s, *spec.consumers);
+      break;
+    case Algorithm::kDMpsm: {
+      report.dmpsm.emplace();
+      info = disk::DMpsmJoin(report.plan.dmpsm)
+                 .Execute(team, *spec.r, *spec.s, *spec.consumers,
+                          &*report.dmpsm);
+      break;
+    }
+    case Algorithm::kRadix:
+      info = baseline::RadixHashJoin(report.plan.radix)
+                 .Execute(team, *spec.r, *spec.s, *spec.consumers);
+      break;
+    case Algorithm::kWisconsin:
+      info = baseline::WisconsinHashJoin().Execute(team, *spec.r, *spec.s,
+                                                   *spec.consumers);
+      break;
+  }
+  if (!info.ok()) return info.status();
+  report.info = std::move(info).value();
+  ++stats_.queries_executed;
+  return report;
+}
+
+}  // namespace mpsm::engine

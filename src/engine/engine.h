@@ -1,0 +1,122 @@
+// mpsm::engine::Engine — the library's one front door.
+//
+// Callers describe a join (JoinSpec: inputs, kind, memory budget,
+// consumer) and the engine does the rest: it probes the NUMA topology
+// once, builds a worker team once, plans the algorithm per query with
+// the cost-model planner, validates every knob, runs the chosen
+// variant, and returns one unified JoinReport. Sessions are meant to
+// be long-lived: repeated Execute() calls amortize the topology probe
+// and the team's node-homed arenas across queries. (WorkerTeam::Run
+// still launches its pinned threads per query; keeping the threads —
+// and donating idle ones between sessions — is the ROADMAP's
+// elastic-teams item.)
+//
+//   engine::Engine engine;                    // probe + defaults
+//   engine::JoinSpec spec;
+//   spec.r = &orders; spec.s = &orderlines;
+//   spec.consumers = &aggregate;
+//   auto report = engine.Execute(spec);       // planned, validated, run
+//   std::puts(report->plan.ToString().c_str());
+//
+// The variant classes (PMpsmJoin, DMpsmJoin, ...) remain available as
+// the internal layer for tests and kernel benches; examples, the
+// query harness, and the figure benches all go through the engine.
+// API tour: docs/engine.md.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+
+#include "core/join_stats.h"
+#include "core/p_mpsm.h"
+#include "disk/d_mpsm.h"
+#include "engine/planner.h"
+#include "numa/topology.h"
+#include "parallel/worker_team.h"
+#include "util/status.h"
+
+namespace mpsm::engine {
+
+/// Everything one executed join produced, across all variants:
+/// JoinRunInfo (all), P-MPSM splitter diagnostics, D-MPSM spill
+/// report — plus the plan that chose the variant.
+struct JoinReport {
+  /// The plan that was executed (algorithm, predictions, knobs).
+  JoinPlan plan;
+
+  /// Execution statistics (wall time, per-worker counters, output
+  /// cardinality).
+  JoinRunInfo info;
+
+  /// Planner overhead for this query, in seconds.
+  double plan_seconds = 0;
+
+  /// Splitter/CDF internals; set when a P-MPSM plan ran.
+  std::optional<PMpsmDiagnostics> pmpsm;
+
+  /// Spill observability (I/O, pool peaks); set when a D-MPSM plan ran.
+  std::optional<disk::DMpsmReport> dmpsm;
+};
+
+/// Session-lifetime observability: proves reuse across queries.
+struct SessionStats {
+  uint64_t queries_executed = 0;
+  uint64_t plans_created = 0;
+  /// Worker-team spawns. Stays at 1 across a session as long as every
+  /// query's inputs are chunked for the same team size.
+  uint64_t team_spawns = 0;
+  /// Topology probes performed by this engine (0 when injected, else
+  /// exactly 1 — never per query).
+  uint64_t topology_probes = 0;
+  /// Total planner overhead across queries, in seconds.
+  double plan_seconds_total = 0;
+};
+
+/// A reusable query session: topology + worker team + planner.
+class Engine {
+ public:
+  /// Probes the host topology (once, at construction).
+  explicit Engine(EngineOptions options = {});
+
+  /// Uses an explicit (e.g. simulated) topology instead of probing.
+  Engine(const numa::Topology& topology, EngineOptions options = {});
+
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Plans and runs one join, streaming output to spec.consumers.
+  Result<JoinReport> Execute(const JoinSpec& spec);
+
+  /// Plans without executing (EXPLAIN). Does not spawn the team.
+  Result<JoinPlan> Plan(const JoinSpec& spec) const;
+
+  const numa::Topology& topology() const { return topology_; }
+  const EngineOptions& options() const { return options_; }
+
+  /// Replaces the session options; takes effect from the next query.
+  /// The team is kept (only a changed `workers` forces a re-spawn).
+  void set_options(EngineOptions options) { options_ = std::move(options); }
+
+  const SessionStats& stats() const { return stats_; }
+
+  /// The session's worker team; nullptr before the first Execute.
+  WorkerTeam* team() { return team_.get(); }
+
+  /// Team size a query with these inputs will run on (callers size
+  /// their per-worker consumers with this).
+  uint32_t TeamSizeFor(const JoinSpec& spec) const;
+
+ private:
+  /// Returns the session team, spawning or re-spawning only when the
+  /// required size changed.
+  WorkerTeam& TeamFor(uint32_t team_size);
+
+  numa::Topology topology_;
+  EngineOptions options_;
+  std::unique_ptr<WorkerTeam> team_;
+  SessionStats stats_;
+};
+
+}  // namespace mpsm::engine

@@ -1,0 +1,518 @@
+#include "engine/planner.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+#include "storage/tuple.h"
+
+namespace mpsm::engine {
+
+namespace {
+
+constexpr uint64_t kTupleBytes = sizeof(Tuple);
+
+/// log2 for sort-work estimates; >= 1 so tiny arrays still cost.
+double Log2Work(double n) { return std::log2(std::max(n, 2.0)); }
+
+/// Formats seconds as "12.3 ms".
+std::string FormatMs(double seconds) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.1f ms", seconds * 1e3);
+  return buf;
+}
+
+/// Synthetic balanced per-worker counters for one phase slot.
+struct PhaseEstimate {
+  PerfCounters counters;
+  /// Slowest-worker multiplier over the balanced estimate (skewed
+  /// fragments / partitions under barrier semantics).
+  double imbalance = 1.0;
+};
+
+/// Splits `bytes` of traffic into local and remote shares: with data
+/// spread uniformly over N nodes, (N-1)/N of a worker's accesses cross
+/// the interconnect.
+void CountSplit(PerfCounters& c, bool write, bool sequential,
+                double bytes, double remote_fraction) {
+  const auto local = static_cast<uint64_t>(bytes * (1.0 - remote_fraction));
+  const auto remote = static_cast<uint64_t>(bytes * remote_fraction);
+  if (write) {
+    c.CountWrite(/*local=*/true, sequential, local);
+    c.CountWrite(/*local=*/false, sequential, remote);
+  } else {
+    c.CountRead(/*local=*/true, sequential, local);
+    c.CountRead(/*local=*/false, sequential, remote);
+  }
+}
+
+/// Sort of n tuples in local memory: one read+write pass plus the
+/// n log2 n comparison/move work (mirrors PerfCounters::CountSort).
+void CountLocalSort(PerfCounters& c, double n) {
+  c.sort_tuples += static_cast<uint64_t>(n);
+  c.sort_tuple_logs += static_cast<uint64_t>(n * Log2Work(n));
+  c.CountRead(true, true, static_cast<uint64_t>(n * kTupleBytes));
+  c.CountWrite(true, true, static_cast<uint64_t>(n * kTupleBytes));
+}
+
+/// Cache lines touched per hash-table operation on a table that does
+/// not fit in cache (the Wisconsin global table).
+constexpr double kHashLineBytes = 64.0;
+
+}  // namespace
+
+const char* AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kPMpsm:
+      return "p-mpsm";
+    case Algorithm::kBMpsm:
+      return "b-mpsm";
+    case Algorithm::kDMpsm:
+      return "d-mpsm";
+    case Algorithm::kRadix:
+      return "radix";
+    case Algorithm::kWisconsin:
+      return "wisconsin";
+  }
+  return "unknown";
+}
+
+bool SupportsKind(Algorithm algorithm, JoinKind kind) {
+  switch (algorithm) {
+    case Algorithm::kPMpsm:
+    case Algorithm::kBMpsm:
+      return true;  // semi/anti/outer ride on the same merge kernel
+    case Algorithm::kDMpsm:
+    case Algorithm::kRadix:
+    case Algorithm::kWisconsin:
+      return kind == JoinKind::kInner;
+  }
+  return false;
+}
+
+MpsmOptions ResolveMpsmOptions(const EngineOptions& options, JoinKind kind) {
+  MpsmOptions m;
+  m.kind = kind;
+  m.radix_bits = options.mpsm.radix_bits;
+  m.equi_height_factor = options.mpsm.equi_height_factor;
+  m.start_search = options.mpsm.start_search;
+  m.cost_balanced_splitters = options.mpsm.cost_balanced_splitters;
+  m.phase_barriers = options.mpsm.phase_barriers;
+  m.merge_skip_private_prefix = options.mpsm.merge_skip_private_prefix;
+  m.scheduler = options.scheduler.value_or(m.scheduler);
+  m.sort = options.sort.value_or(m.sort);
+  m.sort_config = options.sort_config.value_or(m.sort_config);
+  m.scatter = options.scatter.value_or(m.scatter);
+  m.merge_prefetch_distance =
+      options.merge_prefetch_distance.value_or(m.merge_prefetch_distance);
+  m.morsel_tuples = options.morsel_tuples.value_or(m.morsel_tuples);
+  return m;
+}
+
+disk::DMpsmOptions ResolveDMpsmOptions(const EngineOptions& options,
+                                       uint64_t memory_budget_bytes) {
+  disk::DMpsmOptions d;
+  d.tuples_per_page = options.dmpsm.tuples_per_page;
+  d.directory = options.dmpsm.directory;
+  d.io_delay_us = options.dmpsm.io_delay_us;
+  d.sort = options.sort.value_or(d.sort);
+  d.sort_config = options.sort_config.value_or(d.sort_config);
+  d.merge_prefetch_distance =
+      options.merge_prefetch_distance.value_or(d.merge_prefetch_distance);
+  d.scheduler = options.scheduler.value_or(d.scheduler);
+  if (options.dmpsm.pool_pages != 0) {
+    d.pool_pages = options.dmpsm.pool_pages;
+  } else if (memory_budget_bytes != 0) {
+    // Budget-driven pool sizing: spend half the budget on the shared S
+    // staging pool (the other half covers the per-worker private
+    // windows and transient sort buffers), at least one page.
+    const uint64_t page_bytes =
+        std::max<uint64_t>(d.tuples_per_page * kTupleBytes, 1);
+    d.pool_pages = static_cast<size_t>(
+        std::max<uint64_t>(memory_budget_bytes / 2 / page_bytes, 1));
+  } else {
+    d.pool_pages = 64;  // the DMpsmOptions default
+  }
+  return d;
+}
+
+baseline::RadixJoinOptions ResolveRadixOptions(const EngineOptions& options) {
+  baseline::RadixJoinOptions r;
+  r.pass1_bits = options.radix.pass1_bits;
+  r.pass2_bits = options.radix.pass2_bits;
+  r.target_fragment_tuples = options.radix.target_fragment_tuples;
+  r.scatter = options.scatter.value_or(r.scatter);
+  r.scheduler = options.scheduler.value_or(r.scheduler);
+  return r;
+}
+
+uint64_t Planner::WorkingSetBytes(uint64_t r_tuples, uint64_t s_tuples) {
+  // Inputs plus one full copy: sorted public runs + scattered private
+  // partitions (P-MPSM) or partitioned copies (radix). The hash
+  // baselines need less but share the in-memory regime.
+  return 2 * (r_tuples + s_tuples) * kTupleBytes;
+}
+
+double Planner::EstimateSkew(const Relation& r, const Relation& s) {
+  constexpr size_t kSampleTarget = 4096;
+  constexpr size_t kBuckets = 64;
+
+  auto sample_skew = [](const Relation& rel) -> double {
+    if (rel.size() < kBuckets * 4) return 1.0;  // too few keys to tell
+    const size_t stride = std::max<size_t>(rel.size() / kSampleTarget, 1);
+    std::vector<uint64_t> keys;
+    keys.reserve(rel.size() / stride + 1);
+    uint64_t min_key = UINT64_MAX, max_key = 0;
+    for (uint32_t c = 0; c < rel.num_chunks(); ++c) {
+      const Chunk& chunk = rel.chunk(c);
+      for (size_t i = 0; i < chunk.size; i += stride) {
+        const uint64_t key = chunk.data[i].key;
+        keys.push_back(key);
+        min_key = std::min(min_key, key);
+        max_key = std::max(max_key, key);
+      }
+    }
+    if (keys.size() < kBuckets * 2 || min_key >= max_key) return 1.0;
+    const double width =
+        static_cast<double>(max_key - min_key) / kBuckets;
+    std::array<uint64_t, kBuckets> histogram{};
+    for (const uint64_t key : keys) {
+      const auto b = std::min<size_t>(
+          static_cast<size_t>(static_cast<double>(key - min_key) / width),
+          kBuckets - 1);
+      ++histogram[b];
+    }
+    const double avg = static_cast<double>(keys.size()) / kBuckets;
+    const uint64_t max_bucket =
+        *std::max_element(histogram.begin(), histogram.end());
+    return std::max(static_cast<double>(max_bucket) / avg, 1.0);
+  };
+
+  // Either side can carry the skew: R drives partition sizes, S drives
+  // each partition's merge-join share.
+  return std::max(sample_skew(r), sample_skew(s));
+}
+
+CandidateCost Planner::EstimateCost(Algorithm algorithm,
+                                    const PlannerInputs& in,
+                                    const sim::MachineModel& machine,
+                                    const MpsmOptions& mpsm) {
+  CandidateCost cost;
+  cost.algorithm = algorithm;
+  cost.feasible = true;
+
+  const double T = std::max<uint32_t>(in.team_size, 1);
+  const double nr = static_cast<double>(in.r_tuples) / T;
+  const double ns = static_cast<double>(in.s_tuples) / T;
+  const double s_total = static_cast<double>(in.s_tuples);
+  const double nodes = std::max<uint32_t>(in.numa_nodes, 1);
+  // Data spread uniformly over the nodes: this share of untargeted
+  // accesses crosses the interconnect.
+  const double rf = (nodes - 1.0) / nodes;
+  const double skew = std::max(in.skew, 1.0);
+
+  std::array<PhaseEstimate, kNumJoinPhases> phases;
+  switch (algorithm) {
+    case Algorithm::kPMpsm: {
+      // Phase 1: sort local S chunk into a run (+ histograms).
+      CountLocalSort(phases[kPhaseSortPublic].counters, ns);
+      // Phase 2: histogram scan of the local R chunk, then the
+      // synchronization-free sequential scatter into range partitions
+      // homed across the team's nodes.
+      auto& p2 = phases[kPhasePartition].counters;
+      p2.CountRead(true, true, static_cast<uint64_t>(2 * nr * kTupleBytes));
+      CountSplit(p2, /*write=*/true, /*sequential=*/true, nr * kTupleBytes,
+                 rf);
+      // Phase 3: sort the received range partition locally.
+      CountLocalSort(phases[kPhaseSortPrivate].counters, nr);
+      // Phase 4: merge the local partition against its key range of
+      // every public run — |S|/T tuples spread over all nodes.
+      auto& p4 = phases[kPhaseJoin];
+      p4.counters.CountRead(true, true,
+                            static_cast<uint64_t>(nr * kTupleBytes));
+      CountSplit(p4.counters, /*write=*/false, /*sequential=*/true,
+                 ns * kTupleBytes, rf);
+      // Cost-balanced splitters absorb most key skew (Figure 16);
+      // equi-height splitting leaves the full imbalance.
+      p4.imbalance =
+          mpsm.cost_balanced_splitters ? 1.0 + 0.05 * (skew - 1.0) : skew;
+      phases[kPhasePartition].imbalance = p4.imbalance;
+      break;
+    }
+    case Algorithm::kBMpsm: {
+      CountLocalSort(phases[kPhaseSortPublic].counters, ns);
+      CountLocalSort(phases[kPhaseSortPrivate].counters, nr);
+      // Every worker merges its run against ALL public runs: the full
+      // |S| per worker — the complexity gap of §2.2.
+      auto& p4 = phases[kPhaseJoin].counters;
+      p4.CountRead(true, true, static_cast<uint64_t>(nr * kTupleBytes));
+      CountSplit(p4, /*write=*/false, /*sequential=*/true,
+                 s_total * kTupleBytes, rf);
+      // Skew-immune: every worker scans everything regardless.
+      break;
+    }
+    case Algorithm::kDMpsm: {
+      // Sort + spool both inputs through the page store, then join
+      // from staged pages: one extra write+read pass per input over
+      // the in-memory sort-merge, plus synthetic device delay.
+      auto& p1 = phases[kPhaseSortPublic].counters;
+      CountLocalSort(p1, ns);
+      p1.CountWrite(true, true, static_cast<uint64_t>(ns * kTupleBytes));
+      auto& p3 = phases[kPhaseSortPrivate].counters;
+      CountLocalSort(p3, nr);
+      p3.CountWrite(true, true, static_cast<uint64_t>(nr * kTupleBytes));
+      auto& p4 = phases[kPhaseJoin].counters;
+      p4.CountRead(true, true,
+                   static_cast<uint64_t>(2 * (nr + ns) * kTupleBytes));
+      break;
+    }
+    case Algorithm::kRadix: {
+      // Pass 1 (cross-NUMA): scatter both inputs on the top hash bits.
+      auto& p1 = phases[kPhasePartition].counters;
+      p1.CountRead(true, true,
+                   static_cast<uint64_t>((nr + ns) * kTupleBytes));
+      CountSplit(p1, /*write=*/true, /*sequential=*/false,
+                 (nr + ns) * kTupleBytes, rf);
+      // Pass 2 (node-local): re-partition to cache-sized fragments.
+      auto& p2 = phases[kPhaseSortPrivate].counters;
+      p2.CountRead(true, true,
+                   static_cast<uint64_t>((nr + ns) * kTupleBytes));
+      p2.CountWrite(true, false,
+                    static_cast<uint64_t>((nr + ns) * kTupleBytes));
+      // Build + probe per cache-resident fragment.
+      auto& p4 = phases[kPhaseJoin];
+      p4.counters.hash_inserts = static_cast<uint64_t>(nr);
+      p4.counters.hash_probes = static_cast<uint64_t>(ns);
+      p4.counters.CountRead(true, true,
+                            static_cast<uint64_t>((nr + ns) * kTupleBytes));
+      // Hash partitioning cannot split a hot key: the fragment holding
+      // it bounds the barrier.
+      p4.imbalance = skew;
+      break;
+    }
+    case Algorithm::kWisconsin: {
+      // Build a single global latched table (slot: phase 1).
+      auto& p1 = phases[kPhaseSortPublic].counters;
+      p1.CountRead(true, true, static_cast<uint64_t>(nr * kTupleBytes));
+      p1.hash_inserts = static_cast<uint64_t>(nr);
+      p1.sync_acquisitions = static_cast<uint64_t>(nr);  // bucket latches
+      CountSplit(p1, /*write=*/true, /*sequential=*/false,
+                 nr * kHashLineBytes, rf);
+      // Probe it with S (slot: phase 4): one cache/TLB-missing line
+      // per probe, mostly remote — all three NUMA commandments broken.
+      auto& p4 = phases[kPhaseJoin];
+      p4.counters.CountRead(true, true,
+                            static_cast<uint64_t>(ns * kTupleBytes));
+      p4.counters.hash_probes = static_cast<uint64_t>(ns);
+      CountSplit(p4.counters, /*write=*/false, /*sequential=*/false,
+                 ns * kHashLineBytes, rf);
+      p4.imbalance = skew;  // hot keys serialize on the same chains
+      break;
+    }
+  }
+
+  // Oversubscribed teams timeshare the machine's cores (Figure 13).
+  const double slowdown =
+      T > machine.cores ? T / static_cast<double>(machine.cores) : 1.0;
+  for (uint32_t p = 0; p < kNumJoinPhases; ++p) {
+    cost.phase_seconds[p] = machine.PhaseSeconds(phases[p].counters) *
+                            slowdown * phases[p].imbalance;
+    cost.total_seconds += cost.phase_seconds[p];
+  }
+  return cost;
+}
+
+sim::MachineModel Planner::PlanningMachine() const {
+  if (options_->machine.has_value()) return *options_->machine;
+  sim::MachineModel machine = sim::MachineModel::HyPer1();
+  if (topology_->num_nodes() > 1) {
+    machine.nodes = topology_->num_nodes();
+    machine.cores = topology_->num_cores();
+  }
+  return machine;
+}
+
+Result<JoinPlan> Planner::Plan(const JoinSpec& spec,
+                               uint32_t team_size) const {
+  if (spec.r == nullptr || spec.s == nullptr) {
+    return Status::InvalidArgument("JoinSpec needs both input relations");
+  }
+  const EngineOptions& options = spec.options ? *spec.options : *options_;
+
+  JoinPlan plan;
+  plan.mpsm = ResolveMpsmOptions(options, spec.kind);
+  const uint64_t budget = spec.memory_budget_bytes != 0
+                              ? spec.memory_budget_bytes
+                              : options.memory_budget_bytes;
+  plan.dmpsm = ResolveDMpsmOptions(options, budget);
+  plan.radix = ResolveRadixOptions(options);
+
+  // Front-door validation: every resolved knob set must be legal, even
+  // for the variants the planner ends up not choosing — a bad knob is
+  // a caller bug regardless of today's plan.
+  MPSM_RETURN_NOT_OK(plan.mpsm.Validate(team_size));
+  MPSM_RETURN_NOT_OK(plan.dmpsm.Validate());
+  MPSM_RETURN_NOT_OK(plan.radix.Validate());
+
+  PlannerInputs& in = plan.inputs;
+  in.r_tuples = spec.r->size();
+  in.s_tuples = spec.s->size();
+  in.multiplicity = spec.multiplicity_hint.value_or(
+      in.r_tuples > 0
+          ? static_cast<double>(in.s_tuples) / static_cast<double>(in.r_tuples)
+          : 1.0);
+  in.skew = std::max(spec.skew_hint.value_or(EstimateSkew(*spec.r, *spec.s)),
+                     1.0);
+  in.memory_budget_bytes = budget;
+  in.working_set_bytes = WorkingSetBytes(in.r_tuples, in.s_tuples);
+  in.team_size = team_size;
+  in.numa_nodes = topology_->num_nodes();
+  in.kind = spec.kind;
+
+  const sim::MachineModel machine = PlanningMachine();
+  // Price candidates against the model's node count: the model may
+  // describe a bigger deployment machine than a single-node dev host.
+  PlannerInputs model_in = in;
+  model_in.numa_nodes = std::max(in.numa_nodes, machine.nodes);
+
+  const bool over_budget = budget != 0 && in.working_set_bytes > budget;
+  const bool tiny = in.r_tuples + in.s_tuples <= options.tiny_input_tuples;
+
+  // Cost every candidate so the plan is inspectable even for the paths
+  // rules excluded.
+  constexpr Algorithm kAll[] = {Algorithm::kPMpsm, Algorithm::kBMpsm,
+                                Algorithm::kDMpsm, Algorithm::kRadix,
+                                Algorithm::kWisconsin};
+  for (const Algorithm a : kAll) {
+    CandidateCost cost = EstimateCost(a, model_in, machine, plan.mpsm);
+    if (!SupportsKind(a, spec.kind)) {
+      cost.feasible = false;
+      cost.note = std::string("no ") + JoinKindName(spec.kind) + " support";
+    } else if (over_budget && a != Algorithm::kDMpsm) {
+      cost.feasible = false;
+      cost.note = "working set exceeds memory budget";
+    } else if (a == Algorithm::kDMpsm && !over_budget) {
+      // Feasible, but spilling is never chosen while memory suffices.
+      cost.note = "spill path (not needed: working set fits the budget)";
+    }
+    plan.candidates.push_back(std::move(cost));
+  }
+  auto candidate = [&](Algorithm a) -> const CandidateCost& {
+    return plan.candidates[static_cast<size_t>(a)];
+  };
+
+  // ------------------------------------------------------- decision
+  const std::optional<Algorithm> forced =
+      spec.algorithm ? spec.algorithm : options.force_algorithm;
+  if (forced.has_value()) {
+    if (!SupportsKind(*forced, spec.kind)) {
+      return Status::NotSupported(
+          std::string(AlgorithmName(*forced)) + " does not implement " +
+          JoinKindName(spec.kind) + " joins");
+    }
+    plan.algorithm = *forced;
+    plan.rationale = spec.algorithm ? "forced by JoinSpec::algorithm"
+                                    : "forced by EngineOptions::force_algorithm";
+  } else if (over_budget) {
+    if (spec.kind != JoinKind::kInner) {
+      return Status::NotSupported(
+          std::string("working set exceeds the memory budget and the spill "
+                      "path (d-mpsm) does not implement ") +
+          JoinKindName(spec.kind) + " joins");
+    }
+    plan.algorithm = Algorithm::kDMpsm;
+    plan.rationale =
+        "working set (" + std::to_string(in.working_set_bytes / 1000000) +
+        " MB) exceeds the memory budget (" + std::to_string(budget / 1000000) +
+        " MB): spill via d-mpsm, staging pool " +
+        std::to_string(plan.dmpsm.pool_pages) + " pages";
+  } else if (spec.kind != JoinKind::kInner) {
+    plan.algorithm = candidate(Algorithm::kPMpsm).total_seconds <=
+                             candidate(Algorithm::kBMpsm).total_seconds
+                         ? Algorithm::kPMpsm
+                         : Algorithm::kBMpsm;
+    plan.rationale = std::string(JoinKindName(spec.kind)) +
+                     " join: MPSM family only; cheapest modeled variant";
+  } else if (tiny) {
+    plan.algorithm = Algorithm::kWisconsin;
+    plan.rationale =
+        "tiny inputs (" + std::to_string(in.r_tuples + in.s_tuples) +
+        " <= " + std::to_string(options.tiny_input_tuples) +
+        " tuples): phase orchestration would dominate; no-partition hash "
+        "join";
+  } else {
+    plan.algorithm = Algorithm::kPMpsm;
+    for (const Algorithm a :
+         {Algorithm::kBMpsm, Algorithm::kRadix, Algorithm::kWisconsin}) {
+      if (candidate(a).feasible &&
+          candidate(a).total_seconds <
+              candidate(plan.algorithm).total_seconds) {
+        plan.algorithm = a;
+      }
+    }
+    plan.rationale = "cheapest modeled in-memory candidate";
+  }
+
+  plan.predicted_seconds = candidate(plan.algorithm).total_seconds;
+  plan.predicted_phase_seconds = candidate(plan.algorithm).phase_seconds;
+  return plan;
+}
+
+std::string JoinPlan::ToString() const {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "plan: %s (%s join)\n",
+                AlgorithmName(algorithm), JoinKindName(inputs.kind));
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "  inputs: |R| = %llu, |S| = %llu (multiplicity %.1f), "
+                "skew ~%.1f\n",
+                static_cast<unsigned long long>(inputs.r_tuples),
+                static_cast<unsigned long long>(inputs.s_tuples),
+                inputs.multiplicity, inputs.skew);
+  out += line;
+  if (inputs.memory_budget_bytes != 0) {
+    std::snprintf(line, sizeof(line),
+                  "  budget: %.1f MB (working set %.1f MB)\n",
+                  inputs.memory_budget_bytes / 1e6,
+                  inputs.working_set_bytes / 1e6);
+  } else {
+    std::snprintf(line, sizeof(line),
+                  "  budget: unlimited (working set %.1f MB)\n",
+                  inputs.working_set_bytes / 1e6);
+  }
+  out += line;
+  std::snprintf(line, sizeof(line), "  team: %u workers on %u node%s\n",
+                inputs.team_size, inputs.numa_nodes,
+                inputs.numa_nodes == 1 ? "" : "s");
+  out += line;
+  std::snprintf(
+      line, sizeof(line),
+      "  predicted: %s  [ph1 %s | ph2 %s | ph3 %s | ph4 %s]\n",
+      FormatMs(predicted_seconds).c_str(),
+      FormatMs(predicted_phase_seconds[0]).c_str(),
+      FormatMs(predicted_phase_seconds[1]).c_str(),
+      FormatMs(predicted_phase_seconds[2]).c_str(),
+      FormatMs(predicted_phase_seconds[3]).c_str());
+  out += line;
+  out += "  candidates:";
+  for (const CandidateCost& c : candidates) {
+    out += " ";
+    out += AlgorithmName(c.algorithm);
+    if (c.feasible) {
+      out += " ";
+      out += FormatMs(c.total_seconds);
+    } else {
+      out += " (excluded: ";
+      out += c.note;
+      out += ")";
+    }
+    if (&c != &candidates.back()) out += " |";
+  }
+  out += "\n  why: ";
+  out += rationale;
+  out += "\n";
+  return out;
+}
+
+}  // namespace mpsm::engine

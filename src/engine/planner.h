@@ -1,0 +1,269 @@
+// Cost-model join planner: picks the MPSM-family variant (or a hash
+// baseline) for one join from workload statistics, the NUMA topology,
+// and a memory budget.
+//
+// The paper's thesis is that one sort-merge family covers everything
+// from in-memory flagship joins (P-MPSM, §3.2) to memory-constrained
+// spilling (D-MPSM, §3.1). The planner encodes that reasoning so
+// callers no longer pick variants by hand:
+//
+//   1. A forced algorithm (JoinSpec / EngineOptions) wins, if it
+//      supports the requested JoinKind.
+//   2. If the memory budget cannot hold both inputs plus their runs,
+//      the join spills: D-MPSM, with the staging pool sized from the
+//      budget.
+//   3. Non-inner joins (semi / anti / outer) are MPSM-family only.
+//   4. Tiny inputs skip partitioned algorithms entirely: the
+//      no-partition hash join's simplicity wins when everything fits
+//      in cache and phase orchestration would dominate.
+//   5. Otherwise every candidate is costed through the calibrated
+//      sim::MachineModel (synthetic per-phase counters from the
+//      cardinalities, multiplicity, skew estimate, and node count) and
+//      the cheapest modeled response time wins.
+//
+// The outcome is an inspectable JoinPlan: chosen algorithm, predicted
+// phase costs, every candidate's modeled cost, and the fully resolved
+// per-variant option structs. See docs/engine.md for the decision
+// table.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "baseline/radix_join.h"
+#include "core/consumers.h"
+#include "core/join_types.h"
+#include "disk/d_mpsm.h"
+#include "numa/topology.h"
+#include "parallel/counters.h"
+#include "sim/machine_model.h"
+#include "storage/relation.h"
+#include "util/status.h"
+
+namespace mpsm::engine {
+
+/// Every join implementation the engine can dispatch to.
+enum class Algorithm : uint8_t {
+  kPMpsm,      // range-partitioned MPSM (§3.2, the flagship)
+  kBMpsm,      // basic MPSM (§2.1, skew-immune baseline)
+  kDMpsm,      // disk-enabled MPSM (§3.1, the spill path)
+  kRadix,      // radix hash join (Vectorwise stand-in)
+  kWisconsin,  // no-partition hash join (Blanas et al.)
+};
+
+inline constexpr size_t kNumAlgorithms = 5;
+
+/// Display name ("p-mpsm", "d-mpsm", ...).
+const char* AlgorithmName(Algorithm algorithm);
+
+/// True when `algorithm` implements `kind`. The MPSM in-memory
+/// variants cover all four kinds; the spill path and the hash
+/// baselines are inner-only.
+bool SupportsKind(Algorithm algorithm, JoinKind kind);
+
+/// Per-algorithm overrides for the MPSM variants (knobs that have no
+/// cross-algorithm meaning; the canonical knobs live on EngineOptions).
+struct MpsmOverrides {
+  uint32_t radix_bits = 0;  // 0 = auto (see MpsmOptions::radix_bits)
+  uint32_t equi_height_factor = 4;
+  StartSearch start_search = StartSearch::kInterpolation;
+  bool cost_balanced_splitters = true;
+  bool phase_barriers = true;
+  bool merge_skip_private_prefix = true;
+};
+
+/// Per-algorithm overrides for the D-MPSM spill path.
+struct DMpsmOverrides {
+  size_t tuples_per_page = 4096;
+  /// Staging pool capacity in pages; 0 derives it from the query's
+  /// memory budget (half the budget, at least one page).
+  size_t pool_pages = 0;
+  std::string directory = "/tmp";
+  uint32_t io_delay_us = 0;
+};
+
+/// Per-algorithm overrides for the radix hash join.
+struct RadixOverrides {
+  uint32_t pass1_bits = 0;  // 0 = auto
+  uint32_t pass2_bits = 0;
+  uint32_t target_fragment_tuples = 2048;
+};
+
+/// The engine's one canonical knob set. Shared kernel knobs are stated
+/// once (std::nullopt keeps each algorithm's own default, e.g. MPSM
+/// schedules statically while the radix join defaults to stealing);
+/// algorithm-specific knobs live in the override sub-structs. This
+/// replaces hand-tuning MpsmOptions / DMpsmOptions / RadixJoinOptions
+/// in parallel.
+struct EngineOptions {
+  // ------------------------------------------------------------ session
+  /// Worker-team size. 0 sizes the team to the inputs' chunk count
+  /// (each query's relations must be chunked into team-size chunks).
+  uint32_t workers = 0;
+
+  // ------------------------------------------------------------ planner
+  /// Bypass planning and always run this algorithm (A/B harnesses).
+  std::optional<Algorithm> force_algorithm;
+
+  /// Session-wide RAM budget for a join's working set (inputs + runs);
+  /// 0 = unlimited. JoinSpec::memory_budget_bytes overrides per query.
+  uint64_t memory_budget_bytes = 0;
+
+  /// |R|+|S| at or below this runs the no-partition hash join for
+  /// inner joins: phase orchestration dominates partitioned algorithms
+  /// on inputs this small.
+  uint64_t tiny_input_tuples = uint64_t{1} << 15;
+
+  /// Cost model the planner prices candidates with. Unset derives one
+  /// from the probed topology (its node/core counts with the paper's
+  /// calibrated HyPer1 coefficients); on single-node development
+  /// machines the HyPer1 layout is kept so plans match the paper's
+  /// NUMA reasoning (bench/common.h convention).
+  std::optional<sim::MachineModel> machine;
+
+  // ---------------------------------------- canonical kernel knobs
+  std::optional<SchedulerKind> scheduler;
+  std::optional<sort::SortKind> sort;
+  std::optional<sort::RadixSortConfig> sort_config;
+  std::optional<ScatterKind> scatter;
+  std::optional<uint32_t> merge_prefetch_distance;
+  std::optional<uint32_t> morsel_tuples;
+
+  // ---------------------------------------- per-algorithm overrides
+  MpsmOverrides mpsm;
+  DMpsmOverrides dmpsm;
+  RadixOverrides radix;
+};
+
+/// One join request: inputs, semantics, constraints, and the consumer
+/// of the result. The engine plans everything else.
+struct JoinSpec {
+  /// Private/build input (R: range partitioned / hash built).
+  const Relation* r = nullptr;
+  /// Public/probe input (S: sorted once and shared / probed).
+  const Relation* s = nullptr;
+
+  JoinKind kind = JoinKind::kInner;
+
+  /// Receives the join output; one consumer per worker.
+  ConsumerFactory* consumers = nullptr;
+
+  /// RAM budget for this query's working set; 0 = the session default
+  /// (EngineOptions::memory_budget_bytes).
+  uint64_t memory_budget_bytes = 0;
+
+  /// Force a specific algorithm for this query only.
+  std::optional<Algorithm> algorithm;
+
+  /// Workload statistics, when the caller knows them. Unset values are
+  /// estimated from the data (|S|/|R|; a key-histogram sample).
+  std::optional<double> multiplicity_hint;
+  std::optional<double> skew_hint;
+
+  /// Per-query override of the session's EngineOptions (the pointee
+  /// must outlive the Execute call). Null uses the session options.
+  const EngineOptions* options = nullptr;
+};
+
+/// Workload statistics the planner derived for one join.
+struct PlannerInputs {
+  uint64_t r_tuples = 0;
+  uint64_t s_tuples = 0;
+  double multiplicity = 1.0;  // |S| / |R|
+  /// Key-density skew estimate: max/avg bucket of a sampled 64-bucket
+  /// key histogram over both inputs (1.0 = perfectly uniform).
+  double skew = 1.0;
+  uint64_t memory_budget_bytes = 0;  // 0 = unlimited
+  /// Bytes an in-memory variant keeps resident: both inputs plus their
+  /// sorted runs / partitions.
+  uint64_t working_set_bytes = 0;
+  uint32_t team_size = 1;
+  uint32_t numa_nodes = 1;
+  JoinKind kind = JoinKind::kInner;
+};
+
+/// Modeled cost of one candidate algorithm.
+struct CandidateCost {
+  Algorithm algorithm = Algorithm::kPMpsm;
+  /// False when a rule excludes the candidate (unsupported JoinKind,
+  /// working set over budget); `note` says why.
+  bool feasible = false;
+  std::string note;
+  /// Modeled slowest-worker time per phase slot (barrier semantics).
+  std::array<double, kNumJoinPhases> phase_seconds{};
+  double total_seconds = 0;
+};
+
+/// An inspectable join plan: what will run, why, at what predicted
+/// cost, with every knob resolved.
+struct JoinPlan {
+  Algorithm algorithm = Algorithm::kPMpsm;
+  PlannerInputs inputs;
+
+  /// Modeled cost of the chosen algorithm.
+  double predicted_seconds = 0;
+  std::array<double, kNumJoinPhases> predicted_phase_seconds{};
+
+  /// Every candidate the planner considered (fixed Algorithm order).
+  std::vector<CandidateCost> candidates;
+
+  /// One-line reason for the choice.
+  std::string rationale;
+
+  /// Fully resolved knobs; the struct matching `algorithm` is the one
+  /// Execute uses (kPMpsm/kBMpsm -> mpsm, kDMpsm -> dmpsm, ...).
+  MpsmOptions mpsm;
+  disk::DMpsmOptions dmpsm;
+  baseline::RadixJoinOptions radix;
+
+  /// Multi-line human-readable plan (EXPLAIN-style).
+  std::string ToString() const;
+};
+
+/// Plans joins for one (topology, options) session. Stateless beyond
+/// the borrowed references; cheap to construct per query.
+class Planner {
+ public:
+  /// Both pointees must outlive the planner.
+  Planner(const numa::Topology* topology, const EngineOptions* options)
+      : topology_(topology), options_(options) {}
+
+  /// Produces the plan for `spec` on a team of `team_size` workers.
+  /// Validates the resolved option structs (Validate() satellites)
+  /// before any cost is estimated.
+  Result<JoinPlan> Plan(const JoinSpec& spec, uint32_t team_size) const;
+
+  /// The cost model this planner prices candidates with (the resolved
+  /// EngineOptions::machine).
+  sim::MachineModel PlanningMachine() const;
+
+  /// Modeled cost of `algorithm` under `inputs` on `machine`;
+  /// exposed for tests and the decision-table doc generator.
+  static CandidateCost EstimateCost(Algorithm algorithm,
+                                    const PlannerInputs& inputs,
+                                    const sim::MachineModel& machine,
+                                    const MpsmOptions& mpsm);
+
+  /// Key-density skew estimate over both inputs (sampled); >= 1.
+  static double EstimateSkew(const Relation& r, const Relation& s);
+
+  /// Bytes an in-memory variant keeps resident for these inputs.
+  static uint64_t WorkingSetBytes(uint64_t r_tuples, uint64_t s_tuples);
+
+ private:
+  const numa::Topology* topology_;
+  const EngineOptions* options_;
+};
+
+/// Resolves the canonical + override knobs into each variant's own
+/// option struct (exposed for tests; the planner embeds the results in
+/// the JoinPlan).
+MpsmOptions ResolveMpsmOptions(const EngineOptions& options, JoinKind kind);
+disk::DMpsmOptions ResolveDMpsmOptions(const EngineOptions& options,
+                                       uint64_t memory_budget_bytes);
+baseline::RadixJoinOptions ResolveRadixOptions(const EngineOptions& options);
+
+}  // namespace mpsm::engine

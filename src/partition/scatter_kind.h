@@ -3,6 +3,7 @@
 // intrinsics, staging-buffer templates).
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 
 namespace mpsm {

@@ -303,6 +303,26 @@ void SortTuples(Tuple* data, size_t n, SortKind kind,
   }
 }
 
+Status RadixSortConfig::Validate() const {
+  if (repartition_threshold == 0) {
+    return Status::InvalidArgument(
+        "sort_config.repartition_threshold must be >= 1");
+  }
+  if (max_passes == 0) {
+    return Status::InvalidArgument(
+        "sort_config.max_passes must be >= 1 (1 == the paper's single "
+        "MSD pass)");
+  }
+  // 8 bits per pass over a 64-bit key: more than 8 passes cannot
+  // consume new bits.
+  if (max_passes > 8) {
+    return Status::InvalidArgument(
+        "sort_config.max_passes must be <= 8 (8-bit MSD passes over a "
+        "64-bit key)");
+  }
+  return Status::OK();
+}
+
 const char* SortKindName(SortKind kind) {
   switch (kind) {
     case SortKind::kSinglePassRadix:

@@ -18,6 +18,7 @@
 #include <cstdint>
 
 #include "storage/tuple.h"
+#include "util/status.h"
 
 namespace mpsm::sort {
 
@@ -48,6 +49,10 @@ struct RadixSortConfig {
   /// Hard cap on the number of 8-bit MSD passes (1 == the paper's
   /// single pass); bounds the recursion on adversarial distributions.
   uint32_t max_passes = 4;
+
+  /// Range-checks the knobs (callers embed this in their own
+  /// Options::Validate()).
+  Status Validate() const;
 };
 
 /// Sorts data[0..n) by key using the full Radix/IntroSort pipeline.

@@ -1,52 +1,57 @@
 #include "workload/query.h"
 
-#include "baseline/radix_join.h"
-#include "baseline/wisconsin_join.h"
-#include "core/b_mpsm.h"
-#include "core/consumers.h"
-#include "core/p_mpsm.h"
-
 namespace mpsm::workload {
 
 const char* AlgorithmName(Algorithm algorithm) {
-  switch (algorithm) {
-    case Algorithm::kPMpsm:
-      return "p-mpsm";
-    case Algorithm::kBMpsm:
-      return "b-mpsm";
-    case Algorithm::kWisconsin:
-      return "wisconsin";
-    case Algorithm::kRadix:
-      return "radix (vw)";
-  }
-  return "unknown";
+  if (algorithm == Algorithm::kRadix) return "radix (vw)";
+  return engine::AlgorithmName(algorithm);
 }
 
-Result<QueryResult> RunBenchmarkQuery(Algorithm algorithm, WorkerTeam& team,
+Result<QueryResult> RunBenchmarkQuery(Algorithm algorithm,
+                                      engine::Engine& engine,
                                       const Relation& r, const Relation& s,
                                       const MpsmOptions& options) {
-  MaxPayloadSumFactory consumers(team.size());
-
-  Result<JoinRunInfo> info = Status::Internal("unreachable");
-  switch (algorithm) {
-    case Algorithm::kPMpsm:
-      info = PMpsmJoin(options).Execute(team, r, s, consumers);
-      break;
-    case Algorithm::kBMpsm:
-      info = BMpsmJoin(options).Execute(team, r, s, consumers);
-      break;
-    case Algorithm::kWisconsin:
-      info = baseline::WisconsinHashJoin().Execute(team, r, s, consumers);
-      break;
-    case Algorithm::kRadix:
-      info = baseline::RadixHashJoin().Execute(team, r, s, consumers);
-      break;
+  // Per-query knob override: the harness MpsmOptions map onto the
+  // engine's canonical knobs for the MPSM variants; the hash baselines
+  // keep their own defaults (e.g. the radix join's stealing scheduler).
+  engine::EngineOptions query_options = engine.options();
+  query_options.force_algorithm.reset();
+  const bool mpsm_family = algorithm == Algorithm::kPMpsm ||
+                           algorithm == Algorithm::kBMpsm ||
+                           algorithm == Algorithm::kDMpsm;
+  if (mpsm_family) {
+    query_options.scheduler = options.scheduler;
+    query_options.sort = options.sort;
+    query_options.sort_config = options.sort_config;
+    query_options.scatter = options.scatter;
+    query_options.merge_prefetch_distance = options.merge_prefetch_distance;
+    query_options.morsel_tuples = options.morsel_tuples;
+    query_options.mpsm.radix_bits = options.radix_bits;
+    query_options.mpsm.equi_height_factor = options.equi_height_factor;
+    query_options.mpsm.start_search = options.start_search;
+    query_options.mpsm.cost_balanced_splitters =
+        options.cost_balanced_splitters;
+    query_options.mpsm.phase_barriers = options.phase_barriers;
+    query_options.mpsm.merge_skip_private_prefix =
+        options.merge_skip_private_prefix;
   }
-  if (!info.ok()) return info.status();
+
+  engine::JoinSpec spec;
+  spec.r = &r;
+  spec.s = &s;
+  spec.kind = options.kind;
+  spec.algorithm = algorithm;
+  spec.options = &query_options;
+
+  MaxPayloadSumFactory consumers(engine.TeamSizeFor(spec));
+  spec.consumers = &consumers;
+
+  MPSM_ASSIGN_OR_RETURN(engine::JoinReport report, engine.Execute(spec));
 
   QueryResult result;
   result.max_sum = consumers.Result();
-  result.info = std::move(info).value();
+  result.info = std::move(report.info);
+  result.plan = std::move(report.plan);
   return result;
 }
 

@@ -4,39 +4,45 @@
 //   FROM R, S WHERE R.joinkey = S.joinkey
 //
 // One entry point runs the query with any of the implemented join
-// algorithms, so tests and benches compare like for like.
+// algorithms, so tests and benches compare like for like. The harness
+// runs exclusively through mpsm::engine::Engine (the library's front
+// door): each call forces one algorithm onto the planner and returns
+// the executed plan alongside the answer.
 #pragma once
 
 #include <optional>
 
 #include "core/join_stats.h"
 #include "core/join_types.h"
-#include "parallel/worker_team.h"
+#include "engine/engine.h"
 #include "storage/relation.h"
 #include "util/status.h"
 
 namespace mpsm::workload {
 
-/// Join algorithms the harness can dispatch to.
-enum class Algorithm : uint8_t {
-  kPMpsm,      // range-partitioned MPSM (the paper's flagship)
-  kBMpsm,      // basic MPSM
-  kWisconsin,  // no-partition hash join baseline
-  kRadix,      // radix hash join baseline (Vectorwise stand-in)
-};
+/// Join algorithms the harness can dispatch to — the engine's own
+/// enum, so harness and engine can never drift apart.
+using Algorithm = engine::Algorithm;
 
-/// Display name ("p-mpsm", "wisconsin", ...).
+/// Harness display name; differs from engine::AlgorithmName only in
+/// flagging the radix join as the Vectorwise stand-in ("radix (vw)").
 const char* AlgorithmName(Algorithm algorithm);
 
 /// The query's answer plus execution statistics.
 struct QueryResult {
   std::optional<uint64_t> max_sum;  // nullopt for an empty join
   JoinRunInfo info;
+  /// The plan the engine executed (resolved knobs, predicted costs).
+  engine::JoinPlan plan;
 };
 
-/// Runs the benchmark query. `r` plays the private/build role, `s` the
-/// public/probe role (callers decide role reversal by swapping).
-Result<QueryResult> RunBenchmarkQuery(Algorithm algorithm, WorkerTeam& team,
+/// Runs the benchmark query on `engine`'s session. `r` plays the
+/// private/build role, `s` the public/probe role (callers decide role
+/// reversal by swapping). `options` carries the MPSM-variant knobs
+/// (ignored for the hash baselines, which keep their own defaults,
+/// matching the historical harness behavior).
+Result<QueryResult> RunBenchmarkQuery(Algorithm algorithm,
+                                      engine::Engine& engine,
                                       const Relation& r, const Relation& s,
                                       const MpsmOptions& options = {});
 

@@ -12,6 +12,8 @@
 #include "core/b_mpsm.h"
 #include "core/consumers.h"
 #include "core/p_mpsm.h"
+#include "disk/d_mpsm.h"
+#include "engine/engine.h"
 #include "numa/topology.h"
 #include "workload/generator.h"
 #include "workload/query.h"
@@ -87,6 +89,9 @@ TEST_P(JoinCorrectnessTest, CountMatchesReference) {
     case Algorithm::kBMpsm:
       info = BMpsmJoin().Execute(team, dataset.r, dataset.s, counts);
       break;
+    case Algorithm::kDMpsm:
+      info = disk::DMpsmJoin().Execute(team, dataset.r, dataset.s, counts);
+      break;
     case Algorithm::kWisconsin:
       info = baseline::WisconsinHashJoin().Execute(team, dataset.r,
                                                    dataset.s, counts);
@@ -120,10 +125,13 @@ TEST_P(JoinCorrectnessTest, MaxSumMatchesReference) {
   spec.seed = 99 + c.team_size;
   const auto dataset = workload::Generate(topology, c.team_size, spec);
 
-  WorkerTeam team(topology, c.team_size);
-  auto result = workload::RunBenchmarkQuery(c.algorithm, team, dataset.r,
+  engine::EngineOptions engine_options;
+  engine_options.workers = c.team_size;
+  engine::Engine engine(topology, engine_options);
+  auto result = workload::RunBenchmarkQuery(c.algorithm, engine, dataset.r,
                                             dataset.s);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->plan.algorithm, c.algorithm);
 
   const uint64_t expected = baseline::ReferenceMaxPayloadSum(
       dataset.r.ToVector(), dataset.s.ToVector());
@@ -133,7 +141,8 @@ TEST_P(JoinCorrectnessTest, MaxSumMatchesReference) {
 std::vector<JoinCase> AllCases() {
   std::vector<JoinCase> cases;
   const Algorithm algorithms[] = {Algorithm::kPMpsm, Algorithm::kBMpsm,
-                                  Algorithm::kWisconsin, Algorithm::kRadix};
+                                  Algorithm::kDMpsm, Algorithm::kWisconsin,
+                                  Algorithm::kRadix};
   for (Algorithm a : algorithms) {
     for (uint32_t t : {1u, 2u, 4u, 7u}) {
       cases.push_back(JoinCase{a, t, 10000, 2.0,

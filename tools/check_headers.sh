@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Header self-containment check: every public header under src/ must
+# compile as the sole include of a translation unit. Run from the repo
+# root; any compiler (CXX env var) with -fsyntax-only works.
+set -u
+cd "$(dirname "$0")/.."
+
+CXX="${CXX:-g++}"
+failures=0
+checked=0
+
+while IFS= read -r header; do
+  rel="${header#src/}"
+  if ! printf '#include "%s"\n' "$rel" |
+      "$CXX" -std=c++20 -fsyntax-only -Wall -Wextra -Isrc -x c++ - ; then
+    echo "NOT SELF-CONTAINED: $header" >&2
+    failures=$((failures + 1))
+  fi
+  checked=$((checked + 1))
+done < <(find src -name '*.h' | sort)
+
+echo "checked $checked headers, $failures failure(s)"
+exit $((failures > 0))
