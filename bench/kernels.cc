@@ -11,7 +11,9 @@
 #include "core/interpolation_search.h"
 #include "core/merge_join.h"
 #include "core/p_mpsm.h"
+#include "disk/d_mpsm.h"
 #include "engine/engine.h"
+#include "io/io_backend.h"
 #include "numa/topology.h"
 #include "parallel/worker_team.h"
 #include "partition/cdf.h"
@@ -356,6 +358,78 @@ void BM_PMpsmJoinEngine(benchmark::State& state) {
   PMpsmEnginePathBench(state, /*through_engine=*/true);
 }
 BENCHMARK(BM_PMpsmJoinEngine)->Unit(benchmark::kMillisecond);
+
+// Spill-path I/O backend A/B on the lowmem join: D-MPSM with a
+// synthetic 100 us/page device (PageStoreOptions::io_delay_us burns
+// inside the software backends' reads). The sync backend eats the
+// delay in every submitter — io_stall_ms tracks exactly that wait —
+// while the threadpool overlaps it with merge compute (poll-or-steal,
+// docs/io.md). The uring backend rides the real page cache (no
+// synthetic delay is injectable into the kernel), so its row tracks
+// raw subsystem overhead instead. MPSM_IO_BENCH_LOG2 scales |R|
+// (default 2^15; CI smoke uses less).
+void DMpsmIoBench(benchmark::State& state, io::IoBackendKind backend) {
+  if (backend == io::IoBackendKind::kUring && !io::UringSupported()) {
+    state.SkipWithError("io_uring unavailable on this host");
+    return;
+  }
+  const auto topology = numa::Topology::Probe();
+  const uint32_t team_size = 4;
+  workload::DatasetSpec spec;
+  spec.r_tuples = size_t{1} << GetEnvInt("MPSM_IO_BENCH_LOG2", 15);
+  spec.multiplicity = 2;
+  spec.seed = 42;
+  const auto dataset = workload::Generate(topology, team_size, spec);
+  WorkerTeam team(topology, team_size);
+
+  disk::DMpsmOptions options;
+  options.tuples_per_page = 512;
+  options.pool_pages = 16;
+  options.scheduler = SchedulerKind::kStealing;
+  options.io_backend = backend;
+  if (backend != io::IoBackendKind::kUring) options.io_delay_us = 100;
+
+  double stall_ms = 0;
+  double mean_depth = 0;
+  double batches = 0;
+  double pages = 0;
+  for (auto _ : state) {
+    CountFactory counts(team_size);
+    disk::DMpsmReport report;
+    auto info = disk::DMpsmJoin(options).Execute(team, dataset.r,
+                                                 dataset.s, counts, &report);
+    if (!info.ok()) {
+      state.SkipWithError("join failed");
+      return;
+    }
+    benchmark::DoNotOptimize(counts.Result());
+    stall_ms = report.io_sched.io_stall_ns / 1e6;
+    mean_depth = report.io_sched.mean_queue_depth;
+    batches = static_cast<double>(report.io_sched.io_batches);
+    pages = static_cast<double>(report.io_sched.pages_read);
+  }
+  state.counters["io_stall_ms"] = stall_ms;
+  state.counters["mean_queue_depth"] = mean_depth;
+  state.counters["io_batches"] = batches;
+  state.counters["pages_read"] = pages;
+  state.SetItemsProcessed(state.iterations() *
+                          (dataset.r.size() + dataset.s.size()));
+}
+
+void BM_DMpsmIoSync(benchmark::State& state) {
+  DMpsmIoBench(state, io::IoBackendKind::kSync);
+}
+BENCHMARK(BM_DMpsmIoSync)->Unit(benchmark::kMillisecond);
+
+void BM_DMpsmIoThreadpool(benchmark::State& state) {
+  DMpsmIoBench(state, io::IoBackendKind::kThreadpool);
+}
+BENCHMARK(BM_DMpsmIoThreadpool)->Unit(benchmark::kMillisecond);
+
+void BM_DMpsmIoUring(benchmark::State& state) {
+  DMpsmIoBench(state, io::IoBackendKind::kUring);
+}
+BENCHMARK(BM_DMpsmIoUring)->Unit(benchmark::kMillisecond);
 
 void BM_CdfEstimateRank(benchmark::State& state) {
   auto data = RandomTuples(1 << 20);

@@ -2,7 +2,12 @@
 // memory budget and the planner spills via D-MPSM (§3.1) on its own —
 // spool both inputs to disk as sorted paged runs, then join while
 // keeping only the pages around the current key-domain position
-// resident (Figure 4). The staging pool is sized from the budget.
+// resident (Figure 4). The staging pool is sized from the budget and
+// fed by the async batched page-I/O subsystem (docs/io.md).
+//
+// MPSM_IO_BACKEND={sync,threadpool,uring,auto} selects the I/O engine
+// (CI runs this example under several); an explicitly requested uring
+// on a host without kernel support falls back to auto with a note.
 //
 // HyPer-style systems do this to keep precious RAM for the
 // transactional working set while batch queries run alongside.
@@ -10,12 +15,33 @@
 
 #include "core/consumers.h"
 #include "engine/engine.h"
+#include "io/io_backend.h"
+#include "util/env.h"
 #include "workload/generator.h"
 
 int main() {
   using namespace mpsm;
 
-  engine::Engine engine;
+  engine::EngineOptions engine_options;
+  if (const auto name = GetEnv("MPSM_IO_BACKEND")) {
+    const auto backend = io::ParseIoBackendKind(*name);
+    if (!backend.has_value()) {
+      std::fprintf(stderr, "unknown MPSM_IO_BACKEND '%s'\n", name->c_str());
+      return 1;
+    }
+    if (*backend == io::IoBackendKind::kUring && !io::UringSupported()) {
+      std::printf(
+          "io_uring unavailable on this host; falling back to auto\n");
+      engine_options.dmpsm.io_backend = io::IoBackendKind::kAuto;
+    } else {
+      engine_options.dmpsm.io_backend = *backend;
+    }
+  }
+  std::printf("io backend: %s (uring %s)\n",
+              io::IoBackendKindName(engine_options.dmpsm.io_backend),
+              io::UringSupported() ? "supported" : "unsupported");
+
+  engine::Engine engine(engine_options);
   const uint32_t workers = 4;
 
   workload::DatasetSpec spec;
@@ -62,6 +88,14 @@ int main() {
           static_cast<unsigned long long>(d.io.pages_written),
           static_cast<unsigned long long>(d.io.pages_read),
           pool_bytes / 1e6, window_bytes / 1e6, input_bytes / 1e6);
+      std::printf(
+          "               %s: %llu batches (%llu pages coalesced), "
+          "mean depth %.1f, stall %.1f ms; staging on %u node%s\n",
+          io::IoBackendKindName(d.io_backend_used),
+          static_cast<unsigned long long>(d.io_sched.io_batches),
+          static_cast<unsigned long long>(d.io_sched.coalesced_pages),
+          d.io_sched.mean_queue_depth, d.io_sched.io_stall_ns / 1e6,
+          d.staging_nodes, d.staging_nodes == 1 ? "" : "s");
     }
   }
 

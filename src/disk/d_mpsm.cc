@@ -1,6 +1,7 @@
 #include "disk/d_mpsm.h"
 
 #include <algorithm>
+#include <array>
 #include <atomic>
 #include <memory>
 #include <optional>
@@ -62,11 +63,41 @@ Status SortAndSpool(const Chunk& chunk, uint32_t run_id,
   return Status::OK();
 }
 
-/// Sliding window over one worker's private spooled run.
+/// Sliding window over one worker's private spooled run, fed by async
+/// readahead: upcoming pages are submitted to the shared IoScheduler
+/// (own completion queue) while the worker merges the current ones, so
+/// private-run fetch latency overlaps join compute.
 class PrivateWindow {
  public:
-  PrivateWindow(const PageStore& store, const SpooledRun& run)
-      : store_(&store), run_(&run) {}
+  /// `queue` is this window's private completion queue on `scheduler`;
+  /// `readahead_pages` bounds the in-flight ring. `counters` receives
+  /// io_submits / io_stall_ns attribution.
+  PrivateWindow(const PageStore& store, const SpooledRun& run,
+                io::IoScheduler* scheduler, uint32_t queue,
+                size_t readahead_pages, PerfCounters* counters)
+      : store_(&store),
+        run_(&run),
+        scheduler_(scheduler),
+        queue_(queue),
+        readahead_(std::clamp<size_t>(readahead_pages, 1,
+                                      io::kMaxIovPerRead)),
+        counters_(counters),
+        buffers_(readahead_ * store.page_bytes()),
+        ring_(readahead_) {}
+
+  ~PrivateWindow() {
+    // Reap every read still targeting our ring buffers before they die.
+    std::array<io::PageFetchCompletion, io::kMaxIovPerRead> sink;
+    while (reaped_ < submitted_) {
+      const size_t n =
+          scheduler_->Drain(queue_, sink.data(), sink.size());
+      if (n > 0) {
+        reaped_ += n;
+        continue;
+      }
+      scheduler_->Pump(/*block=*/true);
+    }
+  }
 
   /// Drops tuples with key < low_key, then loads pages until the window
   /// covers keys up to `high_key` (or the run is exhausted).
@@ -84,15 +115,20 @@ class PrivateWindow {
 
     // Prefetch forward: keep loading while the last resident key could
     // still join with this public page.
-    while (next_page_ < run_->pages.size() &&
+    while (next_take_ < run_->pages.size() &&
            (tuples_.size() == start_ || tuples_.back().key <= high_key)) {
+      MPSM_RETURN_NOT_OK(SubmitReadahead());
+      MPSM_RETURN_NOT_OK(WaitForPage(next_take_));
+      const size_t slot = next_take_ % readahead_;
       const size_t old_size = tuples_.size();
       tuples_.resize(old_size + store_->tuples_per_page());
-      auto count = store_->ReadPage(run_->pages[next_page_],
-                                    tuples_.data() + old_size);
+      auto count = store_->DecodePage(buffers_.data() +
+                                          slot * store_->page_bytes(),
+                                      tuples_.data() + old_size);
       if (!count.ok()) return count.status();
       tuples_.resize(old_size + *count);
-      ++next_page_;
+      ring_[slot].ready = false;  // slot reusable for readahead
+      ++next_take_;
     }
     peak_tuples_ = std::max(peak_tuples_, tuples_.size() - start_);
     return Status::OK();
@@ -103,11 +139,76 @@ class PrivateWindow {
   size_t peak_tuples() const { return peak_tuples_; }
 
  private:
+  struct RingSlot {
+    bool ready = false;
+    Status status;
+  };
+
+  /// Keeps up to `readahead_` pages of this run in flight.
+  Status SubmitReadahead() {
+    std::array<io::PageFetchRequest, io::kMaxIovPerRead> requests;
+    size_t n = 0;
+    while (next_submit_ < run_->pages.size() &&
+           next_submit_ < next_take_ + readahead_) {
+      const size_t slot = next_submit_ % readahead_;
+      requests[n].page = run_->pages[next_submit_];
+      requests[n].dest =
+          buffers_.data() + slot * store_->page_bytes();
+      requests[n].user_data = next_submit_;
+      requests[n].queue = queue_;
+      ++n;
+      ++next_submit_;
+    }
+    if (n == 0) return Status::OK();
+    submitted_ += n;
+    if (counters_ != nullptr) ++counters_->io_submits;
+    return scheduler_->Submit(requests.data(), n);
+  }
+
+  /// Blocks until page ordinal `ordinal` completed; pumping the
+  /// scheduler while waiting (the wait itself is recorded as stall).
+  Status WaitForPage(size_t ordinal) {
+    const size_t slot = ordinal % readahead_;
+    WallTimer stall;
+    bool stalled = false;
+    while (!ring_[slot].ready) {
+      std::array<io::PageFetchCompletion, io::kMaxIovPerRead> done;
+      const size_t n =
+          scheduler_->Drain(queue_, done.data(), done.size());
+      if (n == 0) {
+        stalled = true;
+        MPSM_RETURN_NOT_OK(scheduler_->Pump(/*block=*/true));
+        continue;
+      }
+      reaped_ += n;
+      for (size_t i = 0; i < n; ++i) {
+        RingSlot& ring_slot = ring_[done[i].user_data % readahead_];
+        ring_slot.ready = true;
+        ring_slot.status = done[i].status;
+      }
+    }
+    if (stalled) {
+      const auto ns = static_cast<uint64_t>(stall.ElapsedSeconds() * 1e9);
+      if (counters_ != nullptr) counters_->io_stall_ns += ns;
+      scheduler_->AddStallNs(ns);
+    }
+    return ring_[slot].status;
+  }
+
   const PageStore* store_;
   const SpooledRun* run_;
+  io::IoScheduler* scheduler_;
+  const uint32_t queue_;
+  const size_t readahead_;
+  PerfCounters* counters_;
+  std::vector<char> buffers_;  // readahead_ page-sized pinned slots
+  std::vector<RingSlot> ring_;
+  size_t next_submit_ = 0;  // next page ordinal to submit
+  size_t next_take_ = 0;    // next page ordinal to consume
+  size_t submitted_ = 0;
+  size_t reaped_ = 0;
   std::vector<Tuple> tuples_;
   size_t start_ = 0;
-  size_t next_page_ = 0;
   size_t peak_tuples_ = 0;
 };
 
@@ -123,6 +224,13 @@ Status DMpsmOptions::Validate() const {
   if (directory.empty()) {
     return Status::InvalidArgument("directory must be non-empty");
   }
+  // The io knobs share IoSchedulerOptions' legality rules; validating
+  // through it keeps one source of truth.
+  io::IoSchedulerOptions io_options;
+  io_options.backend = io_backend;
+  io_options.queue_depth = io_queue_depth;
+  io_options.batch_pages = io_batch_pages;
+  MPSM_RETURN_NOT_OK(io_options.Validate());
   return sort_config.Validate();
 }
 
@@ -146,6 +254,21 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
   store_options.io_delay_us = options_.io_delay_us;
   PageStore store(store_options);
   MPSM_RETURN_NOT_OK(store.Open());
+
+  // One async page-I/O scheduler serves the shared staging pool (one
+  // completion queue per NUMA node) and every worker's private window
+  // (one queue per worker). A requested-but-unsupported backend fails
+  // the query here — not the process.
+  const uint32_t num_nodes = std::max(1u, team.topology().num_nodes());
+  io::IoSchedulerOptions io_options;
+  io_options.backend = options_.io_backend;
+  io_options.queue_depth = options_.io_queue_depth;
+  io_options.batch_pages = options_.io_batch_pages;
+  io_options.completion_queues = num_nodes + num_workers;
+  MPSM_ASSIGN_OR_RETURN(
+      auto io_scheduler,
+      io::IoScheduler::Create(store.fd(), store.page_bytes(),
+                              store.io_delay_us(), io_options));
 
   std::vector<PageIndex> index_parts(num_workers);
   std::vector<SpooledRun> r_runs(num_workers);
@@ -175,7 +298,8 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
     for (auto& part : index_parts) s_index.Append(part);
     s_index.Finalize();
     pipeline.emplace(store, s_index, options_.pool_pages, num_workers,
-                     /*consumer_loads=*/stealing);
+                     io_scheduler.get(), /*consumer_loads=*/stealing,
+                     &team.topology());
     pipeline->Start();
   });
 
@@ -194,16 +318,20 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
   // Phase 4: walk the key domain in page-index order, joining each
   // public page against the private window. The walk is stateful per
   // consumer (window + in-order releases), so its morsels stay pinned;
-  // under the stealing scheduler the *page fetches* are the stealable
-  // unit instead (StagingPipeline consumer_loads).
+  // the *page-fetch tasks* are the stealable unit instead: a blocked
+  // consumer submits batches and decodes completions for everyone
+  // (poll-or-steal, docs/io.md), and its private window keeps
+  // readahead in flight while it merges.
   phases.AddPhase(
       kPhaseJoin, [&] { return ChunkMorsels(num_workers); },
       [&](WorkerContext& ctx, const Morsel& morsel) {
         const uint32_t w = morsel.task;
         PerfCounters& counters = ctx.Counters(kPhaseJoin);
         JoinConsumer& consumer = consumers.ConsumerForWorker(w);
-        PrivateWindow window(store, r_runs[w]);
-        uint64_t loads = 0;
+        PrivateWindow window(store, r_runs[w], io_scheduler.get(),
+                             /*queue=*/num_nodes + w,
+                             options_.io_batch_pages, &counters);
+        FetchActivity activity;
 
         // On error — whether from this consumer's earlier spool phases
         // or mid-walk — the worker keeps draining (acquire + release)
@@ -211,7 +339,8 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
         // its releases.
         bool failed = !worker_status[w].ok();
         for (size_t pos = 0; pos < s_index.size(); ++pos) {
-          const PageFrame* frame = pipeline->Acquire(pos, &loads);
+          const PageFrame* frame =
+              pipeline->Acquire(pos, ctx.node, &activity);
           if (frame == nullptr) break;  // pipeline stopped on I/O error
           if (!failed && !frame->tuples.empty()) {
             const uint64_t high_key = frame->tuples.back().key;
@@ -235,9 +364,12 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
           }
           pipeline->Release(pos);
         }
-        // Each consumer-performed page read was one stolen fetch task.
-        counters.morsels_executed += loads;
-        consumer_loads.fetch_add(loads, std::memory_order_relaxed);
+        // Each consumer-submitted page fetch was one stolen fetch task.
+        counters.morsels_executed += activity.pages_loaded;
+        counters.io_submits += activity.batches_submitted;
+        counters.io_stall_ns += activity.stall_ns;
+        consumer_loads.fetch_add(activity.pages_loaded,
+                                 std::memory_order_relaxed);
 
         size_t expected = peak_window.load(std::memory_order_relaxed);
         while (window.peak_tuples() > expected &&
@@ -250,19 +382,28 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
   WallTimer timer;
   phases.Run(team, /*phase_barriers=*/true);
 
-  for (const Status& st : worker_status) {
-    MPSM_RETURN_NOT_OK(st);
-  }
-  MPSM_RETURN_NOT_OK(pipeline->status());
+  // The pipeline (and its in-flight fetches) must wind down before the
+  // report snapshots the scheduler counters.
+  if (pipeline.has_value()) pipeline->Stop();
 
   if (report != nullptr) {
     report->io = store.io_stats();
+    report->io_sched = io_scheduler->stats();
+    report->io_backend_used = io_scheduler->backend().kind();
     report->peak_pool_pages =
         pipeline ? pipeline->peak_resident_pages() : 0;
+    report->staging_nodes = pipeline ? pipeline->staging_nodes() : 1;
     report->peak_window_tuples = peak_window.load(std::memory_order_relaxed);
     report->index_entries = s_index.size();
     report->consumer_page_loads =
         consumer_loads.load(std::memory_order_relaxed);
+  }
+
+  for (const Status& st : worker_status) {
+    MPSM_RETURN_NOT_OK(st);
+  }
+  if (pipeline.has_value()) {
+    MPSM_RETURN_NOT_OK(pipeline->status());
   }
   return CollectRunInfo(team, timer.ElapsedSeconds());
 }

@@ -17,6 +17,8 @@
 #include "core/join_stats.h"
 #include "core/join_types.h"
 #include "disk/page_store.h"
+#include "io/io_backend_kind.h"
+#include "io/io_scheduler.h"
 #include "parallel/scheduler_kind.h"
 #include "parallel/worker_team.h"
 #include "sort/radix_introsort.h"
@@ -52,6 +54,20 @@ struct DMpsmOptions {
   /// (StagingPipeline consumer_loads).
   SchedulerKind scheduler = SchedulerKind::kStatic;
 
+  /// Async page-I/O engine for staging-pool and private-window fetches
+  /// (docs/io.md). kSync is the blocking baseline (every fetch stalls
+  /// its submitter for the device round-trip); kAuto picks io_uring
+  /// when the kernel supports it, else the threadpool.
+  io::IoBackendKind io_backend = io::IoBackendKind::kThreadpool;
+
+  /// Most vectored reads in flight at the backend at once (>= 1).
+  size_t io_queue_depth = 16;
+
+  /// Most adjacent pages coalesced into one vectored read, and the
+  /// per-worker private-window readahead depth
+  /// (1 <= io_batch_pages <= io::kMaxIovPerRead).
+  size_t io_batch_pages = 8;
+
   /// Checks every knob against its legal range (e.g. pool_pages >= 1).
   /// Execute and the engine front door both call this.
   Status Validate() const;
@@ -60,14 +76,23 @@ struct DMpsmOptions {
 /// Observability for tests and the spill example.
 struct DMpsmReport {
   IoStats io;
+  /// Async I/O subsystem counters: pages read through the scheduler,
+  /// vectored batches, coalescing wins, stall time, queue depths.
+  io::IoSchedulerStats io_sched;
+  /// Concrete backend the run used (kAuto resolved).
+  io::IoBackendKind io_backend_used = io::IoBackendKind::kThreadpool;
   /// Peak resident S pages in the shared staging pool.
   size_t peak_pool_pages = 0;
+  /// Distinct NUMA nodes the staging pool's buffers are homed on
+  /// (NUMA-interleaved allocation; 1 on single-node hosts).
+  uint32_t staging_nodes = 1;
   /// Peak private-window tuples over all workers.
   size_t peak_window_tuples = 0;
   /// Entries in the S page index.
   size_t index_entries = 0;
-  /// Page reads performed by consumers instead of the prefetch thread
-  /// (stealing scheduler only — the "page fetches as tasks" path).
+  /// Page fetches submitted by consumers instead of the prefetch
+  /// thread (stealing scheduler only — page fetches as stealable
+  /// tasks).
   uint64_t consumer_page_loads = 0;
 };
 

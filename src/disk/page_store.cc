@@ -43,10 +43,22 @@ Result<PageId> PageStore::WritePage(const Tuple* data, size_t count) {
   std::memcpy(page.data(), &count64, sizeof(count64));
   std::memcpy(page.data() + sizeof(count64), data, count * sizeof(Tuple));
 
-  const off_t offset = static_cast<off_t>(id) * page_bytes();
-  ssize_t written = ::pwrite(fd_, page.data(), page.size(), offset);
-  if (written != static_cast<ssize_t>(page.size())) {
-    return Status::IoError(std::string("pwrite: ") + std::strerror(errno));
+  // Resume partial writes (signals, quota boundaries) instead of
+  // failing the query on a legal short pwrite.
+  size_t done = 0;
+  while (done < page.size()) {
+    const ssize_t written =
+        ::pwrite(fd_, page.data() + done, page.size() - done,
+                 static_cast<off_t>(OffsetOfPage(id) + done));
+    if (written < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pwrite: ") +
+                             std::strerror(errno));
+    }
+    if (written == 0) {
+      return Status::IoError("pwrite: no progress (disk full?)");
+    }
+    done += static_cast<size_t>(written);
   }
   pages_written_.fetch_add(1, std::memory_order_relaxed);
   if (options_.io_delay_us > 0) {
@@ -62,22 +74,36 @@ Result<size_t> PageStore::ReadPage(PageId id, Tuple* out) const {
     return Status::InvalidArgument("page id out of range");
   }
   std::vector<char> page(page_bytes());
-  const off_t offset = static_cast<off_t>(id) * page_bytes();
-  ssize_t bytes = ::pread(fd_, page.data(), page.size(), offset);
-  if (bytes != static_cast<ssize_t>(page.size())) {
-    return Status::IoError(std::string("pread: ") + std::strerror(errno));
+  size_t done = 0;
+  while (done < page.size()) {
+    const ssize_t bytes =
+        ::pread(fd_, page.data() + done, page.size() - done,
+                static_cast<off_t>(OffsetOfPage(id) + done));
+    if (bytes < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pread: ") + std::strerror(errno));
+    }
+    if (bytes == 0) {
+      // A fully written page can never hit EOF mid-range.
+      return Status::IoError("pread: unexpected EOF (short read)");
+    }
+    done += static_cast<size_t>(bytes);
   }
-  uint64_t count = 0;
-  std::memcpy(&count, page.data(), sizeof(count));
-  if (count > options_.tuples_per_page) {
-    return Status::Internal("corrupt page header");
-  }
-  std::memcpy(out, page.data() + sizeof(count), count * sizeof(Tuple));
-  pages_read_.fetch_add(1, std::memory_order_relaxed);
   if (options_.io_delay_us > 0) {
     std::this_thread::sleep_for(
         std::chrono::microseconds(options_.io_delay_us));
   }
+  return DecodePage(page.data(), out);
+}
+
+Result<size_t> PageStore::DecodePage(const char* raw, Tuple* out) const {
+  uint64_t count = 0;
+  std::memcpy(&count, raw, sizeof(count));
+  if (count > options_.tuples_per_page) {
+    return Status::Internal("corrupt page header");
+  }
+  std::memcpy(out, raw + sizeof(count), count * sizeof(Tuple));
+  pages_read_.fetch_add(1, std::memory_order_relaxed);
   return static_cast<size_t>(count);
 }
 

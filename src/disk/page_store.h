@@ -57,6 +57,23 @@ class PageStore {
   /// Thread-safe. Returns the tuple count stored on the page.
   Result<size_t> ReadPage(PageId id, Tuple* out) const;
 
+  /// Decodes one raw on-disk page (page_bytes() bytes, e.g. fetched by
+  /// the async I/O subsystem) into `out`, returning the tuple count. A
+  /// corrupt header is an Internal error; success counts toward
+  /// io_stats().pages_read.
+  Result<size_t> DecodePage(const char* raw, Tuple* out) const;
+
+  /// File descriptor of the backing spool file (async reads submit
+  /// preadv against it); -1 before Open().
+  int fd() const { return fd_; }
+
+  /// Byte offset of page `id` in the backing file.
+  uint64_t OffsetOfPage(PageId id) const { return id * page_bytes(); }
+
+  /// Synthetic per-page device latency (forwarded to the software I/O
+  /// backends; see PageStoreOptions::io_delay_us).
+  uint32_t io_delay_us() const { return options_.io_delay_us; }
+
   size_t tuples_per_page() const { return options_.tuples_per_page; }
   size_t page_bytes() const {
     return options_.tuples_per_page * sizeof(Tuple) + sizeof(uint64_t);

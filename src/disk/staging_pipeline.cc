@@ -1,6 +1,8 @@
 #include "disk/staging_pipeline.h"
 
-#include <cassert>
+#include <algorithm>
+
+#include "util/timer.h"
 
 namespace mpsm::disk {
 
@@ -8,13 +10,40 @@ StagingPipeline::StagingPipeline(const PageStore& store,
                                  const PageIndex& index,
                                  size_t capacity_pages,
                                  uint32_t num_consumers,
-                                 bool consumer_loads)
+                                 io::IoScheduler* scheduler,
+                                 bool consumer_loads,
+                                 const numa::Topology* topology)
     : store_(store),
       index_(index),
       capacity_(capacity_pages == 0 ? 1 : capacity_pages),
       num_consumers_(num_consumers),
       consumer_loads_(consumer_loads),
-      slots_(capacity_) {}
+      scheduler_(scheduler),
+      slots_(capacity_) {
+  const uint32_t nodes =
+      topology != nullptr ? std::max(1u, topology->num_nodes()) : 1;
+  staging_nodes_ = static_cast<uint32_t>(
+      std::min<size_t>(nodes, capacity_));
+  node_queues_ = std::min<uint32_t>(
+      scheduler_->options().completion_queues, staging_nodes_);
+
+  // NUMA-interleaved pinned buffers: slot i's page buffer comes from
+  // the arena homed on node i % staging_nodes_, spreading the shared
+  // pool over every memory controller (ROADMAP item; the old code let
+  // first-touch home the whole pool on whichever worker faulted it).
+  const size_t per_node_slots =
+      (capacity_ + staging_nodes_ - 1) / staging_nodes_;
+  const size_t block_bytes = std::max<size_t>(
+      per_node_slots * store_.page_bytes(), size_t{64} << 10);
+  for (uint32_t n = 0; n < staging_nodes_; ++n) {
+    arenas_.push_back(std::make_unique<numa::Arena>(n, block_bytes));
+  }
+  for (size_t i = 0; i < capacity_; ++i) {
+    const auto node = static_cast<numa::NodeId>(i % staging_nodes_);
+    slots_[i].raw = arenas_[node]->AllocateArray<char>(store_.page_bytes());
+    slots_[i].home = node;
+  }
+}
 
 StagingPipeline::~StagingPipeline() { Stop(); }
 
@@ -29,95 +58,187 @@ void StagingPipeline::Stop() {
   }
   frame_freed_.notify_all();
   frame_loaded_.notify_all();
+  // The prefetch loop only exits once every submitted fetch has been
+  // reaped, so joining it guarantees no backend write can land in a
+  // slot buffer after this returns (the arenas die with us).
   if (prefetch_thread_.joinable()) prefetch_thread_.join();
+  // Never-started pipelines (or consumer-submitted stragglers on an
+  // error path) still need their in-flight fetches reaped here.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (outstanding_ > 0) {
+    if (!DrainAndPublishLocked(lock, /*node=*/0)) {
+      lock.unlock();
+      scheduler_->Pump(/*block=*/true);
+      lock.lock();
+    }
+  }
 }
 
 bool StagingPipeline::ClaimableLocked() const {
   if (stop_ || next_claim_ >= index_.size()) return false;
-  const Slot& slot = slots_[next_claim_ % capacity_];
-  // A ring slot is free once it holds no frame, no in-flight load, and
-  // no pending releases of an older position.
-  return slot.frame == nullptr && !slot.loading &&
-         slot.releases_remaining == 0;
+  // A ring slot is reusable once it holds no frame, no in-flight
+  // fetch, and no pending releases of an older position.
+  return slots_[next_claim_ % capacity_].state == SlotState::kFree;
 }
 
-std::optional<size_t> StagingPipeline::TryClaimLocked() {
-  if (!ClaimableLocked()) return std::nullopt;
-  slots_[next_claim_ % capacity_].loading = true;
-  return next_claim_++;
-}
-
-void StagingPipeline::LoadPosition(size_t pos) {
-  // I/O happens outside the lock: a read (and any synthetic delay)
-  // must not block consumers releasing other frames or other loaders.
-  auto frame = std::make_unique<PageFrame>();
-  frame->entry = index_[pos];
-  frame->tuples.resize(store_.tuples_per_page());
-  auto count = store_.ReadPage(frame->entry.page, frame->tuples.data());
-  {
-    std::lock_guard<std::mutex> lock(mu_);
+bool StagingPipeline::ClaimAndSubmitLocked(
+    std::unique_lock<std::mutex>& lock, FetchActivity* activity) {
+  io::PageFetchRequest requests[io::kMaxIovPerRead];
+  const size_t batch_max =
+      std::min(scheduler_->options().batch_pages, io::kMaxIovPerRead);
+  size_t n = 0;
+  while (n < batch_max && ClaimableLocked()) {
+    const size_t pos = next_claim_++;
     Slot& slot = slots_[pos % capacity_];
-    slot.loading = false;
+    slot.state = SlotState::kInFlight;
+    slot.pos = pos;
+    requests[n].page = index_[pos].page;
+    requests[n].dest = slot.raw;
+    requests[n].user_data = pos;
+    requests[n].queue = slot.home % node_queues_;
+    ++n;
+  }
+  if (n == 0) return false;
+  outstanding_ += n;
+  lock.unlock();
+  const Status submitted = scheduler_->Submit(requests, n);
+  lock.lock();
+  // Wake the prefetch thread: with fetches in flight it must park in
+  // the scheduler (Pump) rather than on the pool condvar, or a
+  // completion could land with every pipeline thread asleep.
+  frame_freed_.notify_all();
+  if (!submitted.ok()) {
+    // Submit rejects only malformed requests (a pipeline bug, not a
+    // device error); fail the query and let the janitor loop drain.
+    if (status_.ok()) status_ = submitted;
+    stop_ = true;
+    frame_loaded_.notify_all();
+  }
+  if (activity != nullptr) {
+    activity->pages_loaded += n;
+    activity->batches_submitted += 1;
+  }
+  return true;
+}
+
+bool StagingPipeline::DrainAndPublishLocked(
+    std::unique_lock<std::mutex>& lock, numa::NodeId node) {
+  lock.unlock();
+  scheduler_->Pump(/*block=*/false);
+  constexpr size_t kMaxDrain = 2 * io::kMaxIovPerRead;
+  io::PageFetchCompletion completions[kMaxDrain];
+  size_t n = 0;
+  // The caller's own node queue first (its frames are node-local),
+  // then the other node queues round-robin.
+  const uint32_t first = node % node_queues_;
+  for (uint32_t q = 0; q < node_queues_ && n < kMaxDrain; ++q) {
+    n += scheduler_->Drain((first + q) % node_queues_, completions + n,
+                           kMaxDrain - n);
+  }
+  // Decode outside the lock: an in-flight slot is exclusively owned by
+  // whoever holds its completion.
+  std::vector<Status> decode_status(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (!completions[i].status.ok()) {
+      decode_status[i] = completions[i].status;
+      continue;
+    }
+    const size_t pos = completions[i].user_data;
+    Slot& slot = slots_[pos % capacity_];
+    slot.frame.tuples.resize(store_.tuples_per_page());
+    auto count = store_.DecodePage(slot.raw, slot.frame.tuples.data());
     if (!count.ok()) {
-      if (status_.ok()) status_ = count.status();
+      decode_status[i] = count.status();
+      continue;
+    }
+    slot.frame.tuples.resize(*count);
+    slot.frame.entry = index_[pos];
+  }
+  lock.lock();
+  for (size_t i = 0; i < n; ++i) {
+    const size_t pos = completions[i].user_data;
+    Slot& slot = slots_[pos % capacity_];
+    --outstanding_;
+    ++completed_positions_;
+    if (!decode_status[i].ok()) {
+      if (status_.ok()) status_ = decode_status[i];
       stop_ = true;
+      slot.state = SlotState::kFree;
+      slot.pos = SIZE_MAX;
     } else if (stop_) {
       // Error shutdown elsewhere: drop the frame, consumers drain.
+      slot.state = SlotState::kFree;
+      slot.pos = SIZE_MAX;
     } else {
-      frame->tuples.resize(*count);
-      slot.frame = std::move(frame);
-      slot.pos = pos;
+      slot.state = SlotState::kResident;
       slot.releases_remaining = num_consumers_;
       ++resident_;
       peak_resident_ = std::max(peak_resident_, resident_);
     }
   }
-  frame_loaded_.notify_all();
-  frame_freed_.notify_all();
+  if (n > 0) {
+    frame_loaded_.notify_all();
+    frame_freed_.notify_all();
+  }
+  return n > 0;
 }
 
 void StagingPipeline::PrefetchLoop() {
+  std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    size_t pos;
-    {
-      std::unique_lock<std::mutex> lock(mu_);
+    // Exit only once every claimed fetch has completed: this thread is
+    // the janitor that guarantees Stop()'s no-late-writes contract.
+    if (completed_positions_ >= index_.size()) return;
+    if (stop_ && outstanding_ == 0) return;
+    bool progressed = false;
+    if (!stop_) progressed |= ClaimAndSubmitLocked(lock, nullptr);
+    progressed |= DrainAndPublishLocked(lock, /*node=*/0);
+    if (progressed) continue;
+    if (outstanding_ > 0) {
+      // Fetches in flight: park in the scheduler until one lands.
+      lock.unlock();
+      scheduler_->Pump(/*block=*/true);
+      lock.lock();
+    } else {
+      // Pool full and nothing in flight: wait for the slowest consumer
+      // to free a frame — or for a consumer-submitted fetch
+      // (outstanding_) that this thread must then pump for.
       frame_freed_.wait(lock, [&] {
-        return stop_ || next_claim_ >= index_.size() || ClaimableLocked();
+        return stop_ || ClaimableLocked() || outstanding_ > 0 ||
+               completed_positions_ >= index_.size();
       });
-      auto claimed = TryClaimLocked();
-      if (!claimed.has_value()) {
-        if (stop_ || next_claim_ >= index_.size()) return;
-        continue;  // a consumer claimed it first; re-evaluate
-      }
-      pos = *claimed;
     }
-    LoadPosition(pos);
   }
 }
 
-const PageFrame* StagingPipeline::Acquire(size_t pos,
-                                          uint64_t* loads_performed) {
+const PageFrame* StagingPipeline::Acquire(size_t pos, numa::NodeId node,
+                                          FetchActivity* activity) {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     Slot& slot = slots_[pos % capacity_];
-    if (slot.pos == pos && slot.frame != nullptr) return slot.frame.get();
+    if (slot.pos == pos && slot.state == SlotState::kResident) {
+      return &slot.frame;
+    }
     if (stop_) return nullptr;
     if (consumer_loads_) {
-      // Productive wait: fetch the next claimable page ourselves (it is
-      // `pos` or an earlier/later position some consumer needs).
-      if (auto claimed = TryClaimLocked()) {
-        lock.unlock();
-        LoadPosition(*claimed);
-        if (loads_performed != nullptr) ++*loads_performed;
-        lock.lock();
-        continue;
-      }
+      // Poll-or-steal: the fetch task is the stealable unit. Submit the
+      // next unclaimed batch (it is `pos` or a position some consumer
+      // needs) and/or decode+publish arrived pages for everyone.
+      bool progressed = ClaimAndSubmitLocked(lock, activity);
+      progressed |= DrainAndPublishLocked(lock, node);
+      if (progressed) continue;
     }
+    // Nothing productive left: this is true I/O stall time.
+    WallTimer stall;
     frame_loaded_.wait(lock, [&] {
       const Slot& s = slots_[pos % capacity_];
-      return (s.pos == pos && s.frame != nullptr) || stop_ ||
+      return (s.pos == pos && s.state == SlotState::kResident) || stop_ ||
              (consumer_loads_ && ClaimableLocked());
     });
+    const auto stalled_ns =
+        static_cast<uint64_t>(stall.ElapsedSeconds() * 1e9);
+    if (activity != nullptr) activity->stall_ns += stalled_ns;
+    scheduler_->AddStallNs(stalled_ns);
   }
 }
 
@@ -126,9 +247,12 @@ void StagingPipeline::Release(size_t pos) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     Slot& slot = slots_[pos % capacity_];
-    if (slot.pos != pos || slot.releases_remaining == 0) return;
+    if (slot.pos != pos || slot.state != SlotState::kResident ||
+        slot.releases_remaining == 0) {
+      return;
+    }
     if (--slot.releases_remaining == 0) {
-      slot.frame.reset();
+      slot.state = SlotState::kFree;
       slot.pos = SIZE_MAX;
       --resident_;
       freed = true;

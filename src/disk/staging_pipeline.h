@@ -1,19 +1,29 @@
-// The D-MPSM staging pipeline: bounded buffer pool + prefetcher
-// (the green/white/yellow page lifecycle of Figure 4).
+// The D-MPSM staging pipeline: bounded buffer pool + async prefetch
+// (the green/white/yellow page lifecycle of Figure 4, now fed by the
+// batched page-I/O subsystem of src/io/).
 //
-// Workers consume the public input's pages in page-index order. A
-// dedicated prefetch thread loads pages ahead of the fastest worker
-// into a bounded pool of frames; a frame is released (RAM freed) once
-// every worker has processed it — i.e. once the *slowest* worker has
-// moved past it. Pool capacity bounds resident RAM; when it is full the
-// prefetcher (and any worker that ran ahead) simply waits, throttling
-// the fast workers to the slow ones plus the window.
+// Workers consume the public input's pages in page-index order. Page
+// fetches flow through an io::IoScheduler: a loader claims a *batch*
+// of upcoming index positions, submits them as coalesced vectored
+// reads, and completions land in per-NUMA-node queues. A dedicated
+// prefetch thread keeps the ring full; a frame is released (RAM freed)
+// once every worker has processed it — i.e. once the *slowest* worker
+// has moved past it. Pool capacity bounds resident RAM.
 //
-// With `consumer_loads` (the stealing scheduler's mode), page fetches
-// become stealable tasks: a consumer that would otherwise block on a
-// non-resident page claims the next unclaimed index position itself and
-// performs the read, so I/O spreads over idle workers instead of
-// serializing behind the single prefetch thread.
+// With `consumer_loads` (the stealing scheduler's mode), a consumer
+// whose page is not yet resident does not sleep: it claims and submits
+// the next unclaimed batch itself, drains completion queues (its own
+// node's first), and decodes arrived pages for everyone — poll-or-
+// steal, where the stealable unit is the page-fetch task. Only when no
+// fetch work exists does it block, and that wait is recorded as
+// io_stall_ns. (The phase-4 *walk* morsels themselves cannot be the
+// steal unit: two walks serialized on one worker deadlock against the
+// bounded pool's all-consumers-release rule — see docs/io.md.)
+//
+// Frame buffers are pinned for the I/O subsystem and NUMA-interleaved:
+// slot i's page buffer comes from a numa::Arena homed on node
+// i % nodes, so the shared pool's bandwidth spreads over every memory
+// controller instead of landing on whichever worker touched it first.
 #pragma once
 
 #include <condition_variable>
@@ -26,6 +36,9 @@
 
 #include "disk/page_index.h"
 #include "disk/page_store.h"
+#include "io/io_scheduler.h"
+#include "numa/arena.h"
+#include "numa/topology.h"
 #include "util/status.h"
 
 namespace mpsm::disk {
@@ -36,16 +49,32 @@ struct PageFrame {
   PageIndexEntry entry;
 };
 
+/// What one Acquire call did while it waited (the caller charges these
+/// to its per-worker counters).
+struct FetchActivity {
+  /// Page fetches this caller claimed and submitted.
+  uint64_t pages_loaded = 0;
+  /// Submit batches this caller issued (PerfCounters::io_submits).
+  uint64_t batches_submitted = 0;
+  /// Wall nanoseconds blocked with no fetch work available
+  /// (PerfCounters::io_stall_ns).
+  uint64_t stall_ns = 0;
+};
+
 /// Shared pipeline over one finalized page index.
 class StagingPipeline {
  public:
   /// `capacity_pages` bounds resident frames (>= 1); `num_consumers`
   /// workers will each acquire every index position exactly once.
-  /// `consumer_loads` lets blocked consumers claim and perform page
-  /// reads themselves (see file comment).
+  /// Fetches go through `scheduler` (borrowed; must outlive the
+  /// pipeline), whose completion queues [0, nodes) this pipeline owns.
+  /// `consumer_loads` lets blocked consumers claim and submit batches
+  /// themselves (see file comment). `topology` (optional) homes the
+  /// slot buffers round-robin across its nodes.
   StagingPipeline(const PageStore& store, const PageIndex& index,
                   size_t capacity_pages, uint32_t num_consumers,
-                  bool consumer_loads = false);
+                  io::IoScheduler* scheduler, bool consumer_loads = false,
+                  const numa::Topology* topology = nullptr);
   ~StagingPipeline();
 
   StagingPipeline(const StagingPipeline&) = delete;
@@ -56,58 +85,78 @@ class StagingPipeline {
 
   /// Blocks until index position `pos` is resident; returns its frame,
   /// valid until this consumer calls Release(pos). Returns nullptr when
-  /// the pipeline stopped on an I/O error (check status()). In
-  /// consumer_loads mode the wait is productive: the caller loads
-  /// claimable pages instead of sleeping, and `loads_performed` (when
-  /// given) is incremented per page this caller read.
-  const PageFrame* Acquire(size_t pos, uint64_t* loads_performed = nullptr);
+  /// the pipeline stopped on an I/O error (check status()). `node` is
+  /// the caller's NUMA node (its completion queue is drained first);
+  /// `activity` (optional) accumulates the fetch work and stall time
+  /// this call performed.
+  const PageFrame* Acquire(size_t pos, numa::NodeId node = 0,
+                           FetchActivity* activity = nullptr);
 
   /// Signals that this consumer is done with position `pos`. After
   /// num_consumers releases the frame is freed ("green" in Figure 4).
   /// No-op for positions that never became resident (error shutdown).
   void Release(size_t pos);
 
-  /// Stops the prefetcher (joins the thread). Called automatically by
-  /// the destructor.
+  /// Stops the prefetcher (joins the thread) and reaps every fetch
+  /// this pipeline still has in flight, so slot buffers are never
+  /// written after destruction. Called automatically by the destructor.
   void Stop();
 
   /// Highest number of simultaneously resident frames observed.
   size_t peak_resident_pages() const { return peak_resident_; }
 
-  /// First I/O error encountered by a loader, if any.
+  /// Distinct NUMA nodes the slot buffers are homed on.
+  uint32_t staging_nodes() const { return staging_nodes_; }
+
+  /// First I/O error encountered, if any.
   Status status() const;
 
  private:
+  enum class SlotState : uint8_t { kFree, kInFlight, kResident };
+  struct Slot {
+    char* raw = nullptr;  // pinned page_bytes buffer (arena-backed)
+    numa::NodeId home = 0;
+    PageFrame frame;  // tuple storage reused across positions
+    SlotState state = SlotState::kFree;
+    size_t pos = SIZE_MAX;
+    uint32_t releases_remaining = 0;
+  };
+
   void PrefetchLoop();
   /// True when the next unclaimed index position's pool slot is free;
-  /// caller must hold mu_. The single claim rule behind TryClaimLocked
-  /// and every wait predicate that wakes a would-be loader.
+  /// caller must hold mu_.
   bool ClaimableLocked() const;
-  /// Claims the next unclaimed index position whose pool slot is free;
-  /// caller must hold mu_. Returns nullopt when nothing is claimable.
-  std::optional<size_t> TryClaimLocked();
-  /// Reads the page of claimed position `pos` (no lock held during
-  /// I/O) and publishes or discards the frame.
-  void LoadPosition(size_t pos);
+  /// Claims up to the scheduler's batch size of consecutive claimable
+  /// positions and submits them (lock dropped around the submit).
+  /// Returns true when at least one fetch was submitted.
+  bool ClaimAndSubmitLocked(std::unique_lock<std::mutex>& lock,
+                            FetchActivity* activity);
+  /// Pumps the scheduler and drains completion queues (preferring
+  /// `node`), decoding and publishing arrived frames. Returns true
+  /// when at least one completion was processed.
+  bool DrainAndPublishLocked(std::unique_lock<std::mutex>& lock,
+                             numa::NodeId node);
 
   const PageStore& store_;
   const PageIndex& index_;
   const size_t capacity_;
   const uint32_t num_consumers_;
   const bool consumer_loads_;
+  io::IoScheduler* const scheduler_;
+  uint32_t node_queues_ = 1;  // scheduler queues this pipeline owns
+  uint32_t staging_nodes_ = 1;
+
+  // One arena per staging node; slot buffers interleave across them.
+  std::vector<std::unique_ptr<numa::Arena>> arenas_;
 
   mutable std::mutex mu_;
   std::condition_variable frame_loaded_;
   std::condition_variable frame_freed_;
   // Ring keyed by index position: slot pos % capacity.
-  struct Slot {
-    std::unique_ptr<PageFrame> frame;
-    size_t pos = SIZE_MAX;
-    uint32_t releases_remaining = 0;
-    bool loading = false;
-  };
   std::vector<Slot> slots_;
-  size_t next_claim_ = 0;      // next index position to claim for loading
+  size_t next_claim_ = 0;  // next index position to claim for loading
+  size_t completed_positions_ = 0;  // published or discarded
+  size_t outstanding_ = 0;          // submitted, not yet completed
   size_t resident_ = 0;
   size_t peak_resident_ = 0;
   bool stop_ = false;

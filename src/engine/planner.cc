@@ -28,6 +28,12 @@ struct PhaseEstimate {
   /// Slowest-worker multiplier over the balanced estimate (skewed
   /// fragments / partitions under barrier semantics).
   double imbalance = 1.0;
+  /// Spill-device seconds this phase spends reading pages. With an
+  /// async backend the device runs concurrently with the counters'
+  /// compute (phase time = max of the two); the sync baseline
+  /// serializes them (sum).
+  double io_seconds = 0;
+  bool io_overlapped = false;
 };
 
 /// Splits `bytes` of traffic into local and remote shares: with data
@@ -115,6 +121,9 @@ disk::DMpsmOptions ResolveDMpsmOptions(const EngineOptions& options,
   d.tuples_per_page = options.dmpsm.tuples_per_page;
   d.directory = options.dmpsm.directory;
   d.io_delay_us = options.dmpsm.io_delay_us;
+  d.io_backend = options.dmpsm.io_backend;
+  d.io_queue_depth = options.dmpsm.io_queue_depth;
+  d.io_batch_pages = options.dmpsm.io_batch_pages;
   d.sort = options.sort.value_or(d.sort);
   d.sort_config = options.sort_config.value_or(d.sort_config);
   d.merge_prefetch_distance =
@@ -196,7 +205,8 @@ double Planner::EstimateSkew(const Relation& r, const Relation& s) {
 CandidateCost Planner::EstimateCost(Algorithm algorithm,
                                     const PlannerInputs& in,
                                     const sim::MachineModel& machine,
-                                    const MpsmOptions& mpsm) {
+                                    const MpsmOptions& mpsm,
+                                    const disk::DMpsmOptions& dmpsm) {
   CandidateCost cost;
   cost.algorithm = algorithm;
   cost.feasible = true;
@@ -254,16 +264,36 @@ CandidateCost Planner::EstimateCost(Algorithm algorithm,
     case Algorithm::kDMpsm: {
       // Sort + spool both inputs through the page store, then join
       // from staged pages: one extra write+read pass per input over
-      // the in-memory sort-merge, plus synthetic device delay.
+      // the in-memory sort-merge, plus the spill device itself.
       auto& p1 = phases[kPhaseSortPublic].counters;
       CountLocalSort(p1, ns);
       p1.CountWrite(true, true, static_cast<uint64_t>(ns * kTupleBytes));
       auto& p3 = phases[kPhaseSortPrivate].counters;
       CountLocalSort(p3, nr);
       p3.CountWrite(true, true, static_cast<uint64_t>(nr * kTupleBytes));
-      auto& p4 = phases[kPhaseJoin].counters;
-      p4.CountRead(true, true,
-                   static_cast<uint64_t>(2 * (nr + ns) * kTupleBytes));
+      // Phase 4 re-reads every spooled page. The device is shared, so
+      // each worker sees the full |R|+|S| read stream; an async
+      // backend overlaps it with the merge compute at depth-scaled
+      // bandwidth (src/io/), the sync baseline stalls serially at
+      // depth 1.
+      auto& p4 = phases[kPhaseJoin];
+      p4.counters.CountRead(true, true,
+                            static_cast<uint64_t>(2 * (nr + ns) *
+                                                  kTupleBytes));
+      const double io_bytes =
+          static_cast<double>(in.r_tuples + in.s_tuples) * kTupleBytes;
+      p4.io_overlapped = dmpsm.io_backend != io::IoBackendKind::kSync;
+      const size_t depth = p4.io_overlapped ? dmpsm.io_queue_depth : 1;
+      p4.io_seconds = io_bytes / machine.IoBytesPerSec(depth);
+      // Submission CPU: one vectored read per io_batch_pages pages of
+      // this worker's share.
+      const double page_bytes = std::max<double>(
+          static_cast<double>(dmpsm.tuples_per_page) * kTupleBytes, 1.0);
+      const double worker_pages = (nr + ns) * kTupleBytes / page_bytes;
+      p4.counters.io_submits = static_cast<uint64_t>(
+          worker_pages / static_cast<double>(
+                             std::max<size_t>(dmpsm.io_batch_pages, 1)) +
+          1);
       break;
     }
     case Algorithm::kRadix: {
@@ -315,8 +345,12 @@ CandidateCost Planner::EstimateCost(Algorithm algorithm,
   const double slowdown =
       T > machine.cores ? T / static_cast<double>(machine.cores) : 1.0;
   for (uint32_t p = 0; p < kNumJoinPhases; ++p) {
-    cost.phase_seconds[p] = machine.PhaseSeconds(phases[p].counters) *
-                            slowdown * phases[p].imbalance;
+    const double compute = machine.PhaseSeconds(phases[p].counters) *
+                           slowdown * phases[p].imbalance;
+    // Device reads overlap async compute (max) or serialize (sum).
+    cost.phase_seconds[p] = phases[p].io_overlapped
+                                ? std::max(compute, phases[p].io_seconds)
+                                : compute + phases[p].io_seconds;
     cost.total_seconds += cost.phase_seconds[p];
   }
   return cost;
@@ -384,7 +418,8 @@ Result<JoinPlan> Planner::Plan(const JoinSpec& spec,
                                 Algorithm::kDMpsm, Algorithm::kRadix,
                                 Algorithm::kWisconsin};
   for (const Algorithm a : kAll) {
-    CandidateCost cost = EstimateCost(a, model_in, machine, plan.mpsm);
+    CandidateCost cost =
+        EstimateCost(a, model_in, machine, plan.mpsm, plan.dmpsm);
     if (!SupportsKind(a, spec.kind)) {
       cost.feasible = false;
       cost.note = std::string("no ") + JoinKindName(spec.kind) + " support";

@@ -83,6 +83,14 @@ struct DMpsmOverrides {
   size_t pool_pages = 0;
   std::string directory = "/tmp";
   uint32_t io_delay_us = 0;
+  /// Async page-I/O engine for the spill path (docs/io.md): sync is
+  /// the blocking baseline, auto probes for io_uring at runtime.
+  io::IoBackendKind io_backend = io::IoBackendKind::kThreadpool;
+  /// Backend queue depth; the planner prices D-MPSM reads at the
+  /// machine model's effective bandwidth for this depth.
+  size_t io_queue_depth = 16;
+  /// Pages coalesced per vectored read / private-window readahead.
+  size_t io_batch_pages = 8;
 };
 
 /// Per-algorithm overrides for the radix hash join.
@@ -241,11 +249,16 @@ class Planner {
   sim::MachineModel PlanningMachine() const;
 
   /// Modeled cost of `algorithm` under `inputs` on `machine`;
-  /// exposed for tests and the decision-table doc generator.
+  /// exposed for tests and the decision-table doc generator. `dmpsm`
+  /// supplies the spill path's I/O shape (backend, queue depth, page
+  /// size): an async backend overlaps device reads with merge compute
+  /// (max instead of sum), a sync backend serializes them at depth-1
+  /// bandwidth.
   static CandidateCost EstimateCost(Algorithm algorithm,
                                     const PlannerInputs& inputs,
                                     const sim::MachineModel& machine,
-                                    const MpsmOptions& mpsm);
+                                    const MpsmOptions& mpsm,
+                                    const disk::DMpsmOptions& dmpsm);
 
   /// Key-density skew estimate over both inputs (sampled); >= 1.
   static double EstimateSkew(const Relation& r, const Relation& s);

@@ -1,0 +1,25 @@
+// Internal: per-backend factory functions and the shared blocking-read
+// helper, so io_backend.cc (the public factory) can dispatch without
+// the backend classes leaking into the public header.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+
+#include "io/io_backend.h"
+#include "util/status.h"
+
+namespace mpsm::io {
+
+std::unique_ptr<AsyncIoBackend> CreateSyncBackend(size_t queue_depth);
+std::unique_ptr<AsyncIoBackend> CreateThreadpoolBackend(size_t queue_depth);
+/// Nullptr when the build lacks <linux/io_uring.h> or ring setup fails.
+std::unique_ptr<AsyncIoBackend> CreateUringBackend(size_t queue_depth);
+
+/// Executes `read` synchronously: preadv with EINTR retry and
+/// short-read resumption; a true EOF inside the range is an IoError.
+/// Honors read.delay_us (the synthetic device). Shared by the sync and
+/// threadpool backends.
+Status PerformBlockingRead(const IoRead& read);
+
+}  // namespace mpsm::io

@@ -1,0 +1,245 @@
+#include "io/io_scheduler.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+#include "util/timer.h"
+
+namespace mpsm::io {
+
+Status IoSchedulerOptions::Validate() const {
+  if (queue_depth == 0) {
+    return Status::InvalidArgument("io_queue_depth must be >= 1");
+  }
+  if (batch_pages == 0 || batch_pages > kMaxIovPerRead) {
+    return Status::InvalidArgument(
+        "io_batch_pages must be in [1, " +
+        std::to_string(kMaxIovPerRead) + "]");
+  }
+  if (completion_queues == 0) {
+    return Status::InvalidArgument("completion_queues must be >= 1");
+  }
+  return Status::OK();
+}
+
+Result<std::unique_ptr<IoScheduler>> IoScheduler::Create(
+    int fd, size_t page_bytes, uint32_t delay_us,
+    IoSchedulerOptions options) {
+  MPSM_RETURN_NOT_OK(options.Validate());
+  MPSM_ASSIGN_OR_RETURN(
+      auto backend, CreateIoBackend(options.backend, options.queue_depth));
+  return CreateWithBackend(std::move(backend), fd, page_bytes, delay_us,
+                           std::move(options));
+}
+
+Result<std::unique_ptr<IoScheduler>> IoScheduler::CreateWithBackend(
+    std::unique_ptr<AsyncIoBackend> backend, int fd, size_t page_bytes,
+    uint32_t delay_us, IoSchedulerOptions options) {
+  MPSM_RETURN_NOT_OK(options.Validate());
+  if (backend == nullptr) {
+    return Status::InvalidArgument("io backend must be non-null");
+  }
+  if (page_bytes == 0) {
+    return Status::InvalidArgument("page_bytes must be >= 1");
+  }
+  return std::unique_ptr<IoScheduler>(
+      new IoScheduler(std::move(backend), fd, page_bytes, delay_us,
+                      std::move(options)));
+}
+
+IoScheduler::IoScheduler(std::unique_ptr<AsyncIoBackend> backend, int fd,
+                         size_t page_bytes, uint32_t delay_us,
+                         IoSchedulerOptions options)
+    : backend_(std::move(backend)),
+      fd_(fd),
+      page_bytes_(page_bytes),
+      delay_us_(delay_us),
+      options_(std::move(options)),
+      byte_budget_(options_.max_inflight_bytes != 0
+                       ? options_.max_inflight_bytes
+                       : static_cast<uint64_t>(options_.queue_depth) *
+                             options_.batch_pages * page_bytes),
+      batches_(options_.queue_depth),
+      queues_(options_.completion_queues) {
+  free_batches_.reserve(options_.queue_depth);
+  for (size_t s = options_.queue_depth; s > 0; --s) {
+    free_batches_.push_back(s - 1);
+  }
+}
+
+IoScheduler::~IoScheduler() {
+  // Reap every in-flight read before the backend dies: callers' pinned
+  // buffers must never be written after this destructor returns.
+  // Never-submitted pending requests are simply dropped.
+  std::unique_lock<std::mutex> lock(mu_);
+  while (inflight_reads_ > 0) {
+    if (ReapLocked(lock, /*block=*/true) == 0 && inflight_reads_ > 0) {
+      break;  // backend wedged; leak rather than spin forever
+    }
+  }
+}
+
+Status IoScheduler::Submit(const PageFetchRequest* requests, size_t count) {
+  std::unique_lock<std::mutex> lock(mu_);
+  // All-or-nothing: validate every request before queueing any, so a
+  // caller that sees an error owns all its buffers again (a partially
+  // queued batch would keep reading into them after the error).
+  for (size_t i = 0; i < count; ++i) {
+    if (requests[i].queue >= queues_.size()) {
+      return Status::InvalidArgument("completion queue out of range");
+    }
+  }
+  for (size_t i = 0; i < count; ++i) {
+    pending_.push_back(requests[i]);
+  }
+  return PushPendingLocked(lock);
+}
+
+Status IoScheduler::PushPendingLocked(std::unique_lock<std::mutex>& lock) {
+  while (!pending_.empty() && !free_batches_.empty()) {
+    // Coalesce the run of adjacent page ids at the queue's front
+    // (fetches arrive in page-index order, so physically consecutive
+    // pages are queue-adjacent).
+    const size_t max_pages =
+        std::min(options_.batch_pages, pending_.size());
+    size_t take = 1;
+    while (take < max_pages &&
+           pending_[take].page == pending_[take - 1].page + 1) {
+      ++take;
+    }
+    const uint64_t bytes = static_cast<uint64_t>(take) * page_bytes_;
+    // The byte budget throttles only while reads are in flight: a
+    // single batch must always be able to start (progress guarantee).
+    if (inflight_bytes_ != 0 && inflight_bytes_ + bytes > byte_budget_) {
+      break;
+    }
+
+    const size_t slot = free_batches_.back();
+    free_batches_.pop_back();
+    Batch& batch = batches_[slot];
+    batch.pages.clear();
+    batch.bytes = bytes;
+    batch.used = true;
+
+    IoRead read;
+    read.fd = fd_;
+    read.offset = pending_.front().page * page_bytes_;
+    read.iov_count = static_cast<uint32_t>(take);
+    read.user_data = slot;
+    read.delay_us = delay_us_;
+    for (size_t p = 0; p < take; ++p) {
+      const PageFetchRequest& req = pending_.front();
+      read.iov[p] = {req.dest, page_bytes_};
+      batch.pages.push_back(BatchPage{req.user_data, req.queue});
+      pending_.pop_front();
+    }
+
+    inflight_bytes_ += bytes;
+    ++inflight_reads_;
+    ++io_batches_;
+    coalesced_pages_ += take - 1;
+    depth_samples_sum_ += inflight_reads_;
+    peak_inflight_reads_ = std::max<uint64_t>(peak_inflight_reads_,
+                                              inflight_reads_);
+
+    lock.unlock();
+    // With the blocking sync backend, SubmitRead *is* the device round
+    // trip: charge it as stall so the sync/async A/B measures exactly
+    // the wait that batched async submission converts into compute.
+    WallTimer submit_timer;
+    const Status submitted = backend_->SubmitRead(read);
+    if (backend_->kind() == IoBackendKind::kSync) {
+      AddStallNs(static_cast<uint64_t>(submit_timer.ElapsedSeconds() * 1e9));
+    }
+    lock.lock();
+    if (!submitted.ok()) {
+      // Surface the failure through the normal completion path so
+      // every waiter learns about it, then keep pushing what we can.
+      for (const BatchPage& page : batch.pages) {
+        queues_[page.queue].push_back(
+            PageFetchCompletion{page.user_data, submitted});
+      }
+      batch.used = false;
+      free_batches_.push_back(slot);
+      inflight_bytes_ -= bytes;
+      --inflight_reads_;
+    }
+  }
+  return Status::OK();
+}
+
+size_t IoScheduler::ReapLocked(std::unique_lock<std::mutex>& lock,
+                               bool block) {
+  constexpr size_t kReapMax = 32;
+  IoCompletion raw[kReapMax];
+  lock.unlock();
+  size_t n = backend_->PollCompletions(raw, kReapMax, /*block=*/false);
+  if (n == 0 && block) {
+    n = backend_->PollCompletions(raw, kReapMax, /*block=*/true);
+  }
+  lock.lock();
+  for (size_t i = 0; i < n; ++i) {
+    Batch& batch = batches_[raw[i].user_data];
+    for (const BatchPage& page : batch.pages) {
+      queues_[page.queue].push_back(
+          PageFetchCompletion{page.user_data, raw[i].status});
+    }
+    if (raw[i].status.ok()) pages_read_ += batch.pages.size();
+    inflight_bytes_ -= batch.bytes;
+    --inflight_reads_;
+    batch.used = false;
+    free_batches_.push_back(raw[i].user_data);
+  }
+  return n;
+}
+
+Status IoScheduler::Pump(bool block) {
+  std::unique_lock<std::mutex> lock(mu_);
+  MPSM_RETURN_NOT_OK(PushPendingLocked(lock));
+  size_t reaped = ReapLocked(lock, /*block=*/false);
+  if (block && reaped == 0 && inflight_reads_ > 0) {
+    reaped = ReapLocked(lock, /*block=*/true);
+  }
+  // Freed batch slots (and byte budget) admit more pending work.
+  if (reaped > 0) MPSM_RETURN_NOT_OK(PushPendingLocked(lock));
+  return Status::OK();
+}
+
+size_t IoScheduler::Drain(uint32_t queue, PageFetchCompletion* out,
+                          size_t max) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& q = queues_[queue];
+  size_t n = 0;
+  while (n < max && !q.empty()) {
+    out[n++] = std::move(q.front());
+    q.pop_front();
+  }
+  return n;
+}
+
+bool IoScheduler::Busy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return !pending_.empty() || inflight_reads_ > 0;
+}
+
+void IoScheduler::AddStallNs(uint64_t ns) {
+  io_stall_ns_.fetch_add(ns, std::memory_order_relaxed);
+}
+
+IoSchedulerStats IoScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  IoSchedulerStats stats;
+  stats.pages_read = pages_read_;
+  stats.io_batches = io_batches_;
+  stats.coalesced_pages = coalesced_pages_;
+  stats.io_stall_ns = io_stall_ns_.load(std::memory_order_relaxed);
+  stats.mean_queue_depth =
+      io_batches_ > 0 ? static_cast<double>(depth_samples_sum_) /
+                            static_cast<double>(io_batches_)
+                      : 0.0;
+  stats.peak_inflight_reads = peak_inflight_reads_;
+  return stats;
+}
+
+}  // namespace mpsm::io

@@ -1,0 +1,180 @@
+// IoScheduler: batched, budgeted page-fetch scheduling over an
+// AsyncIoBackend (docs/io.md).
+//
+// Callers submit PageFetchRequests — "read page id P into this pinned
+// buffer, and route the completion to queue Q". The scheduler
+//   - coalesces runs of *adjacent* page ids into single vectored reads
+//     (pages are contiguous on the spool file, so consecutive ids are
+//     one device request),
+//   - enforces a queue-depth cap and an in-flight byte budget toward
+//     the backend,
+//   - routes completions into per-queue lists (the spill path uses one
+//     queue per NUMA node plus one per worker's private window), and
+//   - keeps the counters the engine reports (pages_read, io_batches,
+//     coalesced_pages, io_stall_ns, mean/peak queue depth).
+//
+// Thread-safe: any worker may Submit, Pump, or Drain concurrently;
+// Pump is how I/O progresses — there is no scheduler thread. A blocked
+// consumer pumping the scheduler *is* the poll-or-steal design: its
+// wait time becomes submission/completion work for everyone.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "io/io_backend.h"
+#include "util/status.h"
+
+namespace mpsm::io {
+
+/// Scheduler tuning; Validate() is called by every front door that
+/// embeds these knobs (DMpsmOptions, EngineOptions).
+struct IoSchedulerOptions {
+  /// Which engine performs the reads.
+  IoBackendKind backend = IoBackendKind::kThreadpool;
+  /// Most vectored reads in flight at the backend at once (>= 1).
+  size_t queue_depth = 16;
+  /// Most adjacent pages coalesced into one vectored read
+  /// (1 <= batch <= kMaxIovPerRead).
+  size_t batch_pages = 8;
+  /// In-flight byte budget toward the backend; 0 derives
+  /// queue_depth * batch_pages * page_bytes (i.e. no extra cap).
+  uint64_t max_inflight_bytes = 0;
+  /// Completion queues (>= 1); requests name their queue.
+  uint32_t completion_queues = 1;
+
+  Status Validate() const;
+};
+
+/// One page fetch: read page `page` into `dest` (exactly the store's
+/// page_bytes), complete onto queue `queue` carrying `user_data`.
+struct PageFetchRequest {
+  uint64_t page = 0;
+  char* dest = nullptr;
+  uint64_t user_data = 0;
+  uint32_t queue = 0;
+};
+
+/// One finished page fetch.
+struct PageFetchCompletion {
+  uint64_t user_data = 0;
+  Status status;
+};
+
+/// Cumulative scheduler counters (JoinReport observability).
+struct IoSchedulerStats {
+  /// Pages whose reads completed successfully.
+  uint64_t pages_read = 0;
+  /// Vectored reads issued to the backend.
+  uint64_t io_batches = 0;
+  /// Pages that rode along in a batch beyond the first (coalescing
+  /// wins: pages_read - io_batches when everything coalesced).
+  uint64_t coalesced_pages = 0;
+  /// Wall nanoseconds callers spent blocked on I/O with no productive
+  /// work available (recorded by callers via AddStallNs).
+  uint64_t io_stall_ns = 0;
+  /// Mean backend reads in flight, sampled after each submission.
+  double mean_queue_depth = 0;
+  /// Peak backend reads in flight.
+  uint64_t peak_inflight_reads = 0;
+};
+
+/// Batched page-fetch scheduler over one spool file.
+class IoScheduler {
+ public:
+  /// Creates a scheduler reading `page_bytes`-sized pages from `fd`
+  /// (page id * page_bytes addressing). `delay_us` is the synthetic
+  /// per-read device latency forwarded to software backends. Fails
+  /// when the backend cannot be created (e.g. kUring unsupported).
+  static Result<std::unique_ptr<IoScheduler>> Create(
+      int fd, size_t page_bytes, uint32_t delay_us,
+      IoSchedulerOptions options);
+
+  /// As Create, with an injected backend (tests: fault injection).
+  static Result<std::unique_ptr<IoScheduler>> CreateWithBackend(
+      std::unique_ptr<AsyncIoBackend> backend, int fd, size_t page_bytes,
+      uint32_t delay_us, IoSchedulerOptions options);
+
+  ~IoScheduler();
+  IoScheduler(const IoScheduler&) = delete;
+  IoScheduler& operator=(const IoScheduler&) = delete;
+
+  /// Queues `count` fetches and starts as many as the depth/byte
+  /// budget allows. Buffers stay caller-owned until the matching
+  /// completion is drained.
+  Status Submit(const PageFetchRequest* requests, size_t count);
+
+  /// Drives I/O forward: pushes pending coalesced batches while the
+  /// budget allows and reaps ready backend completions into their
+  /// queues. With `block`, waits for at least one completion when
+  /// reads are in flight. Callers record any true blocking time via
+  /// AddStallNs themselves (only they know whether the wait was
+  /// stealable).
+  Status Pump(bool block);
+
+  /// Pops up to `max` completions from `queue`; returns the count.
+  size_t Drain(uint32_t queue, PageFetchCompletion* out, size_t max);
+
+  /// True while fetches are pending or in flight anywhere.
+  bool Busy() const;
+
+  /// Records caller wall time blocked with nothing productive to do.
+  void AddStallNs(uint64_t ns);
+
+  IoSchedulerStats stats() const;
+  const IoSchedulerOptions& options() const { return options_; }
+  const AsyncIoBackend& backend() const { return *backend_; }
+
+ private:
+  IoScheduler(std::unique_ptr<AsyncIoBackend> backend, int fd,
+              size_t page_bytes, uint32_t delay_us,
+              IoSchedulerOptions options);
+
+  /// One page of an in-flight batch: where to route its completion.
+  struct BatchPage {
+    uint64_t user_data = 0;
+    uint32_t queue = 0;
+  };
+  struct Batch {
+    std::vector<BatchPage> pages;
+    uint64_t bytes = 0;
+    bool used = false;
+  };
+
+  /// Builds + submits coalesced batches while budget allows; caller
+  /// holds mu_ on entry and exit (dropped around backend calls).
+  Status PushPendingLocked(std::unique_lock<std::mutex>& lock);
+  /// Reaps backend completions and routes them; caller holds mu_ on
+  /// entry and exit (dropped around backend calls). Returns reaped
+  /// batch count.
+  size_t ReapLocked(std::unique_lock<std::mutex>& lock, bool block);
+
+  std::unique_ptr<AsyncIoBackend> backend_;
+  const int fd_;
+  const size_t page_bytes_;
+  const uint32_t delay_us_;
+  const IoSchedulerOptions options_;
+  const uint64_t byte_budget_;
+
+  mutable std::mutex mu_;
+  std::deque<PageFetchRequest> pending_;
+  std::vector<Batch> batches_;  // slot table, index == backend user_data
+  std::vector<size_t> free_batches_;
+  std::vector<std::deque<PageFetchCompletion>> queues_;
+  uint64_t inflight_bytes_ = 0;
+  size_t inflight_reads_ = 0;
+
+  // Stats (under mu_ except the atomic stall counter).
+  uint64_t pages_read_ = 0;
+  uint64_t io_batches_ = 0;
+  uint64_t coalesced_pages_ = 0;
+  uint64_t depth_samples_sum_ = 0;
+  uint64_t peak_inflight_reads_ = 0;
+  std::atomic<uint64_t> io_stall_ns_{0};
+};
+
+}  // namespace mpsm::io

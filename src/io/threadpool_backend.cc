@@ -1,0 +1,112 @@
+// Portable async backend: a small pool of I/O threads services a
+// bounded submission queue with blocking preadv. This is the backend
+// CI and non-Linux hosts run; it also carries the synthetic device
+// delay (the sleep burns inside a pool thread, so submitters overlap
+// it with compute — which is the whole point of the subsystem).
+#include <algorithm>
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "io/backend_factories.h"
+
+namespace mpsm::io {
+
+namespace {
+
+class ThreadpoolBackend final : public AsyncIoBackend {
+ public:
+  explicit ThreadpoolBackend(size_t queue_depth)
+      : queue_depth_(queue_depth) {
+    // One thread per 4 queue slots keeps deep queues from spawning a
+    // thread army while still letting delay-carrying ops overlap.
+    const size_t threads = std::clamp<size_t>((queue_depth + 3) / 4, 1, 8);
+    for (size_t t = 0; t < threads; ++t) {
+      workers_.emplace_back([this] { WorkerLoop(); });
+    }
+  }
+
+  ~ThreadpoolBackend() override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      stop_ = true;
+    }
+    submitted_.notify_all();
+    for (auto& worker : workers_) worker.join();
+  }
+
+  Status SubmitRead(const IoRead& read) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return Status::Internal("io backend stopped");
+      pending_.push_back(read);
+      ++in_flight_;
+    }
+    submitted_.notify_one();
+    return Status::OK();
+  }
+
+  size_t PollCompletions(IoCompletion* out, size_t max,
+                         bool block) override {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (block) {
+      completed_cv_.wait(lock, [&] {
+        return !completed_.empty() || in_flight_ == completed_.size();
+      });
+    }
+    size_t n = 0;
+    while (n < max && !completed_.empty()) {
+      out[n++] = std::move(completed_.front());
+      completed_.pop_front();
+      --in_flight_;
+    }
+    return n;
+  }
+
+  size_t InFlight() const override {
+    std::lock_guard<std::mutex> lock(mu_);
+    return in_flight_;
+  }
+
+  size_t queue_depth() const override { return queue_depth_; }
+  IoBackendKind kind() const override { return IoBackendKind::kThreadpool; }
+
+ private:
+  void WorkerLoop() {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (true) {
+      submitted_.wait(lock, [&] { return stop_ || !pending_.empty(); });
+      if (stop_) return;
+      const IoRead read = pending_.front();
+      pending_.pop_front();
+      lock.unlock();
+      IoCompletion done;
+      done.user_data = read.user_data;
+      done.status = PerformBlockingRead(read);
+      lock.lock();
+      completed_.push_back(std::move(done));
+      completed_cv_.notify_all();
+    }
+  }
+
+  const size_t queue_depth_;
+  mutable std::mutex mu_;
+  std::condition_variable submitted_;
+  std::condition_variable completed_cv_;
+  std::deque<IoRead> pending_;
+  std::deque<IoCompletion> completed_;
+  // Submitted and not yet reaped (pending + executing + completed).
+  size_t in_flight_ = 0;
+  bool stop_ = false;
+  std::vector<std::thread> workers_;
+};
+
+}  // namespace
+
+std::unique_ptr<AsyncIoBackend> CreateThreadpoolBackend(size_t queue_depth) {
+  return std::make_unique<ThreadpoolBackend>(queue_depth);
+}
+
+}  // namespace mpsm::io

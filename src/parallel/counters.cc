@@ -39,6 +39,8 @@ PerfCounters& PerfCounters::operator+=(const PerfCounters& other) {
   sync_acquisitions += other.sync_acquisitions;
   morsels_executed += other.morsels_executed;
   morsels_stolen += other.morsels_stolen;
+  io_submits += other.io_submits;
+  io_stall_ns += other.io_stall_ns;
   hash_probes += other.hash_probes;
   hash_inserts += other.hash_inserts;
   output_tuples += other.output_tuples;

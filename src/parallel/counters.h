@@ -56,6 +56,14 @@ struct PerfCounters {
   uint64_t morsels_executed = 0;
   uint64_t morsels_stolen = 0;
 
+  // Async page I/O (src/io/, the D-MPSM spill path): batched read
+  // submissions this worker issued, and wall nanoseconds it spent
+  // blocked on I/O with no stealable fetch work left. The machine
+  // model charges ns_per_io_submit per submission; io_stall_ns is
+  // observability only (measured wall time, not a modeled count).
+  uint64_t io_submits = 0;
+  uint64_t io_stall_ns = 0;
+
   // Hash table operations (baselines).
   uint64_t hash_probes = 0;
   uint64_t hash_inserts = 0;

@@ -21,9 +21,18 @@ double MachineModel::PhaseSeconds(const PerfCounters& c) const {
   ns += static_cast<double>(c.sort_tuple_logs) * ns_per_sort_unit;
   ns += static_cast<double>(c.sync_acquisitions) * ns_per_sync;
   ns += static_cast<double>(c.morsels_stolen) * ns_per_steal;
+  ns += static_cast<double>(c.io_submits) * ns_per_io_submit;
   ns += static_cast<double>(c.hash_inserts) * ns_per_hash_insert;
   ns += static_cast<double>(c.hash_probes) * ns_per_hash_probe;
   return ns * 1e-9;
+}
+
+double MachineModel::IoBytesPerSec(size_t queue_depth) const {
+  const double saturation = std::max<uint32_t>(io_saturation_depth, 1);
+  const double depth =
+      std::min(static_cast<double>(std::max<size_t>(queue_depth, 1)),
+               saturation);
+  return io_bytes_per_sec * depth / saturation;
 }
 
 ModeledExecution ModelExecution(const MachineModel& model,

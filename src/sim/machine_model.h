@@ -24,6 +24,7 @@
 #pragma once
 
 #include <array>
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -63,6 +64,19 @@ struct MachineModel {
   double ns_per_hash_insert = 40.0;
   double ns_per_hash_probe = 30.0;
 
+  // Async batched page I/O (src/io/): CPU cost of building and
+  // submitting one vectored read (syscall + sqe/queue bookkeeping).
+  double ns_per_io_submit = 1500.0;
+
+  // Spill device: streaming read bandwidth when fully saturated, and
+  // the queue depth that saturates it. Effective bandwidth ramps
+  // linearly with depth (IoBytesPerSec), so a sync backend (depth 1)
+  // sees io_bytes_per_sec / io_saturation_depth — the classic reason
+  // batched async submission turns a spilling operator compute-bound.
+  // 2.0 GB/s at depth >= 8 models the paper-era enterprise SSD array.
+  double io_bytes_per_sec = 2.0e9;
+  uint32_t io_saturation_depth = 8;
+
   /// Figure 1 exp. 1: sorting in a globally allocated (interleaved)
   /// array instead of the local partition costs this factor.
   double global_sort_penalty = 3.22;
@@ -70,7 +84,14 @@ struct MachineModel {
   /// The paper's machine.
   static MachineModel HyPer1() { return MachineModel{}; }
 
+  /// Effective spill-device read bandwidth at the given queue depth
+  /// (linear ramp up to io_saturation_depth).
+  double IoBytesPerSec(size_t queue_depth) const;
+
   /// Modeled seconds one worker spends on the work in `counters`.
+  /// io_submits is charged at ns_per_io_submit; the measured
+  /// io_stall_ns stays observability-only (a wall-clock artifact of
+  /// the run host, not a machine-independent count).
   double PhaseSeconds(const PerfCounters& counters) const;
 };
 

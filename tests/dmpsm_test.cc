@@ -12,6 +12,7 @@
 #include "disk/page_index.h"
 #include "disk/page_store.h"
 #include "disk/staging_pipeline.h"
+#include "io/io_scheduler.h"
 #include "numa/topology.h"
 #include "util/rng.h"
 #include "workload/generator.h"
@@ -158,7 +159,13 @@ TEST(StagingPipelineTest, DeliversAllPagesInOrderUnderTinyPool) {
   index.Finalize();
 
   constexpr uint32_t kConsumers = 3;
-  StagingPipeline pipeline(store, index, /*capacity_pages=*/2, kConsumers);
+  io::IoSchedulerOptions io_options;
+  io_options.backend = io::IoBackendKind::kThreadpool;
+  auto scheduler = io::IoScheduler::Create(
+      store.fd(), store.page_bytes(), store.io_delay_us(), io_options);
+  ASSERT_TRUE(scheduler.ok());
+  StagingPipeline pipeline(store, index, /*capacity_pages=*/2, kConsumers,
+                           scheduler->get());
   pipeline.Start();
 
   std::atomic<bool> mismatch{false};

@@ -9,6 +9,7 @@
 #include "baseline/reference_join.h"
 #include "core/consumers.h"
 #include "engine/engine.h"
+#include "io/io_backend.h"
 #include "numa/topology.h"
 #include "storage/tuple.h"
 #include "workload/generator.h"
@@ -109,6 +110,62 @@ TEST(PlannerGoldenTest, TinyInputsChooseWisconsin) {
   ASSERT_TRUE(plan.ok());
   EXPECT_EQ(plan->algorithm, Algorithm::kWisconsin);
   EXPECT_NE(plan->rationale.find("tiny"), std::string::npos);
+}
+
+TEST(PlannerGoldenTest, AsyncIoBackendPricesDMpsmCheaperThanSync) {
+  // The machine model charges the spill device at depth-scaled
+  // bandwidth and overlaps it with merge compute for async backends;
+  // the sync baseline serializes depth-1 reads behind the compute.
+  PlannerInputs in;
+  in.r_tuples = uint64_t{1} << 24;
+  in.s_tuples = uint64_t{1} << 26;
+  in.team_size = 32;
+  in.numa_nodes = 4;
+  const auto machine = sim::MachineModel::HyPer1();
+  const MpsmOptions mpsm;
+
+  disk::DMpsmOptions sync_options;
+  sync_options.io_backend = io::IoBackendKind::kSync;
+  disk::DMpsmOptions async_options;
+  async_options.io_backend = io::IoBackendKind::kThreadpool;
+  async_options.io_queue_depth = 16;
+
+  const auto sync_cost = Planner::EstimateCost(Algorithm::kDMpsm, in,
+                                               machine, mpsm, sync_options);
+  const auto async_cost = Planner::EstimateCost(Algorithm::kDMpsm, in,
+                                                machine, mpsm, async_options);
+  EXPECT_LT(async_cost.total_seconds, sync_cost.total_seconds);
+  // The whole gap is the join phase, where the reads happen.
+  EXPECT_LT(async_cost.phase_seconds[kPhaseJoin],
+            sync_cost.phase_seconds[kPhaseJoin]);
+  EXPECT_DOUBLE_EQ(async_cost.phase_seconds[kPhaseSortPublic],
+                   sync_cost.phase_seconds[kPhaseSortPublic]);
+}
+
+TEST(PlannerGoldenTest, ResolvesIoKnobsIntoDMpsmOptions) {
+  EngineOptions options;
+  options.dmpsm.io_backend = io::IoBackendKind::kAuto;
+  options.dmpsm.io_queue_depth = 4;
+  options.dmpsm.io_batch_pages = 2;
+  const auto resolved = ResolveDMpsmOptions(options, /*budget=*/0);
+  EXPECT_EQ(resolved.io_backend, io::IoBackendKind::kAuto);
+  EXPECT_EQ(resolved.io_queue_depth, 4u);
+  EXPECT_EQ(resolved.io_batch_pages, 2u);
+}
+
+TEST(PlannerGoldenTest, RejectsBadIoKnobsAtTheFrontDoor) {
+  const auto topology = Topo();
+  const auto dataset = MediumDataset(topology, 8);
+  EngineOptions options;
+  options.workers = 8;
+  options.dmpsm.io_queue_depth = 0;
+  Engine engine(topology, options);
+  JoinSpec spec;
+  spec.r = &dataset.r;
+  spec.s = &dataset.s;
+  auto plan = engine.Plan(spec);
+  ASSERT_FALSE(plan.ok());
+  EXPECT_EQ(plan.status().code(), StatusCode::kInvalidArgument);
 }
 
 TEST(PlannerGoldenTest, NonInnerJoinsStayInTheMpsmFamily) {
@@ -314,11 +371,13 @@ TEST(EngineSessionTest, AutoTeamSizeFollowsChunkingAndRespawnsOnce) {
 struct MatrixCase {
   Algorithm algorithm;
   JoinKind kind;
+  io::IoBackendKind io_backend;
 };
 
 std::string MatrixName(const testing::TestParamInfo<MatrixCase>& info) {
   std::string name = std::string(AlgorithmName(info.param.algorithm)) + "_" +
-                     JoinKindName(info.param.kind);
+                     JoinKindName(info.param.kind) + "_" +
+                     io::IoBackendKindName(info.param.io_backend);
   for (char& c : name) {
     if (c == '-') c = '_';
   }
@@ -328,7 +387,10 @@ std::string MatrixName(const testing::TestParamInfo<MatrixCase>& info) {
 class EngineMatrixTest : public testing::TestWithParam<MatrixCase> {};
 
 TEST_P(EngineMatrixTest, MatchesReferenceJoin) {
-  const auto [algorithm, kind] = GetParam();
+  const auto [algorithm, kind, io_backend] = GetParam();
+  if (io_backend == io::IoBackendKind::kUring && !io::UringSupported()) {
+    GTEST_SKIP() << "io_uring unavailable on this host";
+  }
   const auto topology = Topo();
   constexpr uint32_t kWorkers = 4;
 
@@ -342,6 +404,7 @@ TEST_P(EngineMatrixTest, MatchesReferenceJoin) {
 
   EngineOptions options;
   options.workers = kWorkers;
+  options.dmpsm.io_backend = io_backend;
   Engine engine(topology, options);
 
   CountFactory counts(kWorkers);
@@ -374,13 +437,20 @@ TEST_P(EngineMatrixTest, MatchesReferenceJoin) {
 }
 
 std::vector<MatrixCase> AllMatrixCases() {
+  // The 5x4 algorithm x JoinKind matrix under every io backend (the
+  // backend only steers the D-MPSM spill path, but the whole matrix
+  // must stay green regardless of the session-level knob).
   std::vector<MatrixCase> cases;
-  for (const Algorithm a :
-       {Algorithm::kPMpsm, Algorithm::kBMpsm, Algorithm::kDMpsm,
-        Algorithm::kRadix, Algorithm::kWisconsin}) {
-    for (const JoinKind k : {JoinKind::kInner, JoinKind::kLeftSemi,
-                             JoinKind::kLeftAnti, JoinKind::kLeftOuter}) {
-      cases.push_back({a, k});
+  for (const io::IoBackendKind backend :
+       {io::IoBackendKind::kSync, io::IoBackendKind::kThreadpool,
+        io::IoBackendKind::kUring}) {
+    for (const Algorithm a :
+         {Algorithm::kPMpsm, Algorithm::kBMpsm, Algorithm::kDMpsm,
+          Algorithm::kRadix, Algorithm::kWisconsin}) {
+      for (const JoinKind k : {JoinKind::kInner, JoinKind::kLeftSemi,
+                               JoinKind::kLeftAnti, JoinKind::kLeftOuter}) {
+        cases.push_back({a, k, backend});
+      }
     }
   }
   return cases;
