@@ -22,6 +22,7 @@
 #include "partition/prefix_scatter.h"
 #include "partition/radix_histogram.h"
 #include "sim/machine_model.h"
+#include "simd/caps.h"
 #include "sort/radix_introsort.h"
 #include "storage/run.h"
 #include "util/env.h"
@@ -81,15 +82,20 @@ BENCHMARK(BM_StdSort)->Arg(1 << 16)->Arg(1 << 20);
 
 // A/B pair for the merge kernel: identical workload, scalar kernel vs
 // the prefetch-pipelined variant (distance = kDefaultMergePrefetchDistance).
-void MergeJoinBench(benchmark::State& state, uint32_t prefetch_distance) {
+void MergeJoinBench(benchmark::State& state, uint32_t prefetch_distance,
+                    simd::SimdKind simd_kind = simd::SimdKind::kScalar) {
+  if (simd::Resolve(simd_kind) != simd_kind) {
+    state.SkipWithError("simd kind unsupported on this host");
+    return;
+  }
   auto r = RandomTuples(state.range(0), 1);
   auto s = RandomTuples(state.range(0) * 4, 2);
   sort::RadixIntroSort(r.data(), r.size());
   sort::RadixIntroSort(s.data(), s.size());
   for (auto _ : state) {
     uint64_t matches = 0;
-    MergeJoinRunPairWith(prefetch_distance, r.data(), r.size(), s.data(),
-                         s.size(),
+    MergeJoinRunPairWith(prefetch_distance, simd_kind, r.data(), r.size(),
+                         s.data(), s.size(),
                          [&](size_t, const Tuple&, const Tuple*,
                              size_t count) { matches += count; });
     benchmark::DoNotOptimize(matches);
@@ -107,6 +113,32 @@ void BM_MergeJoinKernelPrefetch(benchmark::State& state) {
 }
 BENCHMARK(BM_MergeJoinKernelPrefetch)->Arg(1 << 16)->Arg(1 << 19)->Arg(1 << 21);
 
+// SIMD A/B family for the merge compare (docs/simd.md): same workload
+// and prefetch pipeline, only the advance kernel varies. Unsupported
+// kinds skip with an error so the JSON row says why.
+void BM_MergeScalar(benchmark::State& state) {
+  MergeJoinBench(state, kDefaultMergePrefetchDistance,
+                 simd::SimdKind::kScalar);
+}
+BENCHMARK(BM_MergeScalar)->Arg(1 << 20)->Arg(1 << 21);
+
+void BM_MergeSse(benchmark::State& state) {
+  MergeJoinBench(state, kDefaultMergePrefetchDistance, simd::SimdKind::kSse);
+}
+BENCHMARK(BM_MergeSse)->Arg(1 << 20)->Arg(1 << 21);
+
+void BM_MergeAvx2(benchmark::State& state) {
+  MergeJoinBench(state, kDefaultMergePrefetchDistance,
+                 simd::SimdKind::kAvx2);
+}
+BENCHMARK(BM_MergeAvx2)->Arg(1 << 20)->Arg(1 << 21);
+
+void BM_MergeAvx512(benchmark::State& state) {
+  MergeJoinBench(state, kDefaultMergePrefetchDistance,
+                 simd::SimdKind::kAvx512);
+}
+BENCHMARK(BM_MergeAvx512)->Arg(1 << 20)->Arg(1 << 21);
+
 void BM_RadixHistogram(benchmark::State& state) {
   const auto data = RandomTuples(1 << 20);
   const KeyNormalizer normalizer(0, (uint64_t{1} << 32) - 1,
@@ -119,6 +151,33 @@ void BM_RadixHistogram(benchmark::State& state) {
   state.SetItemsProcessed(state.iterations() * data.size());
 }
 BENCHMARK(BM_RadixHistogram)->Arg(5)->Arg(8)->Arg(11)->Arg(14);
+
+// SIMD A/B pair for the cluster-histogram pass (arg = radix bits).
+void HistogramSimdBench(benchmark::State& state, simd::SimdKind simd_kind) {
+  if (simd::Resolve(simd_kind) != simd_kind) {
+    state.SkipWithError("simd kind unsupported on this host");
+    return;
+  }
+  const auto data = RandomTuples(1 << 20);
+  const KeyNormalizer normalizer(0, (uint64_t{1} << 32) - 1,
+                                 static_cast<uint32_t>(state.range(0)));
+  for (auto _ : state) {
+    auto histogram =
+        BuildRadixHistogram(data.data(), data.size(), normalizer, simd_kind);
+    benchmark::DoNotOptimize(histogram.data());
+  }
+  state.SetItemsProcessed(state.iterations() * data.size());
+}
+
+void BM_HistogramScalar(benchmark::State& state) {
+  HistogramSimdBench(state, simd::SimdKind::kScalar);
+}
+BENCHMARK(BM_HistogramScalar)->Arg(11)->Arg(14);
+
+void BM_HistogramSimd(benchmark::State& state) {
+  HistogramSimdBench(state, simd::Resolve(simd::SimdKind::kAuto));
+}
+BENCHMARK(BM_HistogramSimd)->Arg(11)->Arg(14);
 
 void BM_ScatterPrefixSum(benchmark::State& state) {
   const auto data = RandomTuples(1 << 20);
@@ -235,6 +294,38 @@ void BM_LowerBound(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_LowerBound)->Arg(0)->Arg(1);
+
+// SIMD A/B pair for the merge-start search: scalar interpolation
+// descent to hi-lo == 1 vs the windowed descent with a packed finish.
+void SearchSimdBench(benchmark::State& state, simd::SimdKind simd_kind) {
+  if (simd::Resolve(simd_kind) != simd_kind) {
+    state.SkipWithError("simd kind unsupported on this host");
+    return;
+  }
+  auto data = RandomTuples(1 << 22);
+  sort::RadixIntroSort(data.data(), data.size());
+  const simd::AdvanceFn advance = simd::AdvanceForKind(simd_kind);
+  Xoshiro256 rng(3);
+  for (auto _ : state) {
+    const uint64_t key = rng.NextBounded(uint64_t{1} << 32);
+    const size_t pos =
+        advance == nullptr
+            ? InterpolationLowerBound(data.data(), data.size(), key)
+            : InterpolationLowerBoundWindowed(data.data(), data.size(), key,
+                                              advance);
+    benchmark::DoNotOptimize(pos);
+  }
+}
+
+void BM_SearchScalar(benchmark::State& state) {
+  SearchSimdBench(state, simd::SimdKind::kScalar);
+}
+BENCHMARK(BM_SearchScalar);
+
+void BM_SearchSimd(benchmark::State& state) {
+  SearchSimdBench(state, simd::Resolve(simd::SimdKind::kAuto));
+}
+BENCHMARK(BM_SearchSimd);
 
 // Scheduler A/B on the Figure 16 workload: negatively correlated 80:20
 // skew with the equi-height strawman splitters, so the static scripts

@@ -20,10 +20,12 @@
 
 namespace mpsm::baseline {
 
+/// The Fibonacci hashing multiplier (named so the SIMD hash-digit
+/// histogram kernels can be handed the exact same constant).
+inline constexpr uint64_t kHashMultiplier = 0x9E3779B97F4A7C15ull;
+
 /// Multiplicative 64-bit hash (Fibonacci hashing).
-inline uint64_t HashKey(uint64_t key) {
-  return key * 0x9E3779B97F4A7C15ull;
-}
+inline uint64_t HashKey(uint64_t key) { return key * kHashMultiplier; }
 
 /// A chained hash table over join tuples, sized once up front.
 /// Thread-safe latched inserts; probes are wait-free after a barrier.

@@ -6,6 +6,7 @@
 #include "baseline/hash_table.h"
 #include "parallel/task_scheduler.h"
 #include "partition/prefix_scatter.h"
+#include "simd/histogram_kernels.h"
 #include "util/bits.h"
 #include "util/timer.h"
 
@@ -148,9 +149,9 @@ Result<JoinRunInfo> RadixHashJoin::Execute(WorkerTeam& team,
         PerfCounters& counters = ctx.Counters(kPhasePartition);
         auto histogram = [&](const Chunk& chunk) {
           std::vector<uint64_t> h(p1, 0);
-          for (size_t i = 0; i < chunk.size; ++i) {
-            ++h[HashDigit(chunk.data[i].key, 0, pass1_bits)];
-          }
+          simd::HashDigitHistogram(chunk.data, chunk.size, kHashMultiplier,
+                                   /*bit_offset=*/0, pass1_bits, h.data(),
+                                   options_.simd);
           counters.CountRead(chunk.node == ctx.node, /*sequential=*/true,
                              chunk.size * sizeof(Tuple));
           return h;
@@ -266,9 +267,9 @@ Result<JoinRunInfo> RadixHashJoin::Execute(WorkerTeam& team,
                                   std::vector<uint64_t>& sub_offset) {
             local.resize(part.size);
             std::vector<uint64_t> h(p2, 0);
-            for (size_t i = 0; i < part.size; ++i) {
-              ++h[HashDigit(part.data[i].key, pass1_bits, pass2_bits)];
-            }
+            simd::HashDigitHistogram(part.data, part.size, kHashMultiplier,
+                                     pass1_bits, pass2_bits, h.data(),
+                                     options_.simd);
             sub_offset[0] = 0;
             for (uint32_t b = 0; b < p2; ++b) {
               sub_offset[b + 1] = sub_offset[b] + h[b];

@@ -15,6 +15,7 @@
 #include "parallel/scheduler_kind.h"
 #include "parallel/worker_team.h"
 #include "partition/scatter_kind.h"
+#include "simd/simd_kind.h"
 #include "storage/relation.h"
 #include "util/status.h"
 
@@ -41,6 +42,10 @@ struct RadixJoinOptions {
   /// owning node and idle workers steal cross-node. Static pre-assigns
   /// partitions round-robin to the owning node's workers (A/B knob).
   SchedulerKind scheduler = SchedulerKind::kStealing;
+
+  /// Vector ISA of the partitioning hash-digit histograms
+  /// (docs/simd.md); every kind counts identically.
+  simd::SimdKind simd = simd::SimdKind::kAuto;
 
   /// Checks every knob against its legal range. The engine front door
   /// calls this before planning.

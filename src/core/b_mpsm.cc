@@ -35,6 +35,7 @@ Result<JoinRunInfo> BMpsmJoin::Execute(WorkerTeam& team,
   join_options.search = options.start_search;
   join_options.prefetch_distance = options.merge_prefetch_distance;
   join_options.skip_private_prefix = options.merge_skip_private_prefix;
+  join_options.simd = options.simd;
 
   PhasePipeline pipeline(team.topology(), num_workers, options.scheduler);
 
@@ -78,12 +79,19 @@ Result<JoinRunInfo> BMpsmJoin::Execute(WorkerTeam& team,
         });
   } else {
     // Range-sliced (run pair x merge range) morsels; built lazily so
-    // the slicing sees the actual run sizes.
+    // the slicing sees the actual run sizes (morsel_tuples == 0 adapts
+    // to their variance, docs/scheduler.md).
     pipeline.AddPhase(
         kPhaseJoin,
         [&] {
+          std::vector<uint64_t> run_sizes(num_workers);
+          for (uint32_t w = 0; w < num_workers; ++w) {
+            run_sizes[w] = r_runs[w].size;
+          }
+          const uint64_t morsel_tuples = ResolveMorselTuples(
+              options.morsel_tuples, run_sizes.data(), run_sizes.size());
           return MergeJoinMorsels(r_runs, num_workers, options.kind,
-                                  options.morsel_tuples);
+                                  morsel_tuples);
         },
         [&](WorkerContext& ctx, const Morsel& morsel) {
           ExecuteMergeJoinMorsel(morsel, r_runs, s_runs, join_options,

@@ -27,9 +27,8 @@ Status MpsmOptions::Validate(uint32_t team_size) const {
     return Status::InvalidArgument(
         "equi_height_factor must be >= 1 (f*T CDF bounds per worker)");
   }
-  if (morsel_tuples == 0) {
-    return Status::InvalidArgument("morsel_tuples must be >= 1");
-  }
+  // morsel_tuples == 0 is legal: adaptive slicing from partition-size
+  // variance (docs/scheduler.md).
   return sort_config.Validate();
 }
 

@@ -7,6 +7,7 @@
 #include "parallel/scheduler_kind.h"
 #include "partition/scatter_kind.h"
 #include "partition/splitters.h"
+#include "simd/simd_kind.h"
 #include "sort/radix_introsort.h"
 #include "util/status.h"
 
@@ -75,6 +76,10 @@ struct MpsmOptions {
   /// Target tuples per stealable morsel (scatter blocks, sort buckets,
   /// merge ranges). Smaller morsels balance better but add claim
   /// overhead; 2^14 tuples = 256 KiB keeps a morsel around one L2.
+  /// 0 = adaptive: each phase derives its slice from the variance of
+  /// the work-unit sizes it is about to slice (ResolveMorselTuples,
+  /// docs/scheduler.md) — uniform partitions keep the 2^14 default,
+  /// skewed ones slice finer so the hot partition's surplus spreads.
   uint32_t morsel_tuples = 1u << 14;
 
   // ------------------------------------------- cache-conscious kernels
@@ -103,6 +108,14 @@ struct MpsmOptions {
   /// Skip non-overlapping private-run prefixes in the join phase with
   /// the same start search used for public runs.
   bool merge_skip_private_prefix = true;
+
+  /// Vector ISA of the merge-advance, start-search, key-range and
+  /// radix-histogram kernels (docs/simd.md). kAuto resolves to the
+  /// widest ISA this build and CPU support; kScalar keeps the paper's
+  /// one-key-per-compare loops as the A/B baseline. The sort's digit
+  /// histograms follow sort_config.simd (the engine front door sets
+  /// both from its one canonical knob).
+  simd::SimdKind simd = simd::SimdKind::kAuto;
 
   /// Checks every knob against its legal range for a team of
   /// `team_size` workers. The engine front door calls this before

@@ -1,6 +1,7 @@
 #include "core/merge_join.h"
 
 #include "core/interpolation_search.h"
+#include "simd/caps.h"
 
 namespace mpsm {
 
@@ -21,7 +22,19 @@ const char* JoinKindName(JoinKind kind) {
 namespace {
 
 size_t FindStart(const Tuple* data, size_t n, uint64_t key,
-                 StartSearch search, SearchStats* stats) {
+                 StartSearch search, simd::AdvanceFn advance,
+                 SearchStats* stats) {
+  if (advance != nullptr) {
+    switch (search) {
+      case StartSearch::kInterpolation:
+        return InterpolationLowerBoundWindowed(data, n, key, advance, stats);
+      case StartSearch::kBinary:
+        return BinaryLowerBoundWindowed(data, n, key, advance, stats);
+      case StartSearch::kLinear:
+        return LinearLowerBoundWindowed(data, n, key, advance, stats);
+    }
+    return 0;
+  }
   switch (search) {
     case StartSearch::kInterpolation:
       return InterpolationLowerBound(data, n, key, stats);
@@ -51,6 +64,11 @@ uint64_t JoinPrivateAgainstRuns(const Run& ri, const RunSet& s_runs,
   MatchBitmap matched;
   if (needs_bitmap) matched = MatchBitmap(ri.size);
 
+  // One kind resolution per driver call: the resolved kind selects the
+  // merge loops, its pointer form serves the start searches.
+  const simd::SimdKind simd_kind = simd::Resolve(options.simd);
+  const simd::AdvanceFn advance = simd::AdvanceForKind(simd_kind);
+
   uint64_t output = 0;
   const uint32_t num_runs = static_cast<uint32_t>(s_runs.size());
   for (uint32_t offset = 0; offset < num_runs; ++offset) {
@@ -63,7 +81,7 @@ uint64_t JoinPrivateAgainstRuns(const Run& ri, const RunSet& s_runs,
     // run (§3.2.2). The search probes are random accesses.
     SearchStats search_stats;
     const size_t start =
-        FindStart(sj.data, sj.size, ri.MinKey(), options.search,
+        FindStart(sj.data, sj.size, ri.MinKey(), options.search, advance,
                   &search_stats);
     if (counters != nullptr) {
       counters->CountRead(s_local, /*sequential=*/false,
@@ -82,7 +100,7 @@ uint64_t JoinPrivateAgainstRuns(const Run& ri, const RunSet& s_runs,
     if (options.skip_private_prefix) {
       SearchStats r_search;
       r_start = FindStart(ri.data, ri.size, sj.data[start].key,
-                          options.search, &r_search);
+                          options.search, advance, &r_search);
       if (counters != nullptr) {
         counters->CountRead(r_local, /*sequential=*/false,
                             r_search.probes * sizeof(Tuple));
@@ -95,8 +113,8 @@ uint64_t JoinPrivateAgainstRuns(const Run& ri, const RunSet& s_runs,
     const Tuple* s_base = sj.data + start;
     const size_t s_size = sj.size - start;
     const auto merge = [&](auto&& on_match) {
-      return MergeJoinRunPairWith(options.prefetch_distance, r_base, r_size,
-                                  s_base, s_size, on_match);
+      return MergeJoinRunPairWith(options.prefetch_distance, simd_kind,
+                                  r_base, r_size, s_base, s_size, on_match);
     };
 
     MergeScan scan;

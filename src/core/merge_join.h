@@ -18,6 +18,9 @@
 #include "numa/topology.h"
 #include "parallel/counters.h"
 #include "parallel/task_scheduler.h"
+#include "simd/caps.h"
+#include "simd/merge_kernels.h"
+#include "simd/simd_kind.h"
 #include "storage/run.h"
 
 namespace mpsm {
@@ -87,6 +90,111 @@ MergeScan MergeJoinLoop(const Tuple* r, size_t nr, const Tuple* s, size_t ns,
   return scan;
 }
 
+#if MPSM_SIMD_X86
+
+// SIMD variants of MergeJoinLoop, stamped per ISA so the kernels
+// (simd/merge_kernels.h) inline fully. The public-run cursor — the one
+// that moves ~multiplicity tuples per step — catches up against a
+// register-resident window of W unpacked keys (SKeyWindow*): one
+// packed compare per pivot, one load+unpack per W tuples of progress,
+// galloping via the advance kernel when a pivot clears several whole
+// windows (skewed runs). The private cursor steps scalar (it moves ~1
+// tuple per iteration) and equal-key groups keep the scalar duplicate
+// handling, so the match sequence is bit-identical to the scalar loop.
+// Composes with the prefetch pipeline: the lookahead is issued per
+// outer iteration, ahead of both cursors.
+#define MPSM_MERGE_LOOP_SIMD(NAME, ISA, WINDOW, ADVANCE)                   \
+  template <bool kPrefetch, typename OnMatch>                              \
+  MPSM_SIMD_TARGET(ISA)                                                    \
+  MergeScan NAME(const Tuple* r, size_t nr, const Tuple* s, size_t ns,     \
+                 size_t prefetch_tuples, OnMatch&& on_match) {             \
+    constexpr size_t kW = simd::WINDOW::kWidth;                            \
+    constexpr size_t kNoWindow = static_cast<size_t>(-1);                  \
+    MergeScan scan;                                                        \
+    size_t i = 0;                                                          \
+    size_t j = 0;                                                          \
+    simd::WINDOW window;                                                   \
+    size_t jw = kNoWindow; /* s index the cached window starts at */       \
+    while (i < nr && j < ns) {                                             \
+      if constexpr (kPrefetch) {                                           \
+        __builtin_prefetch(r + i + prefetch_tuples, /*rw=*/0,              \
+                           /*locality=*/3);                                \
+        /* The public cursor outruns the private one by the        */      \
+        /* multiplicity; a vector step consumes a whole window per */      \
+        /* compare, so keep several windows' worth of s in flight. */      \
+        __builtin_prefetch(s + j + 4 * prefetch_tuples, /*rw=*/0,          \
+                           /*locality=*/3);                                \
+        __builtin_prefetch(s + j + 4 * prefetch_tuples + 4, /*rw=*/0,      \
+                           /*locality=*/3);                                \
+      }                                                                    \
+      const uint64_t pivot = r[i].key;                                     \
+      /* Catch s up to the pivot's lower bound. Pivots ascend, so  */      \
+      /* against one window the count of keys below the pivot only */      \
+      /* grows: j never moves backward, and a cached window can be */      \
+      /* compared unconditionally — no load dependent on j in the  */      \
+      /* common path, so consecutive pivots pipeline.              */      \
+      bool catch_up;                                                       \
+      if (jw != kNoWindow) {                                               \
+        const size_t count = window.CountLess(pivot);                      \
+        j = jw + count;                                                    \
+        catch_up = count == kW;                                            \
+        if (catch_up) jw = kNoWindow; /* window exhausted */               \
+      } else {                                                             \
+        catch_up = s[j].key < pivot;                                       \
+      }                                                                    \
+      if (catch_up) {                                                      \
+        int blocks = 0;                                                    \
+        for (;;) {                                                         \
+          if (jw == kNoWindow || j >= jw + kW) {                           \
+            if (j + kW > ns) {                                             \
+              while (j < ns && s[j].key < pivot) ++j;                      \
+              break;                                                       \
+            }                                                              \
+            jw = j;                                                        \
+            window.Load(s + jw);                                           \
+          }                                                                \
+          const size_t count = window.CountLess(pivot);                    \
+          j = jw + count;                                                  \
+          if (count < kW) break;                                           \
+          jw = kNoWindow; /* window exhausted */                           \
+          if (++blocks >= simd::kGallopAfterBlocks) {                      \
+            j = simd::ADVANCE(s, j, ns, pivot);                            \
+            break;                                                         \
+          }                                                                \
+        }                                                                  \
+        if (j >= ns) break;                                                \
+      }                                                                    \
+      if (s[j].key == pivot) {                                             \
+        size_t j_end = j + 1;                                              \
+        while (j_end < ns && s[j_end].key == pivot) ++j_end;               \
+        const size_t group = j_end - j;                                    \
+        do {                                                               \
+          on_match(i, r[i], s + j, group);                                 \
+          scan.matches += group;                                           \
+          ++i;                                                             \
+        } while (i < nr && r[i].key == pivot);                             \
+        j = j_end;                                                         \
+        jw = kNoWindow; /* the group scan may leave the window */          \
+      } else {                                                             \
+        ++i; /* pivot unmatched; private side steps scalar */              \
+      }                                                                    \
+    }                                                                      \
+    scan.r_end = i;                                                        \
+    scan.s_end = j;                                                        \
+    return scan;                                                           \
+  }
+
+MPSM_MERGE_LOOP_SIMD(MergeJoinLoopSse, "sse4.2", SKeyWindowSse,
+                     AdvanceLowerBoundSse)
+MPSM_MERGE_LOOP_SIMD(MergeJoinLoopAvx2, "avx2", SKeyWindowAvx2,
+                     AdvanceLowerBoundAvx2)
+MPSM_MERGE_LOOP_SIMD(MergeJoinLoopAvx512, "avx512f", SKeyWindowAvx512,
+                     AdvanceLowerBoundAvx512)
+
+#undef MPSM_MERGE_LOOP_SIMD
+
+#endif  // MPSM_SIMD_X86
+
 }  // namespace internal
 
 /// Merge-joins sorted arrays r[0..nr) and s[0..ns).
@@ -113,12 +221,44 @@ MergeScan MergeJoinRunPairPrefetch(const Tuple* r, size_t nr, const Tuple* s,
                                        std::forward<OnMatch>(on_match));
 }
 
-/// Kernel dispatch: the pipelined variant when `prefetch_tuples` > 0,
-/// the scalar kernel otherwise (the `merge_prefetch_distance` knob).
+/// Kernel dispatch over both axes: the pipelined variant when
+/// `prefetch_tuples` > 0 (the `merge_prefetch_distance` knob), and the
+/// per-ISA SIMD-advance loop selected by `simd` (resolved via
+/// simd::Resolve; kScalar keeps the paper's one-key-per-compare loop —
+/// the `simd` knob). Every combination emits the identical match
+/// sequence.
 template <typename OnMatch>
-MergeScan MergeJoinRunPairWith(size_t prefetch_tuples, const Tuple* r,
-                               size_t nr, const Tuple* s, size_t ns,
-                               OnMatch&& on_match) {
+MergeScan MergeJoinRunPairWith(size_t prefetch_tuples, simd::SimdKind simd,
+                               const Tuple* r, size_t nr, const Tuple* s,
+                               size_t ns, OnMatch&& on_match) {
+#if MPSM_SIMD_X86
+  const auto simd_loop = [&](auto&& loop) {
+    return prefetch_tuples > 0
+               ? loop.template operator()<true>(prefetch_tuples)
+               : loop.template operator()<false>(size_t{0});
+  };
+  switch (simd::Resolve(simd)) {
+    case simd::SimdKind::kSse:
+      return simd_loop([&]<bool kPrefetch>(size_t distance) {
+        return internal::MergeJoinLoopSse<kPrefetch>(
+            r, nr, s, ns, distance, std::forward<OnMatch>(on_match));
+      });
+    case simd::SimdKind::kAvx2:
+      return simd_loop([&]<bool kPrefetch>(size_t distance) {
+        return internal::MergeJoinLoopAvx2<kPrefetch>(
+            r, nr, s, ns, distance, std::forward<OnMatch>(on_match));
+      });
+    case simd::SimdKind::kAvx512:
+      return simd_loop([&]<bool kPrefetch>(size_t distance) {
+        return internal::MergeJoinLoopAvx512<kPrefetch>(
+            r, nr, s, ns, distance, std::forward<OnMatch>(on_match));
+      });
+    default:
+      break;  // kScalar
+  }
+#else
+  (void)simd;
+#endif
   return prefetch_tuples > 0
              ? MergeJoinRunPairPrefetch(r, nr, s, ns, prefetch_tuples,
                                         std::forward<OnMatch>(on_match))
@@ -139,6 +279,10 @@ struct RunJoinOptions {
   /// search used for the public run (the scalar driver only skips the
   /// public side), saving one-by-one advances when Ri starts below Sj.
   bool skip_private_prefix = true;
+
+  /// Vector ISA of the merge-advance and start-search kernels
+  /// (docs/simd.md); kScalar selects the one-key-per-compare loops.
+  simd::SimdKind simd = simd::SimdKind::kAuto;
 };
 
 /// Joins private run `ri` against every run in `s_runs`, starting with

@@ -13,6 +13,7 @@
 #include "partition/equi_height.h"
 #include "partition/prefix_scatter.h"
 #include "partition/radix_histogram.h"
+#include "simd/histogram_kernels.h"
 #include "sort/radix_introsort.h"
 #include "util/bits.h"
 #include "util/timer.h"
@@ -58,6 +59,19 @@ struct SharedState {
   // Scatter targets: partition p's array, owned by worker p's node.
   std::vector<Tuple*> partition_data;
 
+  // Write-combining staging buffers, NUMA-homed on the *destination*:
+  // wc_buffers[executor][p] lives on partition p's node (allocated by
+  // worker p in the pinned 2.3b phase), so a flush's streaming stores
+  // cross the interconnect exactly once — the remaining half of the
+  // ROADMAP interleaving item. Empty when the scatter cannot resolve
+  // to write combining.
+  std::vector<std::vector<internal::WcBuffer*>> wc_buffers;
+
+  // Phase-3/4 morsel slice, resolved in the 2.3a serial step once the
+  // partition sizes are known (morsel_tuples == 0 adapts to their
+  // variance, docs/scheduler.md).
+  uint64_t partition_morsel_tuples = kDefaultMorselTuples;
+
   // Phase 3 products.
   RunSet r_runs;
   // Stealing mode splits an oversized partition sort into one MSD pass
@@ -90,10 +104,17 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
   SharedState shared;
   shared.s_runs.resize(num_workers);
   shared.s_histograms.resize(num_workers);
+  std::vector<uint64_t> chunk_sizes(num_workers);
   for (uint32_t w = 0; w < num_workers; ++w) {
-    const uint64_t chunk_size = r_private.chunk(w).size;
-    const uint64_t slice =
-        stealing ? std::max<uint64_t>(options.morsel_tuples, 1) : chunk_size;
+    chunk_sizes[w] = r_private.chunk(w).size;
+  }
+  // Phase-2 slicing sees only the chunk sizes (partitions do not exist
+  // yet); the phase-3/4 slice is re-resolved from the partition sizes.
+  const uint64_t chunk_morsel_tuples = ResolveMorselTuples(
+      options.morsel_tuples, chunk_sizes.data(), chunk_sizes.size());
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    const uint64_t chunk_size = chunk_sizes[w];
+    const uint64_t slice = stealing ? chunk_morsel_tuples : chunk_size;
     for (const auto& [begin, end] : SliceRanges(chunk_size, slice)) {
       shared.blocks.push_back(ScatterBlock{w, begin, end});
     }
@@ -103,6 +124,16 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
   shared.block_has_data.assign(num_blocks, 0);
   shared.block_histograms.resize(num_blocks);
   shared.partition_data.resize(num_workers, nullptr);
+  // Destination-homed WC staging only when a block can actually
+  // resolve to write combining (explicit, or auto at crossover
+  // fan-out); T x T buffers of 256 B.
+  if (options.scatter == ScatterKind::kWriteCombining ||
+      (options.scatter == ScatterKind::kAuto &&
+       num_workers >= kScatterAutoFanoutCrossover)) {
+    shared.wc_buffers.assign(
+        num_workers,
+        std::vector<internal::WcBuffer*>(num_workers, nullptr));
+  }
   shared.r_runs.resize(num_workers);
   shared.partition_bounds.resize(num_workers);
   shared.partition_shift.assign(num_workers, 0);
@@ -156,7 +187,7 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
         const Chunk& chunk = r_private.chunk(block.chunk);
         const uint64_t size = block.end - block.begin;
         shared.block_ranges[morsel.task] =
-            ScanKeyRange(chunk.data + block.begin, size);
+            ScanKeyRange(chunk.data + block.begin, size, options.simd);
         shared.block_has_data[morsel.task] = size > 0;
         ctx.Counters(kPhasePartition)
             .CountRead(chunk.node == ctx.node, /*sequential=*/true,
@@ -187,7 +218,8 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
         const Chunk& chunk = r_private.chunk(block.chunk);
         const uint64_t size = block.end - block.begin;
         shared.block_histograms[morsel.task] = BuildRadixHistogram(
-            chunk.data + block.begin, size, shared.normalizer);
+            chunk.data + block.begin, size, shared.normalizer,
+            options.simd);
         ctx.Counters(kPhasePartition)
             .CountRead(chunk.node == ctx.node, /*sequential=*/true,
                        size * sizeof(Tuple));
@@ -220,15 +252,16 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
       }
     }
     shared.plan = ComputeScatterPlan(shared.block_partition_hist);
+    // Phases 3/4 slice range partitions, whose sizes are now known:
+    // re-resolve the adaptive morsel slice against their variance.
+    shared.partition_morsel_tuples = ResolveMorselTuples(
+        options.morsel_tuples, shared.plan.partition_sizes.data(),
+        shared.plan.partition_sizes.size());
 
 #ifndef NDEBUG
     // The morsel slicing must cover each chunk exactly once (no tuple
     // scattered twice, none dropped) and the plan rows must match it —
     // the invariants the synchronization-free scatter rests on.
-    std::vector<uint64_t> chunk_sizes(num_workers);
-    for (uint32_t w = 0; w < num_workers; ++w) {
-      chunk_sizes[w] = r_private.chunk(w).size;
-    }
     assert(ScatterBlocksTileChunks(shared.blocks, chunk_sizes));
     assert(ScatterPlanIsConsistent(shared.plan,
                                    shared.block_partition_hist));
@@ -237,7 +270,10 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
 
   // Phase 2.3b: allocate the partition arrays. Pinned to the owning
   // worker even under stealing: the local first touch is what places
-  // the pages on the partition's node.
+  // the pages on the partition's node. The same pinned slot allocates
+  // partition w's column of WC staging buffers (one per potential
+  // executor) from w's arena, homing every stage-then-flush target for
+  // this partition on its destination node.
   pipeline.AddPhase(
       kPhasePartition, chunk_morsels,
       [&](WorkerContext&, const Morsel& morsel) {
@@ -248,6 +284,13 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
                 : shared.plan.partition_sizes[w];
         if (size > 0) {
           shared.partition_data[w] = arenas[w]->AllocateArray<Tuple>(size);
+        }
+        if (!shared.wc_buffers.empty()) {
+          internal::WcBuffer* column =
+              arenas[w]->AllocateArray<internal::WcBuffer>(num_workers);
+          for (uint32_t e = 0; e < num_workers; ++e) {
+            shared.wc_buffers[e][w] = column + e;
+          }
         }
       },
       PhasePipeline::PhaseOptions{.pinned = true});
@@ -274,7 +317,10 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
             [&](uint64_t key) {
               return splitters.PartitionOfCluster(normalizer.Cluster(key));
             },
-            shared.partition_data.data(), cursor.data(), ctx.team_size);
+            shared.partition_data.data(), cursor.data(), ctx.team_size,
+            shared.wc_buffers.empty()
+                ? nullptr
+                : shared.wc_buffers[ctx.worker_id].data());
         counters.CountRead(chunk.node == ctx.node, /*sequential=*/true,
                            size * sizeof(Tuple));
         // Classify written bytes per target partition's node. The
@@ -302,8 +348,6 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
   // splits oversized partitions: one MSD radix pass per partition
   // (morsel below), then stealable bucket-sort morsels (next phase) so
   // idle workers absorb a hot partition's sort.
-  const uint64_t split_threshold =
-      std::max<uint64_t>(2 * options.morsel_tuples, 2 * sort::kRadixBuckets);
   pipeline.AddPhase(
       kPhaseSortPrivate, chunk_morsels,
       [&](WorkerContext& ctx, const Morsel& morsel) {
@@ -316,6 +360,9 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
                        : shared.plan.partition_sizes[w];
         run.node = team.topology().NodeForWorker(w, num_workers);
         if (run.size == 0) return;
+        const uint64_t split_threshold =
+            std::max<uint64_t>(2 * shared.partition_morsel_tuples,
+                               2 * sort::kRadixBuckets);
         const bool split = stealing &&
                            options.sort != sort::SortKind::kIntroSort &&
                            run.size > split_threshold;
@@ -325,13 +372,14 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
           counters.CountSort(run.size);
           return;
         }
+        uint64_t min_key = 0;
         uint64_t max_key = 0;
-        for (size_t i = 0; i < run.size; ++i) {
-          max_key = std::max(max_key, run.data[i].key);
-        }
+        simd::KeyMinMax(run.data, run.size, &min_key, &max_key,
+                        options.sort_config.simd);
         shared.partition_shift[w] = sort::RadixShiftForMaxKey(max_key);
         shared.partition_bounds[w] = sort::MsdRadixPartition(
-            run.data, run.size, shared.partition_shift[w]);
+            run.data, run.size, shared.partition_shift[w],
+            options.sort_config.simd);
         shared.partition_split[w] = 1;
         // One 256-way pass fixes 8 key bits: charge 8 n*log units; the
         // bucket morsels charge the rest (CountSort per bucket).
@@ -355,7 +403,7 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
             uint64_t acc = 0;
             for (uint32_t b = 0; b < sort::kRadixBuckets; ++b) {
               acc += bounds[b + 1] - bounds[b];
-              if (acc >= options.morsel_tuples ||
+              if (acc >= shared.partition_morsel_tuples ||
                   b + 1 == sort::kRadixBuckets) {
                 if (acc > 0) {
                   morsels.push_back(Morsel{w, w, first, b + 1});
@@ -390,6 +438,7 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
   join_options.search = options.start_search;
   join_options.prefetch_distance = options.merge_prefetch_distance;
   join_options.skip_private_prefix = options.merge_skip_private_prefix;
+  join_options.simd = options.simd;
   if (!stealing) {
     pipeline.AddPhase(
         kPhaseJoin, chunk_morsels,
@@ -404,7 +453,7 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
         kPhaseJoin,
         [&] {
           return MergeJoinMorsels(shared.r_runs, num_workers, options.kind,
-                                  options.morsel_tuples);
+                                  shared.partition_morsel_tuples);
         },
         [&](WorkerContext& ctx, const Morsel& morsel) {
           ExecuteMergeJoinMorsel(morsel, shared.r_runs, shared.s_runs,

@@ -11,6 +11,7 @@
 #include "disk/page_index.h"
 #include "disk/staging_pipeline.h"
 #include "parallel/task_scheduler.h"
+#include "simd/caps.h"
 #include "sort/radix_introsort.h"
 #include "util/timer.h"
 
@@ -322,6 +323,7 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
   // consumer submits batches and decodes completions for everyone
   // (poll-or-steal, docs/io.md), and its private window keeps
   // readahead in flight while it merges.
+  const simd::SimdKind merge_simd = simd::Resolve(options_.simd);
   phases.AddPhase(
       kPhaseJoin, [&] { return ChunkMorsels(num_workers); },
       [&](WorkerContext& ctx, const Morsel& morsel) {
@@ -350,8 +352,8 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
               failed = true;
             } else {
               const auto scan = MergeJoinRunPairWith(
-                  options_.merge_prefetch_distance, window.data(),
-                  window.size(), frame->tuples.data(),
+                  options_.merge_prefetch_distance, merge_simd,
+                  window.data(), window.size(), frame->tuples.data(),
                   frame->tuples.size(),
                   [&](size_t, const Tuple& r, const Tuple* s,
                       size_t count) {

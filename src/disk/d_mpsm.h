@@ -21,6 +21,7 @@
 #include "io/io_scheduler.h"
 #include "parallel/scheduler_kind.h"
 #include "parallel/worker_team.h"
+#include "simd/simd_kind.h"
 #include "sort/radix_introsort.h"
 #include "storage/relation.h"
 #include "util/status.h"
@@ -47,6 +48,10 @@ struct DMpsmOptions {
   /// Software-prefetch lookahead (tuples) of the page merge-join
   /// kernel; 0 selects the scalar kernel.
   uint32_t merge_prefetch_distance = kDefaultMergePrefetchDistance;
+
+  /// Vector ISA of the page merge-join kernel (docs/simd.md); the sort
+  /// passes follow sort_config.simd.
+  simd::SimdKind simd = simd::SimdKind::kAuto;
 
   /// Phase orchestration (docs/scheduler.md). Stealing makes the
   /// sort+spool work of phases 1/3 stealable morsels and turns page

@@ -5,6 +5,7 @@
 #include "baseline/radix_join.h"
 #include "baseline/wisconsin_join.h"
 #include "core/b_mpsm.h"
+#include "simd/caps.h"
 #include "util/timer.h"
 
 namespace mpsm::engine {
@@ -69,6 +70,7 @@ Result<JoinReport> Engine::Execute(const JoinSpec& spec) {
   report.plan_seconds = plan_timer.ElapsedSeconds();
   ++stats_.plans_created;
   stats_.plan_seconds_total += report.plan_seconds;
+  report.simd_used = simd::Resolve(PlanSimdKnob(report.plan));
 
   WorkerTeam& team = TeamFor(team_size);
   Result<JoinRunInfo> info = Status::Internal("unreachable");

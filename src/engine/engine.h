@@ -49,6 +49,11 @@ struct JoinReport {
   /// cardinality).
   JoinRunInfo info;
 
+  /// Concrete vector ISA the kernels ran on (the chosen algorithm's
+  /// simd knob after simd::Resolve — kAuto and unsupported kinds made
+  /// visible; kScalar for the wisconsin baseline).
+  simd::SimdKind simd_used = simd::SimdKind::kScalar;
+
   /// Planner overhead for this query, in seconds.
   double plan_seconds = 0;
 

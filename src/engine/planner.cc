@@ -4,6 +4,7 @@
 #include <cmath>
 #include <cstdio>
 
+#include "simd/caps.h"
 #include "storage/tuple.h"
 
 namespace mpsm::engine {
@@ -34,7 +35,18 @@ struct PhaseEstimate {
   /// serializes them (sum).
   double io_seconds = 0;
   bool io_overlapped = false;
+  /// Extra per-worker CPU nanoseconds beyond the counter-priced work
+  /// (the merge-compare term, scaled by the SIMD width).
+  double cpu_extra_ns = 0;
 };
+
+/// The merge-compare CPU term for a phase-4 sweep over `merge_keys`
+/// keys per worker: scalar cost divided by the resolved vector width.
+double MergeCompareNs(const sim::MachineModel& machine, double merge_keys,
+                      simd::SimdKind simd) {
+  const double keys_per_compare = simd::KeysPerCompare(simd::Resolve(simd));
+  return merge_keys * machine.ns_per_merge_key / keys_per_compare;
+}
 
 /// Splits `bytes` of traffic into local and remote shares: with data
 /// spread uniformly over N nodes, (N-1)/N of a worker's accesses cross
@@ -112,6 +124,12 @@ MpsmOptions ResolveMpsmOptions(const EngineOptions& options, JoinKind kind) {
   m.merge_prefetch_distance =
       options.merge_prefetch_distance.value_or(m.merge_prefetch_distance);
   m.morsel_tuples = options.morsel_tuples.value_or(m.morsel_tuples);
+  // The canonical simd knob steers the sort's histogram kernels too
+  // (applied after sort_config so it wins over a combined override).
+  if (options.simd.has_value()) {
+    m.simd = *options.simd;
+    m.sort_config.simd = *options.simd;
+  }
   return m;
 }
 
@@ -129,6 +147,10 @@ disk::DMpsmOptions ResolveDMpsmOptions(const EngineOptions& options,
   d.merge_prefetch_distance =
       options.merge_prefetch_distance.value_or(d.merge_prefetch_distance);
   d.scheduler = options.scheduler.value_or(d.scheduler);
+  if (options.simd.has_value()) {
+    d.simd = *options.simd;
+    d.sort_config.simd = *options.simd;
+  }
   if (options.dmpsm.pool_pages != 0) {
     d.pool_pages = options.dmpsm.pool_pages;
   } else if (memory_budget_bytes != 0) {
@@ -152,6 +174,7 @@ baseline::RadixJoinOptions ResolveRadixOptions(const EngineOptions& options) {
   r.target_fragment_tuples = options.radix.target_fragment_tuples;
   r.scatter = options.scatter.value_or(r.scatter);
   r.scheduler = options.scheduler.value_or(r.scheduler);
+  r.simd = options.simd.value_or(r.simd);
   return r;
 }
 
@@ -242,6 +265,8 @@ CandidateCost Planner::EstimateCost(Algorithm algorithm,
                             static_cast<uint64_t>(nr * kTupleBytes));
       CountSplit(p4.counters, /*write=*/false, /*sequential=*/true,
                  ns * kTupleBytes, rf);
+      // Merge-loop CPU at the machine's vector width.
+      p4.cpu_extra_ns = MergeCompareNs(machine, nr + ns, mpsm.simd);
       // Cost-balanced splitters absorb most key skew (Figure 16);
       // equi-height splitting leaves the full imbalance.
       p4.imbalance =
@@ -254,10 +279,12 @@ CandidateCost Planner::EstimateCost(Algorithm algorithm,
       CountLocalSort(phases[kPhaseSortPrivate].counters, nr);
       // Every worker merges its run against ALL public runs: the full
       // |S| per worker — the complexity gap of §2.2.
-      auto& p4 = phases[kPhaseJoin].counters;
-      p4.CountRead(true, true, static_cast<uint64_t>(nr * kTupleBytes));
-      CountSplit(p4, /*write=*/false, /*sequential=*/true,
+      auto& p4 = phases[kPhaseJoin];
+      p4.counters.CountRead(true, true,
+                            static_cast<uint64_t>(nr * kTupleBytes));
+      CountSplit(p4.counters, /*write=*/false, /*sequential=*/true,
                  s_total * kTupleBytes, rf);
+      p4.cpu_extra_ns = MergeCompareNs(machine, nr + s_total, mpsm.simd);
       // Skew-immune: every worker scans everything regardless.
       break;
     }
@@ -294,6 +321,7 @@ CandidateCost Planner::EstimateCost(Algorithm algorithm,
           worker_pages / static_cast<double>(
                              std::max<size_t>(dmpsm.io_batch_pages, 1)) +
           1);
+      p4.cpu_extra_ns = MergeCompareNs(machine, nr + ns, dmpsm.simd);
       break;
     }
     case Algorithm::kRadix: {
@@ -345,8 +373,10 @@ CandidateCost Planner::EstimateCost(Algorithm algorithm,
   const double slowdown =
       T > machine.cores ? T / static_cast<double>(machine.cores) : 1.0;
   for (uint32_t p = 0; p < kNumJoinPhases; ++p) {
-    const double compute = machine.PhaseSeconds(phases[p].counters) *
-                           slowdown * phases[p].imbalance;
+    const double compute =
+        (machine.PhaseSeconds(phases[p].counters) +
+         phases[p].cpu_extra_ns * 1e-9) *
+        slowdown * phases[p].imbalance;
     // Device reads overlap async compute (max) or serialize (sum).
     cost.phase_seconds[p] = phases[p].io_overlapped
                                 ? std::max(compute, phases[p].io_seconds)
@@ -493,6 +523,21 @@ Result<JoinPlan> Planner::Plan(const JoinSpec& spec,
   return plan;
 }
 
+simd::SimdKind PlanSimdKnob(const JoinPlan& plan) {
+  switch (plan.algorithm) {
+    case Algorithm::kPMpsm:
+    case Algorithm::kBMpsm:
+      return plan.mpsm.simd;
+    case Algorithm::kDMpsm:
+      return plan.dmpsm.simd;
+    case Algorithm::kRadix:
+      return plan.radix.simd;
+    case Algorithm::kWisconsin:
+      return simd::SimdKind::kScalar;
+  }
+  return simd::SimdKind::kScalar;
+}
+
 std::string JoinPlan::ToString() const {
   std::string out;
   char line[256];
@@ -520,6 +565,14 @@ std::string JoinPlan::ToString() const {
   std::snprintf(line, sizeof(line), "  team: %u workers on %u node%s\n",
                 inputs.team_size, inputs.numa_nodes,
                 inputs.numa_nodes == 1 ? "" : "s");
+  out += line;
+  const simd::SimdKind simd_knob = PlanSimdKnob(*this);
+  const simd::SimdKind simd_resolved = simd::Resolve(simd_knob);
+  std::snprintf(line, sizeof(line),
+                "  simd: %s (requested %s, %u keys/compare)\n",
+                simd::SimdKindName(simd_resolved),
+                simd::SimdKindName(simd_knob),
+                simd::KeysPerCompare(simd_resolved));
   out += line;
   std::snprintf(
       line, sizeof(line),

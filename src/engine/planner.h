@@ -40,6 +40,7 @@
 #include "numa/topology.h"
 #include "parallel/counters.h"
 #include "sim/machine_model.h"
+#include "simd/simd_kind.h"
 #include "storage/relation.h"
 #include "util/status.h"
 
@@ -139,6 +140,11 @@ struct EngineOptions {
   std::optional<ScatterKind> scatter;
   std::optional<uint32_t> merge_prefetch_distance;
   std::optional<uint32_t> morsel_tuples;
+  /// Vector ISA of the merge / search / histogram kernels
+  /// (docs/simd.md). Set, it steers every algorithm's simd knob
+  /// *including* the sort's digit histograms (sort_config.simd); unset
+  /// keeps each algorithm's default (kAuto everywhere).
+  std::optional<simd::SimdKind> simd;
 
   // ---------------------------------------- per-algorithm overrides
   MpsmOverrides mpsm;
@@ -230,6 +236,11 @@ struct JoinPlan {
   /// Multi-line human-readable plan (EXPLAIN-style).
   std::string ToString() const;
 };
+
+/// The simd knob of the plan's chosen algorithm (kScalar for the
+/// wisconsin baseline, which has no vector kernels). Resolve it with
+/// simd::Resolve for the kind that will actually execute.
+simd::SimdKind PlanSimdKnob(const JoinPlan& plan);
 
 /// Plans joins for one (topology, options) session. Stateless beyond
 /// the borrowed references; cheap to construct per query.

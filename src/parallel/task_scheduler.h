@@ -172,4 +172,20 @@ std::vector<std::pair<uint64_t, uint64_t>> SliceRanges(uint64_t total,
 /// canonical morsel list for per-chunk phases (task == home == index).
 std::vector<Morsel> ChunkMorsels(uint32_t num_chunks);
 
+/// Default stealing-mode morsel slice and the adaptive floor
+/// (docs/scheduler.md): 2^14 tuples = one L2 of work; the adaptive
+/// resolver never slices below 2^10 (claim overhead would dominate).
+inline constexpr uint64_t kDefaultMorselTuples = uint64_t{1} << 14;
+inline constexpr uint64_t kMinAdaptiveMorselTuples = uint64_t{1} << 10;
+
+/// Resolves the `morsel_tuples` knob against the work-unit sizes it
+/// will slice (chunks in phase 2, range partitions / runs in phases
+/// 3-4). A non-zero knob passes through. 0 = adaptive: the slice
+/// shrinks with the partition-size imbalance — uniform sizes keep the
+/// default 2^14 (slicing costs claims and per-morsel searches without
+/// balancing anything), while a high coefficient of variation divides
+/// the slice so a hot partition's surplus spreads over idle workers.
+uint64_t ResolveMorselTuples(uint64_t knob, const uint64_t* sizes,
+                             size_t count);
+
 }  // namespace mpsm

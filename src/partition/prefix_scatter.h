@@ -131,28 +131,15 @@ inline void FlushWcBufferFull(Tuple* dst, const Tuple* src) {
   std::memcpy(dst, src, kWcBufferTuples * sizeof(Tuple));
 }
 
-}  // namespace internal
-
-/// Write-combining variant of ScatterChunk: tuples are staged in
-/// per-partition buffers and flushed in 256-byte bursts of full-line
-/// streaming stores, turning the T random write streams of the scalar
-/// scatter into ~n/kWcBufferTuples line-sized transactions (Balkesen et
-/// al.; Polychroniou & Ross). A worker's first flush per partition is a
-/// short scalar "head" that advances the destination to a cache-line
-/// boundary (plan offsets are arbitrary), so every later flush is
-/// line-aligned. Same contract as ScatterChunk, including partial-
-/// buffer drain at chunk end; `num_partitions` is the number of entries
-/// behind `dest`/`cursor`.
-template <typename PartitionOf>
-void ScatterChunkWriteCombining(const Tuple* chunk, size_t n,
-                                const PartitionOf& partition_of,
-                                Tuple* const* dest, uint64_t* cursor,
-                                uint32_t num_partitions) {
-  if (n == 0) return;
-  // for_overwrite: every slot is written before it is read, so skip
-  // the value-initialization memset (256 B/partition).
-  auto buffers =
-      std::make_unique_for_overwrite<internal::WcBuffer[]>(num_partitions);
+/// Core of the write-combining scatter, templated on how a partition's
+/// staging buffer is addressed: direct array indexing for the
+/// worker-local allocation (zero-overhead, the PR-1-tuned hot path),
+/// one pointer hop for caller-provided destination-homed buffers.
+template <typename PartitionOf, typename BufferAt>
+void ScatterChunkWcImpl(const Tuple* chunk, size_t n,
+                        const PartitionOf& partition_of, Tuple* const* dest,
+                        uint64_t* cursor, uint32_t num_partitions,
+                        const BufferAt& buffer_at) {
   std::vector<uint32_t> fill(num_partitions, 0);
   // First-flush size per partition: the tuples needed to reach the
   // next 64-byte boundary (0 head => a full buffer). Tuple bases are
@@ -167,13 +154,13 @@ void ScatterChunkWriteCombining(const Tuple* chunk, size_t n,
 
   for (size_t i = 0; i < n; ++i) {
     const uint32_t p = partition_of(chunk[i].key);
-    buffers[p].slot[fill[p]++] = chunk[i];
+    buffer_at(p).slot[fill[p]++] = chunk[i];
     if (fill[p] == target[p]) {
       Tuple* dst = dest[p] + cursor[p];
       if (target[p] == kWcBufferTuples) {
-        internal::FlushWcBufferFull(dst, buffers[p].slot);
+        FlushWcBufferFull(dst, buffer_at(p).slot);
       } else {
-        std::memcpy(dst, buffers[p].slot, fill[p] * sizeof(Tuple));
+        std::memcpy(dst, buffer_at(p).slot, fill[p] * sizeof(Tuple));
       }
       cursor[p] += fill[p];
       fill[p] = 0;
@@ -185,7 +172,7 @@ void ScatterChunkWriteCombining(const Tuple* chunk, size_t n,
   // of the buffer size).
   for (uint32_t p = 0; p < num_partitions; ++p) {
     if (fill[p] > 0) {
-      std::memcpy(dest[p] + cursor[p], buffers[p].slot,
+      std::memcpy(dest[p] + cursor[p], buffer_at(p).slot,
                   fill[p] * sizeof(Tuple));
       cursor[p] += fill[p];
     }
@@ -196,16 +183,62 @@ void ScatterChunkWriteCombining(const Tuple* chunk, size_t n,
 #endif
 }
 
+}  // namespace internal
+
+/// Write-combining variant of ScatterChunk: tuples are staged in
+/// per-partition buffers and flushed in 256-byte bursts of full-line
+/// streaming stores, turning the T random write streams of the scalar
+/// scatter into ~n/kWcBufferTuples line-sized transactions (Balkesen et
+/// al.; Polychroniou & Ross). A worker's first flush per partition is a
+/// short scalar "head" that advances the destination to a cache-line
+/// boundary (plan offsets are arbitrary), so every later flush is
+/// line-aligned. Same contract as ScatterChunk, including partial-
+/// buffer drain at chunk end; `num_partitions` is the number of entries
+/// behind `dest`/`cursor`.
+///
+/// `staged` (optional) supplies the per-partition staging buffers:
+/// `staged[p]` must point at a caller-owned WcBuffer, typically
+/// arena-allocated on partition p's *destination* NUMA node so the
+/// streaming flush crosses the interconnect exactly once (the
+/// ROADMAP's scatter-interleaving item; P-MPSM passes its node-homed
+/// set). nullptr keeps the worker-local allocation. Buffer contents
+/// need not survive between calls — every call drains fully.
+template <typename PartitionOf>
+void ScatterChunkWriteCombining(const Tuple* chunk, size_t n,
+                                const PartitionOf& partition_of,
+                                Tuple* const* dest, uint64_t* cursor,
+                                uint32_t num_partitions,
+                                internal::WcBuffer* const* staged = nullptr) {
+  if (n == 0) return;
+  if (staged != nullptr) {
+    internal::ScatterChunkWcImpl(
+        chunk, n, partition_of, dest, cursor, num_partitions,
+        [staged](uint32_t p) -> internal::WcBuffer& { return *staged[p]; });
+    return;
+  }
+  // for_overwrite: every slot is written before it is read, so skip
+  // the value-initialization memset (256 B/partition).
+  auto buffers =
+      std::make_unique_for_overwrite<internal::WcBuffer[]>(num_partitions);
+  internal::ScatterChunkWcImpl(
+      chunk, n, partition_of, dest, cursor, num_partitions,
+      [&buffers](uint32_t p) -> internal::WcBuffer& { return buffers[p]; });
+}
+
 /// Dispatches to the scatter implementation selected by `kind`
-/// (kAuto resolves against the fan-out crossover first).
+/// (kAuto resolves against the fan-out crossover first). `staged`
+/// passes destination-homed staging buffers to the write-combining
+/// kernel (see ScatterChunkWriteCombining); ignored by the scalar
+/// path.
 template <typename PartitionOf>
 void ScatterChunkWith(ScatterKind kind, const Tuple* chunk, size_t n,
                       const PartitionOf& partition_of, Tuple* const* dest,
-                      uint64_t* cursor, uint32_t num_partitions) {
+                      uint64_t* cursor, uint32_t num_partitions,
+                      internal::WcBuffer* const* staged = nullptr) {
   kind = ResolveScatterKind(kind, n, num_partitions);
   if (kind == ScatterKind::kWriteCombining) {
     ScatterChunkWriteCombining(chunk, n, partition_of, dest, cursor,
-                               num_partitions);
+                               num_partitions, staged);
   } else {
     ScatterChunk(chunk, n, partition_of, dest, cursor);
   }

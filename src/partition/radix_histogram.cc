@@ -2,14 +2,16 @@
 
 #include <algorithm>
 
+#include "simd/histogram_kernels.h"
+
 namespace mpsm {
 
 RadixHistogram BuildRadixHistogram(const Tuple* data, size_t n,
-                                   const KeyNormalizer& normalizer) {
+                                   const KeyNormalizer& normalizer,
+                                   simd::SimdKind simd) {
   RadixHistogram histogram(normalizer.num_clusters(), 0);
-  for (size_t i = 0; i < n; ++i) {
-    ++histogram[normalizer.Cluster(data[i].key)];
-  }
+  simd::ClusterHistogram(data, n, normalizer.min_key(), normalizer.shift(),
+                         normalizer.num_clusters(), histogram.data(), simd);
   return histogram;
 }
 
@@ -28,13 +30,10 @@ uint64_t HistogramTotal(const RadixHistogram& histogram) {
   return total;
 }
 
-KeyRange ScanKeyRange(const Tuple* data, size_t n) {
+KeyRange ScanKeyRange(const Tuple* data, size_t n, simd::SimdKind simd) {
   if (n == 0) return {};
-  KeyRange range{data[0].key, data[0].key};
-  for (size_t i = 1; i < n; ++i) {
-    range.min_key = std::min(range.min_key, data[i].key);
-    range.max_key = std::max(range.max_key, data[i].key);
-  }
+  KeyRange range;
+  simd::KeyMinMax(data, n, &range.min_key, &range.max_key, simd);
   return range;
 }
 

@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "partition/key_normalizer.h"
+#include "simd/simd_kind.h"
 #include "storage/tuple.h"
 
 namespace mpsm {
@@ -18,9 +19,13 @@ namespace mpsm {
 /// Counts of tuples per radix cluster.
 using RadixHistogram = std::vector<uint64_t>;
 
-/// Builds the histogram of data[0..n) under `normalizer`.
+/// Builds the histogram of data[0..n) under `normalizer`. `simd`
+/// selects the digit-extraction kernel (simd/histogram_kernels.h);
+/// every kind produces the identical histogram.
 RadixHistogram BuildRadixHistogram(const Tuple* data, size_t n,
-                                   const KeyNormalizer& normalizer);
+                                   const KeyNormalizer& normalizer,
+                                   simd::SimdKind simd =
+                                       simd::SimdKind::kAuto);
 
 /// Element-wise sum of per-worker histograms (the "global R
 /// distribution histogram" of phase 2.2). All inputs must have equal
@@ -35,7 +40,8 @@ struct KeyRange {
   uint64_t min_key = 0;
   uint64_t max_key = 0;
 };
-KeyRange ScanKeyRange(const Tuple* data, size_t n);
+KeyRange ScanKeyRange(const Tuple* data, size_t n,
+                      simd::SimdKind simd = simd::SimdKind::kAuto);
 
 /// Merges two key ranges (either side may come from an empty scan, in
 /// which case the other side wins; track emptiness externally).

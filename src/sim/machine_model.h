@@ -64,6 +64,13 @@ struct MachineModel {
   double ns_per_hash_insert = 40.0;
   double ns_per_hash_probe = 30.0;
 
+  // CPU cost of one *scalar* merge-loop step (compare + branch +
+  // cursor bump, ~1 key/cycle on the paper-era Nehalem). The planner
+  // divides it by the resolved SIMD kind's keys-per-compare
+  // (simd::KeysPerCompare), pricing the phase-4 merge at the vector
+  // width the machine actually has (docs/simd.md).
+  double ns_per_merge_key = 0.5;
+
   // Async batched page I/O (src/io/): CPU cost of building and
   // submitting one vectored read (syscall + sqe/queue bookkeeping).
   double ns_per_io_submit = 1500.0;

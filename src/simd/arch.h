@@ -1,0 +1,29 @@
+// Compile-time gate for the x86 vector kernels.
+//
+// The kernels are built with per-function target attributes
+// (MPSM_SIMD_TARGET), so the library never needs a global -mavx2: the
+// binary always contains every kernel the compiler can emit, and the
+// cached runtime probe (caps.h) decides which ones this CPU may
+// execute. Non-x86 builds (and compilers without target attributes)
+// compile none of them and simd::Resolve degrades everything to
+// kScalar — CI stays green off-x86.
+#pragma once
+
+#if (defined(__x86_64__) || defined(__i386__)) &&        \
+    (defined(__GNUC__) || defined(__clang__)) &&         \
+    defined(__has_include)
+#if __has_include(<immintrin.h>)
+#define MPSM_SIMD_X86 1
+#include <immintrin.h>
+#endif
+#endif
+
+#ifndef MPSM_SIMD_X86
+#define MPSM_SIMD_X86 0
+#endif
+
+#if MPSM_SIMD_X86
+#define MPSM_SIMD_TARGET(isa) __attribute__((target(isa)))
+#else
+#define MPSM_SIMD_TARGET(isa)
+#endif

@@ -1,0 +1,25 @@
+#include "simd/search_kernels.h"
+
+namespace mpsm::simd {
+
+size_t LowerBoundWindowed(const Tuple* data, size_t n, uint64_t key,
+                          AdvanceFn advance, uint64_t* probes) {
+  size_t lo = 0;
+  size_t len = n;
+  while (len > kSearchWindowTuples) {
+    const size_t half = len / 2;
+    if (probes != nullptr) ++*probes;
+    if (data[lo + half].key < key) {
+      lo += half + 1;
+      len -= half + 1;
+    } else {
+      len = half;
+    }
+  }
+  if (probes != nullptr) {
+    *probes += len / 8 + 1;  // the packed finish, in block compares
+  }
+  return advance(data, lo, lo + len, key);
+}
+
+}  // namespace mpsm::simd

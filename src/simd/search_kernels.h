@@ -1,0 +1,39 @@
+// Vectorized lower-bound search: the merge-start positioning probe
+// (§3.2.2) with a packed-compare finish.
+//
+// Interpolation / binary search converge on a small range in a few
+// random probes; the last levels of the descent are where branch
+// mispredictions dominate. These kernels stop the scalar descent once
+// the range fits a few vector blocks and finish with the same packed
+// key-count primitive the merge kernels use (merge_kernels.h), turning
+// the final log2(window) probe/branch pairs into one or two packed
+// compares. The core search strategies (core/interpolation_search.h)
+// call through here when a non-scalar SimdKind is selected.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#include "simd/merge_kernels.h"
+#include "simd/simd_kind.h"
+#include "storage/tuple.h"
+
+namespace mpsm::simd {
+
+/// Range width at which the scalar descent hands over to the packed
+/// finish (one or two vector blocks for every kind). Wider windows
+/// save more branchy probes but scan more blocks; 32 measured best on
+/// the BM_Search* A/B — and each probe avoided is a *random* cache
+/// line while the finish is sequential, so on cold remote runs the
+/// balance tilts further toward the packed finish.
+inline constexpr size_t kSearchWindowTuples = 32;
+
+/// Lower bound of `key` in sorted data[0..n) via binary descent to
+/// kSearchWindowTuples, then a forward packed scan with `advance`
+/// (from AdvanceForKind; must not be nullptr). `probes` (nullable) is
+/// incremented once per scalar probe and once per vector block — the
+/// random-access traffic the counters charge.
+size_t LowerBoundWindowed(const Tuple* data, size_t n, uint64_t key,
+                          AdvanceFn advance, uint64_t* probes);
+
+}  // namespace mpsm::simd

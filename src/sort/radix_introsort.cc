@@ -4,6 +4,7 @@
 #include <cstring>
 #include <utility>
 
+#include "simd/histogram_kernels.h"
 #include "util/bits.h"
 
 namespace mpsm::sort {
@@ -114,20 +115,19 @@ uint32_t RadixShiftForMaxKey(uint64_t max_key) {
 }
 
 std::array<size_t, kRadixBuckets + 1> MsdRadixPartition(Tuple* data, size_t n,
-                                                        uint32_t shift) {
+                                                        uint32_t shift,
+                                                        simd::SimdKind simd) {
   std::array<size_t, kRadixBuckets + 1> bounds{};
 
-  // Histogram of the 8-bit digit.
-  std::array<size_t, kRadixBuckets> histogram{};
-  for (size_t i = 0; i < n; ++i) {
-    ++histogram[(data[i].key >> shift) & 0xFF];
-  }
+  // Histogram of the 8-bit digit (packed digit extraction).
+  std::array<uint64_t, kRadixBuckets> histogram{};
+  simd::RadixDigitHistogram(data, n, shift, histogram.data(), simd);
 
   // Exclusive prefix sums: bucket b occupies [bounds[b], bounds[b+1]).
   size_t offset = 0;
   for (uint32_t b = 0; b < kRadixBuckets; ++b) {
     bounds[b] = offset;
-    offset += histogram[b];
+    offset += static_cast<size_t>(histogram[b]);
   }
   bounds[kRadixBuckets] = offset;
 
@@ -178,7 +178,7 @@ namespace {
 // repeated key and needs no further sorting.
 void MultiPassRecurse(Tuple* data, size_t n, uint32_t shift,
                       uint32_t passes_left, const RadixSortConfig& config) {
-  const auto bounds = MsdRadixPartition(data, n, shift);
+  const auto bounds = MsdRadixPartition(data, n, shift, config.simd);
   for (uint32_t b = 0; b < kRadixBuckets; ++b) {
     const size_t size = bounds[b + 1] - bounds[b];
     if (size < 2) continue;
@@ -195,21 +195,18 @@ void MultiPassRecurse(Tuple* data, size_t n, uint32_t shift,
 
 }  // namespace
 
-std::array<size_t, kRadixBuckets + 1> MsdRadixPartitionCopy(const Tuple* src,
-                                                            size_t n,
-                                                            uint32_t shift,
-                                                            Tuple* dst) {
+std::array<size_t, kRadixBuckets + 1> MsdRadixPartitionCopy(
+    const Tuple* src, size_t n, uint32_t shift, Tuple* dst,
+    simd::SimdKind simd) {
   std::array<size_t, kRadixBuckets + 1> bounds{};
 
-  std::array<size_t, kRadixBuckets> histogram{};
-  for (size_t i = 0; i < n; ++i) {
-    ++histogram[(src[i].key >> shift) & 0xFF];
-  }
+  std::array<uint64_t, kRadixBuckets> histogram{};
+  simd::RadixDigitHistogram(src, n, shift, histogram.data(), simd);
 
   size_t offset = 0;
   for (uint32_t b = 0; b < kRadixBuckets; ++b) {
     bounds[b] = offset;
-    offset += histogram[b];
+    offset += static_cast<size_t>(histogram[b]);
   }
   bounds[kRadixBuckets] = offset;
 
@@ -262,15 +259,16 @@ void SortCopyInto(const Tuple* src, size_t n, Tuple* dst, SortKind kind,
       max_key = std::max(max_key, dst[i].key);
     }
     const uint32_t shift = RadixShiftForMaxKey(max_key);
-    const auto bounds = MsdRadixPartition(dst, n, shift);
+    const auto bounds = MsdRadixPartition(dst, n, shift, config.simd);
     SortMsdBuckets(dst, bounds, 0, kRadixBuckets, shift, kind, config);
     return;
   }
 
+  uint64_t min_key = 0;
   uint64_t max_key = 0;
-  for (size_t i = 0; i < n; ++i) max_key = std::max(max_key, src[i].key);
+  simd::KeyMinMax(src, n, &min_key, &max_key, config.simd);
   const uint32_t shift = RadixShiftForMaxKey(max_key);
-  const auto bounds = MsdRadixPartitionCopy(src, n, shift, dst);
+  const auto bounds = MsdRadixPartitionCopy(src, n, shift, dst, config.simd);
   SortMsdBuckets(dst, bounds, 0, kRadixBuckets, shift, kind, config);
 }
 
@@ -282,8 +280,9 @@ void RadixIntroSortMultiPass(Tuple* data, size_t n,
     return;
   }
 
+  uint64_t min_key = 0;
   uint64_t max_key = 0;
-  for (size_t i = 0; i < n; ++i) max_key = std::max(max_key, data[i].key);
+  simd::KeyMinMax(data, n, &min_key, &max_key, config.simd);
   MultiPassRecurse(data, n, RadixShiftForMaxKey(max_key),
                    std::max(config.max_passes, 1u), config);
 }

@@ -17,6 +17,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "simd/simd_kind.h"
 #include "storage/tuple.h"
 #include "util/status.h"
 
@@ -49,6 +50,10 @@ struct RadixSortConfig {
   /// Hard cap on the number of 8-bit MSD passes (1 == the paper's
   /// single pass); bounds the recursion on adversarial distributions.
   uint32_t max_passes = 4;
+
+  /// Vector ISA of the MSD digit-histogram pass (docs/simd.md); every
+  /// kind partitions identically — the knob is an A/B axis.
+  simd::SimdKind simd = simd::SimdKind::kAuto;
 
   /// Range-checks the knobs (callers embed this in their own
   /// Options::Validate()).
@@ -83,18 +88,20 @@ void HeapSort(Tuple* data, size_t n);
 /// In-place MSD radix partitioning ("American flag" pass): permutes
 /// data[0..n) so that bucket b = (key >> shift) & 0xFF occupies
 /// [bounds[b], bounds[b+1]). Returns the 257-entry boundary array.
-std::array<size_t, kRadixBuckets + 1> MsdRadixPartition(Tuple* data, size_t n,
-                                                        uint32_t shift);
+/// `simd` selects the digit-histogram kernel; the permutation itself
+/// is scalar (it is a data-dependent cycle walk).
+std::array<size_t, kRadixBuckets + 1> MsdRadixPartition(
+    Tuple* data, size_t n, uint32_t shift,
+    simd::SimdKind simd = simd::SimdKind::kAuto);
 
 /// Out-of-place MSD pass that fuses a copy into the partitioning
 /// (the §2.3 amortization): dst[0..n) receives src's tuples grouped by
 /// the 8-bit digit at `shift`, replacing the separate copy-then-permute
 /// passes of copy + MsdRadixPartition. src and dst must not overlap.
 /// Returns the same 257-entry boundary array.
-std::array<size_t, kRadixBuckets + 1> MsdRadixPartitionCopy(const Tuple* src,
-                                                            size_t n,
-                                                            uint32_t shift,
-                                                            Tuple* dst);
+std::array<size_t, kRadixBuckets + 1> MsdRadixPartitionCopy(
+    const Tuple* src, size_t n, uint32_t shift, Tuple* dst,
+    simd::SimdKind simd = simd::SimdKind::kAuto);
 
 /// Finishes buckets [bucket_begin, bucket_end) of an MSD pass at
 /// `shift` to a total order with the policy of `kind`/`config`

@@ -26,6 +26,7 @@ Result<QueryResult> RunBenchmarkQuery(Algorithm algorithm,
     query_options.scatter = options.scatter;
     query_options.merge_prefetch_distance = options.merge_prefetch_distance;
     query_options.morsel_tuples = options.morsel_tuples;
+    query_options.simd = options.simd;
     query_options.mpsm.radix_bits = options.radix_bits;
     query_options.mpsm.equi_height_factor = options.equi_height_factor;
     query_options.mpsm.start_search = options.start_search;

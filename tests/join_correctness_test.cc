@@ -226,10 +226,10 @@ INSTANTIATE_TEST_SUITE_P(
 
 TEST(KernelOptionsTest, AllKernelCombinationsMatchReference) {
   // Every combination of the cache-conscious knobs (scatter kind, sort
-  // kind, prefetch on/off, prefix skip on/off) and both schedulers
-  // (static and stealing) must produce the reference count through
-  // both P-MPSM and B-MPSM; the fast defaults may differ from the
-  // scalar paths only in speed.
+  // kind, prefetch on/off, prefix skip on/off, simd scalar/auto) and
+  // both schedulers (static and stealing) must produce the reference
+  // count through both P-MPSM and B-MPSM; the fast defaults may differ
+  // from the scalar paths only in speed.
   const auto topology = TestTopology();
   DatasetSpec spec;
   spec.r_tuples = 12000;
@@ -256,12 +256,16 @@ TEST(KernelOptionsTest, AllKernelCombinationsMatchReference) {
           sort::SortKind::kIntroSort}) {
       for (uint32_t prefetch : {0u, kDefaultMergePrefetchDistance}) {
         for (bool skip_prefix : {false, true}) {
+        for (simd::SimdKind simd_kind :
+             {simd::SimdKind::kScalar, simd::SimdKind::kAuto}) {
           MpsmOptions options;
           options.scheduler = scheduler;
           options.scatter = scatter;
           options.sort = sort_kind;
           options.merge_prefetch_distance = prefetch;
           options.merge_skip_private_prefix = skip_prefix;
+          options.simd = simd_kind;
+          options.sort_config.simd = simd_kind;
           options.morsel_tuples = 1024;  // small enough to slice at test size
 
           const auto label = [&] {
@@ -269,7 +273,8 @@ TEST(KernelOptionsTest, AllKernelCombinationsMatchReference) {
                    ScatterKindName(scatter) + "/" +
                    sort::SortKindName(sort_kind) + "/pf" +
                    std::to_string(prefetch) + "/skip" +
-                   std::to_string(skip_prefix);
+                   std::to_string(skip_prefix) + "/" +
+                   simd::SimdKindName(simd_kind);
           };
           {
             WorkerTeam team(topology, team_size);
@@ -288,10 +293,72 @@ TEST(KernelOptionsTest, AllKernelCombinationsMatchReference) {
             EXPECT_EQ(counts.Result(), expected) << "b-mpsm " << label();
           }
         }
+        }
       }
     }
     }
   }
+}
+
+// ------------------------------------- adaptive morsel sizing (auto)
+
+TEST(AdaptiveMorselTest, AutoSliceMatchesReferenceUnderSkew) {
+  // morsel_tuples = 0 derives the phase-2 slice from chunk sizes and
+  // the phase-3/4 slice from the actual partition/run sizes; a skewed
+  // private input makes those resolutions differ. Output must stay
+  // exactly the reference for both MPSM variants.
+  const auto topology = TestTopology();
+  DatasetSpec spec;
+  spec.r_tuples = 30000;
+  spec.multiplicity = 2.0;
+  spec.key_domain = 60000;
+  spec.r_distribution = KeyDistribution::kSkewLowEnd;
+  spec.s_mode = SKeyMode::kIndependent;
+  spec.seed = 616;
+  const uint32_t team_size = 4;
+  const auto dataset = workload::Generate(topology, team_size, spec);
+
+  CountFactory reference(1);
+  const uint64_t expected =
+      baseline::ReferenceJoin(dataset.r.ToVector(), dataset.s.ToVector(),
+                              JoinKind::kInner,
+                              reference.ConsumerForWorker(0));
+
+  MpsmOptions options;
+  options.scheduler = SchedulerKind::kStealing;
+  options.morsel_tuples = 0;  // adaptive
+  options.cost_balanced_splitters = false;  // keep the partitions skewed
+  {
+    WorkerTeam team(topology, team_size);
+    CountFactory counts(team_size);
+    const auto info =
+        PMpsmJoin(options).Execute(team, dataset.r, dataset.s, counts);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    EXPECT_EQ(counts.Result(), expected);
+  }
+  {
+    WorkerTeam team(topology, team_size);
+    CountFactory counts(team_size);
+    const auto info =
+        BMpsmJoin(options).Execute(team, dataset.r, dataset.s, counts);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    EXPECT_EQ(counts.Result(), expected);
+  }
+  // The engine front door must accept the 0 knob too.
+  engine::EngineOptions engine_options;
+  engine_options.workers = team_size;
+  engine_options.morsel_tuples = 0;
+  engine_options.scheduler = SchedulerKind::kStealing;
+  engine::Engine engine(topology, engine_options);
+  CountFactory counts(team_size);
+  engine::JoinSpec join;
+  join.r = &dataset.r;
+  join.s = &dataset.s;
+  join.consumers = &counts;
+  join.algorithm = engine::Algorithm::kPMpsm;
+  auto report = engine.Execute(join);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(counts.Result(), expected);
 }
 
 // --------------------------------------------- materialized row check

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <numeric>
 
 #include "partition/cdf.h"
@@ -243,6 +244,54 @@ TEST(WriteCombiningScatterTest, EmptyPartitionsStayUntouched) {
   ExpectWcMatchesScalar(chunk, 11, [](uint64_t key) {
     return static_cast<uint32_t>(key);  // only 0, 1, 2 occur
   });
+}
+
+TEST(WriteCombiningScatterTest, ExternalStagedBuffersMatchLocal) {
+  // Caller-owned staging buffers (the NUMA destination-homed path of
+  // P-MPSM) must behave exactly like the worker-local allocation —
+  // including reuse across calls without any reset in between.
+  Xoshiro256 rng(51);
+  std::vector<Tuple> chunk(30011);
+  for (uint64_t i = 0; i < chunk.size(); ++i) {
+    chunk[i] = Tuple{rng.NextBounded(1 << 16), i};
+  }
+  const uint32_t num_partitions = 9;
+  const auto partition_of = [](uint64_t key) {
+    return static_cast<uint32_t>(key % 9);
+  };
+  std::vector<uint64_t> hist(num_partitions, 0);
+  for (const auto& t : chunk) ++hist[partition_of(t.key)];
+
+  auto storage =
+      std::make_unique<internal::WcBuffer[]>(num_partitions);
+  std::vector<internal::WcBuffer*> staged(num_partitions);
+  for (uint32_t p = 0; p < num_partitions; ++p) staged[p] = &storage[p];
+
+  for (int round = 0; round < 2; ++round) {  // reuse across calls
+    std::vector<std::vector<Tuple>> local_parts(num_partitions),
+        staged_parts(num_partitions);
+    std::vector<Tuple*> local_dest(num_partitions),
+        staged_dest(num_partitions);
+    for (uint32_t p = 0; p < num_partitions; ++p) {
+      local_parts[p].resize(hist[p]);
+      staged_parts[p].resize(hist[p]);
+      local_dest[p] = local_parts[p].data();
+      staged_dest[p] = staged_parts[p].data();
+    }
+    std::vector<uint64_t> local_cursor(num_partitions, 0),
+        staged_cursor(num_partitions, 0);
+    ScatterChunkWriteCombining(chunk.data(), chunk.size(), partition_of,
+                               local_dest.data(), local_cursor.data(),
+                               num_partitions);
+    ScatterChunkWriteCombining(chunk.data(), chunk.size(), partition_of,
+                               staged_dest.data(), staged_cursor.data(),
+                               num_partitions, staged.data());
+    EXPECT_EQ(staged_cursor, local_cursor);
+    for (uint32_t p = 0; p < num_partitions; ++p) {
+      EXPECT_EQ(staged_parts[p], local_parts[p])
+          << "round " << round << " partition " << p;
+    }
+  }
 }
 
 TEST(WriteCombiningScatterTest, SinglePartitionDegenerates) {

@@ -19,5 +19,24 @@ while IFS= read -r header; do
   checked=$((checked + 1))
 done < <(find src -name '*.h' | sort)
 
+# The simd headers carry per-function target attributes and must stay
+# self-contained when the same ISAs are enabled globally too (the CI
+# -mavx2 build leg); gate them under the widest flags the compiler has.
+if printf 'int main(){}' |
+    "$CXX" -std=c++20 -mavx2 -mavx512f -fsyntax-only -x c++ - 2>/dev/null; then
+  while IFS= read -r header; do
+    rel="${header#src/}"
+    if ! printf '#include "%s"\n' "$rel" |
+        "$CXX" -std=c++20 -mavx2 -mavx512f -fsyntax-only -Wall -Wextra \
+            -Isrc -x c++ - ; then
+      echo "NOT SELF-CONTAINED (with -mavx2 -mavx512f): $header" >&2
+      failures=$((failures + 1))
+    fi
+    checked=$((checked + 1))
+  done < <(find src/simd -name '*.h' | sort)
+else
+  echo "(compiler lacks -mavx2/-mavx512f; skipping the simd ISA pass)"
+fi
+
 echo "checked $checked headers, $failures failure(s)"
 exit $((failures > 0))
