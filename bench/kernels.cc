@@ -5,6 +5,10 @@
 
 #include <algorithm>
 #include <atomic>
+#include <chrono>
+#include <mutex>
+#include <optional>
+#include <thread>
 #include <vector>
 
 #include "core/consumers.h"
@@ -21,6 +25,7 @@
 #include "partition/key_normalizer.h"
 #include "partition/prefix_scatter.h"
 #include "partition/radix_histogram.h"
+#include "service/join_service.h"
 #include "sim/machine_model.h"
 #include "simd/caps.h"
 #include "sort/radix_introsort.h"
@@ -534,6 +539,137 @@ void BM_CdfEstimateRank(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_CdfEstimateRank);
+
+// Concurrent join service throughput A/B (docs/service.md): N
+// closed-loop clients each submit MPSM_SERVICE_BENCH_QUERIES queries
+// joining their own private input against one shared public relation.
+// Baseline: one Engine serialized behind a mutex (what a server
+// without the service layer would do). Service: JoinService with
+// admission control and shared-sort batching. Counters report
+// queries/sec and client-observed p50/p99 latency; the arg is the
+// client count.
+void ServiceThroughputBench(benchmark::State& state, bool through_service) {
+  const auto topology = numa::Topology::Simulated(2, 4);
+  constexpr uint32_t kTeam = 4;
+  const size_t clients = static_cast<size_t>(state.range(0));
+  const size_t per_client =
+      static_cast<size_t>(GetEnvInt("MPSM_SERVICE_BENCH_QUERIES", 4));
+
+  workload::DatasetSpec public_spec;
+  public_spec.r_tuples = size_t{1}
+                         << GetEnvInt("MPSM_SERVICE_BENCH_LOG2", 15);
+  public_spec.multiplicity = 2;
+  public_spec.s_mode = workload::SKeyMode::kIndependent;
+  public_spec.seed = 7;
+  const auto shared = workload::Generate(topology, kTeam, public_spec);
+
+  std::vector<workload::Dataset> privates;
+  privates.reserve(clients);
+  for (size_t c = 0; c < clients; ++c) {
+    workload::DatasetSpec private_spec;
+    private_spec.r_tuples = 1024;
+    private_spec.multiplicity = 1;  // this side's S is unused
+    private_spec.s_mode = workload::SKeyMode::kIndependent;
+    private_spec.seed = 100 + c;
+    privates.push_back(workload::Generate(topology, kTeam, private_spec));
+  }
+
+  engine::EngineOptions engine_options;
+  engine_options.workers = kTeam;
+  // Pin the algorithm so both sides run identical per-query work; the
+  // delta is the concurrency layer.
+  engine_options.force_algorithm = engine::Algorithm::kPMpsm;
+
+  std::vector<double> latencies_ms;
+  double elapsed_s = 0;
+  for (auto _ : state) {
+    latencies_ms.clear();
+    latencies_ms.reserve(clients * per_client);
+    std::mutex latency_mu;
+
+    std::optional<service::JoinService> service;
+    std::optional<engine::Engine> serial_engine;
+    std::mutex serial_mu;
+    if (through_service) {
+      service::ServiceOptions options;
+      options.lanes =
+          static_cast<uint32_t>(GetEnvInt("MPSM_SERVICE_BENCH_LANES", 2));
+      options.max_batch = 32;
+      options.engine = engine_options;
+      service.emplace(topology, options);
+    } else {
+      serial_engine.emplace(topology, engine_options);
+    }
+
+    std::atomic<bool> failed{false};
+    const auto start = std::chrono::steady_clock::now();
+    std::vector<std::thread> threads;
+    threads.reserve(clients);
+    for (size_t c = 0; c < clients; ++c) {
+      threads.emplace_back([&, c] {
+        for (size_t k = 0; k < per_client; ++k) {
+          CountFactory counts(kTeam);
+          engine::JoinSpec spec;
+          spec.r = &privates[c].r;
+          spec.s = &shared.s;
+          spec.consumers = &counts;
+          const auto q0 = std::chrono::steady_clock::now();
+          bool ok = false;
+          if (through_service) {
+            auto id = service->Submit(spec);
+            ok = id.ok() && service->Wait(*id).ok();
+          } else {
+            std::lock_guard<std::mutex> lock(serial_mu);
+            ok = serial_engine->Execute(spec).ok();
+          }
+          if (!ok) failed.store(true);
+          const double ms = std::chrono::duration<double, std::milli>(
+                                std::chrono::steady_clock::now() - q0)
+                                .count();
+          std::lock_guard<std::mutex> lock(latency_mu);
+          latencies_ms.push_back(ms);
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    elapsed_s = std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                              start)
+                    .count();
+    service.reset();  // lanes joined inside the timed region's iteration
+    if (failed.load()) {
+      state.SkipWithError("join failed");
+      return;
+    }
+  }
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  if (!latencies_ms.empty() && elapsed_s > 0) {
+    const size_t n = latencies_ms.size();
+    state.counters["qps"] = static_cast<double>(n) / elapsed_s;
+    state.counters["p50_ms"] = latencies_ms[n / 2];
+    state.counters["p99_ms"] = latencies_ms[std::min(n - 1, n * 99 / 100)];
+  }
+  state.SetItemsProcessed(state.iterations() * clients * per_client);
+}
+
+void BM_ServiceThroughputSerial(benchmark::State& state) {
+  ServiceThroughputBench(state, /*through_service=*/false);
+}
+BENCHMARK(BM_ServiceThroughputSerial)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServiceThroughputService(benchmark::State& state) {
+  ServiceThroughputBench(state, /*through_service=*/true);
+}
+BENCHMARK(BM_ServiceThroughputService)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
 
 }  // namespace
 }  // namespace mpsm

@@ -18,9 +18,12 @@
 //   cmake -B build -G Ninja && cmake --build build
 //   ./build/example_quickstart
 #include <cstdio>
+#include <memory>
+#include <vector>
 
 #include "core/consumers.h"
 #include "engine/engine.h"
+#include "service/join_service.h"
 #include "workload/generator.h"
 
 int main() {
@@ -79,5 +82,37 @@ int main() {
       static_cast<unsigned long long>(engine.stats().queries_executed),
       static_cast<unsigned long long>(engine.stats().team_spawns),
       static_cast<unsigned long long>(engine.stats().topology_probes));
+
+  // 6. Many clients? Submit concurrently through the join service
+  //    (docs/service.md): a fleet of engine sessions with admission
+  //    control, and compatible queries over the same public input
+  //    share one sort.
+  service::ServiceOptions service_options;
+  service_options.lanes = 2;
+  service_options.engine.workers = workers;
+  service::JoinService service(engine.topology(), service_options);
+
+  const uint32_t clients = 4;
+  std::vector<std::unique_ptr<MaxPayloadSumFactory>> results;
+  std::vector<service::JoinService::QueryId> handles;
+  for (uint32_t c = 0; c < clients; ++c) {
+    results.push_back(std::make_unique<MaxPayloadSumFactory>(workers));
+    engine::JoinSpec concurrent = join;
+    concurrent.consumers = results.back().get();
+    auto id = service.Submit(concurrent);  // returns immediately
+    if (!id.ok()) return 1;
+    handles.push_back(*id);
+  }
+  for (uint32_t c = 0; c < clients; ++c) {
+    if (!service.Wait(handles[c]).ok()) return 1;  // blocks per query
+  }
+  const auto stats = service.stats();
+  std::printf(
+      "service: %llu concurrent queries -> agg=%llu each, %llu shared "
+      "sort batch(es) covering %llu queries\n",
+      static_cast<unsigned long long>(stats.completed),
+      static_cast<unsigned long long>(results[0]->Result().value_or(0)),
+      static_cast<unsigned long long>(stats.batches),
+      static_cast<unsigned long long>(stats.batched_queries));
   return 0;
 }

@@ -38,32 +38,31 @@ Result<JoinRunInfo> BMpsmJoin::Execute(WorkerTeam& team,
   join_options.simd = options.simd;
 
   PhasePipeline pipeline(team.topology(), num_workers, options.scheduler);
+  const auto arena_of = [&arenas](uint32_t w) -> numa::Arena& {
+    return *arenas[w];
+  };
 
-  // Phase 1: sort each public chunk into a local run. The run stays
-  // homed on the chunk's worker even when the morsel is stolen (the
-  // arena belongs to the task, not the executor). The closing barrier
-  // is the one mandatory synchronization point: all public runs must be
-  // complete before any worker starts joining against them.
-  pipeline.AddPhase(
-      kPhaseSortPublic, [&] { return ChunkMorsels(num_workers); },
-      [&](WorkerContext& ctx, const Morsel& morsel) {
-        s_runs[morsel.task] = SortChunkIntoRun(
-            s_public.chunk(morsel.task), *arenas[morsel.task], ctx.node,
-            ctx.Counters(kPhaseSortPublic), options.sort,
-            options.sort_config);
-      });
+  // Phase 1: sort each public chunk into a local run via the shared
+  // run-generation steps (core/run_generation.h; sliced below chunk
+  // granularity under stealing). The run stays homed on the chunk's
+  // worker even when a morsel is stolen (the arena belongs to the
+  // task, not the executor). The closing barrier is the one mandatory
+  // synchronization point: all public runs must be complete before any
+  // worker starts joining against them.
+  RunGenState s_gen;
+  AddRunGenerationPhases(pipeline, kPhaseSortPublic, s_public, arena_of,
+                         s_runs, s_gen, /*histograms=*/nullptr,
+                         /*num_bounds=*/0, options.scheduler, options.sort,
+                         options.sort_config, options.morsel_tuples);
 
   // Phase 3 slot: sort the private chunks (B-MPSM has no partition
   // phase; the kPhasePartition slot stays empty).
-  pipeline.AddPhase(
-      kPhaseSortPrivate, [&] { return ChunkMorsels(num_workers); },
-      [&](WorkerContext& ctx, const Morsel& morsel) {
-        r_runs[morsel.task] = SortChunkIntoRun(
-            r_private.chunk(morsel.task), *arenas[morsel.task], ctx.node,
-            ctx.Counters(kPhaseSortPrivate), options.sort,
-            options.sort_config);
-      },
-      PhasePipeline::PhaseOptions{.optional_barrier = true});
+  RunGenState r_gen;
+  AddRunGenerationPhases(pipeline, kPhaseSortPrivate, r_private, arena_of,
+                         r_runs, r_gen, /*histograms=*/nullptr,
+                         /*num_bounds=*/0, options.scheduler, options.sort,
+                         options.sort_config, options.morsel_tuples,
+                         /*optional_barrier=*/true);
 
   // Phase 4: merge join the private runs against all public runs.
   if (options.scheduler == SchedulerKind::kStatic) {

@@ -69,9 +69,13 @@ struct MpsmOptions {
   // ------------------------------------------------ phase orchestration
   /// How phase work is distributed over the team: the paper's static
   /// per-worker scripts, or morsel-driven NUMA-aware work stealing so
-  /// idle workers absorb stragglers' phase-3 sorts and phase-4 merges
-  /// (docs/scheduler.md). Identical join output either way.
-  SchedulerKind scheduler = SchedulerKind::kStatic;
+  /// idle workers absorb stragglers' run generation, phase-3 sorts and
+  /// phase-4 merges (docs/scheduler.md). Identical join output either
+  /// way. Stealing is the default since run generation was sliced
+  /// below chunk granularity (a claim race can no longer hand one
+  /// worker two whole chunk sorts); kStatic remains the paper-fidelity
+  /// A/B knob.
+  SchedulerKind scheduler = SchedulerKind::kStealing;
 
   /// Target tuples per stealable morsel (scatter blocks, sort buckets,
   /// merge ranges). Smaller morsels balance better but add claim

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "core/merge_join.h"
+#include "core/public_runs.h"
 #include "core/run_generation.h"
 #include "parallel/task_scheduler.h"
 #include "partition/equi_height.h"
@@ -35,9 +36,10 @@ namespace {
 /// only its own slots; the cross-task combines happen in the
 /// pipeline's serial steps between barriers.
 struct SharedState {
-  // Phase 1 products.
+  // Phase 1 products (copied views of shared_public when supplied).
   RunSet s_runs;
   std::vector<EquiHeightHistogram> s_histograms;
+  RunGenState s_gen;
 
   // The private input sliced into scatter blocks; one plan row each.
   // Static scheduling keeps one block per chunk (the paper's layout:
@@ -76,10 +78,8 @@ struct SharedState {
   RunSet r_runs;
   // Stealing mode splits an oversized partition sort into one MSD pass
   // plus stealable bucket-sort morsels; the pass's bucket bounds and
-  // shift live here between the two sub-phases.
-  std::vector<std::array<size_t, sort::kRadixBuckets + 1>> partition_bounds;
-  std::vector<uint32_t> partition_shift;
-  std::vector<uint8_t> partition_split;
+  // shift live here between the two sub-phases (core/run_generation.h).
+  RunGenState r_gen;
 };
 
 }  // namespace
@@ -88,12 +88,19 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
                                        const Relation& r_private,
                                        const Relation& s_public,
                                        ConsumerFactory& consumers,
-                                       PMpsmDiagnostics* diagnostics) const {
+                                       PMpsmDiagnostics* diagnostics,
+                                       const PublicRuns* shared_public) const {
   const uint32_t num_workers = team.size();
   if (r_private.num_chunks() != num_workers ||
       s_public.num_chunks() != num_workers) {
     return Status::InvalidArgument(
         "relations must be chunked into team.size() chunks");
+  }
+  if (shared_public != nullptr &&
+      (shared_public->runs.size() != num_workers ||
+       shared_public->histograms.size() != num_workers)) {
+    return Status::InvalidArgument(
+        "shared public runs were built for a different team size");
   }
   const uint32_t radix_bits = EffectiveRadixBits(num_workers);
   const uint32_t num_bounds =
@@ -135,9 +142,7 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
         std::vector<internal::WcBuffer*>(num_workers, nullptr));
   }
   shared.r_runs.resize(num_workers);
-  shared.partition_bounds.resize(num_workers);
-  shared.partition_shift.assign(num_workers, 0);
-  shared.partition_split.assign(num_workers, 0);
+  shared.r_gen.Resize(num_workers);
 
   std::vector<std::unique_ptr<numa::Arena>> arenas(num_workers);
   for (uint32_t w = 0; w < num_workers; ++w) {
@@ -159,24 +164,24 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
 
   // ---------------------------------------------------- phase 1
   // Sort the public chunks into local runs; derive the equi-height
-  // histograms from the sorted runs (nearly free, §4.1). Mandatory
-  // closing barrier: runs + histograms complete before phase 2 reads
-  // them.
-  pipeline.AddPhase(kPhaseSortPublic, chunk_morsels,
-                    [&](WorkerContext& ctx, const Morsel& morsel) {
-                      const uint32_t w = morsel.task;
-                      PerfCounters& counters =
-                          ctx.Counters(kPhaseSortPublic);
-                      shared.s_runs[w] = SortChunkIntoRun(
-                          s_public.chunk(w), *arenas[w], ctx.node, counters,
-                          options.sort, options.sort_config);
-                      shared.s_histograms[w] = BuildEquiHeightHistogram(
-                          shared.s_runs[w], num_bounds);
-                      counters.CountRead(
-                          shared.s_runs[w].node == ctx.node,
-                          /*sequential=*/false,
-                          uint64_t{num_bounds} * sizeof(Tuple));
-                    });
+  // histograms from the sorted runs (nearly free, §4.1). The shared
+  // run-generation steps (core/run_generation.h) slice below chunk
+  // granularity under stealing. Mandatory closing barrier: runs +
+  // histograms complete before phase 2 reads them. When the caller
+  // supplies pre-built shared runs (the service's shared-sort
+  // batching, core/public_runs.h), phase 1 vanishes: the run views and
+  // histograms are copied in before the pipeline starts.
+  if (shared_public != nullptr) {
+    shared.s_runs = shared_public->runs;
+    shared.s_histograms = shared_public->histograms;
+  } else {
+    AddRunGenerationPhases(
+        pipeline, kPhaseSortPublic, s_public,
+        [&arenas](uint32_t w) -> numa::Arena& { return *arenas[w]; },
+        shared.s_runs, shared.s_gen, &shared.s_histograms, num_bounds,
+        options.scheduler, options.sort, options.sort_config,
+        options.morsel_tuples);
+  }
 
   // ---------------------------------------------------- phase 2
   // Phase 2.2a: private key ranges (one sequential pass per block).
@@ -192,7 +197,8 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
         ctx.Counters(kPhasePartition)
             .CountRead(chunk.node == ctx.node, /*sequential=*/true,
                        size * sizeof(Tuple));
-      });
+      },
+      PhasePipeline::PhaseOptions{.guest_safe = true});
 
   // Phase 2.1 + key-range merge (cheap single-threaded).
   pipeline.AddSerial(kPhasePartition, [&](WorkerContext&) {
@@ -223,7 +229,8 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
         ctx.Counters(kPhasePartition)
             .CountRead(chunk.node == ctx.node, /*sequential=*/true,
                        size * sizeof(Tuple));
-      });
+      },
+      PhasePipeline::PhaseOptions{.guest_safe = true});
 
   // Phase 2.3a: splitters + prefix-sum scatter plan over blocks.
   pipeline.AddSerial(kPhasePartition, [&](WorkerContext& ctx) {
@@ -376,11 +383,11 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
         uint64_t max_key = 0;
         simd::KeyMinMax(run.data, run.size, &min_key, &max_key,
                         options.sort_config.simd);
-        shared.partition_shift[w] = sort::RadixShiftForMaxKey(max_key);
-        shared.partition_bounds[w] = sort::MsdRadixPartition(
-            run.data, run.size, shared.partition_shift[w],
+        shared.r_gen.shift[w] = sort::RadixShiftForMaxKey(max_key);
+        shared.r_gen.bounds[w] = sort::MsdRadixPartition(
+            run.data, run.size, shared.r_gen.shift[w],
             options.sort_config.simd);
-        shared.partition_split[w] = 1;
+        shared.r_gen.split[w] = 1;
         // One 256-way pass fixes 8 key bits: charge 8 n*log units; the
         // bucket morsels charge the rest (CountSort per bucket).
         counters.sort_tuple_logs += uint64_t{8} * run.size;
@@ -388,48 +395,24 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
       // The legacy phase_barriers knob only made the sort/join barrier
       // optional; preserved here (static mode only — worker w's phase-4
       // script reads nothing but its own partition's run).
-      PhasePipeline::PhaseOptions{.optional_barrier = true});
+      PhasePipeline::PhaseOptions{.optional_barrier = true,
+                                  .guest_safe = true});
 
   if (stealing) {
-    // Phase 3 (continued): bucket-sort morsels of the split partitions.
+    // Phase 3 (continued): bucket-sort morsels of the split partitions
+    // (shared helpers, core/run_generation.h).
     pipeline.AddPhase(
         kPhaseSortPrivate,
         [&] {
-          std::vector<Morsel> morsels;
-          for (uint32_t w = 0; w < num_workers; ++w) {
-            if (!shared.partition_split[w]) continue;
-            const auto& bounds = shared.partition_bounds[w];
-            uint32_t first = 0;
-            uint64_t acc = 0;
-            for (uint32_t b = 0; b < sort::kRadixBuckets; ++b) {
-              acc += bounds[b + 1] - bounds[b];
-              if (acc >= shared.partition_morsel_tuples ||
-                  b + 1 == sort::kRadixBuckets) {
-                if (acc > 0) {
-                  morsels.push_back(Morsel{w, w, first, b + 1});
-                }
-                first = b + 1;
-                acc = 0;
-              }
-            }
-          }
-          return morsels;
+          return BucketSortMorsels(shared.r_gen,
+                                   shared.partition_morsel_tuples);
         },
         [&](WorkerContext& ctx, const Morsel& morsel) {
-          const uint32_t w = morsel.task;
-          const Run& run = shared.r_runs[w];
-          const auto& bounds = shared.partition_bounds[w];
-          sort::SortMsdBuckets(run.data, bounds,
-                               static_cast<uint32_t>(morsel.begin),
-                               static_cast<uint32_t>(morsel.end),
-                               shared.partition_shift[w], options.sort,
-                               options.sort_config);
-          PerfCounters& counters = ctx.Counters(kPhaseSortPrivate);
-          for (uint64_t b = morsel.begin; b < morsel.end; ++b) {
-            counters.CountSort(bounds[b + 1] - bounds[b]);
-          }
+          SortRunBuckets(shared.r_runs[morsel.task], shared.r_gen, morsel,
+                         options.sort, options.sort_config,
+                         ctx.Counters(kPhaseSortPrivate));
         },
-        PhasePipeline::PhaseOptions{.eager = false});
+        PhasePipeline::PhaseOptions{.eager = false, .guest_safe = true});
   }
 
   // ---------------------------------------------------- phase 4

@@ -26,6 +26,8 @@
 
 namespace mpsm {
 
+struct PublicRuns;
+
 /// Introspection data exposed for tests and the skew-balancing bench.
 struct PMpsmDiagnostics {
   KeyNormalizer normalizer;
@@ -43,10 +45,16 @@ class PMpsmJoin {
   /// Joins `r_private` with `s_public` on `team`, streaming results to
   /// `consumers`. Both relations must be chunked into team.size()
   /// chunks. `diagnostics` (optional) receives splitter internals.
+  /// `shared_public` (optional) supplies pre-sorted runs + histograms
+  /// of `s_public` built by BuildPublicRuns on a team of the same
+  /// size; phase 1 is then skipped entirely — the shared-sort
+  /// amortization of the join service (core/public_runs.h). The caller
+  /// keeps it alive and unmodified for the duration.
   Result<JoinRunInfo> Execute(WorkerTeam& team, const Relation& r_private,
                               const Relation& s_public,
                               ConsumerFactory& consumers,
-                              PMpsmDiagnostics* diagnostics = nullptr) const;
+                              PMpsmDiagnostics* diagnostics = nullptr,
+                              const PublicRuns* shared_public = nullptr) const;
 
   const MpsmOptions& options() const { return options_; }
 

@@ -1,0 +1,43 @@
+#include "core/public_runs.h"
+
+#include <algorithm>
+
+#include "core/run_generation.h"
+#include "parallel/task_scheduler.h"
+
+namespace mpsm {
+
+Result<PublicRuns> BuildPublicRuns(WorkerTeam& team, const Relation& s_public,
+                                   const MpsmOptions& options,
+                                   uint32_t num_bounds) {
+  const uint32_t num_workers = team.size();
+  if (s_public.num_chunks() != num_workers) {
+    return Status::InvalidArgument(
+        "public relation must be chunked into team.size() chunks");
+  }
+  if (num_bounds == 0) {
+    num_bounds = std::max(1u, options.equi_height_factor * num_workers);
+  }
+
+  PublicRuns out;
+  out.runs.resize(num_workers);
+  out.histograms.resize(num_workers);
+  out.num_bounds = num_bounds;
+  out.arenas.reserve(num_workers);
+  for (uint32_t w = 0; w < num_workers; ++w) {
+    out.arenas.push_back(std::make_unique<numa::Arena>(
+        team.topology().NodeForWorker(w, num_workers)));
+  }
+
+  RunGenState state;
+  PhasePipeline pipeline(team.topology(), num_workers, options.scheduler);
+  AddRunGenerationPhases(
+      pipeline, kPhaseSortPublic, s_public,
+      [&out](uint32_t w) -> numa::Arena& { return *out.arenas[w]; }, out.runs,
+      state, &out.histograms, num_bounds, options.scheduler, options.sort,
+      options.sort_config, options.morsel_tuples);
+  pipeline.Run(team, options.phase_barriers);
+  return out;
+}
+
+}  // namespace mpsm

@@ -1,5 +1,8 @@
 #include "core/run_generation.h"
 
+#include <algorithm>
+
+#include "simd/histogram_kernels.h"
 #include "sort/radix_introsort.h"
 
 namespace mpsm {
@@ -30,6 +33,166 @@ Run SortChunkIntoRun(const Chunk& chunk, numa::Arena& arena,
                       chunk.size * sizeof(Tuple));
   counters.CountSort(run.size);
   return run;
+}
+
+Run GenerateRunInto(const Chunk& chunk, numa::Arena& arena,
+                    numa::NodeId worker_node, PerfCounters& counters,
+                    sort::SortKind sort_kind,
+                    const sort::RadixSortConfig& sort_config,
+                    uint64_t split_threshold, RunGenState* state,
+                    uint32_t task) {
+  const bool splittable = split_threshold != 0 && state != nullptr &&
+                          sort_kind != sort::SortKind::kIntroSort &&
+                          chunk.size > split_threshold;
+  if (!splittable) {
+    return SortChunkIntoRun(chunk, arena, worker_node, counters, sort_kind,
+                            sort_config);
+  }
+
+  Run run;
+  run.size = chunk.size;
+  run.node = arena.node();
+  run.data = arena.AllocateArray<Tuple>(chunk.size);
+  uint64_t min_key = 0;
+  uint64_t max_key = 0;
+  simd::KeyMinMax(chunk.data, chunk.size, &min_key, &max_key,
+                  sort_config.simd);
+  const uint32_t shift = sort::RadixShiftForMaxKey(max_key);
+  state->bounds[task] = sort::MsdRadixPartitionCopy(
+      chunk.data, chunk.size, shift, run.data, sort_config.simd);
+  state->shift[task] = shift;
+  state->split[task] = 1;
+  // Same modeled traffic as the fused whole-chunk sort (the extra
+  // min/max sweep is a wall-clock artifact, like the fusion itself);
+  // the one 256-way pass fixes 8 key bits, so charge 8 n*log units —
+  // the bucket morsels charge the rest.
+  counters.CountRead(chunk.node == worker_node, /*sequential=*/true,
+                     chunk.size * sizeof(Tuple));
+  counters.CountWrite(run.node == worker_node, /*sequential=*/true,
+                      chunk.size * sizeof(Tuple));
+  counters.sort_tuple_logs += uint64_t{8} * chunk.size;
+  return run;
+}
+
+std::vector<Morsel> BucketSortMorsels(const RunGenState& state,
+                                      uint64_t morsel_tuples) {
+  std::vector<Morsel> morsels;
+  for (uint32_t t = 0; t < state.split.size(); ++t) {
+    if (!state.split[t]) continue;
+    const auto& bounds = state.bounds[t];
+    uint32_t first = 0;
+    uint64_t acc = 0;
+    for (uint32_t b = 0; b < sort::kRadixBuckets; ++b) {
+      acc += bounds[b + 1] - bounds[b];
+      if (acc >= morsel_tuples || b + 1 == sort::kRadixBuckets) {
+        if (acc > 0) {
+          morsels.push_back(Morsel{t, t, first, b + 1});
+        }
+        first = b + 1;
+        acc = 0;
+      }
+    }
+  }
+  return morsels;
+}
+
+void SortRunBuckets(const Run& run, const RunGenState& state,
+                    const Morsel& morsel, sort::SortKind sort_kind,
+                    const sort::RadixSortConfig& sort_config,
+                    PerfCounters& counters) {
+  const uint32_t t = morsel.task;
+  const auto& bounds = state.bounds[t];
+  sort::SortMsdBuckets(run.data, bounds, static_cast<uint32_t>(morsel.begin),
+                       static_cast<uint32_t>(morsel.end), state.shift[t],
+                       sort_kind, sort_config);
+  for (uint64_t b = morsel.begin; b < morsel.end; ++b) {
+    counters.CountSort(bounds[b + 1] - bounds[b]);
+  }
+}
+
+void AddRunGenerationPhases(PhasePipeline& pipeline, JoinPhase slot,
+                            const Relation& input,
+                            const std::function<numa::Arena&(uint32_t)>& arena_of,
+                            RunSet& runs, RunGenState& state,
+                            std::vector<EquiHeightHistogram>* histograms,
+                            uint32_t num_bounds, SchedulerKind scheduler,
+                            sort::SortKind sort_kind,
+                            const sort::RadixSortConfig& sort_config,
+                            uint64_t morsel_tuples_knob,
+                            bool optional_barrier) {
+  const uint32_t num_chunks = input.num_chunks();
+  state.Resize(num_chunks);
+  const bool stealing = scheduler == SchedulerKind::kStealing;
+
+  std::vector<uint64_t> chunk_sizes(num_chunks);
+  for (uint32_t w = 0; w < num_chunks; ++w) {
+    chunk_sizes[w] = input.chunk(w).size;
+  }
+  const uint64_t morsel_tuples = ResolveMorselTuples(
+      morsel_tuples_knob, chunk_sizes.data(), chunk_sizes.size());
+  // Only split chunks whose bucket sorts amount to more than one
+  // morsel; below that the split costs a barrier without spreading any
+  // work.
+  const uint64_t split_threshold =
+      stealing ? std::max<uint64_t>(2 * morsel_tuples,
+                                    2 * sort::kRadixBuckets)
+               : 0;
+
+  const auto arenas = arena_of;  // copy: the reference param dies at return
+  pipeline.AddPhase(
+      slot, [num_chunks] { return ChunkMorsels(num_chunks); },
+      [&input, &runs, &state, arenas, histograms, num_bounds, slot,
+       sort_kind, sort_config, split_threshold,
+       stealing](WorkerContext& ctx, const Morsel& morsel) {
+        const uint32_t w = morsel.task;
+        PerfCounters& counters = ctx.Counters(slot);
+        runs[w] = GenerateRunInto(input.chunk(w), arenas(w), ctx.node,
+                                  counters, sort_kind, sort_config,
+                                  split_threshold, &state, w);
+        // Static mode keeps the paper's fused script: the run is fully
+        // sorted here, so the histogram rides along for free (§4.1).
+        // Stealing mode defers it until the bucket sorts finished.
+        if (!stealing && histograms != nullptr) {
+          (*histograms)[w] = BuildEquiHeightHistogram(runs[w], num_bounds);
+          counters.CountRead(runs[w].node == ctx.node, /*sequential=*/false,
+                             uint64_t{num_bounds} * sizeof(Tuple));
+        }
+      },
+      PhasePipeline::PhaseOptions{.optional_barrier =
+                                      !stealing && optional_barrier,
+                                  .guest_safe = true});
+
+  if (stealing) {
+    pipeline.AddPhase(
+        slot,
+        [&state, morsel_tuples] {
+          return BucketSortMorsels(state, morsel_tuples);
+        },
+        [&runs, &state, slot, sort_kind, sort_config](WorkerContext& ctx,
+                                                      const Morsel& morsel) {
+          SortRunBuckets(runs[morsel.task], state, morsel, sort_kind,
+                         sort_config, ctx.Counters(slot));
+        },
+        PhasePipeline::PhaseOptions{.eager = false,
+                                    .optional_barrier =
+                                        histograms == nullptr &&
+                                        optional_barrier,
+                                    .guest_safe = true});
+    if (histograms != nullptr) {
+      pipeline.AddPhase(
+          slot, [num_chunks] { return ChunkMorsels(num_chunks); },
+          [&runs, histograms, num_bounds, slot](WorkerContext& ctx,
+                                                const Morsel& morsel) {
+            const uint32_t w = morsel.task;
+            (*histograms)[w] = BuildEquiHeightHistogram(runs[w], num_bounds);
+            ctx.Counters(slot).CountRead(runs[w].node == ctx.node,
+                                         /*sequential=*/false,
+                                         uint64_t{num_bounds} * sizeof(Tuple));
+          },
+          PhasePipeline::PhaseOptions{.optional_barrier = optional_barrier,
+                                      .guest_safe = true});
+    }
+  }
 }
 
 }  // namespace mpsm

@@ -5,10 +5,25 @@
 // into the sort's first MSD radix pass (the §2.3 amortization the
 // paper notes), so the chunk is materialized locally already grouped
 // by its top radix digit.
+//
+// Under the stealing scheduler, run generation is additionally sliced
+// *below* chunk granularity: a large chunk's generating morsel performs
+// only the fused copy + first MSD pass and publishes the 257 bucket
+// bounds; stealable bucket-sort morsels finish the run. This removes
+// the one-coarse-morsel-per-worker shape that made claim races land a
+// worker two whole chunk sorts (docs/scheduler.md "Measured A/B") and
+// is what lets stealing be the default scheduler.
 #pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
 
 #include "numa/arena.h"
 #include "parallel/counters.h"
+#include "parallel/task_scheduler.h"
+#include "partition/equi_height.h"
 #include "sort/radix_introsort.h"
 #include "storage/relation.h"
 #include "storage/run.h"
@@ -24,5 +39,74 @@ Run SortChunkIntoRun(const Chunk& chunk, numa::Arena& arena,
                      numa::NodeId worker_node, PerfCounters& counters,
                      sort::SortKind sort_kind,
                      const sort::RadixSortConfig& sort_config = {});
+
+/// Per-task state of a split run generation: when task t was split, the
+/// generating morsel ran only the copy fused with one MSD radix pass
+/// and left bounds/shift here for the bucket-sort morsels. One slot per
+/// task (chunk or partition); each morsel writes only its own slot.
+struct RunGenState {
+  std::vector<std::array<size_t, sort::kRadixBuckets + 1>> bounds;
+  std::vector<uint32_t> shift;
+  std::vector<uint8_t> split;
+
+  void Resize(size_t tasks) {
+    bounds.resize(tasks);
+    shift.assign(tasks, 0);
+    split.assign(tasks, 0);
+  }
+};
+
+/// Like SortChunkIntoRun, but when the chunk exceeds `split_threshold`
+/// (and the sort is a radix kind) only the copy + first MSD pass runs;
+/// state->split[task] is set and SortRunBuckets morsels must finish
+/// the run. split_threshold == 0 disables splitting (always sorts
+/// fully). Counter policy matches the phase-3 split: the one pass
+/// charges 8 n*log units (it fixes 8 key bits); the bucket morsels
+/// charge the rest.
+Run GenerateRunInto(const Chunk& chunk, numa::Arena& arena,
+                    numa::NodeId worker_node, PerfCounters& counters,
+                    sort::SortKind sort_kind,
+                    const sort::RadixSortConfig& sort_config,
+                    uint64_t split_threshold, RunGenState* state,
+                    uint32_t task);
+
+/// Morsels of ~morsel_tuples of consecutive buckets for every split
+/// task (home == task; begin/end = bucket range) — the eager=false
+/// factory of the bucket-sort phase that follows GenerateRunInto.
+std::vector<Morsel> BucketSortMorsels(const RunGenState& state,
+                                      uint64_t morsel_tuples);
+
+/// Executes one BucketSortMorsels morsel: finishes buckets
+/// [morsel.begin, morsel.end) of run `run` (== task morsel.task's run)
+/// and charges the per-bucket sort work.
+void SortRunBuckets(const Run& run, const RunGenState& state,
+                    const Morsel& morsel, sort::SortKind sort_kind,
+                    const sort::RadixSortConfig& sort_config,
+                    PerfCounters& counters);
+
+/// Appends the run-generation steps for `input` to `pipeline`: one
+/// morsel per chunk generating runs[w] from input.chunk(w) out of
+/// arena_of(w), plus — in stealing mode — the stealable bucket-sort
+/// continuation and (when `histograms` is non-null) a final per-chunk
+/// step building `num_bounds` equi-height bounds from each finished
+/// run. `state` and all referenced containers must outlive the
+/// pipeline's Run. The sub-chunk split threshold is derived from the
+/// chunk sizes (2 * ResolveMorselTuples, at least 2 * kRadixBuckets);
+/// static mode keeps the paper's fused one-morsel-per-chunk script.
+/// All steps are guest-safe: their bodies key everything off
+/// morsel.task, so a donated worker from another session may execute
+/// them (docs/service.md). `optional_barrier` marks the *last* added
+/// step's closing barrier as elidable under phase_barriers == false
+/// (static mode only, PhaseOptions::optional_barrier).
+void AddRunGenerationPhases(PhasePipeline& pipeline, JoinPhase slot,
+                            const Relation& input,
+                            const std::function<numa::Arena&(uint32_t)>& arena_of,
+                            RunSet& runs, RunGenState& state,
+                            std::vector<EquiHeightHistogram>* histograms,
+                            uint32_t num_bounds, SchedulerKind scheduler,
+                            sort::SortKind sort_kind,
+                            const sort::RadixSortConfig& sort_config,
+                            uint64_t morsel_tuples_knob,
+                            bool optional_barrier = false);
 
 }  // namespace mpsm

@@ -231,6 +231,7 @@ Status DMpsmOptions::Validate() const {
   io_options.backend = io_backend;
   io_options.queue_depth = io_queue_depth;
   io_options.batch_pages = io_batch_pages;
+  io_options.max_inflight_bytes = io_max_inflight_bytes;
   MPSM_RETURN_NOT_OK(io_options.Validate());
   return sort_config.Validate();
 }
@@ -265,6 +266,7 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
   io_options.backend = options_.io_backend;
   io_options.queue_depth = options_.io_queue_depth;
   io_options.batch_pages = options_.io_batch_pages;
+  io_options.max_inflight_bytes = options_.io_max_inflight_bytes;
   io_options.completion_queues = num_nodes + num_workers;
   MPSM_ASSIGN_OR_RETURN(
       auto io_scheduler,

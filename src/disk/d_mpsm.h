@@ -73,6 +73,12 @@ struct DMpsmOptions {
   /// (1 <= io_batch_pages <= io::kMaxIovPerRead).
   size_t io_batch_pages = 8;
 
+  /// In-flight byte budget toward the I/O backend; 0 derives
+  /// queue_depth * batch_pages * page_bytes (no extra cap). A join
+  /// service running several spilling sessions concurrently divides
+  /// its device budget across them through this knob.
+  uint64_t io_max_inflight_bytes = 0;
+
   /// Checks every knob against its legal range (e.g. pool_pages >= 1).
   /// Execute and the engine front door both call this.
   Status Validate() const;

@@ -5,6 +5,8 @@
 #include "baseline/radix_join.h"
 #include "baseline/wisconsin_join.h"
 #include "core/b_mpsm.h"
+#include "parallel/donation.h"
+#include "sim/calibration.h"
 #include "simd/caps.h"
 #include "util/timer.h"
 
@@ -33,8 +35,19 @@ WorkerTeam& Engine::TeamFor(uint32_t team_size) {
   if (team_ == nullptr || team_->size() != team_size) {
     team_ = std::make_unique<WorkerTeam>(topology_, team_size);
     ++stats_.team_spawns;
+    if (donation_ != nullptr) team_->set_donation(donation_);
   }
   return *team_;
+}
+
+void Engine::set_donation(DonationPool* pool) {
+  donation_ = pool;
+  if (team_ != nullptr) team_->set_donation(pool);
+}
+
+sim::MachineModel Engine::machine() const {
+  if (calibrated_machine_.has_value()) return *calibrated_machine_;
+  return Planner(&topology_, &options_).PlanningMachine();
 }
 
 Result<JoinPlan> Engine::Plan(const JoinSpec& spec) const {
@@ -72,6 +85,14 @@ Result<JoinReport> Engine::Execute(const JoinSpec& spec) {
   stats_.plan_seconds_total += report.plan_seconds;
   report.simd_used = simd::Resolve(PlanSimdKnob(report.plan));
 
+  if (spec.shared_public_runs != nullptr &&
+      report.plan.algorithm != Algorithm::kPMpsm) {
+    return Status::InvalidArgument(
+        "shared public runs require a P-MPSM plan (got " +
+        std::string(AlgorithmName(report.plan.algorithm)) +
+        "); force Algorithm::kPMpsm");
+  }
+
   WorkerTeam& team = TeamFor(team_size);
   Result<JoinRunInfo> info = Status::Internal("unreachable");
   switch (report.plan.algorithm) {
@@ -79,7 +100,7 @@ Result<JoinReport> Engine::Execute(const JoinSpec& spec) {
       report.pmpsm.emplace();
       info = PMpsmJoin(report.plan.mpsm)
                  .Execute(team, *spec.r, *spec.s, *spec.consumers,
-                          &*report.pmpsm);
+                          &*report.pmpsm, spec.shared_public_runs);
       break;
     }
     case Algorithm::kBMpsm:
@@ -104,7 +125,22 @@ Result<JoinReport> Engine::Execute(const JoinSpec& spec) {
   }
   if (!info.ok()) return info.status();
   report.info = std::move(info).value();
+  report.measured_phase_seconds = report.info.MaxPhaseSeconds();
+  report.measured_seconds = report.info.critical_path_seconds;
   ++stats_.queries_executed;
+
+  // Close the planner feedback loop: fold this run's effective
+  // coefficients into the session model so the next plan's predictions
+  // track this host. Session options only — a per-query override must
+  // not steer the session model.
+  if (spec.options == nullptr && options_.recalibrate) {
+    sim::MachineModel model = machine();
+    sim::Recalibrate(model,
+                     sim::ObserveRun(report.info.workers,
+                                     simd::KeysPerCompare(report.simd_used)));
+    calibrated_machine_ = model;
+    options_.machine = model;
+  }
   return report;
 }
 

@@ -49,6 +49,14 @@ struct JoinReport {
   /// cardinality).
   JoinRunInfo info;
 
+  /// Measured counterpart of plan.predicted_phase_seconds: max over
+  /// workers of each phase's wall time (info.MaxPhaseSeconds), so
+  /// predicted-vs-measured sits side by side in one report. Feeds the
+  /// recalibration pass (sim/calibration.h).
+  std::array<double, kNumJoinPhases> measured_phase_seconds{};
+  /// Sum of measured_phase_seconds (== info.critical_path_seconds).
+  double measured_seconds = 0;
+
   /// Concrete vector ISA the kernels ran on (the chosen algorithm's
   /// simd knob after simd::Resolve — kAuto and unsupported kinds made
   /// visible; kScalar for the wisconsin baseline).
@@ -102,12 +110,34 @@ class Engine {
 
   /// Replaces the session options; takes effect from the next query.
   /// The team is kept (only a changed `workers` forces a re-spawn).
-  void set_options(EngineOptions options) { options_ = std::move(options); }
+  /// Resets any recalibration drift to the new options' machine.
+  void set_options(EngineOptions options) {
+    options_ = std::move(options);
+    calibrated_machine_.reset();
+  }
 
   const SessionStats& stats() const { return stats_; }
 
+  /// The cost model the next query will be planned with. Starts as the
+  /// resolved EngineOptions::machine and — under options().recalibrate
+  /// — drifts toward this host's measured coefficients query by query.
+  sim::MachineModel machine() const;
+
+  /// Opts this session's worker team into cross-session donation
+  /// (parallel/donation.h): its guest-safe phases are published to
+  /// `pool` and its idle workers help other sessions at barriers. Call
+  /// before the first Execute or any time between queries; nullptr
+  /// opts out. The pool must outlive the engine.
+  void set_donation(DonationPool* pool);
+
   /// The session's worker team; nullptr before the first Execute.
   WorkerTeam* team() { return team_.get(); }
+
+  /// Spawns (or reuses) the session team at `team_size` ahead of any
+  /// Execute. The join service sorts shared public runs on it
+  /// (core/public_runs.h) before the batched Executes reuse the same
+  /// team.
+  WorkerTeam& EnsureTeam(uint32_t team_size) { return TeamFor(team_size); }
 
   /// Team size a query with these inputs will run on (callers size
   /// their per-worker consumers with this).
@@ -122,6 +152,10 @@ class Engine {
   EngineOptions options_;
   std::unique_ptr<WorkerTeam> team_;
   SessionStats stats_;
+  DonationPool* donation_ = nullptr;
+  /// Session cost model under recalibration; unset until the first
+  /// recalibrating query resolves EngineOptions::machine.
+  std::optional<sim::MachineModel> calibrated_machine_;
 };
 
 }  // namespace mpsm::engine

@@ -142,6 +142,7 @@ disk::DMpsmOptions ResolveDMpsmOptions(const EngineOptions& options,
   d.io_backend = options.dmpsm.io_backend;
   d.io_queue_depth = options.dmpsm.io_queue_depth;
   d.io_batch_pages = options.dmpsm.io_batch_pages;
+  d.io_max_inflight_bytes = options.dmpsm.io_max_inflight_bytes;
   d.sort = options.sort.value_or(d.sort);
   d.sort_config = options.sort_config.value_or(d.sort_config);
   d.merge_prefetch_distance =

@@ -44,6 +44,10 @@
 #include "storage/relation.h"
 #include "util/status.h"
 
+namespace mpsm {
+struct PublicRuns;  // core/public_runs.h — shared-sort batching
+}  // namespace mpsm
+
 namespace mpsm::engine {
 
 /// Every join implementation the engine can dispatch to.
@@ -92,6 +96,10 @@ struct DMpsmOverrides {
   size_t io_queue_depth = 16;
   /// Pages coalesced per vectored read / private-window readahead.
   size_t io_batch_pages = 8;
+  /// In-flight byte budget toward the I/O backend; 0 = no extra cap
+  /// (queue_depth * batch_pages * page_bytes). The join service slices
+  /// its global I/O budget into per-session shares through this knob.
+  uint64_t io_max_inflight_bytes = 0;
 };
 
 /// Per-algorithm overrides for the radix hash join.
@@ -102,9 +110,10 @@ struct RadixOverrides {
 };
 
 /// The engine's one canonical knob set. Shared kernel knobs are stated
-/// once (std::nullopt keeps each algorithm's own default, e.g. MPSM
-/// schedules statically while the radix join defaults to stealing);
-/// algorithm-specific knobs live in the override sub-structs. This
+/// once (std::nullopt keeps each algorithm's own default, e.g. the
+/// in-memory variants and the radix join default to stealing while
+/// D-MPSM schedules statically); algorithm-specific knobs live in the
+/// override sub-structs. This
 /// replaces hand-tuning MpsmOptions / DMpsmOptions / RadixJoinOptions
 /// in parallel.
 struct EngineOptions {
@@ -132,6 +141,13 @@ struct EngineOptions {
   /// machines the HyPer1 layout is kept so plans match the paper's
   /// NUMA reasoning (bench/common.h convention).
   std::optional<sim::MachineModel> machine;
+
+  /// Close the planner feedback loop: after each executed query, fold
+  /// the measured per-phase times back into the session's cost model
+  /// (sim/calibration.h), so repeated sessions converge on this host's
+  /// observed ns_per_sort_unit / ns_per_merge_key. Session-level only:
+  /// a per-query options override never mutates the session model.
+  bool recalibrate = false;
 
   // ---------------------------------------- canonical kernel knobs
   std::optional<SchedulerKind> scheduler;
@@ -180,6 +196,13 @@ struct JoinSpec {
   /// Per-query override of the session's EngineOptions (the pointee
   /// must outlive the Execute call). Null uses the session options.
   const EngineOptions* options = nullptr;
+
+  /// Pre-sorted runs of `s` built by BuildPublicRuns on a team of the
+  /// same size (core/public_runs.h): P-MPSM skips phase 1. Requires a
+  /// P-MPSM plan (force via `algorithm` when in doubt); other plans
+  /// fail the query. The join service sets this when batching
+  /// compatible queries over one public input (docs/service.md).
+  const PublicRuns* shared_public_runs = nullptr;
 };
 
 /// Workload statistics the planner derived for one join.

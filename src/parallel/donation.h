@@ -1,0 +1,111 @@
+// Cross-session worker donation: the elastic-teams layer.
+//
+// The TaskScheduler already steals morsels across NUMA nodes *within*
+// one session's team. A DonationPool extends that stealing across
+// sessions: while a team runs a guest-safe stealing phase, the phase's
+// scheduler is published to the pool, and workers of *other* sessions
+// that would otherwise idle at a PhasePipeline barrier claim and
+// execute its morsels instead. A lone small query thus no longer
+// strands the machine while a big sort saturates another session.
+//
+// Safety contract:
+//  - Only phases whose bodies key all state off morsel.task (never off
+//    ctx.worker_id) may be published; PhasePipeline enforces this via
+//    PhaseOptions::guest_safe, and only stealing-kind schedulers are
+//    eligible (a static scheduler indexes queues by worker id).
+//  - A guest runs under a synthetic WorkerContext (its own node, a
+//    scratch stats sink, worker_id == host team size as a sentinel, no
+//    barrier); donated work's counters are aggregated pool-side, not
+//    into the host session's per-worker stats (docs/service.md).
+//  - Before the host team passes the phase's closing barrier, worker 0
+//    closes the publication and waits until no guest is mid-morsel, so
+//    phase products are complete and visible (release/acquire on the
+//    in-flight count) when the next phase reads them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+
+#include "parallel/counters.h"
+#include "parallel/task_scheduler.h"
+
+namespace mpsm {
+
+/// A registry of currently published (session, scheduler, body) phase
+/// entries that idle workers of other sessions poll via TryHelp.
+/// Thread-safe; one pool is shared by all sessions of a JoinService.
+class DonationPool {
+ public:
+  /// Identifies one Publish so Close cannot clear a slot that was
+  /// re-published by another session in the meantime.
+  struct Ticket {
+    int slot = -1;
+    uint64_t generation = 0;
+  };
+
+  struct Stats {
+    uint64_t sessions_registered = 0;
+    uint64_t phases_published = 0;
+    uint64_t morsels_donated = 0;
+  };
+
+  explicit DonationPool(uint32_t max_entries = 32);
+  ~DonationPool();
+
+  DonationPool(const DonationPool&) = delete;
+  DonationPool& operator=(const DonationPool&) = delete;
+
+  /// Returns a fresh session id (each WorkerTeam participating in
+  /// donation gets one; guests never help their own session).
+  uint64_t RegisterSession();
+
+  /// Publishes a phase: guests may now claim from `scheduler` and run
+  /// `body`. Returns an invalid Ticket (slot -1) when the pool is full
+  /// — publication is best-effort. `scheduler` and `body` must stay
+  /// valid until Close returns.
+  Ticket Publish(uint64_t session, TaskScheduler* scheduler,
+                 const std::function<void(WorkerContext&, const Morsel&)>* body,
+                 const numa::Topology* topology, uint32_t team_size);
+
+  /// Stops new guest claims on `ticket` and blocks until every guest
+  /// that already claimed a morsel finished executing it. Safe to call
+  /// with an invalid ticket (no-op).
+  void Close(Ticket ticket);
+
+  /// Claims and executes at most one morsel from some other session's
+  /// published phase. `guest_node` homes the claim (locality-first
+  /// dispatch against the host's queues); returns false when no
+  /// foreign work is available.
+  bool TryHelp(uint64_t session, numa::NodeId guest_node);
+
+  Stats stats() const;
+  uint64_t morsels_donated() const {
+    return morsels_donated_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Entry {
+    std::atomic<bool> open{false};
+    std::atomic<int> in_flight{0};
+    std::atomic<uint64_t> generation{0};
+    uint64_t session = 0;
+    TaskScheduler* scheduler = nullptr;
+    const std::function<void(WorkerContext&, const Morsel&)>* body = nullptr;
+    const numa::Topology* topology = nullptr;
+    uint32_t team_size = 0;
+  };
+
+  const uint32_t max_entries_;
+  std::unique_ptr<Entry[]> entries_;
+  mutable std::mutex mu_;  // guards Publish/Close slot management
+  uint64_t next_session_ = 1;
+  uint64_t next_generation_ = 1;
+  uint64_t phases_published_ = 0;
+  uint64_t sessions_registered_ = 0;
+  std::atomic<uint64_t> morsels_donated_{0};
+};
+
+}  // namespace mpsm

@@ -5,6 +5,8 @@
 #include <cmath>
 #include <thread>
 
+#include "parallel/donation.h"
+
 namespace mpsm {
 
 const char* SchedulerKindName(SchedulerKind kind) {
@@ -133,6 +135,20 @@ void PhasePipeline::Run(WorkerTeam& team, bool phase_barriers) {
     }
   }
 
+  DonationPool* pool = team.donation();
+  const uint64_t session = team.donation_session();
+  // Barrier waits double as donation slots: instead of idling until the
+  // stragglers arrive, a worker executes morsels published by *other*
+  // sessions (parallel/donation.h). Approximate by design — a worker
+  // mid-donated-morsel delays its own arrival by at most that morsel.
+  const auto help_then_wait = [&](WorkerContext& ctx) {
+    if (pool != nullptr) {
+      while (ctx.barrier->OthersArriving() && pool->TryHelp(session, ctx.node)) {
+      }
+    }
+    ctx.barrier->Wait();
+  };
+
   team.Run([&](WorkerContext& ctx) {
     for (size_t s = 0; s < steps_.size(); ++s) {
       Step& step = steps_[s];
@@ -141,13 +157,29 @@ void PhasePipeline::Run(WorkerTeam& team, bool phase_barriers) {
           PhaseScope scope(ctx, step.slot);
           if (ctx.worker_id == 0) step.serial_fn(ctx);
         }
-        ctx.barrier->Wait();
+        help_then_wait(ctx);
         continue;
       }
 
       if (!step.options.eager) {
         if (ctx.worker_id == 0) step.scheduler->Reset(step.factory());
         ctx.barrier->Wait();
+      }
+
+      // Publish guest-safe stealing phases so other sessions' idle
+      // workers can claim morsels alongside this team. Published only
+      // once this team reaches the step (never up front: an eager
+      // factory's *morsels* are known before Run, but the body may
+      // read earlier phases' products). Worker 0 closes the
+      // publication — draining in-flight guests — before its own
+      // barrier arrival, so the next step starts with every morsel's
+      // products complete.
+      const bool donatable = pool != nullptr && step.options.guest_safe &&
+                             step.scheduler->kind() == SchedulerKind::kStealing;
+      DonationPool::Ticket ticket;
+      if (donatable && ctx.worker_id == 0) {
+        ticket = pool->Publish(session, step.scheduler.get(), &step.body,
+                               topology_, team_size_);
       }
 
       // Stealing teams yield between morsels: on an oversubscribed
@@ -176,6 +208,8 @@ void PhasePipeline::Run(WorkerTeam& team, bool phase_barriers) {
         }
       }
 
+      if (donatable && ctx.worker_id == 0) pool->Close(ticket);
+
       const bool last = s + 1 == steps_.size();
       // An optional closing barrier may only be elided when no other
       // worker can observe this phase's products early: static
@@ -184,7 +218,7 @@ void PhasePipeline::Run(WorkerTeam& team, bool phase_barriers) {
           step.options.optional_barrier && !phase_barriers &&
           kind_ == SchedulerKind::kStatic &&
           (last || (!steps_[s + 1].serial && steps_[s + 1].options.eager));
-      if (!last && !skippable) ctx.barrier->Wait();
+      if (!last && !skippable) help_then_wait(ctx);
     }
   });
 }

@@ -122,6 +122,12 @@ class PhasePipeline {
     /// the radix join's pass-2/join split); the pipeline then only
     /// charges morsel claims to `slot`.
     bool self_timed = false;
+    /// Guest-safe bodies key all state off morsel.task and never index
+    /// per-worker arrays with ctx.worker_id, so workers of *other*
+    /// sessions may execute their morsels via a DonationPool
+    /// (parallel/donation.h). Only honored for stealing-kind phases on
+    /// teams opted into donation; ignored otherwise.
+    bool guest_safe = false;
   };
 
   PhasePipeline(const numa::Topology& topology, uint32_t team_size,

@@ -19,6 +19,7 @@
 
 namespace mpsm {
 
+class DonationPool;
 class WorkerTeam;
 
 /// Everything a worker needs: identity, placement, barrier, stats sink,
@@ -87,12 +88,23 @@ class WorkerTeam {
   /// Arena of worker `w` (homed on that worker's node).
   numa::Arena& ArenaOf(uint32_t w) { return *arenas_[w]; }
 
+  /// Opts this team into cross-session worker donation
+  /// (parallel/donation.h): its guest-safe stealing phases are
+  /// published to `pool`, and its workers help other sessions while
+  /// waiting at phase barriers. Registers a fresh session id on first
+  /// call per pool. nullptr opts back out.
+  void set_donation(DonationPool* pool);
+  DonationPool* donation() const { return donation_; }
+  uint64_t donation_session() const { return donation_session_; }
+
  private:
   const numa::Topology* topology_;
   uint32_t team_size_;
   Barrier barrier_;
   std::vector<WorkerStats> stats_;
   std::vector<std::unique_ptr<numa::Arena>> arenas_;
+  DonationPool* donation_ = nullptr;
+  uint64_t donation_session_ = 0;
 };
 
 }  // namespace mpsm

@@ -1,0 +1,330 @@
+#include "service/join_service.h"
+
+#include <algorithm>
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "engine/planner.h"
+#include "storage/tuple.h"
+
+namespace mpsm::service {
+
+namespace {
+
+/// Bytes the governor reserves while a planned query runs. In-memory
+/// variants keep both inputs plus their runs resident; the spill path's
+/// residency is its bounded page pools — the shared S staging pool plus
+/// the per-worker private windows, which the pool capacity also bounds.
+uint64_t PlanFootprintBytes(const engine::JoinPlan& plan) {
+  if (plan.algorithm == engine::Algorithm::kDMpsm) {
+    const uint64_t page_bytes =
+        static_cast<uint64_t>(plan.dmpsm.tuples_per_page) * sizeof(Tuple);
+    return 2 * static_cast<uint64_t>(plan.dmpsm.pool_pages) * page_bytes;
+  }
+  return plan.inputs.working_set_bytes;
+}
+
+}  // namespace
+
+JoinService::JoinService(ServiceOptions options)
+    : JoinService(numa::Topology::Probe(), std::move(options)) {}
+
+JoinService::JoinService(const numa::Topology& topology, ServiceOptions options)
+    : topology_(topology), options_(std::move(options)) {
+  options_.lanes = std::max(options_.lanes, 1u);
+  options_.max_batch = std::max(options_.max_batch, 1u);
+
+  engine::EngineOptions lane_options = options_.engine;
+  if (options_.io_inflight_budget_bytes != 0) {
+    // Slice the device budget evenly; the IO scheduler's progress
+    // guarantee (one batch always starts) makes any non-zero share safe.
+    lane_options.dmpsm.io_max_inflight_bytes = std::max<uint64_t>(
+        options_.io_inflight_budget_bytes / options_.lanes, 1);
+  }
+  if (options_.donation) donation_ = std::make_unique<DonationPool>();
+  engines_.reserve(options_.lanes);
+  for (uint32_t i = 0; i < options_.lanes; ++i) {
+    engines_.push_back(
+        std::make_unique<engine::Engine>(topology_, lane_options));
+    if (donation_ != nullptr) engines_.back()->set_donation(donation_.get());
+  }
+  lanes_.reserve(options_.lanes);
+  for (uint32_t i = 0; i < options_.lanes; ++i) {
+    lanes_.emplace_back(&JoinService::LaneLoop, this, i);
+  }
+}
+
+JoinService::~JoinService() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+    // Nothing queued may run anymore; fail it cleanly so Wait returns.
+    for (StatePtr& q : queue_) {
+      q->phase = QueryState::Phase::kDone;
+      q->result.emplace(Status::Cancelled("join service shut down"));
+      ++stats_.cancelled;
+    }
+    queue_.clear();
+    work_cv_.notify_all();
+    done_cv_.notify_all();
+  }
+  for (std::thread& lane : lanes_) lane.join();
+}
+
+Result<JoinService::QueryId> JoinService::Submit(const engine::JoinSpec& spec) {
+  if (spec.r == nullptr || spec.s == nullptr) {
+    return Status::InvalidArgument("JoinSpec needs both input relations");
+  }
+  if (spec.consumers == nullptr) {
+    return Status::InvalidArgument("JoinSpec needs a consumer factory");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (stop_) return Status::Cancelled("join service is shutting down");
+  if (queue_.size() >= options_.max_queue) {
+    ++stats_.rejected;
+    return Status::ResourceExhausted(
+        "admission queue is full (max_queue = " +
+        std::to_string(options_.max_queue) + ")");
+  }
+  StatePtr state = std::make_shared<QueryState>();
+  state->id = next_id_++;
+  state->spec = spec;
+  queue_.push_back(state);
+  states_.emplace(state->id, state);
+  ++stats_.submitted;
+  stats_.peak_queue_depth = std::max<uint64_t>(stats_.peak_queue_depth,
+                                               queue_.size());
+  work_cv_.notify_one();
+  return state->id;
+}
+
+Result<engine::JoinReport> JoinService::Wait(QueryId id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = states_.find(id);
+  if (it == states_.end()) {
+    return Status::InvalidArgument("unknown (or already waited) query id " +
+                                   std::to_string(id));
+  }
+  StatePtr state = it->second;
+  done_cv_.wait(lock,
+                [&] { return state->phase == QueryState::Phase::kDone; });
+  states_.erase(id);
+  return std::move(*state->result);
+}
+
+Status JoinService::Cancel(QueryId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = states_.find(id);
+  if (it == states_.end()) {
+    return Status::InvalidArgument("unknown (or already waited) query id " +
+                                   std::to_string(id));
+  }
+  StatePtr state = it->second;
+  if (state->phase != QueryState::Phase::kQueued) {
+    return Status::InvalidArgument(
+        "query " + std::to_string(id) +
+        " is already running or finished; only queued queries cancel");
+  }
+  queue_.erase(std::find(queue_.begin(), queue_.end(), state));
+  state->phase = QueryState::Phase::kDone;
+  state->result.emplace(Status::Cancelled("query cancelled while queued"));
+  ++stats_.cancelled;
+  done_cv_.notify_all();
+  work_cv_.notify_all();
+  return Status::OK();
+}
+
+void JoinService::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  done_cv_.wait(lock, [&] { return queue_.empty() && running_groups_ == 0; });
+}
+
+ServiceStats JoinService::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  ServiceStats out = stats_;
+  if (donation_ != nullptr) out.donated_morsels = donation_->morsels_donated();
+  return out;
+}
+
+Status JoinService::PlanLocked(engine::Engine& engine, QueryState& q) {
+  Result<engine::JoinPlan> plan = engine.Plan(q.spec);
+  if (!plan.ok()) return plan.status();
+  q.plan = std::move(plan).value();
+  q.team_size = engine.TeamSizeFor(q.spec);
+  q.footprint = PlanFootprintBytes(q.plan);
+  q.planned = true;
+
+  const uint64_t budget = options_.memory_budget_bytes;
+  if (budget == 0 || q.footprint <= budget) return Status::OK();
+
+  // The working set can never fit, even with the service idle. Down-
+  // budget: re-plan against a per-lane share of the global budget so
+  // the join spills through D-MPSM within bounds instead of OOMing.
+  engine::JoinSpec probe = q.spec;
+  probe.memory_budget_bytes = std::min<uint64_t>(
+      budget,
+      std::max<uint64_t>(budget / options_.lanes, uint64_t{1} << 20));
+  Result<engine::JoinPlan> replan = engine.Plan(probe);
+  if (replan.ok() && replan->algorithm == engine::Algorithm::kDMpsm) {
+    const uint64_t footprint = PlanFootprintBytes(*replan);
+    if (footprint <= budget) {
+      q.plan = std::move(replan).value();
+      q.footprint = footprint;
+      q.down_budgeted = true;
+      q.budget_override = probe.memory_budget_bytes;
+      ++stats_.down_budgeted;
+      return Status::OK();
+    }
+  }
+  return Status::ResourceExhausted(
+      "predicted working set (" + std::to_string(q.footprint) +
+      " bytes) exceeds the service memory budget (" + std::to_string(budget) +
+      " bytes) and the join cannot spill");
+}
+
+std::vector<JoinService::StatePtr> JoinService::TryAdmitLocked(
+    engine::Engine& engine) {
+  std::vector<StatePtr> group;
+  const uint64_t budget = options_.memory_budget_bytes;
+
+  // Admission scan, queue order. A too-big head does not block smaller
+  // queries behind it (its turn comes as reservations release — the
+  // budget frees completely whenever the service idles, so it cannot
+  // starve forever).
+  StatePtr head;
+  for (size_t i = 0; i < queue_.size();) {
+    QueryState& q = *queue_[i];
+    if (!q.planned) {
+      Status admissible = PlanLocked(engine, q);
+      if (!admissible.ok()) {
+        StatePtr rejected = queue_[i];
+        queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(i));
+        ++stats_.rejected;
+        rejected->footprint = 0;  // planned but never reserved
+        FinishLocked(*rejected, admissible);
+        continue;
+      }
+    }
+    if (budget == 0 || reserved_bytes_ + q.footprint <= budget) {
+      head = queue_[i];
+      queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(i));
+      break;
+    }
+    ++i;
+  }
+  if (head == nullptr) return group;
+
+  head->phase = QueryState::Phase::kRunning;
+  reserved_bytes_ += head->footprint;
+  group.push_back(head);
+
+  // Shared-sort batching: pull compatible mates — same public input,
+  // session options, no per-query budget, P-MPSM-able — into the
+  // group. Mates skip their own planning: Execute plans them with
+  // Algorithm::kPMpsm forced, and their reservation is the private
+  // side only (the public runs are shared with the head).
+  if (options_.shared_sort && !head->down_budgeted &&
+      head->plan.algorithm == engine::Algorithm::kPMpsm &&
+      head->spec.shared_public_runs == nullptr &&
+      head->spec.options == nullptr && head->spec.memory_budget_bytes == 0) {
+    for (auto it = queue_.begin();
+         it != queue_.end() && group.size() < options_.max_batch;) {
+      QueryState& q = **it;
+      const bool compatible =
+          q.spec.s == head->spec.s && q.spec.options == nullptr &&
+          q.spec.shared_public_runs == nullptr &&
+          q.spec.memory_budget_bytes == 0 &&
+          (!q.spec.algorithm.has_value() ||
+           *q.spec.algorithm == engine::Algorithm::kPMpsm) &&
+          q.spec.r->num_chunks() == head->team_size &&
+          q.spec.s->num_chunks() == head->team_size;
+      const uint64_t mate_footprint =
+          engine::Planner::WorkingSetBytes(q.spec.r->size(), 0);
+      if (compatible &&
+          (budget == 0 || reserved_bytes_ + mate_footprint <= budget)) {
+        StatePtr mate = *it;
+        it = queue_.erase(it);
+        mate->phase = QueryState::Phase::kRunning;
+        mate->planned = true;
+        mate->team_size = head->team_size;
+        mate->footprint = mate_footprint;
+        reserved_bytes_ += mate_footprint;
+        group.push_back(std::move(mate));
+      } else {
+        ++it;
+      }
+    }
+    if (group.size() > 1) {
+      ++stats_.batches;
+      stats_.batched_queries += group.size();
+    }
+  }
+  stats_.peak_reserved_bytes =
+      std::max(stats_.peak_reserved_bytes, reserved_bytes_);
+  return group;
+}
+
+void JoinService::ExecuteGroup(engine::Engine& engine,
+                               std::vector<StatePtr>& group) {
+  // Sort the shared public input once for the whole group. On failure
+  // fall back to per-query sorting — correctness never depends on the
+  // batching fast path.
+  std::optional<PublicRuns> shared;
+  if (group.size() > 1) {
+    WorkerTeam& team = engine.EnsureTeam(group.front()->team_size);
+    Result<PublicRuns> runs = BuildPublicRuns(
+        team, *group.front()->spec.s, group.front()->plan.mpsm);
+    if (runs.ok()) shared.emplace(std::move(runs).value());
+  }
+  for (StatePtr& q : group) {
+    engine::JoinSpec spec = q->spec;
+    if (shared.has_value()) {
+      spec.shared_public_runs = &*shared;
+      spec.algorithm = engine::Algorithm::kPMpsm;
+    }
+    if (q->down_budgeted) spec.memory_budget_bytes = q->budget_override;
+    Result<engine::JoinReport> result = engine.Execute(spec);
+    std::lock_guard<std::mutex> lock(mu_);
+    FinishLocked(*q, std::move(result));
+  }
+}
+
+void JoinService::FinishLocked(QueryState& q,
+                               Result<engine::JoinReport> result) {
+  reserved_bytes_ -= q.footprint;
+  q.footprint = 0;
+  if (result.ok()) {
+    ++stats_.completed;
+  } else if (result.status().code() != StatusCode::kResourceExhausted) {
+    ++stats_.failed;
+  }
+  q.result.emplace(std::move(result));
+  q.phase = QueryState::Phase::kDone;
+  done_cv_.notify_all();
+  work_cv_.notify_all();  // released budget may admit a waiter
+}
+
+void JoinService::LaneLoop(uint32_t lane) {
+  engine::Engine& engine = *engines_[lane];
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    if (stop_) return;
+    std::vector<StatePtr> group = TryAdmitLocked(engine);
+    if (group.empty()) {
+      // Queue non-empty but nothing fits the remaining budget; sleep
+      // until a completion releases bytes (or the queue changes).
+      work_cv_.wait(lock);
+      continue;
+    }
+    ++running_groups_;
+    lock.unlock();
+    ExecuteGroup(engine, group);
+    lock.lock();
+    --running_groups_;
+    done_cv_.notify_all();  // Drain watches running_groups_
+  }
+}
+
+}  // namespace mpsm::service

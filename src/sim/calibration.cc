@@ -1,0 +1,75 @@
+#include "sim/calibration.h"
+
+#include "storage/tuple.h"
+
+namespace mpsm::sim {
+
+namespace {
+
+// Below these unit counts the phase wall time is dominated by barrier
+// and scheduling noise, not the coefficient being measured.
+constexpr uint64_t kMinSortUnits = 1u << 16;
+constexpr uint64_t kMinMergeKeys = 1u << 14;
+
+void Fold(double& coefficient, double observed, double alpha) {
+  if (observed <= 0) return;
+  // Outlier guard: a descheduled development VM can inflate one run's
+  // wall time arbitrarily; don't let a single sample drag the model
+  // more than two orders of magnitude.
+  if (observed > coefficient * 100.0 || observed < coefficient / 100.0) {
+    return;
+  }
+  coefficient = (1.0 - alpha) * coefficient + alpha * observed;
+}
+
+}  // namespace
+
+CalibrationObservation ObserveRun(const std::vector<WorkerStats>& workers,
+                                  uint32_t keys_per_compare) {
+  CalibrationObservation obs;
+  double sort_seconds = 0;
+  uint64_t sort_units = 0;
+  double merge_seconds = 0;
+  uint64_t merge_bytes = 0;
+  for (const WorkerStats& stats : workers) {
+    for (JoinPhase phase : {kPhaseSortPublic, kPhaseSortPrivate}) {
+      sort_seconds += stats.phase_seconds[phase];
+      sort_units += stats.phase_counters[phase].sort_tuple_logs;
+    }
+    merge_seconds += stats.phase_seconds[kPhaseJoin];
+    const PerfCounters& join = stats.phase_counters[kPhaseJoin];
+    merge_bytes += join.bytes_read_local_seq + join.bytes_read_remote_seq +
+                   join.bytes_read_local_rand + join.bytes_read_remote_rand;
+  }
+  if (sort_units >= kMinSortUnits && sort_seconds > 0) {
+    obs.sort_units = sort_units;
+    obs.ns_per_sort_unit =
+        sort_seconds * 1e9 / static_cast<double>(sort_units);
+  }
+  // Each merge-loop step advances one tuple read; the model prices the
+  // phase at ns_per_merge_key / keys_per_compare per key, so the
+  // scalar-equivalent coefficient multiplies the width back in.
+  const uint64_t merge_keys = merge_bytes / sizeof(Tuple);
+  if (merge_keys >= kMinMergeKeys && merge_seconds > 0 &&
+      keys_per_compare > 0) {
+    obs.merge_keys = merge_keys;
+    obs.ns_per_merge_key = merge_seconds * 1e9 *
+                           static_cast<double>(keys_per_compare) /
+                           static_cast<double>(merge_keys);
+  }
+  return obs;
+}
+
+void Recalibrate(MachineModel& model,
+                 const CalibrationObservation& observation, double alpha) {
+  if (alpha <= 0) return;
+  if (alpha > 1) alpha = 1;
+  if (observation.sort_units > 0) {
+    Fold(model.ns_per_sort_unit, observation.ns_per_sort_unit, alpha);
+  }
+  if (observation.merge_keys > 0) {
+    Fold(model.ns_per_merge_key, observation.ns_per_merge_key, alpha);
+  }
+}
+
+}  // namespace mpsm::sim

@@ -1,0 +1,57 @@
+// Closing the planner's feedback loop: measured runs recalibrate the
+// cost model.
+//
+// The planner prices candidates with a sim::MachineModel whose
+// coefficients were calibrated from the paper's Figure 1 experiments
+// on HyPer1. A long-lived session runs on *this* host, whose actual
+// ns-per-sort-unit and ns-per-merge-key the executed joins reveal: the
+// per-phase wall times and counters of every JoinRunInfo are exactly
+// the quantities the model multiplies its coefficients by. ObserveRun
+// inverts that relation, and Recalibrate folds the observation into
+// the session model with an exponential moving average, so repeated
+// sessions converge on the observed coefficients (the engine's
+// `recalibrate` option; docs/service.md).
+//
+// The extracted coefficients are *effective*: wall time divided by the
+// modeled unit count absorbs everything the linear model abstracts
+// away (cache effects, oversubscription, SIMD inside the sort), which
+// is precisely what makes the next prediction match the next
+// measurement on the same host.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "parallel/counters.h"
+#include "sim/machine_model.h"
+
+namespace mpsm::sim {
+
+/// Coefficients one measured run reveals (0 = no usable signal).
+struct CalibrationObservation {
+  /// Observed ns per n*log2(n) sort unit (phases 1 and 3).
+  double ns_per_sort_unit = 0;
+  uint64_t sort_units = 0;
+
+  /// Observed ns per scalar merge-loop step (phase 4), normalized by
+  /// the vector width the run used so it lands in the same unit as
+  /// MachineModel::ns_per_merge_key.
+  double ns_per_merge_key = 0;
+  uint64_t merge_keys = 0;
+};
+
+/// Extracts effective coefficients from per-worker stats of one run.
+/// `keys_per_compare` is the executed merge kernel's vector width
+/// (simd::KeysPerCompare of the resolved kind the run reports).
+CalibrationObservation ObserveRun(const std::vector<WorkerStats>& workers,
+                                  uint32_t keys_per_compare);
+
+/// Folds `observation` into `model` with EWMA weight `alpha` (0..1).
+/// Low-signal observations (too few units for the wall clock to
+/// resolve) and absurd outliers (beyond 100x of the current value,
+/// i.e. a descheduled-VM artifact) are ignored per coefficient.
+void Recalibrate(MachineModel& model,
+                 const CalibrationObservation& observation,
+                 double alpha = 0.3);
+
+}  // namespace mpsm::sim

@@ -16,6 +16,10 @@ const char* StatusCodeName(StatusCode code) {
       return "Internal";
     case StatusCode::kNotSupported:
       return "NotSupported";
+    case StatusCode::kResourceExhausted:
+      return "ResourceExhausted";
+    case StatusCode::kCancelled:
+      return "Cancelled";
   }
   return "Unknown";
 }

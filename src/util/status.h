@@ -20,6 +20,8 @@ enum class StatusCode {
   kIoError,
   kInternal,
   kNotSupported,
+  kResourceExhausted,
+  kCancelled,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -49,6 +51,12 @@ class Status {
   }
   static Status NotSupported(std::string msg) {
     return Status(StatusCode::kNotSupported, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

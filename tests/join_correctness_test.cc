@@ -396,7 +396,8 @@ TEST(JoinOutputTest, MaterializedRowsMatchReferenceMultiset) {
 // MPSM output arrives quasi-sorted: each worker's rows are grouped into
 // runs sorted by key (one run per public input run scanned). With one
 // public run per worker and T workers, each worker emits T sorted
-// segments — the "interesting physical property" of §6/§7.
+// segments — the "interesting physical property" of §6/§7. A property
+// of the static script (stealing range-slices the merges), so pin it.
 TEST(JoinOutputTest, WorkerOutputIsQuasiSorted) {
   const auto topology = TestTopology();
   DatasetSpec spec;
@@ -405,9 +406,12 @@ TEST(JoinOutputTest, WorkerOutputIsQuasiSorted) {
   spec.key_domain = 4000;
   const auto dataset = workload::Generate(topology, 4, spec);
 
+  MpsmOptions static_options;
+  static_options.scheduler = SchedulerKind::kStatic;
   WorkerTeam team(topology, 4);
   MaterializeFactory rows(4);
-  auto info = PMpsmJoin().Execute(team, dataset.r, dataset.s, rows);
+  auto info =
+      PMpsmJoin(static_options).Execute(team, dataset.r, dataset.s, rows);
   ASSERT_TRUE(info.ok());
 
   for (uint32_t w = 0; w < 4; ++w) {

@@ -263,9 +263,12 @@ TEST(MachineModelTest, PMpsmStealingCountersAccountClaims) {
   EXPECT_LE(total.morsels_stolen, total.morsels_executed);
   EXPECT_LE(total.sync_acquisitions, total.morsels_executed);
   // Cross-check against the static run: identical output.
+  MpsmOptions static_options;
+  static_options.scheduler = SchedulerKind::kStatic;
   CountFactory static_counts(8);
-  ASSERT_TRUE(
-      PMpsmJoin().Execute(team, dataset.r, dataset.s, static_counts).ok());
+  ASSERT_TRUE(PMpsmJoin(static_options)
+                  .Execute(team, dataset.r, dataset.s, static_counts)
+                  .ok());
   EXPECT_EQ(counts.Result(), static_counts.Result());
 }
 
@@ -279,7 +282,9 @@ TEST(MachineModelTest, SyncCalibrationMatchesFigure1) {
 }
 
 // P-MPSM traffic shape on the model: phase 2 writes mostly remote
-// (scatter), phase 4 reads mostly sequential, no sync anywhere.
+// (scatter), phase 4 reads mostly sequential, no sync anywhere. The
+// commandments describe the paper's static scripts (stealing trades
+// C3's zero-sync for balance, one atomic per claim), so pin kStatic.
 TEST(MachineModelTest, PMpsmCountersObeyCommandments) {
   const auto topology = numa::Topology::Simulated(4, 2);
   DatasetSpec spec;
@@ -287,9 +292,12 @@ TEST(MachineModelTest, PMpsmCountersObeyCommandments) {
   spec.multiplicity = 2.0;
   const auto dataset = workload::Generate(topology, 8, spec);
 
+  MpsmOptions static_options;
+  static_options.scheduler = SchedulerKind::kStatic;
   WorkerTeam team(topology, 8);
   CountFactory counts(8);
-  auto info = PMpsmJoin().Execute(team, dataset.r, dataset.s, counts);
+  auto info =
+      PMpsmJoin(static_options).Execute(team, dataset.r, dataset.s, counts);
   ASSERT_TRUE(info.ok());
 
   const auto total = info->aggregate.TotalCounters();
