@@ -11,6 +11,7 @@
 #include <thread>
 #include <vector>
 
+#include "cache/run_cache.h"
 #include "core/consumers.h"
 #include "core/interpolation_search.h"
 #include "core/merge_join.h"
@@ -28,6 +29,7 @@
 #include "service/join_service.h"
 #include "sim/machine_model.h"
 #include "simd/caps.h"
+#include "simd/histogram_kernels.h"
 #include "sort/radix_introsort.h"
 #include "storage/run.h"
 #include "util/env.h"
@@ -183,6 +185,36 @@ void BM_HistogramSimd(benchmark::State& state) {
   HistogramSimdBench(state, simd::Resolve(simd::SimdKind::kAuto));
 }
 BENCHMARK(BM_HistogramSimd)->Arg(11)->Arg(14);
+
+// SIMD A/B for the phase-2.3 digit precompute (MpsmOptions::
+// simd_scatter_digits): the per-tuple cluster digit stream the scatter
+// consumes instead of recomputing each key's cluster in its fused
+// scalar lambda. arg = log2 tuples.
+void ScatterDigitsBench(benchmark::State& state, simd::SimdKind simd_kind) {
+  if (simd::Resolve(simd_kind) != simd_kind) {
+    state.SkipWithError("simd kind unsupported on this host");
+    return;
+  }
+  const size_t n = size_t{1} << state.range(0);
+  const auto data = RandomTuples(n);
+  std::vector<uint32_t> digits(n);
+  for (auto _ : state) {
+    simd::ClusterDigits(data.data(), n, 0, 22, 1024, digits.data(),
+                        simd_kind);
+    benchmark::DoNotOptimize(digits.data());
+  }
+  state.SetItemsProcessed(state.iterations() * n);
+}
+
+void BM_ScatterDigitsScalar(benchmark::State& state) {
+  ScatterDigitsBench(state, simd::SimdKind::kScalar);
+}
+BENCHMARK(BM_ScatterDigitsScalar)->Arg(20)->Arg(22);
+
+void BM_ScatterDigitsSimd(benchmark::State& state) {
+  ScatterDigitsBench(state, simd::Resolve(simd::SimdKind::kAuto));
+}
+BENCHMARK(BM_ScatterDigitsSimd)->Arg(20)->Arg(22);
 
 void BM_ScatterPrefixSum(benchmark::State& state) {
   const auto data = RandomTuples(1 << 20);
@@ -455,6 +487,152 @@ void BM_PMpsmJoinEngine(benchmark::State& state) {
 }
 BENCHMARK(BM_PMpsmJoinEngine)->Unit(benchmark::kMillisecond);
 
+// Cross-query run-cache A/B (docs/cache.md): the same P-MPSM join over
+// a 2^22-tuple public input, cold (phase 1 re-sorts S every query) vs
+// warm (sorted runs served from the cache, only phases 2-4 run). The
+// warm/cold ratio is what a repeat-join workload banks per query;
+// |S| = 2^MPSM_CACHE_BENCH_LOG2 (default 22), |R| = |S|/4.
+void RunCacheJoinBench(benchmark::State& state, bool warm) {
+  const auto topology = numa::Topology::HyPer1();
+  const uint32_t team = 32;
+  workload::DatasetSpec spec;
+  const int s_log2 = GetEnvInt("MPSM_CACHE_BENCH_LOG2", 22);
+  spec.r_tuples = size_t{1} << (s_log2 - 2);
+  spec.multiplicity = 4;  // |S| = 2^s_log2: phase 1 dominates
+  spec.seed = 9;
+  const auto dataset = workload::Generate(topology, team, spec);
+
+  cache::RunCache run_cache;
+  engine::EngineOptions options;
+  options.workers = team;
+  engine::Engine engine(topology, options);
+  engine::JoinSpec join;
+  join.r = &dataset.r;
+  join.s = &dataset.s;
+  join.algorithm = engine::Algorithm::kPMpsm;
+  if (warm) {
+    engine.set_run_cache(&run_cache);
+    CountFactory prime(team);
+    join.consumers = &prime;
+    if (!engine.Execute(join).ok()) {
+      state.SkipWithError("priming join failed");
+      return;
+    }
+  }
+  for (auto _ : state) {
+    CountFactory counts(team);
+    join.consumers = &counts;
+    auto report = engine.Execute(join);
+    if (!report.ok() ||
+        (warm && report->run_source != engine::RunSource::kCachedBase)) {
+      state.SkipWithError("join failed or missed the cache");
+      return;
+    }
+    benchmark::DoNotOptimize(counts.Result());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (dataset.r.size() + dataset.s.size()));
+}
+
+void BM_RunCacheColdJoin(benchmark::State& state) {
+  RunCacheJoinBench(state, /*warm=*/false);
+}
+BENCHMARK(BM_RunCacheColdJoin)->Unit(benchmark::kMillisecond);
+
+void BM_RunCacheWarmJoin(benchmark::State& state) {
+  RunCacheJoinBench(state, /*warm=*/true);
+}
+BENCHMARK(BM_RunCacheWarmJoin)->Unit(benchmark::kMillisecond);
+
+// Freshness A/B after a 1% ingest: merge the delta runs on read
+// against the cached base (what the cache does) vs re-sort the grown
+// input from scratch every query (what a session without the cache
+// must do once the rows are in the base table).
+void RunCacheDeltaBench(benchmark::State& state, bool merge_on_read) {
+  const auto topology = numa::Topology::HyPer1();
+  const uint32_t team = 32;
+  workload::DatasetSpec spec;
+  const int s_log2 = GetEnvInt("MPSM_CACHE_BENCH_LOG2", 22);
+  spec.r_tuples = size_t{1} << (s_log2 - 2);
+  spec.multiplicity = 4;
+  spec.seed = 9;
+  auto dataset = workload::Generate(topology, team, spec);
+  const auto delta = RandomTuples(dataset.s.size() / 100, 77);
+
+  cache::RunCache run_cache;
+  engine::EngineOptions options;
+  options.workers = team;
+  engine::Engine engine(topology, options);
+  engine::JoinSpec join;
+  join.r = &dataset.r;
+  join.s = &dataset.s;
+  join.algorithm = engine::Algorithm::kPMpsm;
+
+  std::shared_ptr<const Relation> grown;
+  if (merge_on_read) {
+    engine.set_run_cache(&run_cache);
+    CountFactory prime(team);
+    join.consumers = &prime;
+    if (!engine.Execute(join).ok()) {
+      state.SkipWithError("priming join failed");
+      return;
+    }
+    run_cache.Ingest(dataset.s, delta);
+  } else {
+    // Fold the delta into one grown relation outside the timed region;
+    // every iteration then pays the full sort of 1.01 * |S|.
+    run_cache.Ingest(dataset.s, delta);
+    grown = run_cache.MaterializedView(dataset.s, topology, team);
+    join.s = grown.get();
+  }
+  for (auto _ : state) {
+    CountFactory counts(team);
+    join.consumers = &counts;
+    auto report = engine.Execute(join);
+    if (!report.ok() ||
+        (merge_on_read &&
+         report->run_source != engine::RunSource::kCachedMerge)) {
+      state.SkipWithError("join failed or missed the cache");
+      return;
+    }
+    benchmark::DoNotOptimize(counts.Result());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          (dataset.r.size() + dataset.s.size() +
+                           delta.size()));
+}
+
+void BM_RunCacheDeltaMergeJoin(benchmark::State& state) {
+  RunCacheDeltaBench(state, /*merge_on_read=*/true);
+}
+BENCHMARK(BM_RunCacheDeltaMergeJoin)->Unit(benchmark::kMillisecond);
+
+void BM_RunCacheDeltaResortJoin(benchmark::State& state) {
+  RunCacheDeltaBench(state, /*merge_on_read=*/false);
+}
+BENCHMARK(BM_RunCacheDeltaResortJoin)->Unit(benchmark::kMillisecond);
+
+// Write-side cost: sorting + logging one delta batch (arg = log2
+// batch tuples) — the price paid at ingest time so reads can merge.
+void BM_RunCacheIngest(benchmark::State& state) {
+  const size_t batch_n = size_t{1} << state.range(0);
+  auto rel = Relation::FromVector(RandomTuples(1024, 5));
+  const auto batch = RandomTuples(batch_n, 7);
+  cache::RunCache run_cache;
+  size_t since_reset = 0;
+  for (auto _ : state) {
+    run_cache.Ingest(rel, batch);
+    if (++since_reset == 256) {  // bound the accumulating delta log
+      state.PauseTiming();
+      run_cache.InvalidateRelation(rel.id());
+      since_reset = 0;
+      state.ResumeTiming();
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * batch_n);
+}
+BENCHMARK(BM_RunCacheIngest)->Arg(12)->Arg(16);
+
 // Spill-path I/O backend A/B on the lowmem join: D-MPSM with a
 // synthetic 100 us/page device (PageStoreOptions::io_delay_us burns
 // inside the software backends' reads). The sync backend eats the
@@ -547,8 +725,10 @@ BENCHMARK(BM_CdfEstimateRank);
 // without the service layer would do). Service: JoinService with
 // admission control and shared-sort batching. Counters report
 // queries/sec and client-observed p50/p99 latency; the arg is the
-// client count.
-void ServiceThroughputBench(benchmark::State& state, bool through_service) {
+// client count. `cached` wires the cross-lane run cache: the shared
+// public input is sorted once and every later query merges on read.
+void ServiceThroughputBench(benchmark::State& state, bool through_service,
+                            bool cached = false) {
   const auto topology = numa::Topology::Simulated(2, 4);
   constexpr uint32_t kTeam = 4;
   const size_t clients = static_cast<size_t>(state.range(0));
@@ -595,6 +775,7 @@ void ServiceThroughputBench(benchmark::State& state, bool through_service) {
       options.lanes =
           static_cast<uint32_t>(GetEnvInt("MPSM_SERVICE_BENCH_LANES", 2));
       options.max_batch = 32;
+      if (cached) options.run_cache_bytes = uint64_t{1} << 30;
       options.engine = engine_options;
       service.emplace(topology, options);
     } else {
@@ -665,6 +846,16 @@ void BM_ServiceThroughputService(benchmark::State& state) {
   ServiceThroughputBench(state, /*through_service=*/true);
 }
 BENCHMARK(BM_ServiceThroughputService)
+    ->Arg(1)
+    ->Arg(8)
+    ->Arg(64)
+    ->Arg(512)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ServiceThroughputCached(benchmark::State& state) {
+  ServiceThroughputBench(state, /*through_service=*/true, /*cached=*/true);
+}
+BENCHMARK(BM_ServiceThroughputCached)
     ->Arg(1)
     ->Arg(8)
     ->Arg(64)

@@ -105,6 +105,13 @@ struct MpsmOptions {
   /// for A/B runs.
   ScatterKind scatter = ScatterKind::kAuto;
 
+  /// Precompute the scatter's partition digits blockwise with the
+  /// vectorized cluster kernel (simd/histogram_kernels.h ClusterDigits)
+  /// instead of the fused scalar subtract-shift-clamp per tuple. Takes
+  /// effect only when `simd` resolves past kScalar; false keeps the
+  /// fused loop as the A/B baseline (BM_ScatterDigits*).
+  bool simd_scatter_digits = true;
+
   /// Software-prefetch lookahead (tuples) of the merge-join kernel;
   /// 0 selects the scalar kernel.
   uint32_t merge_prefetch_distance = kDefaultMergePrefetchDistance;

@@ -14,6 +14,7 @@
 #include "partition/equi_height.h"
 #include "partition/prefix_scatter.h"
 #include "partition/radix_histogram.h"
+#include "simd/caps.h"
 #include "simd/histogram_kernels.h"
 #include "sort/radix_introsort.h"
 #include "util/bits.h"
@@ -96,9 +97,18 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
     return Status::InvalidArgument(
         "relations must be chunked into team.size() chunks");
   }
+  // Shared runs may exceed the team size: a run-cache view appends
+  // sorted delta runs after the per-worker base runs (merge-on-read,
+  // docs/cache.md), and phase 4 already joins each private run against
+  // every public run. The *base* runs must still come from a team of
+  // this exact size (their chunking fixes the per-run key coverage);
+  // fewer runs than workers would leave phase-4 scripts without a home
+  // run.
   if (shared_public != nullptr &&
-      (shared_public->runs.size() != num_workers ||
-       shared_public->histograms.size() != num_workers)) {
+      (shared_public->runs.size() < num_workers ||
+       shared_public->histograms.size() != shared_public->runs.size() ||
+       (shared_public->team_size != 0 &&
+        shared_public->team_size != num_workers))) {
     return Status::InvalidArgument(
         "shared public runs were built for a different team size");
   }
@@ -319,15 +329,42 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
         const Splitters& splitters = shared.splitters;
         const ScatterKind scatter =
             ResolveScatterKind(options.scatter, size, ctx.team_size);
-        ScatterChunkWith(
-            scatter, chunk.data + block.begin, size,
-            [&](uint64_t key) {
-              return splitters.PartitionOfCluster(normalizer.Cluster(key));
-            },
-            shared.partition_data.data(), cursor.data(), ctx.team_size,
+        internal::WcBuffer* const* staged =
             shared.wc_buffers.empty()
                 ? nullptr
-                : shared.wc_buffers[ctx.worker_id].data());
+                : shared.wc_buffers[ctx.worker_id].data();
+        // The per-tuple partition digit is a subtract-shift-clamp plus
+        // a splitter-vector lookup. With the knob on, the arithmetic
+        // part runs vectorized over the whole block first
+        // (simd::ClusterDigits) and the scatter consumes the digit
+        // stream in step — both scatter kernels visit tuples strictly
+        // in source order, exactly once. A scalar-resolved ISA keeps
+        // the fused loop: a scalar precompute pass would only add a
+        // second trip over the block.
+        if (options.simd_scatter_digits &&
+            simd::Resolve(options.simd) != simd::SimdKind::kScalar) {
+          std::vector<uint32_t> digits(size);
+          simd::ClusterDigits(chunk.data + block.begin, size,
+                              normalizer.min_key(), normalizer.shift(),
+                              normalizer.num_clusters(), digits.data(),
+                              options.simd);
+          const uint32_t* next_digit = digits.data();
+          ScatterChunkWith(
+              scatter, chunk.data + block.begin, size,
+              [&](uint64_t) {
+                return splitters.PartitionOfCluster(*next_digit++);
+              },
+              shared.partition_data.data(), cursor.data(), ctx.team_size,
+              staged);
+        } else {
+          ScatterChunkWith(
+              scatter, chunk.data + block.begin, size,
+              [&](uint64_t key) {
+                return splitters.PartitionOfCluster(normalizer.Cluster(key));
+              },
+              shared.partition_data.data(), cursor.data(), ctx.team_size,
+              staged);
+        }
         counters.CountRead(chunk.node == ctx.node, /*sequential=*/true,
                            size * sizeof(Tuple));
         // Classify written bytes per target partition's node. The
@@ -435,8 +472,12 @@ Result<JoinRunInfo> PMpsmJoin::Execute(WorkerTeam& team,
     pipeline.AddPhase(
         kPhaseJoin,
         [&] {
-          return MergeJoinMorsels(shared.r_runs, num_workers, options.kind,
-                                  shared.partition_morsel_tuples);
+          // s_runs.size() (not num_workers): cache views append delta
+          // runs past the per-worker base runs, and each needs a
+          // (private run x public run) morsel family.
+          return MergeJoinMorsels(
+              shared.r_runs, static_cast<uint32_t>(shared.s_runs.size()),
+              options.kind, shared.partition_morsel_tuples);
         },
         [&](WorkerContext& ctx, const Morsel& morsel) {
           ExecuteMergeJoinMorsel(morsel, shared.r_runs, shared.s_runs,

@@ -23,6 +23,7 @@ Result<PublicRuns> BuildPublicRuns(WorkerTeam& team, const Relation& s_public,
   out.runs.resize(num_workers);
   out.histograms.resize(num_workers);
   out.num_bounds = num_bounds;
+  out.team_size = num_workers;
   out.arenas.reserve(num_workers);
   for (uint32_t w = 0; w < num_workers; ++w) {
     out.arenas.push_back(std::make_unique<numa::Arena>(

@@ -34,6 +34,12 @@ struct PublicRuns {
   std::vector<EquiHeightHistogram> histograms;
   /// Equi-height bounds per histogram (f*T at build time).
   uint32_t num_bounds = 0;
+  /// Team size the base runs were built on. `runs` may hold *more*
+  /// than team_size entries — a run-cache view appends sorted delta
+  /// runs after the per-worker base runs (docs/cache.md) — but never
+  /// fewer, and a consumer team must match this size exactly. 0 =
+  /// unknown (hand-assembled), validated by run count alone.
+  uint32_t team_size = 0;
 
   /// Resident size of the materialized runs.
   uint64_t bytes() const {

@@ -4,13 +4,29 @@
 
 #include "baseline/radix_join.h"
 #include "baseline/wisconsin_join.h"
+#include "cache/run_cache.h"
 #include "core/b_mpsm.h"
+#include "core/public_runs.h"
 #include "parallel/donation.h"
 #include "sim/calibration.h"
 #include "simd/caps.h"
 #include "util/timer.h"
 
 namespace mpsm::engine {
+
+const char* RunSourceName(RunSource source) {
+  switch (source) {
+    case RunSource::kFreshSort:
+      return "fresh-sort";
+    case RunSource::kSharedRuns:
+      return "shared-runs";
+    case RunSource::kCachedBase:
+      return "cached-base";
+    case RunSource::kCachedMerge:
+      return "cached-merge";
+  }
+  return "unknown";
+}
 
 Engine::Engine(EngineOptions options)
     : topology_(numa::Topology::Probe()), options_(std::move(options)) {
@@ -50,10 +66,47 @@ sim::MachineModel Engine::machine() const {
   return Planner(&topology_, &options_).PlanningMachine();
 }
 
+Result<uint64_t> Engine::Ingest(Relation& rel, const Tuple* tuples,
+                                size_t n) {
+  if (run_cache_ == nullptr) {
+    return Status::InvalidArgument(
+        "Ingest needs a run cache: call set_run_cache first");
+  }
+  if (rel.id() == 0) {
+    return Status::InvalidArgument(
+        "relation has no identity (default-constructed): ingest targets "
+        "must come from Relation::Allocate or Relation::FromVector");
+  }
+  return run_cache_->Ingest(rel, tuples, n);
+}
+
+/// Equi-height bound count the engine installs/looks up cached runs
+/// with — the same f*T a fresh P-MPSM phase 1 would derive.
+static uint32_t CacheNumBounds(uint32_t equi_height_factor,
+                               uint32_t team_size) {
+  return std::max(1u, equi_height_factor * team_size);
+}
+
 Result<JoinPlan> Engine::Plan(const JoinSpec& spec) const {
   const EngineOptions& options = spec.options ? *spec.options : options_;
   Planner planner(&topology_, &options);
-  return planner.Plan(spec, TeamSizeFor(spec));
+  const uint32_t team_size = TeamSizeFor(spec);
+  CachedRunsHint hint;
+  const CachedRunsHint* hint_ptr = nullptr;
+  if (run_cache_ != nullptr && spec.shared_public_runs == nullptr &&
+      spec.s != nullptr) {
+    const auto peek = run_cache_->Peek(
+        *spec.s, team_size,
+        CacheNumBounds(ResolveMpsmOptions(options, spec.kind)
+                           .equi_height_factor,
+                       team_size));
+    if (peek.hit) {
+      hint.delta_tuples = peek.delta_tuples;
+      hint.delta_runs = peek.delta_runs;
+      hint_ptr = &hint;
+    }
+  }
+  return planner.Plan(spec, team_size, hint_ptr);
 }
 
 Result<JoinReport> Engine::Execute(const JoinSpec& spec) {
@@ -63,22 +116,53 @@ Result<JoinReport> Engine::Execute(const JoinSpec& spec) {
   if (spec.consumers == nullptr) {
     return Status::InvalidArgument("JoinSpec needs a consumer factory");
   }
+  const EngineOptions& options = spec.options ? *spec.options : options_;
   const uint32_t team_size = TeamSizeFor(spec);
-  if (spec.r->num_chunks() != team_size ||
-      spec.s->num_chunks() != team_size) {
+
+  // Effective inputs: a relation with delta-ingested tuples is
+  // logically base + delta log (cache/run_cache.h). The cached P-MPSM
+  // path below merges S's deltas on read; every *other* reader of a
+  // delta-bearing relation gets the cache's materialized view in place
+  // of the stale base storage.
+  JoinSpec run_spec = spec;
+  std::shared_ptr<const Relation> r_view;
+  if (run_cache_ != nullptr &&
+      run_cache_->PendingDeltaTuples(*spec.r) > 0) {
+    r_view = run_cache_->MaterializedView(*spec.r, topology_, team_size);
+    if (r_view != nullptr) {
+      run_spec.r = r_view.get();
+      ++stats_.cache_materializations;
+    }
+  }
+  if (run_spec.r->num_chunks() != team_size ||
+      run_spec.s->num_chunks() != team_size) {
     return Status::InvalidArgument(
         "inputs must be chunked into one chunk per worker (" +
         std::to_string(team_size) + "): |R| chunks = " +
-        std::to_string(spec.r->num_chunks()) + ", |S| chunks = " +
-        std::to_string(spec.s->num_chunks()));
+        std::to_string(run_spec.r->num_chunks()) + ", |S| chunks = " +
+        std::to_string(run_spec.s->num_chunks()));
   }
 
   JoinReport report;
   WallTimer plan_timer;
+  CachedRunsHint hint;
+  const CachedRunsHint* hint_ptr = nullptr;
+  uint32_t cache_bounds = 0;
+  if (run_cache_ != nullptr && spec.shared_public_runs == nullptr) {
+    cache_bounds = CacheNumBounds(
+        ResolveMpsmOptions(options, spec.kind).equi_height_factor,
+        team_size);
+    const auto peek = run_cache_->Peek(*spec.s, team_size, cache_bounds);
+    if (peek.hit) {
+      hint.delta_tuples = peek.delta_tuples;
+      hint.delta_runs = peek.delta_runs;
+      hint_ptr = &hint;
+    }
+  }
   {
-    const EngineOptions& options = spec.options ? *spec.options : options_;
     Planner planner(&topology_, &options);
-    MPSM_ASSIGN_OR_RETURN(report.plan, planner.Plan(spec, team_size));
+    MPSM_ASSIGN_OR_RETURN(report.plan,
+                          planner.Plan(run_spec, team_size, hint_ptr));
   }
   report.plan_seconds = plan_timer.ElapsedSeconds();
   ++stats_.plans_created;
@@ -93,34 +177,101 @@ Result<JoinReport> Engine::Execute(const JoinSpec& spec) {
         "); force Algorithm::kPMpsm");
   }
 
+  // Resolve the public-run source. The holders below pin whatever the
+  // executed join reads past any concurrent eviction or compaction.
+  const PublicRuns* shared_runs = spec.shared_public_runs;
+  if (shared_runs != nullptr) report.run_source = RunSource::kSharedRuns;
+  cache::CachedView cached_view;            // pins a warm cached view
+  std::shared_ptr<const PublicRuns> built;  // pins a cold install
+  std::shared_ptr<const Relation> s_view;   // pins a materialized S
+  if (run_cache_ != nullptr && shared_runs == nullptr &&
+      report.plan.algorithm == Algorithm::kPMpsm) {
+    if (report.plan.cached_runs.use) {
+      // Stale-plan hazard: an Ingest, eviction, or external version
+      // bump between Plan and Execute invalidates the priced view.
+      // Re-validate here; the failover is the cold path's fresh sort,
+      // never stale runs.
+      cached_view = run_cache_->Lookup(*spec.s, team_size, cache_bounds);
+      if (cached_view.valid()) {
+        shared_runs = &cached_view.view;
+        report.run_source = cached_view.delta_tuples > 0
+                                ? RunSource::kCachedMerge
+                                : RunSource::kCachedBase;
+        report.cache_delta_tuples = cached_view.delta_tuples;
+        ++stats_.cache_hits;
+      } else {
+        ++stats_.cache_misses;
+      }
+    } else if (!report.plan.cached_runs.available) {
+      ++stats_.cache_misses;
+    }
+    if (shared_runs == nullptr) {
+      // Cold (or stale, or fresh-is-cheaper) path: sort S once on the
+      // session team, install the runs for the next query, and execute
+      // against them — phase 1 is never paid twice. Capture the
+      // covered version *before* building so a concurrent Ingest is
+      // never claimed as covered.
+      const Relation* s_input = run_spec.s;
+      uint64_t covers = spec.s->version();
+      if (run_cache_->PendingDeltaTuples(*spec.s) > 0) {
+        s_view = run_cache_->MaterializedView(*spec.s, topology_,
+                                              team_size, &covers);
+        if (s_view != nullptr) {
+          s_input = s_view.get();
+          ++stats_.cache_materializations;
+        }
+      }
+      auto runs = std::make_shared<PublicRuns>();
+      MPSM_ASSIGN_OR_RETURN(
+          *runs, BuildPublicRuns(TeamFor(team_size), *s_input,
+                                 report.plan.mpsm, cache_bounds));
+      built = std::move(runs);
+      shared_runs = built.get();
+      report.run_source = RunSource::kFreshSort;
+      if (spec.s->id() != 0 &&
+          run_cache_->Install(spec.s->id(), team_size, cache_bounds,
+                              covers, built)) {
+        ++stats_.cache_installs;
+      }
+    }
+  } else if (run_cache_ != nullptr && spec.shared_public_runs == nullptr &&
+             run_cache_->PendingDeltaTuples(*spec.s) > 0) {
+    // Non-P-MPSM plan reading a delta-bearing S: materialize.
+    s_view = run_cache_->MaterializedView(*spec.s, topology_, team_size);
+    if (s_view != nullptr) {
+      run_spec.s = s_view.get();
+      ++stats_.cache_materializations;
+    }
+  }
+
   WorkerTeam& team = TeamFor(team_size);
   Result<JoinRunInfo> info = Status::Internal("unreachable");
   switch (report.plan.algorithm) {
     case Algorithm::kPMpsm: {
       report.pmpsm.emplace();
       info = PMpsmJoin(report.plan.mpsm)
-                 .Execute(team, *spec.r, *spec.s, *spec.consumers,
-                          &*report.pmpsm, spec.shared_public_runs);
+                 .Execute(team, *run_spec.r, *run_spec.s, *spec.consumers,
+                          &*report.pmpsm, shared_runs);
       break;
     }
     case Algorithm::kBMpsm:
       info = BMpsmJoin(report.plan.mpsm)
-                 .Execute(team, *spec.r, *spec.s, *spec.consumers);
+                 .Execute(team, *run_spec.r, *run_spec.s, *spec.consumers);
       break;
     case Algorithm::kDMpsm: {
       report.dmpsm.emplace();
       info = disk::DMpsmJoin(report.plan.dmpsm)
-                 .Execute(team, *spec.r, *spec.s, *spec.consumers,
+                 .Execute(team, *run_spec.r, *run_spec.s, *spec.consumers,
                           &*report.dmpsm);
       break;
     }
     case Algorithm::kRadix:
       info = baseline::RadixHashJoin(report.plan.radix)
-                 .Execute(team, *spec.r, *spec.s, *spec.consumers);
+                 .Execute(team, *run_spec.r, *run_spec.s, *spec.consumers);
       break;
     case Algorithm::kWisconsin:
-      info = baseline::WisconsinHashJoin().Execute(team, *spec.r, *spec.s,
-                                                   *spec.consumers);
+      info = baseline::WisconsinHashJoin().Execute(
+          team, *run_spec.r, *run_spec.s, *spec.consumers);
       break;
   }
   if (!info.ok()) return info.status();
@@ -132,8 +283,10 @@ Result<JoinReport> Engine::Execute(const JoinSpec& spec) {
   // Close the planner feedback loop: fold this run's effective
   // coefficients into the session model so the next plan's predictions
   // track this host. Session options only — a per-query override must
-  // not steer the session model.
-  if (spec.options == nullptr && options_.recalibrate) {
+  // not steer the session model. Runs that skipped phase 1 (shared or
+  // cached public runs) are not representative observations.
+  if (spec.options == nullptr && options_.recalibrate &&
+      shared_runs == nullptr) {
     sim::MachineModel model = machine();
     sim::Recalibrate(model,
                      sim::ObserveRun(report.info.workers,

@@ -36,7 +36,21 @@
 #include "parallel/worker_team.h"
 #include "util/status.h"
 
+namespace mpsm::cache {
+class RunCache;
+}  // namespace mpsm::cache
+
 namespace mpsm::engine {
+
+/// Where the public (S) runs a query joined against came from.
+enum class RunSource {
+  kFreshSort,    // phase 1 (or BuildPublicRuns) sorted S this query
+  kSharedRuns,   // caller-supplied spec.shared_public_runs
+  kCachedBase,   // run-cache hit, no pending deltas
+  kCachedMerge,  // run-cache hit + delta runs (merge-on-read)
+};
+
+const char* RunSourceName(RunSource source);
 
 /// Everything one executed join produced, across all variants:
 /// JoinRunInfo (all), P-MPSM splitter diagnostics, D-MPSM spill
@@ -44,6 +58,14 @@ namespace mpsm::engine {
 struct JoinReport {
   /// The plan that was executed (algorithm, predictions, knobs).
   JoinPlan plan;
+
+  /// Provenance of the public runs this query consumed. kCached* only
+  /// appears when a run cache is attached (set_run_cache); a stale
+  /// cached plan that failed Execute-time re-validation reports the
+  /// fresh-sort fallback it actually ran, never the cached source.
+  RunSource run_source = RunSource::kFreshSort;
+  /// Delta tuples merged on read (kCachedMerge only).
+  uint64_t cache_delta_tuples = 0;
 
   /// Execution statistics (wall time, per-worker counters, output
   /// cardinality).
@@ -84,6 +106,15 @@ struct SessionStats {
   uint64_t topology_probes = 0;
   /// Total planner overhead across queries, in seconds.
   double plan_seconds_total = 0;
+
+  /// Run-cache traffic from this session's queries (the cache's own
+  /// stats() aggregate across every session sharing it).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_installs = 0;
+  /// MaterializedView builds (a delta-bearing relation fed to a
+  /// non-merge path).
+  uint64_t cache_materializations = 0;
 };
 
 /// A reusable query session: topology + worker team + planner.
@@ -130,6 +161,25 @@ class Engine {
   /// opts out. The pool must outlive the engine.
   void set_donation(DonationPool* pool);
 
+  /// Attaches a cross-query run cache (cache/run_cache.h): P-MPSM
+  /// public runs are installed after a cold sort and reused —
+  /// merge-on-read over any ingested deltas — on repeat joins of the
+  /// same public input. One cache may be shared by many engines (the
+  /// join service wires one across its lanes). nullptr detaches. The
+  /// cache must outlive the engine.
+  void set_run_cache(cache::RunCache* cache) { run_cache_ = cache; }
+  cache::RunCache* run_cache() const { return run_cache_; }
+
+  /// Appends tuples to `rel`'s logical content through the session's
+  /// run cache as a sorted delta run (requires set_run_cache). The
+  /// next join touching `rel` sees the rows — merge-on-read when runs
+  /// are cached, via a materialized view otherwise. Returns the new
+  /// relation version.
+  Result<uint64_t> Ingest(Relation& rel, const Tuple* tuples, size_t n);
+  Result<uint64_t> Ingest(Relation& rel, const std::vector<Tuple>& tuples) {
+    return Ingest(rel, tuples.data(), tuples.size());
+  }
+
   /// The session's worker team; nullptr before the first Execute.
   WorkerTeam* team() { return team_.get(); }
 
@@ -153,6 +203,7 @@ class Engine {
   std::unique_ptr<WorkerTeam> team_;
   SessionStats stats_;
   DonationPool* donation_ = nullptr;
+  cache::RunCache* run_cache_ = nullptr;
   /// Session cost model under recalibration; unset until the first
   /// recalibrating query resolves EngineOptions::machine.
   std::optional<sim::MachineModel> calibrated_machine_;

@@ -117,6 +117,7 @@ MpsmOptions ResolveMpsmOptions(const EngineOptions& options, JoinKind kind) {
   m.cost_balanced_splitters = options.mpsm.cost_balanced_splitters;
   m.phase_barriers = options.mpsm.phase_barriers;
   m.merge_skip_private_prefix = options.mpsm.merge_skip_private_prefix;
+  m.simd_scatter_digits = options.mpsm.simd_scatter_digits;
   m.scheduler = options.scheduler.value_or(m.scheduler);
   m.sort = options.sort.value_or(m.sort);
   m.sort_config = options.sort_config.value_or(m.sort_config);
@@ -248,8 +249,12 @@ CandidateCost Planner::EstimateCost(Algorithm algorithm,
   std::array<PhaseEstimate, kNumJoinPhases> phases;
   switch (algorithm) {
     case Algorithm::kPMpsm: {
-      // Phase 1: sort local S chunk into a run (+ histograms).
-      CountLocalSort(phases[kPhaseSortPublic].counters, ns);
+      // Phase 1: sort local S chunk into a run (+ histograms). With a
+      // coherent cached view (docs/cache.md) the sort vanishes — the
+      // runs were paid for by an earlier query.
+      if (!in.cached_runs) {
+        CountLocalSort(phases[kPhaseSortPublic].counters, ns);
+      }
       // Phase 2: histogram scan of the local R chunk, then the
       // synchronization-free sequential scatter into range partitions
       // homed across the team's nodes.
@@ -260,14 +265,28 @@ CandidateCost Planner::EstimateCost(Algorithm algorithm,
       // Phase 3: sort the received range partition locally.
       CountLocalSort(phases[kPhaseSortPrivate].counters, nr);
       // Phase 4: merge the local partition against its key range of
-      // every public run — |S|/T tuples spread over all nodes.
+      // every public run — |S|/T tuples spread over all nodes. A cached
+      // view adds its delta runs to the merge (merge-on-read): their
+      // tuples ride the same sequential scan, plus one start search's
+      // random probes per extra run.
+      const double delta_share =
+          in.cached_runs
+              ? static_cast<double>(in.cached_delta_tuples) / T
+              : 0.0;
       auto& p4 = phases[kPhaseJoin];
       p4.counters.CountRead(true, true,
                             static_cast<uint64_t>(nr * kTupleBytes));
       CountSplit(p4.counters, /*write=*/false, /*sequential=*/true,
-                 ns * kTupleBytes, rf);
+                 (ns + delta_share) * kTupleBytes, rf);
+      if (in.cached_runs && in.cached_delta_runs > 0) {
+        constexpr double kProbesPerSearch = 8.0;
+        CountSplit(p4.counters, /*write=*/false, /*sequential=*/false,
+                   in.cached_delta_runs * kProbesPerSearch * kTupleBytes,
+                   rf);
+      }
       // Merge-loop CPU at the machine's vector width.
-      p4.cpu_extra_ns = MergeCompareNs(machine, nr + ns, mpsm.simd);
+      p4.cpu_extra_ns =
+          MergeCompareNs(machine, nr + ns + delta_share, mpsm.simd);
       // Cost-balanced splitters absorb most key skew (Figure 16);
       // equi-height splitting leaves the full imbalance.
       p4.imbalance =
@@ -397,8 +416,8 @@ sim::MachineModel Planner::PlanningMachine() const {
   return machine;
 }
 
-Result<JoinPlan> Planner::Plan(const JoinSpec& spec,
-                               uint32_t team_size) const {
+Result<JoinPlan> Planner::Plan(const JoinSpec& spec, uint32_t team_size,
+                               const CachedRunsHint* cached_runs) const {
   if (spec.r == nullptr || spec.s == nullptr) {
     return Status::InvalidArgument("JoinSpec needs both input relations");
   }
@@ -467,6 +486,32 @@ Result<JoinPlan> Planner::Plan(const JoinSpec& spec,
     return plan.candidates[static_cast<size_t>(a)];
   };
 
+  // Cached-merge vs fresh-sort pricing (docs/cache.md). The candidates
+  // vector keeps the fresh costs (its fixed order and values are the
+  // inspection contract); the cached alternative is priced separately
+  // and, when cheaper, substitutes for P-MPSM in the decision below.
+  CandidateCost cached_cost;
+  if (cached_runs != nullptr) {
+    PlannerInputs cached_in = model_in;
+    cached_in.cached_runs = true;
+    cached_in.cached_delta_tuples = cached_runs->delta_tuples;
+    cached_in.cached_delta_runs = cached_runs->delta_runs;
+    cached_cost = EstimateCost(Algorithm::kPMpsm, cached_in, machine,
+                               plan.mpsm, plan.dmpsm);
+    plan.cached_runs.available = true;
+    plan.cached_runs.delta_tuples = cached_runs->delta_tuples;
+    plan.cached_runs.delta_runs = cached_runs->delta_runs;
+    plan.cached_runs.cached_seconds = cached_cost.total_seconds;
+    plan.cached_runs.fresh_seconds =
+        candidate(Algorithm::kPMpsm).total_seconds;
+  }
+  const auto pmpsm_seconds = [&]() -> double {
+    const double fresh = candidate(Algorithm::kPMpsm).total_seconds;
+    return plan.cached_runs.available
+               ? std::min(fresh, cached_cost.total_seconds)
+               : fresh;
+  };
+
   // ------------------------------------------------------- decision
   const std::optional<Algorithm> forced =
       spec.algorithm ? spec.algorithm : options.force_algorithm;
@@ -493,10 +538,10 @@ Result<JoinPlan> Planner::Plan(const JoinSpec& spec,
         " MB): spill via d-mpsm, staging pool " +
         std::to_string(plan.dmpsm.pool_pages) + " pages";
   } else if (spec.kind != JoinKind::kInner) {
-    plan.algorithm = candidate(Algorithm::kPMpsm).total_seconds <=
-                             candidate(Algorithm::kBMpsm).total_seconds
-                         ? Algorithm::kPMpsm
-                         : Algorithm::kBMpsm;
+    plan.algorithm =
+        pmpsm_seconds() <= candidate(Algorithm::kBMpsm).total_seconds
+            ? Algorithm::kPMpsm
+            : Algorithm::kBMpsm;
     plan.rationale = std::string(JoinKindName(spec.kind)) +
                      " join: MPSM family only; cheapest modeled variant";
   } else if (tiny) {
@@ -508,12 +553,12 @@ Result<JoinPlan> Planner::Plan(const JoinSpec& spec,
         "join";
   } else {
     plan.algorithm = Algorithm::kPMpsm;
+    double best = pmpsm_seconds();
     for (const Algorithm a :
          {Algorithm::kBMpsm, Algorithm::kRadix, Algorithm::kWisconsin}) {
-      if (candidate(a).feasible &&
-          candidate(a).total_seconds <
-              candidate(plan.algorithm).total_seconds) {
+      if (candidate(a).feasible && candidate(a).total_seconds < best) {
         plan.algorithm = a;
+        best = candidate(a).total_seconds;
       }
     }
     plan.rationale = "cheapest modeled in-memory candidate";
@@ -521,6 +566,17 @@ Result<JoinPlan> Planner::Plan(const JoinSpec& spec,
 
   plan.predicted_seconds = candidate(plan.algorithm).total_seconds;
   plan.predicted_phase_seconds = candidate(plan.algorithm).phase_seconds;
+
+  // Adopt the cached-merge pricing when P-MPSM won and the cached view
+  // is the cheaper way to run it. Execute re-validates the view at run
+  // time (stale plans fail over to the fresh sort, never stale runs).
+  if (plan.cached_runs.available && plan.algorithm == Algorithm::kPMpsm &&
+      cached_cost.total_seconds <= plan.cached_runs.fresh_seconds) {
+    plan.cached_runs.use = true;
+    plan.predicted_seconds = cached_cost.total_seconds;
+    plan.predicted_phase_seconds = cached_cost.phase_seconds;
+    plan.rationale += "; cached runs beat a fresh sort (merge-on-read)";
+  }
   return plan;
 }
 
@@ -584,6 +640,18 @@ std::string JoinPlan::ToString() const {
       FormatMs(predicted_phase_seconds[2]).c_str(),
       FormatMs(predicted_phase_seconds[3]).c_str());
   out += line;
+  if (cached_runs.available) {
+    std::snprintf(
+        line, sizeof(line),
+        "  cache: %s (cached merge %s vs fresh sort %s; %llu delta "
+        "tuples in %u runs)\n",
+        cached_runs.use ? "warm, merge-on-read" : "warm, fresh sort cheaper",
+        FormatMs(cached_runs.cached_seconds).c_str(),
+        FormatMs(cached_runs.fresh_seconds).c_str(),
+        static_cast<unsigned long long>(cached_runs.delta_tuples),
+        cached_runs.delta_runs);
+    out += line;
+  }
   out += "  candidates:";
   for (const CandidateCost& c : candidates) {
     out += " ";

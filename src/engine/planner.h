@@ -78,6 +78,7 @@ struct MpsmOverrides {
   bool cost_balanced_splitters = true;
   bool phase_barriers = true;
   bool merge_skip_private_prefix = true;
+  bool simd_scatter_digits = true;
 };
 
 /// Per-algorithm overrides for the D-MPSM spill path.
@@ -220,6 +221,14 @@ struct PlannerInputs {
   uint32_t team_size = 1;
   uint32_t numa_nodes = 1;
   JoinKind kind = JoinKind::kInner;
+
+  // -------------------------------------- cached-run pricing inputs
+  /// True when the run cache holds a coherent sorted view of S
+  /// (docs/cache.md): P-MPSM's phase 1 vanishes and phase 4 merges the
+  /// delta runs on read instead.
+  bool cached_runs = false;
+  uint64_t cached_delta_tuples = 0;
+  uint32_t cached_delta_runs = 0;
 };
 
 /// Modeled cost of one candidate algorithm.
@@ -256,6 +265,21 @@ struct JoinPlan {
   disk::DMpsmOptions dmpsm;
   baseline::RadixJoinOptions radix;
 
+  /// Cached-merge vs fresh-sort pricing (only when the engine found a
+  /// coherent run-cache view of S at plan time, docs/cache.md). The
+  /// decision is *advisory*: Execute re-validates the view against the
+  /// relation's version and chunking and falls back to a fresh sort if
+  /// it went stale between plan and execution.
+  struct CachedRunsDecision {
+    bool available = false;  // coherent cached view existed at plan time
+    bool use = false;        // cached-merge priced at or below fresh-sort
+    uint64_t delta_tuples = 0;
+    uint32_t delta_runs = 0;
+    double cached_seconds = 0;  // modeled P-MPSM over cached runs
+    double fresh_seconds = 0;   // modeled P-MPSM with its own phase 1
+  };
+  CachedRunsDecision cached_runs;
+
   /// Multi-line human-readable plan (EXPLAIN-style).
   std::string ToString() const;
 };
@@ -264,6 +288,14 @@ struct JoinPlan {
 /// wisconsin baseline, which has no vector kernels). Resolve it with
 /// simd::Resolve for the kind that will actually execute.
 simd::SimdKind PlanSimdKnob(const JoinPlan& plan);
+
+/// What the engine's run cache would serve for S (cache::RunCache::Peek
+/// distilled to the planner-relevant numbers). The planner stays
+/// ignorant of the cache type itself.
+struct CachedRunsHint {
+  uint64_t delta_tuples = 0;
+  uint32_t delta_runs = 0;
+};
 
 /// Plans joins for one (topology, options) session. Stateless beyond
 /// the borrowed references; cheap to construct per query.
@@ -275,8 +307,11 @@ class Planner {
 
   /// Produces the plan for `spec` on a team of `team_size` workers.
   /// Validates the resolved option structs (Validate() satellites)
-  /// before any cost is estimated.
-  Result<JoinPlan> Plan(const JoinSpec& spec, uint32_t team_size) const;
+  /// before any cost is estimated. `cached_runs` (optional) announces a
+  /// coherent run-cache view of S: the planner then prices cached-merge
+  /// vs fresh-sort and records the decision in JoinPlan::cached_runs.
+  Result<JoinPlan> Plan(const JoinSpec& spec, uint32_t team_size,
+                        const CachedRunsHint* cached_runs = nullptr) const;
 
   /// The cost model this planner prices candidates with (the resolved
   /// EngineOptions::machine).

@@ -43,11 +43,18 @@ JoinService::JoinService(const numa::Topology& topology, ServiceOptions options)
         options_.io_inflight_budget_bytes / options_.lanes, 1);
   }
   if (options_.donation) donation_ = std::make_unique<DonationPool>();
+  if (options_.run_cache_bytes != 0) {
+    run_cache_ = std::make_unique<cache::RunCache>(
+        cache::RunCacheOptions{.capacity_bytes = options_.run_cache_bytes});
+  }
   engines_.reserve(options_.lanes);
   for (uint32_t i = 0; i < options_.lanes; ++i) {
     engines_.push_back(
         std::make_unique<engine::Engine>(topology_, lane_options));
     if (donation_ != nullptr) engines_.back()->set_donation(donation_.get());
+    if (run_cache_ != nullptr) {
+      engines_.back()->set_run_cache(run_cache_.get());
+    }
   }
   lanes_.reserve(options_.lanes);
   for (uint32_t i = 0; i < options_.lanes; ++i) {
@@ -144,7 +151,37 @@ ServiceStats JoinService::stats() const {
   std::lock_guard<std::mutex> lock(mu_);
   ServiceStats out = stats_;
   if (donation_ != nullptr) out.donated_morsels = donation_->morsels_donated();
+  if (run_cache_ != nullptr) {
+    const cache::CacheStats cs = run_cache_->stats();
+    out.cache_hits = cs.hits;
+    out.cache_misses = cs.misses;
+    out.cache_installs = cs.installs;
+    out.cache_evictions = cs.evictions;
+    out.cache_compactions = cs.compactions;
+    out.cache_ingested_tuples = cs.ingested_tuples;
+    out.cache_resident_bytes = run_cache_->resident_bytes();
+  }
   return out;
+}
+
+Result<uint64_t> JoinService::Ingest(Relation& rel, const Tuple* tuples,
+                                     size_t n) {
+  if (run_cache_ == nullptr) {
+    return Status::InvalidArgument(
+        "Ingest needs the run cache: set ServiceOptions::run_cache_bytes");
+  }
+  if (rel.id() == 0) {
+    return Status::InvalidArgument(
+        "relation has no identity (default-constructed): ingest targets "
+        "must come from Relation::Allocate or Relation::FromVector");
+  }
+  const uint64_t version = run_cache_->Ingest(rel, tuples, n);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    compact_hint_ = true;
+  }
+  work_cv_.notify_one();
+  return version;
 }
 
 Status JoinService::PlanLocked(engine::Engine& engine, QueryState& q) {
@@ -205,6 +242,16 @@ std::vector<JoinService::StatePtr> JoinService::TryAdmitLocked(
         FinishLocked(*rejected, admissible);
         continue;
       }
+    }
+    // Run-cache residency is charged against the same budget: under
+    // admission pressure, LRU base entries are evicted to make room.
+    // Delta logs are authoritative data (cache/run_cache.h) and never
+    // block admission — a query outranks cached convenience bytes.
+    if (budget != 0 && run_cache_ != nullptr &&
+        reserved_bytes_ + q.footprint <= budget &&
+        reserved_bytes_ + q.footprint + run_cache_->resident_bytes() >
+            budget) {
+      run_cache_->EvictToFit(budget - reserved_bytes_ - q.footprint);
     }
     if (budget == 0 || reserved_bytes_ + q.footprint <= budget) {
       head = queue_[i];
@@ -269,9 +316,13 @@ void JoinService::ExecuteGroup(engine::Engine& engine,
                                std::vector<StatePtr>& group) {
   // Sort the shared public input once for the whole group. On failure
   // fall back to per-query sorting — correctness never depends on the
-  // batching fast path.
+  // batching fast path. With the run cache attached, the engine itself
+  // provides pay-once semantics (the first member's cold sort installs
+  // the runs; its mates hit them warm, deltas merged on read), so the
+  // group-level build — which reads base storage only and would miss
+  // ingested deltas — is skipped.
   std::optional<PublicRuns> shared;
-  if (group.size() > 1) {
+  if (group.size() > 1 && run_cache_ == nullptr) {
     WorkerTeam& team = engine.EnsureTeam(group.front()->team_size);
     Result<PublicRuns> runs = BuildPublicRuns(
         team, *group.front()->spec.s, group.front()->plan.mpsm);
@@ -282,6 +333,8 @@ void JoinService::ExecuteGroup(engine::Engine& engine,
     if (shared.has_value()) {
       spec.shared_public_runs = &*shared;
       spec.algorithm = engine::Algorithm::kPMpsm;
+    } else if (group.size() > 1) {
+      spec.algorithm = engine::Algorithm::kPMpsm;  // cache-served batch
     }
     if (q->down_budgeted) spec.memory_budget_bytes = q->budget_override;
     Result<engine::JoinReport> result = engine.Execute(spec);
@@ -309,8 +362,21 @@ void JoinService::LaneLoop(uint32_t lane) {
   engine::Engine& engine = *engines_[lane];
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
-    work_cv_.wait(lock, [&] { return stop_ || !queue_.empty(); });
+    work_cv_.wait(lock,
+                  [&] { return stop_ || !queue_.empty() || compact_hint_; });
     if (stop_) return;
+    if (queue_.empty()) {
+      // Idle lane + pending deltas: run background compaction as
+      // low-priority work. The morsels are guest-safe, so donated
+      // workers from other lanes help (parallel/donation.h).
+      compact_hint_ = false;
+      if (run_cache_ != nullptr) {
+        lock.unlock();
+        run_cache_->CompactPending(engine.team());
+        lock.lock();
+      }
+      continue;
+    }
     std::vector<StatePtr> group = TryAdmitLocked(engine);
     if (group.empty()) {
       // Queue non-empty but nothing fits the remaining budget; sleep

@@ -43,6 +43,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cache/run_cache.h"
 #include "core/public_runs.h"
 #include "engine/engine.h"
 #include "numa/topology.h"
@@ -81,6 +82,14 @@ struct ServiceOptions {
   /// Share one DonationPool across the lanes' worker teams.
   bool donation = true;
 
+  /// Capacity of the cross-query run cache shared by every lane
+  /// (cache/run_cache.h): repeat joins of one public input reuse its
+  /// sorted runs, Ingest appends delta runs merged on read, and idle
+  /// lanes compact the delta log in the background. 0 disables the
+  /// cache. Cached bytes are charged against memory_budget_bytes:
+  /// admission pressure LRU-evicts base entries before a query waits.
+  uint64_t run_cache_bytes = 0;
+
   /// Base options for every lane engine (workers, machine model,
   /// recalibrate, per-algorithm overrides). The service leaves
   /// memory_budget_bytes alone — admission is governed service-side.
@@ -104,6 +113,16 @@ struct ServiceStats {
   uint64_t donated_morsels = 0;
   uint64_t peak_queue_depth = 0;
   uint64_t peak_reserved_bytes = 0;
+
+  /// Run-cache aggregate (all zero when run_cache_bytes == 0).
+  uint64_t cache_hits = 0;
+  uint64_t cache_misses = 0;
+  uint64_t cache_installs = 0;
+  uint64_t cache_evictions = 0;
+  /// Delta-log merges performed by idle lanes (background compaction).
+  uint64_t cache_compactions = 0;
+  uint64_t cache_ingested_tuples = 0;
+  uint64_t cache_resident_bytes = 0;
 };
 
 /// A concurrent join server over a fleet of engine sessions.
@@ -147,6 +166,20 @@ class JoinService {
   const numa::Topology& topology() const { return topology_; }
   const ServiceOptions& options() const { return options_; }
 
+  /// The cross-lane run cache; nullptr when run_cache_bytes == 0.
+  cache::RunCache* run_cache() const { return run_cache_.get(); }
+
+  /// Appends tuples to `rel`'s logical content through the shared run
+  /// cache as a sorted delta run (requires run_cache_bytes != 0) and
+  /// wakes an idle lane for background compaction. Queries submitted
+  /// after Ingest returns see the rows — merge-on-read against cached
+  /// runs, via a materialized view otherwise. Returns the new relation
+  /// version.
+  Result<uint64_t> Ingest(Relation& rel, const Tuple* tuples, size_t n);
+  Result<uint64_t> Ingest(Relation& rel, const std::vector<Tuple>& tuples) {
+    return Ingest(rel, tuples.data(), tuples.size());
+  }
+
  private:
   struct QueryState {
     QueryId id = 0;
@@ -183,12 +216,17 @@ class JoinService {
   numa::Topology topology_;
   ServiceOptions options_;
   std::unique_ptr<DonationPool> donation_;
+  /// Shared by every lane engine; outlives engines_ (declared first).
+  std::unique_ptr<cache::RunCache> run_cache_;
   std::vector<std::unique_ptr<engine::Engine>> engines_;  // one per lane
 
   mutable std::mutex mu_;
   std::condition_variable work_cv_;  // lanes: queue/budget/stop changed
   std::condition_variable done_cv_;  // clients: some query finished
   bool stop_ = false;
+  /// Set by Ingest, cleared by the lane that runs CompactPending: lets
+  /// an idle lane wake for background compaction without polling.
+  bool compact_hint_ = false;
   uint64_t next_id_ = 1;
   std::deque<StatePtr> queue_;
   std::unordered_map<QueryId, StatePtr> states_;

@@ -1,14 +1,21 @@
 #include "storage/relation.h"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 
 namespace mpsm {
+
+uint64_t Relation::NextId() {
+  static std::atomic<uint64_t> counter{0};
+  return counter.fetch_add(1, std::memory_order_relaxed) + 1;
+}
 
 Relation Relation::Allocate(const numa::Topology& topology, size_t num_tuples,
                             uint32_t num_chunks) {
   assert(num_chunks > 0);
   Relation rel;
+  rel.id_ = NextId();
   rel.size_ = num_tuples;
   rel.storage_.resize(num_tuples);
   rel.chunks_.resize(num_chunks);
@@ -29,6 +36,7 @@ Relation Relation::Allocate(const numa::Topology& topology, size_t num_tuples,
 
 Relation Relation::FromVector(std::vector<Tuple> tuples) {
   Relation rel;
+  rel.id_ = NextId();
   rel.size_ = tuples.size();
   rel.storage_ = std::move(tuples);
   rel.chunks_ = {Chunk{rel.storage_.data(), rel.size_, 0}};

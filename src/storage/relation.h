@@ -6,6 +6,7 @@
 // that loaded/produced it). All MPSM phases operate on these chunks.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <vector>
 
@@ -57,11 +58,43 @@ class Relation {
   /// Copies all chunks into one contiguous vector (tests/debugging).
   std::vector<Tuple> ToVector() const;
 
+  /// Process-unique identity, assigned at Allocate/FromVector time and
+  /// carried through moves. Derived state cached elsewhere (e.g. sorted
+  /// runs in a cache::RunCache) is keyed by (id, version): the id names
+  /// the table, the version its content epoch.
+  uint64_t id() const { return id_; }
+
+  /// Content epoch. Any in-place mutation of the tuples after derived
+  /// state was built must be announced with BumpVersion(), or caches
+  /// keyed on (id, version) will serve stale runs.
+  uint64_t version() const { return version_.load(std::memory_order_acquire); }
+
+  /// Marks the content as changed; returns the new version.
+  uint64_t BumpVersion() {
+    return version_.fetch_add(1, std::memory_order_acq_rel) + 1;
+  }
+
+  Relation(Relation&& other) noexcept { *this = std::move(other); }
+  Relation& operator=(Relation&& other) noexcept {
+    storage_ = std::move(other.storage_);
+    chunks_ = std::move(other.chunks_);
+    chunk_offsets_ = std::move(other.chunk_offsets_);
+    size_ = other.size_;
+    id_ = other.id_;
+    version_.store(other.version_.load(std::memory_order_acquire),
+                   std::memory_order_release);
+    return *this;
+  }
+
  private:
+  static uint64_t NextId();
+
   std::vector<Tuple> storage_;
   std::vector<Chunk> chunks_;
   std::vector<size_t> chunk_offsets_;  // start offset of each chunk
   size_t size_ = 0;
+  uint64_t id_ = 0;  // 0 = default-constructed, never cached
+  std::atomic<uint64_t> version_{0};
 };
 
 }  // namespace mpsm

@@ -295,6 +295,33 @@ TEST_P(SimdKindSweep, ClusterHistogramMatchesScalar) {
   }
 }
 
+TEST_P(SimdKindSweep, ClusterDigitsMatchesScalar) {
+  // The scatter-digit kernel must spill every tuple's cluster in
+  // *source order* (the vectorized lanes are permuted internally);
+  // equality against the scalar loop at odd sizes proves both the
+  // mapping and the lane restoration.
+  for (const size_t n : {size_t{0}, size_t{1}, size_t{9}, size_t{100},
+                         size_t{4097}}) {
+    const auto data = SortedTuples(n, uint64_t{1} << 40, n + 13);
+    struct Mapping {
+      uint64_t min_key;
+      uint32_t shift;
+      uint32_t clusters;
+    };
+    for (const Mapping& m :
+         {Mapping{0, 32, 256}, Mapping{uint64_t{1} << 39, 20, 1024},
+          Mapping{123, 0, 2}, Mapping{uint64_t{1} << 41, 8, 64}}) {
+      std::vector<uint32_t> expected(n), actual(n);
+      simd::ClusterDigits(data.data(), n, m.min_key, m.shift, m.clusters,
+                          expected.data(), simd::SimdKind::kScalar);
+      simd::ClusterDigits(data.data(), n, m.min_key, m.shift, m.clusters,
+                          actual.data(), GetParam());
+      EXPECT_EQ(actual, expected)
+          << "n=" << n << " min=" << m.min_key << " shift=" << m.shift;
+    }
+  }
+}
+
 TEST_P(SimdKindSweep, HashDigitHistogramMatchesScalar) {
   for (const size_t n : {size_t{0}, size_t{15}, size_t{1000}}) {
     const auto data = SortedTuples(n, UINT64_MAX, n + 17);
@@ -397,6 +424,48 @@ TEST(SimdEngineTest, ScalarAndAutoProduceIdenticalJoinsAcrossMatrix) {
           << engine::AlgorithmName(algorithm) << " " << JoinKindName(kind);
     }
   }
+}
+
+TEST(SimdEngineTest, ScatterDigitKnobIsAnIdentityAB) {
+  // simd_scatter_digits only swaps how phase 2.3 computes each tuple's
+  // partition digit (precomputed vector stream vs fused scalar lookup);
+  // the scatter itself is identical, so the join must be too.
+  const auto topology = numa::Topology::Simulated(2, 4);
+  constexpr uint32_t kWorkers = 4;
+  workload::DatasetSpec spec;
+  spec.r_tuples = 8000;
+  spec.multiplicity = 1.5;
+  spec.key_domain = 32000;
+  spec.s_mode = workload::SKeyMode::kIndependent;
+  spec.seed = 77;
+  const auto dataset = workload::Generate(topology, kWorkers, spec);
+
+  uint64_t counts[2] = {0, 0};
+  int slot = 0;
+  for (const bool precompute : {false, true}) {
+    engine::EngineOptions options;
+    options.workers = kWorkers;
+    options.simd = simd::SimdKind::kAuto;
+    options.mpsm.simd_scatter_digits = precompute;
+    engine::Engine engine(topology, options);
+    CountFactory consumer(kWorkers);
+    engine::JoinSpec join;
+    join.r = &dataset.r;
+    join.s = &dataset.s;
+    join.consumers = &consumer;
+    join.algorithm = engine::Algorithm::kPMpsm;
+    auto report = engine.Execute(join);
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    EXPECT_EQ(report->plan.mpsm.simd_scatter_digits, precompute);
+    counts[slot++] = consumer.Result();
+  }
+  EXPECT_EQ(counts[0], counts[1]);
+
+  CountFactory reference(1);
+  EXPECT_EQ(counts[0],
+            baseline::ReferenceJoin(dataset.r.ToVector(), dataset.s.ToVector(),
+                                    JoinKind::kInner,
+                                    reference.ConsumerForWorker(0)));
 }
 
 TEST(SimdEngineTest, UnsupportedForcedKindStillExecutes) {
