@@ -6,11 +6,13 @@
 #include <algorithm>
 #include <atomic>
 #include <chrono>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <thread>
 #include <vector>
 
+#include "bufferpool/buffer_pool.h"
 #include "cache/run_cache.h"
 #include "core/consumers.h"
 #include "core/interpolation_search.h"
@@ -704,6 +706,192 @@ void BM_DMpsmIoUring(benchmark::State& state) {
   DMpsmIoBench(state, io::IoBackendKind::kUring);
 }
 BENCHMARK(BM_DMpsmIoUring)->Unit(benchmark::kMillisecond);
+
+// Buffer pool frame micro-costs (docs/storage.md): one pin+decode+
+// unpin round trip when the page is resident (hit: pure frame-table
+// work), when it must be read and another frame evicted (miss: one
+// device round trip through the scheduler at page-cache speed), and
+// one AppendPage when write-back absorbs the device write (the
+// foreground cost of spooling a page).
+struct PoolBenchHarness {
+  explicit PoolBenchHarness(size_t frames, size_t tuples_per_page = 512) {
+    disk::PageStoreOptions store_options;
+    store_options.tuples_per_page = tuples_per_page;
+    store = std::make_unique<disk::PageStore>(store_options);
+    if (!store->Open().ok()) return;
+    io::IoSchedulerOptions io_options;
+    io_options.backend = io::IoBackendKind::kThreadpool;
+    io_options.completion_queues = 2;
+    auto sched = io::IoScheduler::Create(store->fd(), store->page_bytes(),
+                                         store->io_delay_us(), io_options);
+    if (!sched.ok()) return;
+    scheduler = std::move(*sched);
+    bufferpool::BufferPoolOptions pool_options;
+    pool_options.frames = frames;
+    auto created = bufferpool::BufferPool::Create(store.get(),
+                                                  scheduler.get(),
+                                                  pool_options);
+    if (created.ok()) pool = std::move(*created);
+  }
+
+  ~PoolBenchHarness() {
+    if (pool != nullptr) (void)pool->Close();
+  }
+
+  /// Pin `page`, decode it into `out`, unpin. False on any failure.
+  bool PinDecodeUnpin(disk::PageId page, Tuple* out) {
+    bufferpool::PagePinRequest request;
+    request.page = page;
+    bufferpool::PagePinCompletion completion;
+    if (!pool->SubmitPins(&request, 1).ok()) return false;
+    while (pool->DrainPins(0, &completion, 1) == 0) {
+      if (!pool->Pump(true).ok()) return false;
+    }
+    if (!completion.status.ok()) return false;
+    const auto count = store->DecodePage(pool->Data(completion.frame), out);
+    pool->Unpin(completion.frame);
+    return count.ok();
+  }
+
+  std::unique_ptr<disk::PageStore> store;
+  std::unique_ptr<io::IoScheduler> scheduler;
+  std::unique_ptr<bufferpool::BufferPool> pool;
+};
+
+void BM_BufferPoolHit(benchmark::State& state) {
+  constexpr size_t kPages = 64;
+  PoolBenchHarness harness(/*frames=*/kPages + 8);
+  std::vector<Tuple> tuples(harness.store->tuples_per_page(), Tuple{1, 2});
+  for (size_t p = 0; p < kPages; ++p) {
+    if (!harness.store->WritePage(tuples.data(), tuples.size()).ok()) {
+      state.SkipWithError("spool write failed");
+      return;
+    }
+  }
+  // Warm: after one pass everything is resident.
+  std::vector<Tuple> out(harness.store->tuples_per_page());
+  for (size_t p = 0; p < kPages; ++p) {
+    if (!harness.PinDecodeUnpin(p, out.data())) {
+      state.SkipWithError("warmup pin failed");
+      return;
+    }
+  }
+  size_t page = 0;
+  for (auto _ : state) {
+    if (!harness.PinDecodeUnpin(page, out.data())) {
+      state.SkipWithError("pin failed");
+      return;
+    }
+    page = (page + 1) % kPages;
+  }
+  const auto stats = harness.pool->stats();
+  state.counters["hit_rate"] =
+      static_cast<double>(stats.hits) / (stats.hits + stats.misses);
+  state.SetItemsProcessed(state.iterations() * tuples.size());
+}
+BENCHMARK(BM_BufferPoolHit);
+
+void BM_BufferPoolMiss(benchmark::State& state) {
+  // 4 frames cycling over 64 pages: every pin evicts and reads.
+  constexpr size_t kPages = 64;
+  PoolBenchHarness harness(/*frames=*/4);
+  std::vector<Tuple> tuples(harness.store->tuples_per_page(), Tuple{1, 2});
+  for (size_t p = 0; p < kPages; ++p) {
+    if (!harness.store->WritePage(tuples.data(), tuples.size()).ok()) {
+      state.SkipWithError("spool write failed");
+      return;
+    }
+  }
+  std::vector<Tuple> out(harness.store->tuples_per_page());
+  size_t page = 0;
+  for (auto _ : state) {
+    if (!harness.PinDecodeUnpin(page, out.data())) {
+      state.SkipWithError("pin failed");
+      return;
+    }
+    page = (page + 1) % kPages;
+  }
+  const auto stats = harness.pool->stats();
+  state.counters["evictions"] = static_cast<double>(stats.evictions);
+  state.SetItemsProcessed(state.iterations() * tuples.size());
+}
+BENCHMARK(BM_BufferPoolMiss);
+
+void BM_BufferPoolWriteback(benchmark::State& state) {
+  // Foreground AppendPage cost while the flusher retires frames in
+  // the background; append_stall_ms is the time the appender actually
+  // waited for a free frame.
+  PoolBenchHarness harness(/*frames=*/32);
+  std::vector<Tuple> tuples(harness.store->tuples_per_page(), Tuple{1, 2});
+  for (auto _ : state) {
+    if (!harness.pool->AppendPage(tuples.data(), tuples.size()).ok()) {
+      state.SkipWithError("append failed");
+      return;
+    }
+  }
+  if (!harness.pool->FlushAll().ok()) {
+    state.SkipWithError("flush failed");
+    return;
+  }
+  const auto stats = harness.pool->stats();
+  state.counters["writebacks"] = static_cast<double>(stats.writebacks);
+  state.counters["append_stall_ms"] = stats.append_stall_ns / 1e6;
+  state.SetItemsProcessed(state.iterations() * tuples.size());
+}
+BENCHMARK(BM_BufferPoolWriteback);
+
+// Spool-write A/B on the synthetic device (docs/storage.md): the same
+// D-MPSM join with run spooling blocking on every page write (sync)
+// vs riding the pool's write-back cache. spool_stall_ms is
+// DMpsmReport::spool_write_stall_ns — the wait the flusher removes
+// from the foreground sort phases.
+void DMpsmSpoolBench(benchmark::State& state, bool synchronous_spool) {
+  const auto topology = numa::Topology::Probe();
+  const uint32_t team_size = 4;
+  workload::DatasetSpec spec;
+  spec.r_tuples = size_t{1} << GetEnvInt("MPSM_IO_BENCH_LOG2", 15);
+  spec.multiplicity = 2;
+  spec.seed = 42;
+  const auto dataset = workload::Generate(topology, team_size, spec);
+  WorkerTeam team(topology, team_size);
+
+  disk::DMpsmOptions options;
+  options.tuples_per_page = 512;
+  options.pool_pages = 16;
+  options.io_backend = io::IoBackendKind::kThreadpool;
+  options.io_delay_us = 100;
+  options.synchronous_spool = synchronous_spool;
+
+  double spool_stall_ms = 0;
+  double writebacks = 0;
+  for (auto _ : state) {
+    CountFactory counts(team_size);
+    disk::DMpsmReport report;
+    auto info = disk::DMpsmJoin(options).Execute(team, dataset.r,
+                                                 dataset.s, counts, &report);
+    if (!info.ok()) {
+      state.SkipWithError("join failed");
+      return;
+    }
+    benchmark::DoNotOptimize(counts.Result());
+    spool_stall_ms = report.spool_write_stall_ns / 1e6;
+    writebacks = static_cast<double>(report.pool.writebacks);
+  }
+  state.counters["spool_stall_ms"] = spool_stall_ms;
+  state.counters["writebacks"] = writebacks;
+  state.SetItemsProcessed(state.iterations() *
+                          (dataset.r.size() + dataset.s.size()));
+}
+
+void BM_DMpsmSpoolSync(benchmark::State& state) {
+  DMpsmSpoolBench(state, /*synchronous_spool=*/true);
+}
+BENCHMARK(BM_DMpsmSpoolSync)->Unit(benchmark::kMillisecond);
+
+void BM_DMpsmSpoolWriteback(benchmark::State& state) {
+  DMpsmSpoolBench(state, /*synchronous_spool=*/false);
+}
+BENCHMARK(BM_DMpsmSpoolWriteback)->Unit(benchmark::kMillisecond);
 
 void BM_CdfEstimateRank(benchmark::State& state) {
   auto data = RandomTuples(1 << 20);

@@ -8,10 +8,16 @@
 // MPSM_IO_BACKEND={sync,threadpool,uring,auto} selects the I/O engine
 // (CI runs this example under several); an explicitly requested uring
 // on a host without kernel support falls back to auto with a note.
+// MPSM_POOL_BUDGET_KB pins the spill path's buffer pool to a fixed
+// byte budget (docs/storage.md) — the CI low-memory smoke sets it far
+// below the relation size, forcing clock eviction and async write-back
+// on every run, and this program then *requires* the pool to have
+// evicted and written back (exit 1 otherwise).
 //
 // HyPer-style systems do this to keep precious RAM for the
 // transactional working set while batch queries run alongside.
 #include <cstdio>
+#include <optional>
 
 #include "core/consumers.h"
 #include "engine/engine.h"
@@ -41,6 +47,16 @@ int main() {
               io::IoBackendKindName(engine_options.dmpsm.io_backend),
               io::UringSupported() ? "supported" : "unsupported");
 
+  // An explicit pool budget overrides the planner's derivation; far
+  // smaller than the relation it makes eviction + write-back mandatory.
+  const uint64_t pool_budget_kb =
+      static_cast<uint64_t>(GetEnvInt("MPSM_POOL_BUDGET_KB", 0));
+  engine_options.dmpsm.pool_budget_bytes = pool_budget_kb << 10;
+  if (pool_budget_kb != 0) {
+    std::printf("pool budget pinned: %llu KB\n",
+                static_cast<unsigned long long>(pool_budget_kb));
+  }
+
   engine::Engine engine(engine_options);
   const uint32_t workers = 4;
 
@@ -53,7 +69,9 @@ int main() {
 
   // Shrinking RAM budgets for the same join. The first fits the whole
   // working set (inputs + runs), so the planner stays in memory; the
-  // others force the spill path with ever smaller staging pools.
+  // others force the spill path with ever smaller staging pools. Every
+  // budget must produce the same aggregate.
+  std::optional<unsigned long long> expected_agg;
   for (const uint64_t budget_mb : {64, 8, 2, 1}) {
     MaxPayloadSumFactory aggregate(workers);
     engine::JoinSpec join;
@@ -69,12 +87,19 @@ int main() {
       return 1;
     }
 
+    const auto agg =
+        static_cast<unsigned long long>(aggregate.Result().value_or(0));
     std::printf("budget=%3llu MB -> %-9s agg=%llu  wall=%7.1f ms\n",
                 static_cast<unsigned long long>(budget_mb),
-                engine::AlgorithmName(report->plan.algorithm),
-                static_cast<unsigned long long>(
-                    aggregate.Result().value_or(0)),
+                engine::AlgorithmName(report->plan.algorithm), agg,
                 report->info.wall_seconds * 1e3);
+    if (!expected_agg.has_value()) {
+      expected_agg = agg;
+    } else if (agg != *expected_agg) {
+      std::fprintf(stderr, "aggregate mismatch: %llu vs %llu\n", agg,
+                   *expected_agg);
+      return 1;
+    }
     if (report->dmpsm.has_value()) {
       const auto& d = *report->dmpsm;
       const auto& options = report->plan.dmpsm;
@@ -96,6 +121,23 @@ int main() {
           static_cast<unsigned long long>(d.io_sched.coalesced_pages),
           d.io_sched.mean_queue_depth, d.io_sched.io_stall_ns / 1e6,
           d.staging_nodes, d.staging_nodes == 1 ? "" : "s");
+      std::printf(
+          "               pool: %zu frames, %llu hit / %llu miss, "
+          "%llu evicted, %llu written back, spool stall %.1f ms\n",
+          d.pool.frames, static_cast<unsigned long long>(d.pool.hits),
+          static_cast<unsigned long long>(d.pool.misses),
+          static_cast<unsigned long long>(d.pool.evictions),
+          static_cast<unsigned long long>(d.pool.writebacks),
+          d.spool_write_stall_ns / 1e6);
+      if (pool_budget_kb != 0 &&
+          (d.pool.evictions == 0 || d.pool.writebacks == 0)) {
+        std::fprintf(stderr,
+                     "pinned pool budget did not force eviction "
+                     "(%llu) + write-back (%llu)\n",
+                     static_cast<unsigned long long>(d.pool.evictions),
+                     static_cast<unsigned long long>(d.pool.writebacks));
+        return 1;
+      }
     }
   }
 

@@ -29,11 +29,17 @@ struct SpooledRun {
 /// given (public input) or returns the page list (private input).
 /// `worker_node` is the executing worker's node: a stolen spool morsel
 /// reads the chunk remotely (the sort scratch stays executor-local).
+/// Pages normally go through the pool's write-back cache (AppendPage:
+/// encode into a frame, flush in the background); `synchronous_spool`
+/// blocks on the device per page instead. Either way `spool_stall_ns`
+/// accumulates the wall time this worker spent blocked spooling.
 Status SortAndSpool(const Chunk& chunk, uint32_t run_id,
                     numa::NodeId worker_node, PageStore& store,
+                    bufferpool::BufferPool* pool, bool synchronous_spool,
                     PerfCounters& counters, PageIndex* index,
                     SpooledRun* run_out, sort::SortKind sort_kind,
-                    const sort::RadixSortConfig& sort_config) {
+                    const sort::RadixSortConfig& sort_config,
+                    uint64_t* spool_stall_ns) {
   // The materializing copy is fused into the sort's first MSD pass
   // (§2.3 amortization, SortCopyInto); counters keep charging copy +
   // sort so the model stays comparable across sort kinds. for_overwrite
@@ -50,14 +56,27 @@ Status SortAndSpool(const Chunk& chunk, uint32_t run_id,
   const size_t per_page = store.tuples_per_page();
   for (size_t offset = 0; offset < chunk.size; offset += per_page) {
     const size_t count = std::min(per_page, chunk.size - offset);
-    auto page = store.WritePage(sorted.get() + offset, count);
-    if (!page.ok()) return page.status();
+    PageId id = 0;
+    if (synchronous_spool) {
+      // Blocking baseline: the worker eats the full device round trip.
+      WallTimer write_timer;
+      auto page = store.WritePage(sorted.get() + offset, count);
+      if (!page.ok()) return page.status();
+      *spool_stall_ns +=
+          static_cast<uint64_t>(write_timer.ElapsedSeconds() * 1e9);
+      id = *page;
+    } else {
+      auto page =
+          pool->AppendPage(sorted.get() + offset, count, spool_stall_ns);
+      if (!page.ok()) return page.status();
+      id = *page;
+    }
     if (index != nullptr) {
-      index->Add(PageIndexEntry{sorted[offset].key, run_id, *page,
+      index->Add(PageIndexEntry{sorted[offset].key, run_id, id,
                                 static_cast<uint32_t>(count)});
     }
     if (run_out != nullptr) {
-      run_out->pages.push_back(*page);
+      run_out->pages.push_back(id);
       run_out->counts.push_back(static_cast<uint32_t>(count));
     }
   }
@@ -65,38 +84,50 @@ Status SortAndSpool(const Chunk& chunk, uint32_t run_id,
 }
 
 /// Sliding window over one worker's private spooled run, fed by async
-/// readahead: upcoming pages are submitted to the shared IoScheduler
-/// (own completion queue) while the worker merges the current ones, so
-/// private-run fetch latency overlaps join compute.
+/// readahead: upcoming pages are pinned through the shared buffer pool
+/// (own client queue) while the worker merges the current ones, so
+/// private-run fetch latency overlaps join compute. Recently spooled
+/// pages are often still frame-resident — those pins are pool hits and
+/// cost no device read at all.
 class PrivateWindow {
  public:
-  /// `queue` is this window's private completion queue on `scheduler`;
+  /// `queue` is this window's private pin queue on `pool`;
   /// `readahead_pages` bounds the in-flight ring. `counters` receives
   /// io_submits / io_stall_ns attribution.
   PrivateWindow(const PageStore& store, const SpooledRun& run,
-                io::IoScheduler* scheduler, uint32_t queue,
+                bufferpool::BufferPool* pool, uint32_t queue,
                 size_t readahead_pages, PerfCounters* counters)
       : store_(&store),
         run_(&run),
-        scheduler_(scheduler),
+        pool_(pool),
         queue_(queue),
         readahead_(std::clamp<size_t>(readahead_pages, 1,
                                       io::kMaxIovPerRead)),
         counters_(counters),
-        buffers_(readahead_ * store.page_bytes()),
         ring_(readahead_) {}
 
   ~PrivateWindow() {
-    // Reap every read still targeting our ring buffers before they die.
-    std::array<io::PageFetchCompletion, io::kMaxIovPerRead> sink;
+    // Reap every pin still in flight, then release whatever the ring
+    // holds: no frame may stay pinned after the window dies.
+    std::array<bufferpool::PagePinCompletion, io::kMaxIovPerRead> sink;
     while (reaped_ < submitted_) {
-      const size_t n =
-          scheduler_->Drain(queue_, sink.data(), sink.size());
+      const size_t n = pool_->DrainPins(queue_, sink.data(), sink.size());
       if (n > 0) {
         reaped_ += n;
+        for (size_t i = 0; i < n; ++i) {
+          if (sink[i].frame != bufferpool::kInvalidFrame) {
+            pool_->Unpin(sink[i].frame);
+          }
+        }
         continue;
       }
-      scheduler_->Pump(/*block=*/true);
+      pool_->Pump(/*block=*/true);
+    }
+    for (RingSlot& slot : ring_) {
+      if (slot.ready && slot.frame != bufferpool::kInvalidFrame) {
+        pool_->Unpin(slot.frame);
+        slot.frame = bufferpool::kInvalidFrame;
+      }
     }
   }
 
@@ -123,12 +154,15 @@ class PrivateWindow {
       const size_t slot = next_take_ % readahead_;
       const size_t old_size = tuples_.size();
       tuples_.resize(old_size + store_->tuples_per_page());
-      auto count = store_->DecodePage(buffers_.data() +
-                                          slot * store_->page_bytes(),
+      auto count = store_->DecodePage(pool_->Data(ring_[slot].frame),
                                       tuples_.data() + old_size);
+      // Copy-out done: the frame goes back to the pool (second chance
+      // keeps it cached) and the ring slot is reusable for readahead.
+      pool_->Unpin(ring_[slot].frame);
+      ring_[slot].frame = bufferpool::kInvalidFrame;
+      ring_[slot].ready = false;
       if (!count.ok()) return count.status();
       tuples_.resize(old_size + *count);
-      ring_[slot].ready = false;  // slot reusable for readahead
       ++next_take_;
     }
     peak_tuples_ = std::max(peak_tuples_, tuples_.size() - start_);
@@ -143,18 +177,16 @@ class PrivateWindow {
   struct RingSlot {
     bool ready = false;
     Status status;
+    bufferpool::FrameId frame = bufferpool::kInvalidFrame;
   };
 
-  /// Keeps up to `readahead_` pages of this run in flight.
+  /// Keeps up to `readahead_` pages of this run pinned or in flight.
   Status SubmitReadahead() {
-    std::array<io::PageFetchRequest, io::kMaxIovPerRead> requests;
+    std::array<bufferpool::PagePinRequest, io::kMaxIovPerRead> requests;
     size_t n = 0;
     while (next_submit_ < run_->pages.size() &&
            next_submit_ < next_take_ + readahead_) {
-      const size_t slot = next_submit_ % readahead_;
       requests[n].page = run_->pages[next_submit_];
-      requests[n].dest =
-          buffers_.data() + slot * store_->page_bytes();
       requests[n].user_data = next_submit_;
       requests[n].queue = queue_;
       ++n;
@@ -163,22 +195,21 @@ class PrivateWindow {
     if (n == 0) return Status::OK();
     submitted_ += n;
     if (counters_ != nullptr) ++counters_->io_submits;
-    return scheduler_->Submit(requests.data(), n);
+    return pool_->SubmitPins(requests.data(), n);
   }
 
-  /// Blocks until page ordinal `ordinal` completed; pumping the
-  /// scheduler while waiting (the wait itself is recorded as stall).
+  /// Blocks until page ordinal `ordinal`'s pin completed; pumping the
+  /// pool while waiting (the wait itself is recorded as stall).
   Status WaitForPage(size_t ordinal) {
     const size_t slot = ordinal % readahead_;
     WallTimer stall;
     bool stalled = false;
     while (!ring_[slot].ready) {
-      std::array<io::PageFetchCompletion, io::kMaxIovPerRead> done;
-      const size_t n =
-          scheduler_->Drain(queue_, done.data(), done.size());
+      std::array<bufferpool::PagePinCompletion, io::kMaxIovPerRead> done;
+      const size_t n = pool_->DrainPins(queue_, done.data(), done.size());
       if (n == 0) {
         stalled = true;
-        MPSM_RETURN_NOT_OK(scheduler_->Pump(/*block=*/true));
+        MPSM_RETURN_NOT_OK(pool_->Pump(/*block=*/true));
         continue;
       }
       reaped_ += n;
@@ -186,23 +217,23 @@ class PrivateWindow {
         RingSlot& ring_slot = ring_[done[i].user_data % readahead_];
         ring_slot.ready = true;
         ring_slot.status = done[i].status;
+        ring_slot.frame = done[i].frame;
       }
     }
     if (stalled) {
       const auto ns = static_cast<uint64_t>(stall.ElapsedSeconds() * 1e9);
       if (counters_ != nullptr) counters_->io_stall_ns += ns;
-      scheduler_->AddStallNs(ns);
+      pool_->AddStallNs(ns);
     }
     return ring_[slot].status;
   }
 
   const PageStore* store_;
   const SpooledRun* run_;
-  io::IoScheduler* scheduler_;
+  bufferpool::BufferPool* pool_;
   const uint32_t queue_;
   const size_t readahead_;
   PerfCounters* counters_;
-  std::vector<char> buffers_;  // readahead_ page-sized pinned slots
   std::vector<RingSlot> ring_;
   size_t next_submit_ = 0;  // next page ordinal to submit
   size_t next_take_ = 0;    // next page ordinal to consume
@@ -257,27 +288,62 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
   PageStore store(store_options);
   MPSM_RETURN_NOT_OK(store.Open());
 
-  // One async page-I/O scheduler serves the shared staging pool (one
-  // completion queue per NUMA node) and every worker's private window
-  // (one queue per worker). A requested-but-unsupported backend fails
-  // the query here — not the process.
+  // One async page-I/O scheduler, fully owned by the buffer pool (one
+  // completion queue for frame loads, one for write-backs). A
+  // requested-but-unsupported backend fails the query here — not the
+  // process.
   const uint32_t num_nodes = std::max(1u, team.topology().num_nodes());
   io::IoSchedulerOptions io_options;
   io_options.backend = options_.io_backend;
   io_options.queue_depth = options_.io_queue_depth;
   io_options.batch_pages = options_.io_batch_pages;
   io_options.max_inflight_bytes = options_.io_max_inflight_bytes;
-  io_options.completion_queues = num_nodes + num_workers;
+  io_options.completion_queues = 2;
   MPSM_ASSIGN_OR_RETURN(
       auto io_scheduler,
       io::IoScheduler::Create(store.fd(), store.page_bytes(),
                               store.io_delay_us(), io_options));
+
+  // Frame budget. Legacy mode (pool_budget_bytes == 0) preserves the
+  // pre-pool RAM shape: pool_pages staging slots plus full per-worker
+  // readahead, with headroom for in-flight appends and flush batches.
+  // Budget mode caps the frames at the byte budget and shrinks the
+  // staging ring and readahead to fit — larger-than-RAM relations then
+  // run on eviction + write-back instead of growing the pool.
+  size_t readahead =
+      std::clamp<size_t>(options_.io_batch_pages, 1, io::kMaxIovPerRead);
+  size_t staging_capacity = options_.pool_pages;
+  size_t frames = options_.pool_pages + num_workers * readahead +
+                  2 * options_.io_batch_pages;
+  if (options_.pool_budget_bytes != 0) {
+    const size_t budget_frames =
+        options_.pool_budget_bytes / store.page_bytes();
+    // Floor: one frame per worker (pin or append in progress) plus a
+    // flush/load slot pair, so the pool can always make progress.
+    frames = std::max<size_t>(budget_frames, num_workers + 2);
+    readahead = std::clamp<size_t>(frames / (2 * num_workers),
+                                   size_t{1}, readahead);
+    staging_capacity = std::max<size_t>(
+        1, frames - num_workers * readahead - 2);
+  }
+
+  // The pool owns the scheduler's two queues; clients get one pin
+  // queue per NUMA node (staging) plus one per worker (windows).
+  bufferpool::BufferPoolOptions pool_options;
+  pool_options.frames = frames;
+  pool_options.client_queues = num_nodes + num_workers;
+  pool_options.flush_batch_pages = options_.io_batch_pages;
+  MPSM_ASSIGN_OR_RETURN(
+      auto pool,
+      bufferpool::BufferPool::Create(&store, io_scheduler.get(),
+                                     pool_options, &team.topology()));
 
   std::vector<PageIndex> index_parts(num_workers);
   std::vector<SpooledRun> r_runs(num_workers);
   PageIndex s_index;
   std::optional<StagingPipeline> pipeline;
   std::vector<Status> worker_status(num_workers);
+  std::vector<uint64_t> spool_stall(num_workers, 0);
   std::atomic<size_t> peak_window{0};
   std::atomic<uint64_t> consumer_loads{0};
 
@@ -291,17 +357,18 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
       [&](WorkerContext& ctx, const Morsel& morsel) {
         const uint32_t w = morsel.task;
         worker_status[w] = SortAndSpool(
-            s_public.chunk(w), w, ctx.node, store,
-            ctx.Counters(kPhaseSortPublic), &index_parts[w], nullptr,
-            options_.sort, options_.sort_config);
+            s_public.chunk(w), w, ctx.node, store, pool.get(),
+            options_.synchronous_spool, ctx.Counters(kPhaseSortPublic),
+            &index_parts[w], nullptr, options_.sort, options_.sort_config,
+            &spool_stall[w]);
       });
 
   // Merge the page index and start the prefetch pipeline.
   phases.AddSerial(kPhasePartition, [&](WorkerContext&) {
     for (auto& part : index_parts) s_index.Append(part);
     s_index.Finalize();
-    pipeline.emplace(store, s_index, options_.pool_pages, num_workers,
-                     io_scheduler.get(), /*consumer_loads=*/stealing,
+    pipeline.emplace(store, s_index, staging_capacity, num_workers,
+                     pool.get(), /*consumer_loads=*/stealing,
                      &team.topology());
     pipeline->Start();
   });
@@ -311,10 +378,11 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
       kPhaseSortPrivate, [&] { return ChunkMorsels(num_workers); },
       [&](WorkerContext& ctx, const Morsel& morsel) {
         const uint32_t w = morsel.task;
-        Status st = SortAndSpool(r_private.chunk(w), w, ctx.node, store,
-                                 ctx.Counters(kPhaseSortPrivate), nullptr,
-                                 &r_runs[w], options_.sort,
-                                 options_.sort_config);
+        Status st = SortAndSpool(
+            r_private.chunk(w), w, ctx.node, store, pool.get(),
+            options_.synchronous_spool, ctx.Counters(kPhaseSortPrivate),
+            nullptr, &r_runs[w], options_.sort, options_.sort_config,
+            &spool_stall[w]);
         if (worker_status[w].ok()) worker_status[w] = st;
       });
 
@@ -332,9 +400,9 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
         const uint32_t w = morsel.task;
         PerfCounters& counters = ctx.Counters(kPhaseJoin);
         JoinConsumer& consumer = consumers.ConsumerForWorker(w);
-        PrivateWindow window(store, r_runs[w], io_scheduler.get(),
-                             /*queue=*/num_nodes + w,
-                             options_.io_batch_pages, &counters);
+        PrivateWindow window(store, r_runs[w], pool.get(),
+                             /*queue=*/num_nodes + w, readahead,
+                             &counters);
         FetchActivity activity;
 
         // On error — whether from this consumer's earlier spool phases
@@ -386,9 +454,12 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
   WallTimer timer;
   phases.Run(team, /*phase_barriers=*/true);
 
-  // The pipeline (and its in-flight fetches) must wind down before the
-  // report snapshots the scheduler counters.
+  // The pipeline (and its in-flight pins) must wind down before the
+  // pool closes; the pool's close flushes every dirty frame and
+  // surfaces any write-back error, and must precede the report so the
+  // counters are final.
   if (pipeline.has_value()) pipeline->Stop();
+  const Status pool_status = pool->Close();
 
   if (report != nullptr) {
     report->io = store.io_stats();
@@ -396,7 +467,11 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
     report->io_backend_used = io_scheduler->backend().kind();
     report->peak_pool_pages =
         pipeline ? pipeline->peak_resident_pages() : 0;
-    report->staging_nodes = pipeline ? pipeline->staging_nodes() : 1;
+    report->staging_nodes = pool->stats().pool_nodes;
+    report->pool = pool->stats();
+    for (const uint64_t ns : spool_stall) {
+      report->spool_write_stall_ns += ns;
+    }
     report->peak_window_tuples = peak_window.load(std::memory_order_relaxed);
     report->index_entries = s_index.size();
     report->consumer_page_loads =
@@ -409,6 +484,7 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
   if (pipeline.has_value()) {
     MPSM_RETURN_NOT_OK(pipeline->status());
   }
+  MPSM_RETURN_NOT_OK(pool_status);
   return CollectRunInfo(team, timer.ElapsedSeconds());
 }
 

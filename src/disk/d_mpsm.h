@@ -13,6 +13,7 @@
 #include <cstdint>
 #include <string>
 
+#include "bufferpool/buffer_pool.h"
 #include "core/consumers.h"
 #include "core/join_stats.h"
 #include "core/join_types.h"
@@ -32,9 +33,23 @@ namespace mpsm::disk {
 struct DMpsmOptions {
   /// Page size in tuples for both spooled inputs.
   size_t tuples_per_page = 4096;
-  /// Public-input staging pool capacity in pages (the RAM budget for
-  /// shared S pages). >= 1.
+  /// Public-input staging ring capacity in pages (the RAM budget for
+  /// decoded shared S pages). >= 1.
   size_t pool_pages = 64;
+
+  /// Buffer-pool RAM budget in bytes (docs/storage.md). 0 derives a
+  /// legacy-compatible frame count from pool_pages plus per-worker
+  /// readahead headroom; nonzero caps the pool's frames at
+  /// budget / page_bytes (floored at a small working minimum) and
+  /// shrinks the staging ring and private-window readahead to fit, so
+  /// relations far larger than the budget run with eviction and
+  /// write-back instead of growing RAM.
+  uint64_t pool_budget_bytes = 0;
+
+  /// When true, run spooling bypasses the pool's write-back cache and
+  /// blocks on the device for every page (the synchronous baseline the
+  /// spool-stall A/B in DMpsmReport measures against).
+  bool synchronous_spool = false;
   /// Spool directory and synthetic I/O delay (see PageStoreOptions).
   std::string directory = "/tmp";
   uint32_t io_delay_us = 0;
@@ -92,11 +107,18 @@ struct DMpsmReport {
   io::IoSchedulerStats io_sched;
   /// Concrete backend the run used (kAuto resolved).
   io::IoBackendKind io_backend_used = io::IoBackendKind::kThreadpool;
-  /// Peak resident S pages in the shared staging pool.
+  /// Peak resident S pages in the shared staging ring.
   size_t peak_pool_pages = 0;
-  /// Distinct NUMA nodes the staging pool's buffers are homed on
+  /// Distinct NUMA nodes the buffer pool's frames are homed on
   /// (NUMA-interleaved allocation; 1 on single-node hosts).
   uint32_t staging_nodes = 1;
+  /// Buffer pool counters: hits, misses, evictions, write-backs,
+  /// append stalls (docs/storage.md).
+  bufferpool::BufferPoolStats pool;
+  /// Wall nanoseconds workers spent blocked spooling run pages, summed
+  /// over workers: the full device write in synchronous_spool mode, or
+  /// only the wait for a free frame with async write-back.
+  uint64_t spool_write_stall_ns = 0;
   /// Peak private-window tuples over all workers.
   size_t peak_window_tuples = 0;
   /// Entries in the S page index.

@@ -30,6 +30,21 @@ Status PageStore::Open() {
   return Status::OK();
 }
 
+PageId PageStore::AllocatePage() {
+  pages_written_.fetch_add(1, std::memory_order_relaxed);
+  return next_page_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void PageStore::EncodePage(const Tuple* data, size_t count,
+                           char* dest) const {
+  // On-disk layout: [count: u64][tuples...][zero tail].
+  const uint64_t count64 = count;
+  std::memcpy(dest, &count64, sizeof(count64));
+  std::memcpy(dest + sizeof(count64), data, count * sizeof(Tuple));
+  const size_t used = sizeof(count64) + count * sizeof(Tuple);
+  std::memset(dest + used, 0, page_bytes() - used);
+}
+
 Result<PageId> PageStore::WritePage(const Tuple* data, size_t count) {
   if (fd_ < 0) return Status::Internal("page store not open");
   if (count > options_.tuples_per_page) {
@@ -37,11 +52,8 @@ Result<PageId> PageStore::WritePage(const Tuple* data, size_t count) {
   }
   const PageId id = next_page_.fetch_add(1, std::memory_order_relaxed);
 
-  // On-disk layout: [count: u64][tuples...].
-  std::vector<char> page(page_bytes(), 0);
-  const uint64_t count64 = count;
-  std::memcpy(page.data(), &count64, sizeof(count64));
-  std::memcpy(page.data() + sizeof(count64), data, count * sizeof(Tuple));
+  std::vector<char> page(page_bytes());
+  EncodePage(data, count, page.data());
 
   // Resume partial writes (signals, quota boundaries) instead of
   // failing the query on a legal short pwrite.

@@ -53,6 +53,17 @@ class PageStore {
   /// Thread-safe. Returns the new page's id.
   Result<PageId> WritePage(const Tuple* data, size_t count);
 
+  /// Reserves the next page id without touching the device (the buffer
+  /// pool's write-back path: the frame is encoded in RAM and flushed
+  /// asynchronously). Thread-safe. Counts toward
+  /// io_stats().pages_written — it is one logically spooled page,
+  /// whichever path carries it to the device.
+  PageId AllocatePage();
+
+  /// Encodes `count` <= tuples_per_page tuples into `dest` (exactly
+  /// page_bytes() bytes) in the on-disk layout; the tail is zeroed.
+  void EncodePage(const Tuple* data, size_t count, char* dest) const;
+
   /// Reads page `id` into `out` (capacity >= tuples_per_page).
   /// Thread-safe. Returns the tuple count stored on the page.
   Result<size_t> ReadPage(PageId id, Tuple* out) const;

@@ -10,7 +10,7 @@ StagingPipeline::StagingPipeline(const PageStore& store,
                                  const PageIndex& index,
                                  size_t capacity_pages,
                                  uint32_t num_consumers,
-                                 io::IoScheduler* scheduler,
+                                 bufferpool::BufferPool* pool,
                                  bool consumer_loads,
                                  const numa::Topology* topology)
     : store_(store),
@@ -18,30 +18,19 @@ StagingPipeline::StagingPipeline(const PageStore& store,
       capacity_(capacity_pages == 0 ? 1 : capacity_pages),
       num_consumers_(num_consumers),
       consumer_loads_(consumer_loads),
-      scheduler_(scheduler),
+      pool_(pool),
       slots_(capacity_) {
   const uint32_t nodes =
       topology != nullptr ? std::max(1u, topology->num_nodes()) : 1;
   staging_nodes_ = static_cast<uint32_t>(
       std::min<size_t>(nodes, capacity_));
-  node_queues_ = std::min<uint32_t>(
-      scheduler_->options().completion_queues, staging_nodes_);
-
-  // NUMA-interleaved pinned buffers: slot i's page buffer comes from
-  // the arena homed on node i % staging_nodes_, spreading the shared
-  // pool over every memory controller (ROADMAP item; the old code let
-  // first-touch home the whole pool on whichever worker faulted it).
-  const size_t per_node_slots =
-      (capacity_ + staging_nodes_ - 1) / staging_nodes_;
-  const size_t block_bytes = std::max<size_t>(
-      per_node_slots * store_.page_bytes(), size_t{64} << 10);
-  for (uint32_t n = 0; n < staging_nodes_; ++n) {
-    arenas_.push_back(std::make_unique<numa::Arena>(n, block_bytes));
-  }
+  node_queues_ = std::min<uint32_t>(pool_->options().client_queues,
+                                    staging_nodes_);
+  // Slot i's pin completions route to node i % staging_nodes_'s queue,
+  // so each consumer drains its own node's arrivals first. The page
+  // bytes themselves live in the pool's NUMA-interleaved frames.
   for (size_t i = 0; i < capacity_; ++i) {
-    const auto node = static_cast<numa::NodeId>(i % staging_nodes_);
-    slots_[i].raw = arenas_[node]->AllocateArray<char>(store_.page_bytes());
-    slots_[i].home = node;
+    slots_[i].home = static_cast<numa::NodeId>(i % staging_nodes_);
   }
 }
 
@@ -58,17 +47,17 @@ void StagingPipeline::Stop() {
   }
   frame_freed_.notify_all();
   frame_loaded_.notify_all();
-  // The prefetch loop only exits once every submitted fetch has been
-  // reaped, so joining it guarantees no backend write can land in a
-  // slot buffer after this returns (the arenas die with us).
+  // The prefetch loop only exits once every submitted pin has been
+  // reaped, so joining it guarantees no pool frame stays pinned on our
+  // behalf after this returns.
   if (prefetch_thread_.joinable()) prefetch_thread_.join();
   // Never-started pipelines (or consumer-submitted stragglers on an
-  // error path) still need their in-flight fetches reaped here.
+  // error path) still need their in-flight pins reaped here.
   std::unique_lock<std::mutex> lock(mu_);
   while (outstanding_ > 0) {
     if (!DrainAndPublishLocked(lock, /*node=*/0)) {
       lock.unlock();
-      scheduler_->Pump(/*block=*/true);
+      pool_->Pump(/*block=*/true);
       lock.lock();
     }
   }
@@ -83,9 +72,9 @@ bool StagingPipeline::ClaimableLocked() const {
 
 bool StagingPipeline::ClaimAndSubmitLocked(
     std::unique_lock<std::mutex>& lock, FetchActivity* activity) {
-  io::PageFetchRequest requests[io::kMaxIovPerRead];
-  const size_t batch_max =
-      std::min(scheduler_->options().batch_pages, io::kMaxIovPerRead);
+  bufferpool::PagePinRequest requests[io::kMaxIovPerRead];
+  const size_t batch_max = std::min(
+      pool_->scheduler()->options().batch_pages, io::kMaxIovPerRead);
   size_t n = 0;
   while (n < batch_max && ClaimableLocked()) {
     const size_t pos = next_claim_++;
@@ -93,7 +82,6 @@ bool StagingPipeline::ClaimAndSubmitLocked(
     slot.state = SlotState::kInFlight;
     slot.pos = pos;
     requests[n].page = index_[pos].page;
-    requests[n].dest = slot.raw;
     requests[n].user_data = pos;
     requests[n].queue = slot.home % node_queues_;
     ++n;
@@ -101,15 +89,15 @@ bool StagingPipeline::ClaimAndSubmitLocked(
   if (n == 0) return false;
   outstanding_ += n;
   lock.unlock();
-  const Status submitted = scheduler_->Submit(requests, n);
+  const Status submitted = pool_->SubmitPins(requests, n);
   lock.lock();
-  // Wake the prefetch thread: with fetches in flight it must park in
-  // the scheduler (Pump) rather than on the pool condvar, or a
-  // completion could land with every pipeline thread asleep.
+  // Wake the prefetch thread: with pins in flight it must park in the
+  // pool (Pump) rather than on the ring condvar, or a completion could
+  // land with every pipeline thread asleep.
   frame_freed_.notify_all();
   if (!submitted.ok()) {
-    // Submit rejects only malformed requests (a pipeline bug, not a
-    // device error); fail the query and let the janitor loop drain.
+    // SubmitPins rejects only malformed requests (a pipeline bug, not
+    // a device error); fail the query and let the janitor loop drain.
     if (status_.ok()) status_ = submitted;
     stop_ = true;
     frame_loaded_.notify_all();
@@ -124,19 +112,21 @@ bool StagingPipeline::ClaimAndSubmitLocked(
 bool StagingPipeline::DrainAndPublishLocked(
     std::unique_lock<std::mutex>& lock, numa::NodeId node) {
   lock.unlock();
-  scheduler_->Pump(/*block=*/false);
+  pool_->Pump(/*block=*/false);
   constexpr size_t kMaxDrain = 2 * io::kMaxIovPerRead;
-  io::PageFetchCompletion completions[kMaxDrain];
+  bufferpool::PagePinCompletion completions[kMaxDrain];
   size_t n = 0;
-  // The caller's own node queue first (its frames are node-local),
+  // The caller's own node queue first (its arrivals are node-local),
   // then the other node queues round-robin.
   const uint32_t first = node % node_queues_;
   for (uint32_t q = 0; q < node_queues_ && n < kMaxDrain; ++q) {
-    n += scheduler_->Drain((first + q) % node_queues_, completions + n,
-                           kMaxDrain - n);
+    n += pool_->DrainPins((first + q) % node_queues_, completions + n,
+                          kMaxDrain - n);
   }
   // Decode outside the lock: an in-flight slot is exclusively owned by
-  // whoever holds its completion.
+  // whoever holds its completion. The pool frame is borrowed only for
+  // the copy-out and unpinned immediately (second chance keeps it
+  // cached for other readers of the same page).
   std::vector<Status> decode_status(n);
   for (size_t i = 0; i < n; ++i) {
     if (!completions[i].status.ok()) {
@@ -146,7 +136,9 @@ bool StagingPipeline::DrainAndPublishLocked(
     const size_t pos = completions[i].user_data;
     Slot& slot = slots_[pos % capacity_];
     slot.frame.tuples.resize(store_.tuples_per_page());
-    auto count = store_.DecodePage(slot.raw, slot.frame.tuples.data());
+    auto count = store_.DecodePage(pool_->Data(completions[i].frame),
+                                   slot.frame.tuples.data());
+    pool_->Unpin(completions[i].frame);
     if (!count.ok()) {
       decode_status[i] = count.status();
       continue;
@@ -187,7 +179,7 @@ void StagingPipeline::PrefetchLoop() {
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     // Exit only once every claimed fetch has completed: this thread is
-    // the janitor that guarantees Stop()'s no-late-writes contract.
+    // the janitor that guarantees Stop()'s no-pins-left contract.
     if (completed_positions_ >= index_.size()) return;
     if (stop_ && outstanding_ == 0) return;
     bool progressed = false;
@@ -195,13 +187,13 @@ void StagingPipeline::PrefetchLoop() {
     progressed |= DrainAndPublishLocked(lock, /*node=*/0);
     if (progressed) continue;
     if (outstanding_ > 0) {
-      // Fetches in flight: park in the scheduler until one lands.
+      // Pins in flight: park in the pool until one lands.
       lock.unlock();
-      scheduler_->Pump(/*block=*/true);
+      pool_->Pump(/*block=*/true);
       lock.lock();
     } else {
-      // Pool full and nothing in flight: wait for the slowest consumer
-      // to free a frame — or for a consumer-submitted fetch
+      // Ring full and nothing in flight: wait for the slowest consumer
+      // to free a slot — or for a consumer-submitted pin
       // (outstanding_) that this thread must then pump for.
       frame_freed_.wait(lock, [&] {
         return stop_ || ClaimableLocked() || outstanding_ > 0 ||
@@ -221,7 +213,7 @@ const PageFrame* StagingPipeline::Acquire(size_t pos, numa::NodeId node,
     }
     if (stop_) return nullptr;
     if (consumer_loads_) {
-      // Poll-or-steal: the fetch task is the stealable unit. Submit the
+      // Poll-or-steal: the fetch task is the stealable unit. Pin the
       // next unclaimed batch (it is `pos` or a position some consumer
       // needs) and/or decode+publish arrived pages for everyone.
       bool progressed = ClaimAndSubmitLocked(lock, activity);
@@ -238,7 +230,7 @@ const PageFrame* StagingPipeline::Acquire(size_t pos, numa::NodeId node,
     const auto stalled_ns =
         static_cast<uint64_t>(stall.ElapsedSeconds() * 1e9);
     if (activity != nullptr) activity->stall_ns += stalled_ns;
-    scheduler_->AddStallNs(stalled_ns);
+    pool_->AddStallNs(stalled_ns);
   }
 }
 

@@ -1,43 +1,39 @@
-// The D-MPSM staging pipeline: bounded buffer pool + async prefetch
-// (the green/white/yellow page lifecycle of Figure 4, now fed by the
-// batched page-I/O subsystem of src/io/).
+// The D-MPSM staging pipeline: bounded frame ring + async prefetch
+// (the green/white/yellow page lifecycle of Figure 4, fed by the
+// buffer pool of src/bufferpool/ — docs/storage.md).
 //
 // Workers consume the public input's pages in page-index order. Page
-// fetches flow through an io::IoScheduler: a loader claims a *batch*
-// of upcoming index positions, submits them as coalesced vectored
-// reads, and completions land in per-NUMA-node queues. A dedicated
-// prefetch thread keeps the ring full; a frame is released (RAM freed)
+// residency flows through a bufferpool::BufferPool: a loader claims a
+// *batch* of upcoming index positions and pins their pages (a cached
+// page completes immediately; a miss becomes a coalesced vectored read
+// through the IoScheduler), and pin completions land in per-NUMA-node
+// client queues. A dedicated prefetch thread keeps the ring full; each
+// arrived page is decoded into its ring slot and unpinned at once, so
+// the pool frame is only borrowed for the copy-out. A slot is released
 // once every worker has processed it — i.e. once the *slowest* worker
-// has moved past it. Pool capacity bounds resident RAM.
+// has moved past it. Ring capacity bounds resident decoded RAM.
 //
 // With `consumer_loads` (the stealing scheduler's mode), a consumer
-// whose page is not yet resident does not sleep: it claims and submits
-// the next unclaimed batch itself, drains completion queues (its own
-// node's first), and decodes arrived pages for everyone — poll-or-
-// steal, where the stealable unit is the page-fetch task. Only when no
-// fetch work exists does it block, and that wait is recorded as
-// io_stall_ns. (The phase-4 *walk* morsels themselves cannot be the
-// steal unit: two walks serialized on one worker deadlock against the
-// bounded pool's all-consumers-release rule — see docs/io.md.)
-//
-// Frame buffers are pinned for the I/O subsystem and NUMA-interleaved:
-// slot i's page buffer comes from a numa::Arena homed on node
-// i % nodes, so the shared pool's bandwidth spreads over every memory
-// controller instead of landing on whichever worker touched it first.
+// whose page is not yet resident does not sleep: it claims and pins
+// the next unclaimed batch itself, drains pin queues (its own node's
+// first), and decodes arrived pages for everyone — poll-or-steal,
+// where the stealable unit is the page-fetch task. Only when no fetch
+// work exists does it block, and that wait is recorded as io_stall_ns.
+// (The phase-4 *walk* morsels themselves cannot be the steal unit: two
+// walks serialized on one worker deadlock against the bounded ring's
+// all-consumers-release rule — see docs/io.md.)
 #pragma once
 
 #include <condition_variable>
 #include <cstdint>
 #include <memory>
 #include <mutex>
-#include <optional>
 #include <thread>
 #include <vector>
 
+#include "bufferpool/buffer_pool.h"
 #include "disk/page_index.h"
 #include "disk/page_store.h"
-#include "io/io_scheduler.h"
-#include "numa/arena.h"
 #include "numa/topology.h"
 #include "util/status.h"
 
@@ -64,16 +60,16 @@ struct FetchActivity {
 /// Shared pipeline over one finalized page index.
 class StagingPipeline {
  public:
-  /// `capacity_pages` bounds resident frames (>= 1); `num_consumers`
-  /// workers will each acquire every index position exactly once.
-  /// Fetches go through `scheduler` (borrowed; must outlive the
-  /// pipeline), whose completion queues [0, nodes) this pipeline owns.
-  /// `consumer_loads` lets blocked consumers claim and submit batches
-  /// themselves (see file comment). `topology` (optional) homes the
-  /// slot buffers round-robin across its nodes.
+  /// `capacity_pages` bounds resident decoded frames (>= 1);
+  /// `num_consumers` workers will each acquire every index position
+  /// exactly once. Pages are pinned through `pool` (borrowed; must
+  /// outlive the pipeline), whose client queues [0, nodes) this
+  /// pipeline owns. `consumer_loads` lets blocked consumers claim and
+  /// pin batches themselves (see file comment). `topology` (optional)
+  /// routes each slot's pin completions to its node's queue.
   StagingPipeline(const PageStore& store, const PageIndex& index,
                   size_t capacity_pages, uint32_t num_consumers,
-                  io::IoScheduler* scheduler, bool consumer_loads = false,
+                  bufferpool::BufferPool* pool, bool consumer_loads = false,
                   const numa::Topology* topology = nullptr);
   ~StagingPipeline();
 
@@ -97,15 +93,15 @@ class StagingPipeline {
   /// No-op for positions that never became resident (error shutdown).
   void Release(size_t pos);
 
-  /// Stops the prefetcher (joins the thread) and reaps every fetch
-  /// this pipeline still has in flight, so slot buffers are never
-  /// written after destruction. Called automatically by the destructor.
+  /// Stops the prefetcher (joins the thread) and reaps every pin this
+  /// pipeline still has in flight, so no pool frame stays pinned after
+  /// destruction. Called automatically by the destructor.
   void Stop();
 
   /// Highest number of simultaneously resident frames observed.
   size_t peak_resident_pages() const { return peak_resident_; }
 
-  /// Distinct NUMA nodes the slot buffers are homed on.
+  /// Distinct NUMA nodes the ring's pin queues are spread over.
   uint32_t staging_nodes() const { return staging_nodes_; }
 
   /// First I/O error encountered, if any.
@@ -114,7 +110,6 @@ class StagingPipeline {
  private:
   enum class SlotState : uint8_t { kFree, kInFlight, kResident };
   struct Slot {
-    char* raw = nullptr;  // pinned page_bytes buffer (arena-backed)
     numa::NodeId home = 0;
     PageFrame frame;  // tuple storage reused across positions
     SlotState state = SlotState::kFree;
@@ -123,16 +118,16 @@ class StagingPipeline {
   };
 
   void PrefetchLoop();
-  /// True when the next unclaimed index position's pool slot is free;
+  /// True when the next unclaimed index position's ring slot is free;
   /// caller must hold mu_.
   bool ClaimableLocked() const;
   /// Claims up to the scheduler's batch size of consecutive claimable
-  /// positions and submits them (lock dropped around the submit).
-  /// Returns true when at least one fetch was submitted.
+  /// positions and pins them (lock dropped around the submit).
+  /// Returns true when at least one pin was submitted.
   bool ClaimAndSubmitLocked(std::unique_lock<std::mutex>& lock,
                             FetchActivity* activity);
-  /// Pumps the scheduler and drains completion queues (preferring
-  /// `node`), decoding and publishing arrived frames. Returns true
+  /// Pumps the pool and drains pin queues (preferring `node`),
+  /// decoding, unpinning and publishing arrived frames. Returns true
   /// when at least one completion was processed.
   bool DrainAndPublishLocked(std::unique_lock<std::mutex>& lock,
                              numa::NodeId node);
@@ -142,12 +137,9 @@ class StagingPipeline {
   const size_t capacity_;
   const uint32_t num_consumers_;
   const bool consumer_loads_;
-  io::IoScheduler* const scheduler_;
-  uint32_t node_queues_ = 1;  // scheduler queues this pipeline owns
+  bufferpool::BufferPool* const pool_;
+  uint32_t node_queues_ = 1;  // pool client queues this pipeline owns
   uint32_t staging_nodes_ = 1;
-
-  // One arena per staging node; slot buffers interleave across them.
-  std::vector<std::unique_ptr<numa::Arena>> arenas_;
 
   mutable std::mutex mu_;
   std::condition_variable frame_loaded_;

@@ -153,6 +153,7 @@ disk::DMpsmOptions ResolveDMpsmOptions(const EngineOptions& options,
     d.simd = *options.simd;
     d.sort_config.simd = *options.simd;
   }
+  d.synchronous_spool = options.dmpsm.synchronous_spool;
   if (options.dmpsm.pool_pages != 0) {
     d.pool_pages = options.dmpsm.pool_pages;
   } else if (memory_budget_bytes != 0) {
@@ -165,6 +166,15 @@ disk::DMpsmOptions ResolveDMpsmOptions(const EngineOptions& options,
         std::max<uint64_t>(memory_budget_bytes / 2 / page_bytes, 1));
   } else {
     d.pool_pages = 64;  // the DMpsmOptions default
+  }
+  if (options.dmpsm.pool_budget_bytes != 0) {
+    d.pool_budget_bytes = options.dmpsm.pool_budget_bytes;
+  } else if (memory_budget_bytes != 0) {
+    // Cap the buffer pool's frames at half the query budget: staging
+    // ring, private-window readahead and dirty write-back frames all
+    // come out of this one pot (docs/storage.md), and the remaining
+    // half covers transient sort scratch.
+    d.pool_budget_bytes = memory_budget_bytes / 2;
   }
   return d;
 }
@@ -318,7 +328,20 @@ CandidateCost Planner::EstimateCost(Algorithm algorithm,
       auto& p3 = phases[kPhaseSortPrivate].counters;
       CountLocalSort(p3, nr);
       p3.CountWrite(true, true, static_cast<uint64_t>(nr * kTupleBytes));
-      // Phase 4 re-reads every spooled page. The device is shared, so
+      // Spool writes hit the device too. With the buffer pool's async
+      // write-back the flusher overlaps them with the sort compute at
+      // queue depth; the synchronous_spool baseline stalls each worker
+      // for every page at depth 1. Deliberately keyed on the spool
+      // mode only — the read backend does not change spool pricing.
+      const double spool_depth_bw = machine.IoBytesPerSec(
+          dmpsm.synchronous_spool ? 1 : dmpsm.io_queue_depth);
+      phases[kPhaseSortPublic].io_overlapped = !dmpsm.synchronous_spool;
+      phases[kPhaseSortPublic].io_seconds =
+          static_cast<double>(in.s_tuples) * kTupleBytes / spool_depth_bw;
+      phases[kPhaseSortPrivate].io_overlapped = !dmpsm.synchronous_spool;
+      phases[kPhaseSortPrivate].io_seconds =
+          static_cast<double>(in.r_tuples) * kTupleBytes / spool_depth_bw;
+      // Phase 4 re-reads the spooled pages. The device is shared, so
       // each worker sees the full |R|+|S| read stream; an async
       // backend overlaps it with the merge compute at depth-scaled
       // bandwidth (src/io/), the sync baseline stalls serially at
@@ -329,13 +352,24 @@ CandidateCost Planner::EstimateCost(Algorithm algorithm,
                                                   kTupleBytes));
       const double io_bytes =
           static_cast<double>(in.r_tuples + in.s_tuples) * kTupleBytes;
-      p4.io_overlapped = dmpsm.io_backend != io::IoBackendKind::kSync;
-      const size_t depth = p4.io_overlapped ? dmpsm.io_queue_depth : 1;
-      p4.io_seconds = io_bytes / machine.IoBytesPerSec(depth);
-      // Submission CPU: one vectored read per io_batch_pages pages of
-      // this worker's share.
       const double page_bytes = std::max<double>(
           static_cast<double>(dmpsm.tuples_per_page) * kTupleBytes, 1.0);
+      // Pool pressure: pages still frame-resident from spooling are
+      // pin hits and never touch the device. The hit fraction scales
+      // with pool bytes over the spooled working set, capped — clock
+      // eviction churn always leaves some misses.
+      const double pool_bytes =
+          dmpsm.pool_budget_bytes != 0
+              ? static_cast<double>(dmpsm.pool_budget_bytes)
+              : static_cast<double>(dmpsm.pool_pages) * page_bytes;
+      const double hit_rate =
+          std::min(0.95, pool_bytes / std::max(io_bytes, 1.0));
+      p4.io_overlapped = dmpsm.io_backend != io::IoBackendKind::kSync;
+      const size_t depth = p4.io_overlapped ? dmpsm.io_queue_depth : 1;
+      p4.io_seconds =
+          io_bytes * (1.0 - hit_rate) / machine.IoBytesPerSec(depth);
+      // Submission CPU: one vectored read per io_batch_pages pages of
+      // this worker's share.
       const double worker_pages = (nr + ns) * kTupleBytes / page_bytes;
       p4.counters.io_submits = static_cast<uint64_t>(
           worker_pages / static_cast<double>(

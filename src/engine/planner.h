@@ -84,9 +84,16 @@ struct MpsmOverrides {
 /// Per-algorithm overrides for the D-MPSM spill path.
 struct DMpsmOverrides {
   size_t tuples_per_page = 4096;
-  /// Staging pool capacity in pages; 0 derives it from the query's
+  /// Staging ring capacity in pages; 0 derives it from the query's
   /// memory budget (half the budget, at least one page).
   size_t pool_pages = 0;
+  /// Buffer-pool frame budget in bytes (DMpsmOptions::pool_budget_bytes);
+  /// 0 derives half the query's memory budget when one is set, else the
+  /// legacy unbounded-frames shape.
+  uint64_t pool_budget_bytes = 0;
+  /// Bypass the pool's async write-back and spool runs with blocking
+  /// device writes (the A/B baseline; see DMpsmOptions).
+  bool synchronous_spool = false;
   std::string directory = "/tmp";
   uint32_t io_delay_us = 0;
   /// Async page-I/O engine for the spill path (docs/io.md): sync is

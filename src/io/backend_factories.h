@@ -22,4 +22,9 @@ std::unique_ptr<AsyncIoBackend> CreateUringBackend(size_t queue_depth);
 /// threadpool backends.
 Status PerformBlockingRead(const IoRead& read);
 
+/// Executes `write` synchronously: pwritev with EINTR retry and
+/// short-write resumption; zero progress (disk full) is an IoError.
+/// Honors write.delay_us. Shared by the sync and threadpool backends.
+Status PerformBlockingWrite(const IoWrite& write);
+
 }  // namespace mpsm::io

@@ -79,11 +79,49 @@ Status PerformBlockingRead(const IoRead& read) {
   return Status::OK();
 }
 
+Status PerformBlockingWrite(const IoWrite& write) {
+  if (write.delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(write.delay_us));
+  }
+  // Resume after short writes (signals, quota boundaries) instead of
+  // failing the query on a legal partial pwritev. Zero progress means
+  // the device accepted nothing (disk full) — a hard error.
+  std::array<::iovec, kMaxIovPerRead> iov = write.iov;
+  uint32_t first = 0;
+  uint32_t count = write.iov_count;
+  uint64_t offset = write.offset;
+  while (count > 0) {
+    const ssize_t n = ::pwritev(write.fd, iov.data() + first,
+                                static_cast<int>(count),
+                                static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("pwritev: ") + std::strerror(errno));
+    }
+    if (n == 0) {
+      return Status::IoError("pwritev: no progress (disk full?)");
+    }
+    offset += static_cast<uint64_t>(n);
+    size_t consumed = static_cast<size_t>(n);
+    while (count > 0 && consumed >= iov[first].iov_len) {
+      consumed -= iov[first].iov_len;
+      ++first;
+      --count;
+    }
+    if (count > 0 && consumed > 0) {
+      iov[first].iov_base = static_cast<char*>(iov[first].iov_base) + consumed;
+      iov[first].iov_len -= consumed;
+    }
+  }
+  return Status::OK();
+}
+
 namespace {
 
-/// The blocking baseline: SubmitRead performs the preadv inline, so a
-/// submitter eats the full device round-trip — exactly the pre-async
-/// behavior every A/B run compares against.
+/// The blocking baseline: SubmitRead/SubmitWrite perform the
+/// preadv/pwritev inline, so a submitter eats the full device round
+/// trip — exactly the pre-async behavior every A/B run compares
+/// against.
 class SyncBackend final : public AsyncIoBackend {
  public:
   explicit SyncBackend(size_t queue_depth) : queue_depth_(queue_depth) {}
@@ -92,6 +130,15 @@ class SyncBackend final : public AsyncIoBackend {
     IoCompletion done;
     done.user_data = read.user_data;
     done.status = PerformBlockingRead(read);
+    std::lock_guard<std::mutex> lock(mu_);
+    completed_.push_back(std::move(done));
+    return Status::OK();
+  }
+
+  Status SubmitWrite(const IoWrite& write) override {
+    IoCompletion done;
+    done.user_data = write.user_data;
+    done.status = PerformBlockingWrite(write);
     std::lock_guard<std::mutex> lock(mu_);
     completed_.push_back(std::move(done));
     return Status::OK();

@@ -52,16 +52,40 @@ struct IoRead {
   }
 };
 
-/// One finished read. A short read (EOF inside the range) or device
-/// error surfaces as a non-OK status.
+/// One vectored write: gather iov[0..iov_count) to `fd` starting at
+/// `offset` (the buffer-pool write-back path). Every buffer must stay
+/// valid — and unmodified — until the write completes.
+struct IoWrite {
+  int fd = -1;
+  uint64_t offset = 0;
+  uint32_t iov_count = 0;
+  std::array<::iovec, kMaxIovPerRead> iov{};
+  /// Opaque caller tag, returned verbatim in the completion.
+  uint64_t user_data = 0;
+  /// Synthetic per-write device latency (see IoRead::delay_us).
+  uint32_t delay_us = 0;
+
+  /// Sum of the iov lengths.
+  size_t TotalBytes() const {
+    size_t bytes = 0;
+    for (uint32_t i = 0; i < iov_count; ++i) bytes += iov[i].iov_len;
+    return bytes;
+  }
+};
+
+/// One finished read or write. A short transfer (EOF inside a read
+/// range, full device on a write) or device error surfaces as a non-OK
+/// status.
 struct IoCompletion {
   uint64_t user_data = 0;
   Status status;
 };
 
-/// Asynchronous vectored-read engine. Thread-safe: any thread may
-/// submit or reap. The caller bounds in-flight reads to queue_depth()
-/// (IoScheduler enforces this; backends may reject excess submissions).
+/// Asynchronous vectored-I/O engine. Thread-safe: any thread may
+/// submit or reap. The caller bounds in-flight operations to
+/// queue_depth() (IoScheduler enforces this; backends may reject excess
+/// submissions). Reads and writes complete through the same
+/// PollCompletions stream, distinguished by user_data.
 class AsyncIoBackend {
  public:
   virtual ~AsyncIoBackend() = default;
@@ -70,13 +94,17 @@ class AsyncIoBackend {
   /// owned by the caller until the matching completion is reaped.
   virtual Status SubmitRead(const IoRead& read) = 0;
 
+  /// Queues one write. Source buffers stay caller-owned (and must stay
+  /// unmodified) until the matching completion is reaped.
+  virtual Status SubmitWrite(const IoWrite& write) = 0;
+
   /// Reaps up to `max` completions into `out`, returning the count.
-  /// With `block` and reads in flight, waits for at least one; without
-  /// `block` (or with nothing in flight) returns immediately.
+  /// With `block` and operations in flight, waits for at least one;
+  /// without `block` (or with nothing in flight) returns immediately.
   virtual size_t PollCompletions(IoCompletion* out, size_t max,
                                  bool block) = 0;
 
-  /// Reads submitted and not yet reaped.
+  /// Operations submitted and not yet reaped.
   virtual size_t InFlight() const = 0;
 
   virtual size_t queue_depth() const = 0;

@@ -91,80 +91,133 @@ Status IoScheduler::Submit(const PageFetchRequest* requests, size_t count) {
     }
   }
   for (size_t i = 0; i < count; ++i) {
-    pending_.push_back(requests[i]);
+    pending_.push_back(PendingPage{requests[i].page, requests[i].dest,
+                                   requests[i].user_data,
+                                   requests[i].queue});
   }
   return PushPendingLocked(lock);
 }
 
-Status IoScheduler::PushPendingLocked(std::unique_lock<std::mutex>& lock) {
-  while (!pending_.empty() && !free_batches_.empty()) {
-    // Coalesce the run of adjacent page ids at the queue's front
-    // (fetches arrive in page-index order, so physically consecutive
-    // pages are queue-adjacent).
-    const size_t max_pages =
-        std::min(options_.batch_pages, pending_.size());
-    size_t take = 1;
-    while (take < max_pages &&
-           pending_[take].page == pending_[take - 1].page + 1) {
-      ++take;
+Status IoScheduler::SubmitWrites(const PageWriteRequest* requests,
+                                 size_t count) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (size_t i = 0; i < count; ++i) {
+    if (requests[i].queue >= queues_.size()) {
+      return Status::InvalidArgument("completion queue out of range");
     }
-    const uint64_t bytes = static_cast<uint64_t>(take) * page_bytes_;
-    // The byte budget throttles only while reads are in flight: a
-    // single batch must always be able to start (progress guarantee).
-    if (inflight_bytes_ != 0 && inflight_bytes_ + bytes > byte_budget_) {
-      break;
-    }
+  }
+  for (size_t i = 0; i < count; ++i) {
+    // The const_cast is confined here: write batches build iovecs from
+    // this pointer but the backend only ever reads through them.
+    pending_writes_.push_back(
+        PendingPage{requests[i].page, const_cast<char*>(requests[i].src),
+                    requests[i].user_data, requests[i].queue});
+  }
+  return PushPendingLocked(lock);
+}
 
-    const size_t slot = free_batches_.back();
-    free_batches_.pop_back();
-    Batch& batch = batches_[slot];
-    batch.pages.clear();
-    batch.bytes = bytes;
-    batch.used = true;
+bool IoScheduler::PushOneBatchLocked(std::unique_lock<std::mutex>& lock,
+                                     std::deque<PendingPage>& queue,
+                                     bool is_write) {
+  if (queue.empty() || free_batches_.empty()) return false;
+  // Coalesce the run of adjacent page ids at the queue's front
+  // (fetches arrive in page-index order and flushes are sorted by page
+  // id, so physically consecutive pages are queue-adjacent).
+  const size_t max_pages = std::min(options_.batch_pages, queue.size());
+  size_t take = 1;
+  while (take < max_pages &&
+         queue[take].page == queue[take - 1].page + 1) {
+    ++take;
+  }
+  const uint64_t bytes = static_cast<uint64_t>(take) * page_bytes_;
+  // The byte budget throttles only while operations are in flight: a
+  // single batch must always be able to start (progress guarantee).
+  if (inflight_bytes_ != 0 && inflight_bytes_ + bytes > byte_budget_) {
+    return false;
+  }
 
-    IoRead read;
-    read.fd = fd_;
-    read.offset = pending_.front().page * page_bytes_;
-    read.iov_count = static_cast<uint32_t>(take);
-    read.user_data = slot;
-    read.delay_us = delay_us_;
-    for (size_t p = 0; p < take; ++p) {
-      const PageFetchRequest& req = pending_.front();
-      read.iov[p] = {req.dest, page_bytes_};
-      batch.pages.push_back(BatchPage{req.user_data, req.queue});
-      pending_.pop_front();
-    }
+  const size_t slot = free_batches_.back();
+  free_batches_.pop_back();
+  Batch& batch = batches_[slot];
+  batch.pages.clear();
+  batch.bytes = bytes;
+  batch.used = true;
+  batch.is_write = is_write;
 
-    inflight_bytes_ += bytes;
-    ++inflight_reads_;
+  const uint64_t offset = queue.front().page * page_bytes_;
+  std::array<::iovec, kMaxIovPerRead> iov{};
+  for (size_t p = 0; p < take; ++p) {
+    const PendingPage& req = queue.front();
+    iov[p] = {req.buf, page_bytes_};
+    batch.pages.push_back(BatchPage{req.user_data, req.queue});
+    queue.pop_front();
+  }
+
+  inflight_bytes_ += bytes;
+  ++inflight_reads_;
+  if (is_write) {
+    ++write_batches_;
+    coalesced_write_pages_ += take - 1;
+  } else {
     ++io_batches_;
     coalesced_pages_ += take - 1;
-    depth_samples_sum_ += inflight_reads_;
-    peak_inflight_reads_ = std::max<uint64_t>(peak_inflight_reads_,
-                                              inflight_reads_);
+  }
+  depth_samples_sum_ += inflight_reads_;
+  peak_inflight_reads_ = std::max<uint64_t>(peak_inflight_reads_,
+                                            inflight_reads_);
 
-    lock.unlock();
-    // With the blocking sync backend, SubmitRead *is* the device round
-    // trip: charge it as stall so the sync/async A/B measures exactly
-    // the wait that batched async submission converts into compute.
-    WallTimer submit_timer;
-    const Status submitted = backend_->SubmitRead(read);
-    if (backend_->kind() == IoBackendKind::kSync) {
-      AddStallNs(static_cast<uint64_t>(submit_timer.ElapsedSeconds() * 1e9));
+  lock.unlock();
+  // With the blocking sync backend, the submit *is* the device round
+  // trip: charge it as stall so the sync/async A/B measures exactly
+  // the wait that batched async submission converts into compute.
+  WallTimer submit_timer;
+  Status submitted;
+  if (is_write) {
+    IoWrite write;
+    write.fd = fd_;
+    write.offset = offset;
+    write.iov_count = static_cast<uint32_t>(take);
+    write.iov = iov;
+    write.user_data = slot;
+    write.delay_us = delay_us_;
+    submitted = backend_->SubmitWrite(write);
+  } else {
+    IoRead read;
+    read.fd = fd_;
+    read.offset = offset;
+    read.iov_count = static_cast<uint32_t>(take);
+    read.iov = iov;
+    read.user_data = slot;
+    read.delay_us = delay_us_;
+    submitted = backend_->SubmitRead(read);
+  }
+  if (backend_->kind() == IoBackendKind::kSync) {
+    AddStallNs(static_cast<uint64_t>(submit_timer.ElapsedSeconds() * 1e9));
+  }
+  lock.lock();
+  if (!submitted.ok()) {
+    // Surface the failure through the normal completion path so
+    // every waiter learns about it, then keep pushing what we can.
+    for (const BatchPage& page : batch.pages) {
+      queues_[page.queue].push_back(
+          PageFetchCompletion{page.user_data, submitted});
     }
-    lock.lock();
-    if (!submitted.ok()) {
-      // Surface the failure through the normal completion path so
-      // every waiter learns about it, then keep pushing what we can.
-      for (const BatchPage& page : batch.pages) {
-        queues_[page.queue].push_back(
-            PageFetchCompletion{page.user_data, submitted});
-      }
-      batch.used = false;
-      free_batches_.push_back(slot);
-      inflight_bytes_ -= bytes;
-      --inflight_reads_;
-    }
+    batch.used = false;
+    free_batches_.push_back(slot);
+    inflight_bytes_ -= bytes;
+    --inflight_reads_;
+  }
+  return true;
+}
+
+Status IoScheduler::PushPendingLocked(std::unique_lock<std::mutex>& lock) {
+  // Reads before writes: fetches gate join progress now; write-backs
+  // are background work whose only deadline is freeing frames. A read
+  // backlog cannot starve writes forever — once it drains (or the
+  // budget blocks it), pending writes get the leftover slots.
+  while (PushOneBatchLocked(lock, pending_, /*is_write=*/false)) {
+  }
+  while (PushOneBatchLocked(lock, pending_writes_, /*is_write=*/true)) {
   }
   return Status::OK();
 }
@@ -185,7 +238,10 @@ size_t IoScheduler::ReapLocked(std::unique_lock<std::mutex>& lock,
       queues_[page.queue].push_back(
           PageFetchCompletion{page.user_data, raw[i].status});
     }
-    if (raw[i].status.ok()) pages_read_ += batch.pages.size();
+    if (raw[i].status.ok()) {
+      (batch.is_write ? pages_written_ : pages_read_) +=
+          batch.pages.size();
+    }
     inflight_bytes_ -= batch.bytes;
     --inflight_reads_;
     batch.used = false;
@@ -220,7 +276,8 @@ size_t IoScheduler::Drain(uint32_t queue, PageFetchCompletion* out,
 
 bool IoScheduler::Busy() const {
   std::lock_guard<std::mutex> lock(mu_);
-  return !pending_.empty() || inflight_reads_ > 0;
+  return !pending_.empty() || !pending_writes_.empty() ||
+         inflight_reads_ > 0;
 }
 
 void IoScheduler::AddStallNs(uint64_t ns) {
@@ -233,10 +290,14 @@ IoSchedulerStats IoScheduler::stats() const {
   stats.pages_read = pages_read_;
   stats.io_batches = io_batches_;
   stats.coalesced_pages = coalesced_pages_;
+  stats.pages_written = pages_written_;
+  stats.write_batches = write_batches_;
+  stats.coalesced_write_pages = coalesced_write_pages_;
   stats.io_stall_ns = io_stall_ns_.load(std::memory_order_relaxed);
+  const uint64_t all_batches = io_batches_ + write_batches_;
   stats.mean_queue_depth =
-      io_batches_ > 0 ? static_cast<double>(depth_samples_sum_) /
-                            static_cast<double>(io_batches_)
+      all_batches > 0 ? static_cast<double>(depth_samples_sum_) /
+                            static_cast<double>(all_batches)
                       : 0.0;
   stats.peak_inflight_reads = peak_inflight_reads_;
   return stats;

@@ -2,12 +2,15 @@
 // AsyncIoBackend (docs/io.md).
 //
 // Callers submit PageFetchRequests — "read page id P into this pinned
-// buffer, and route the completion to queue Q". The scheduler
+// buffer, and route the completion to queue Q" — and, for the buffer
+// pool's write-back path, PageWriteRequests ("write this frame to page
+// P"). The scheduler
 //   - coalesces runs of *adjacent* page ids into single vectored reads
 //     (pages are contiguous on the spool file, so consecutive ids are
-//     one device request),
+//     one device request), and likewise adjacent write-backs into
+//     vectored writes,
 //   - enforces a queue-depth cap and an in-flight byte budget toward
-//     the backend,
+//     the backend (shared by reads and writes; reads go first),
 //   - routes completions into per-queue lists (the spill path uses one
 //     queue per NUMA node plus one per worker's private window), and
 //   - keeps the counters the engine reports (pages_read, io_batches,
@@ -59,7 +62,17 @@ struct PageFetchRequest {
   uint32_t queue = 0;
 };
 
-/// One finished page fetch.
+/// One page write-back: write `src` (exactly page_bytes, caller-owned
+/// and unmodified until completion) to page `page`, complete onto
+/// queue `queue` carrying `user_data` (the buffer pool's flush path).
+struct PageWriteRequest {
+  uint64_t page = 0;
+  const char* src = nullptr;
+  uint64_t user_data = 0;
+  uint32_t queue = 0;
+};
+
+/// One finished page fetch or write-back.
 struct PageFetchCompletion {
   uint64_t user_data = 0;
   Status status;
@@ -74,12 +87,20 @@ struct IoSchedulerStats {
   /// Pages that rode along in a batch beyond the first (coalescing
   /// wins: pages_read - io_batches when everything coalesced).
   uint64_t coalesced_pages = 0;
+  /// Pages whose write-backs completed successfully.
+  uint64_t pages_written = 0;
+  /// Vectored writes issued to the backend.
+  uint64_t write_batches = 0;
+  /// Pages that rode along in a write batch beyond the first.
+  uint64_t coalesced_write_pages = 0;
   /// Wall nanoseconds callers spent blocked on I/O with no productive
   /// work available (recorded by callers via AddStallNs).
   uint64_t io_stall_ns = 0;
-  /// Mean backend reads in flight, sampled after each submission.
+  /// Mean backend operations in flight, sampled after each submission
+  /// (reads and writes).
   double mean_queue_depth = 0;
-  /// Peak backend reads in flight.
+  /// Peak backend operations in flight (reads and writes share the
+  /// queue-depth cap and byte budget).
   uint64_t peak_inflight_reads = 0;
 };
 
@@ -107,6 +128,12 @@ class IoScheduler {
   /// budget allows. Buffers stay caller-owned until the matching
   /// completion is drained.
   Status Submit(const PageFetchRequest* requests, size_t count);
+
+  /// Queues `count` write-backs (coalesced like reads; reads are
+  /// pushed first when both are pending — write-back is background
+  /// work). Source buffers stay caller-owned and must stay unmodified
+  /// until the matching completion is drained.
+  Status SubmitWrites(const PageWriteRequest* requests, size_t count);
 
   /// Drives I/O forward: pushes pending coalesced batches while the
   /// budget allows and reaps ready backend completions into their
@@ -143,11 +170,27 @@ class IoScheduler {
     std::vector<BatchPage> pages;
     uint64_t bytes = 0;
     bool used = false;
+    bool is_write = false;
   };
 
-  /// Builds + submits coalesced batches while budget allows; caller
-  /// holds mu_ on entry and exit (dropped around backend calls).
+  /// One queued page transfer (read or write; `buf` is the const-cast
+  /// source for writes — the backend never modifies write iovecs).
+  struct PendingPage {
+    uint64_t page = 0;
+    char* buf = nullptr;
+    uint64_t user_data = 0;
+    uint32_t queue = 0;
+  };
+
+  /// Builds + submits coalesced batches (reads first, then writes)
+  /// while budget allows; caller holds mu_ on entry and exit (dropped
+  /// around backend calls).
   Status PushPendingLocked(std::unique_lock<std::mutex>& lock);
+  /// Coalesces + submits one batch from the front of `queue`; caller
+  /// holds mu_ (dropped around the backend call). Returns false when
+  /// the depth/byte budget blocks further submission from this queue.
+  bool PushOneBatchLocked(std::unique_lock<std::mutex>& lock,
+                          std::deque<PendingPage>& queue, bool is_write);
   /// Reaps backend completions and routes them; caller holds mu_ on
   /// entry and exit (dropped around backend calls). Returns reaped
   /// batch count.
@@ -161,7 +204,8 @@ class IoScheduler {
   const uint64_t byte_budget_;
 
   mutable std::mutex mu_;
-  std::deque<PageFetchRequest> pending_;
+  std::deque<PendingPage> pending_;
+  std::deque<PendingPage> pending_writes_;
   std::vector<Batch> batches_;  // slot table, index == backend user_data
   std::vector<size_t> free_batches_;
   std::vector<std::deque<PageFetchCompletion>> queues_;
@@ -172,6 +216,9 @@ class IoScheduler {
   uint64_t pages_read_ = 0;
   uint64_t io_batches_ = 0;
   uint64_t coalesced_pages_ = 0;
+  uint64_t pages_written_ = 0;
+  uint64_t write_batches_ = 0;
+  uint64_t coalesced_write_pages_ = 0;
   uint64_t depth_samples_sum_ = 0;
   uint64_t peak_inflight_reads_ = 0;
   std::atomic<uint64_t> io_stall_ns_{0};

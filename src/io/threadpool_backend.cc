@@ -1,5 +1,5 @@
 // Portable async backend: a small pool of I/O threads services a
-// bounded submission queue with blocking preadv. This is the backend
+// bounded submission queue with blocking preadv/pwritev. This is the backend
 // CI and non-Linux hosts run; it also carries the synthetic device
 // delay (the sleep burns inside a pool thread, so submitters overlap
 // it with compute — which is the whole point of the subsystem).
@@ -38,14 +38,16 @@ class ThreadpoolBackend final : public AsyncIoBackend {
   }
 
   Status SubmitRead(const IoRead& read) override {
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      if (stop_) return Status::Internal("io backend stopped");
-      pending_.push_back(read);
-      ++in_flight_;
-    }
-    submitted_.notify_one();
-    return Status::OK();
+    PendingOp op;
+    op.read = read;
+    return SubmitOp(std::move(op));
+  }
+
+  Status SubmitWrite(const IoWrite& write) override {
+    PendingOp op;
+    op.is_write = true;
+    op.write = write;
+    return SubmitOp(std::move(op));
   }
 
   size_t PollCompletions(IoCompletion* out, size_t max,
@@ -74,17 +76,41 @@ class ThreadpoolBackend final : public AsyncIoBackend {
   IoBackendKind kind() const override { return IoBackendKind::kThreadpool; }
 
  private:
+  /// One queued operation: a read or a write (the pool threads execute
+  /// both with the same blocking helpers).
+  struct PendingOp {
+    bool is_write = false;
+    IoRead read;
+    IoWrite write;
+  };
+
+  Status SubmitOp(PendingOp op) {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (stop_) return Status::Internal("io backend stopped");
+      pending_.push_back(std::move(op));
+      ++in_flight_;
+    }
+    submitted_.notify_one();
+    return Status::OK();
+  }
+
   void WorkerLoop() {
     std::unique_lock<std::mutex> lock(mu_);
     while (true) {
       submitted_.wait(lock, [&] { return stop_ || !pending_.empty(); });
       if (stop_) return;
-      const IoRead read = pending_.front();
+      const PendingOp op = pending_.front();
       pending_.pop_front();
       lock.unlock();
       IoCompletion done;
-      done.user_data = read.user_data;
-      done.status = PerformBlockingRead(read);
+      if (op.is_write) {
+        done.user_data = op.write.user_data;
+        done.status = PerformBlockingWrite(op.write);
+      } else {
+        done.user_data = op.read.user_data;
+        done.status = PerformBlockingRead(op.read);
+      }
       lock.lock();
       completed_.push_back(std::move(done));
       completed_cv_.notify_all();
@@ -95,7 +121,7 @@ class ThreadpoolBackend final : public AsyncIoBackend {
   mutable std::mutex mu_;
   std::condition_variable submitted_;
   std::condition_variable completed_cv_;
-  std::deque<IoRead> pending_;
+  std::deque<PendingOp> pending_;
   std::deque<IoCompletion> completed_;
   // Submitted and not yet reaped (pending + executing + completed).
   size_t in_flight_ = 0;

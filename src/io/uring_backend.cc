@@ -1,6 +1,7 @@
 // Linux io_uring backend on raw syscalls (no liburing dependency): one
-// SQ/CQ ring pair per backend, IORING_OP_READV submissions, slot table
-// keeping each read's iovec array alive until its CQE is reaped.
+// SQ/CQ ring pair per backend, IORING_OP_READV/WRITEV submissions, a
+// slot table keeping each op's iovec array alive until its CQE is
+// reaped.
 // Compiled to a stub returning nullptr when <linux/io_uring.h> is
 // absent; on Linux the runtime probe (UringSupported) still gates
 // whether CreateIoBackend hands this out, so old kernels and
@@ -134,46 +135,23 @@ class UringBackend final : public AsyncIoBackend {
   }
 
   Status SubmitRead(const IoRead& read) override {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (free_slots_.empty()) {
-      return Status::Internal("io_uring submission queue full");
-    }
-    const size_t slot = free_slots_.back();
-    free_slots_.pop_back();
-    // The slot copy pins the iovec array for the kernel's async read.
-    slots_[slot] = read;
+    Op op;
+    op.iov = read.iov;
+    op.iov_count = read.iov_count;
+    op.user_data = read.user_data;
+    op.total_bytes = read.TotalBytes();
+    op.is_write = false;
+    return SubmitOp(std::move(op), read.fd, read.offset);
+  }
 
-    const unsigned mask = *sq_mask_;
-    const unsigned tail = *sq_tail_;  // single producer: plain load
-    const unsigned index = tail & mask;
-    io_uring_sqe& sqe = sqes_[index];
-    std::memset(&sqe, 0, sizeof(sqe));
-    sqe.opcode = IORING_OP_READV;
-    sqe.fd = read.fd;
-    sqe.off = read.offset;
-    sqe.addr = reinterpret_cast<uint64_t>(slots_[slot].iov.data());
-    sqe.len = slots_[slot].iov_count;
-    sqe.user_data = slot;
-    sq_array_[index] = index;
-    StoreRelease(sq_tail_, tail + 1);
-
-    int submitted;
-    do {
-      submitted = SysUringEnter(ring_fd_, 1, 0, 0);
-    } while (submitted < 0 && errno == EINTR);
-    if (submitted < 1) {
-      // The kernel consumed nothing: roll the tail back before freeing
-      // the slot, or the next submit would make the kernel read this
-      // stale SQE (wrong fd/offset into the next request's buffers)
-      // while the new SQE is never consumed.
-      StoreRelease(sq_tail_, tail);
-      free_slots_.push_back(slot);
-      return Status::IoError(std::string("io_uring_enter: ") +
-                             (submitted < 0 ? std::strerror(errno)
-                                            : "no sqe consumed"));
-    }
-    ++in_flight_;
-    return Status::OK();
+  Status SubmitWrite(const IoWrite& write) override {
+    Op op;
+    op.iov = write.iov;
+    op.iov_count = write.iov_count;
+    op.user_data = write.user_data;
+    op.total_bytes = write.TotalBytes();
+    op.is_write = true;
+    return SubmitOp(std::move(op), write.fd, write.offset);
   }
 
   size_t PollCompletions(IoCompletion* out, size_t max,
@@ -201,6 +179,59 @@ class UringBackend final : public AsyncIoBackend {
   IoBackendKind kind() const override { return IoBackendKind::kUring; }
 
  private:
+  /// One in-flight operation; the slot copy pins the iovec array for
+  /// the kernel's async transfer.
+  struct Op {
+    std::array<::iovec, kMaxIovPerRead> iov{};
+    uint32_t iov_count = 0;
+    uint64_t user_data = 0;
+    size_t total_bytes = 0;
+    bool is_write = false;
+  };
+
+  Status SubmitOp(Op op, int fd, uint64_t offset) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (free_slots_.empty()) {
+      return Status::Internal("io_uring submission queue full");
+    }
+    const size_t slot = free_slots_.back();
+    free_slots_.pop_back();
+    slots_[slot] = std::move(op);
+
+    const unsigned mask = *sq_mask_;
+    const unsigned tail = *sq_tail_;  // single producer: plain load
+    const unsigned index = tail & mask;
+    io_uring_sqe& sqe = sqes_[index];
+    std::memset(&sqe, 0, sizeof(sqe));
+    sqe.opcode =
+        slots_[slot].is_write ? IORING_OP_WRITEV : IORING_OP_READV;
+    sqe.fd = fd;
+    sqe.off = offset;
+    sqe.addr = reinterpret_cast<uint64_t>(slots_[slot].iov.data());
+    sqe.len = slots_[slot].iov_count;
+    sqe.user_data = slot;
+    sq_array_[index] = index;
+    StoreRelease(sq_tail_, tail + 1);
+
+    int submitted;
+    do {
+      submitted = SysUringEnter(ring_fd_, 1, 0, 0);
+    } while (submitted < 0 && errno == EINTR);
+    if (submitted < 1) {
+      // The kernel consumed nothing: roll the tail back before freeing
+      // the slot, or the next submit would make the kernel read this
+      // stale SQE (wrong fd/offset into the next request's buffers)
+      // while the new SQE is never consumed.
+      StoreRelease(sq_tail_, tail);
+      free_slots_.push_back(slot);
+      return Status::IoError(std::string("io_uring_enter: ") +
+                             (submitted < 0 ? std::strerror(errno)
+                                            : "no sqe consumed"));
+    }
+    ++in_flight_;
+    return Status::OK();
+  }
+
   size_t ReapLocked(IoCompletion* out, size_t max) {
     size_t n = 0;
     unsigned head = LoadAcquire(cq_head_);
@@ -209,16 +240,20 @@ class UringBackend final : public AsyncIoBackend {
     while (n < max && head != tail) {
       const io_uring_cqe& cqe = cqes_[head & mask];
       const auto slot = static_cast<size_t>(cqe.user_data);
+      const char* what =
+          slots_[slot].is_write ? "io_uring writev: " : "io_uring readv: ";
       IoCompletion& done = out[n++];
       done.user_data = slots_[slot].user_data;
       if (cqe.res < 0) {
-        done.status = Status::IoError(std::string("io_uring readv: ") +
-                                      std::strerror(-cqe.res));
+        done.status =
+            Status::IoError(std::string(what) + std::strerror(-cqe.res));
       } else if (static_cast<size_t>(cqe.res) !=
-                 slots_[slot].TotalBytes()) {
+                 slots_[slot].total_bytes) {
         // Spooled pages are fully written before any read, so a short
-        // readv here is a hard error, not an EOF to resume.
-        done.status = Status::IoError("io_uring readv: short read");
+        // readv here is a hard error, not an EOF to resume; a short
+        // writev means the device accepted only part of the page.
+        done.status =
+            Status::IoError(std::string(what) + "short transfer");
       } else {
         done.status = Status::OK();
       }
@@ -248,7 +283,7 @@ class UringBackend final : public AsyncIoBackend {
 
   mutable std::mutex mu_;
   size_t depth_ = 0;
-  std::vector<IoRead> slots_;
+  std::vector<Op> slots_;
   std::vector<size_t> free_slots_;
   size_t in_flight_ = 0;
 };

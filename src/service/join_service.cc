@@ -18,6 +18,13 @@ namespace {
 /// the per-worker private windows, which the pool capacity also bounds.
 uint64_t PlanFootprintBytes(const engine::JoinPlan& plan) {
   if (plan.algorithm == engine::Algorithm::kDMpsm) {
+    // A budget-capped buffer pool IS the spill path's resident RAM
+    // (frames cover staging, readahead and dirty write-back pages);
+    // charge it against admission directly. The legacy shape keeps the
+    // old estimate: staging ring + an equal share for the windows.
+    if (plan.dmpsm.pool_budget_bytes != 0) {
+      return plan.dmpsm.pool_budget_bytes;
+    }
     const uint64_t page_bytes =
         static_cast<uint64_t>(plan.dmpsm.tuples_per_page) * sizeof(Tuple);
     return 2 * static_cast<uint64_t>(plan.dmpsm.pool_pages) * page_bytes;

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "baseline/reference_join.h"
+#include "bufferpool/buffer_pool.h"
 #include "core/consumers.h"
 #include "disk/d_mpsm.h"
 #include "disk/page_index.h"
@@ -366,24 +367,32 @@ TEST(IoSchedulerOptionsTest, ValidateRejectsIllegalKnobs) {
 
 // ---------------------------------------------------- fault injection
 
-/// A backend that fails every `failure_period`-th read with EIO-style
-/// IoError (delegating the rest to a real threadpool backend).
+/// A backend that fails every `failure_period`-th read — and, when
+/// `write_failure_period` is nonzero, every that-many-th write — with
+/// EIO-style IoError (delegating the rest to a real sync backend).
 class FlakyBackend final : public AsyncIoBackend {
  public:
-  FlakyBackend(size_t queue_depth, uint32_t failure_period)
+  FlakyBackend(size_t queue_depth, uint32_t failure_period,
+               uint32_t write_failure_period = 0)
       : inner_(io::CreateSyncBackend(queue_depth)),
-        failure_period_(failure_period) {}
+        failure_period_(failure_period),
+        write_failure_period_(write_failure_period) {}
 
   Status SubmitRead(const io::IoRead& read) override {
     if (++submissions_ % failure_period_ == 0) {
-      IoCompletion failed;
-      failed.user_data = read.user_data;
-      failed.status = Status::IoError("injected EIO");
-      std::lock_guard<std::mutex> lock(mu_);
-      failed_.push_back(std::move(failed));
+      InjectFailure(read.user_data);
       return Status::OK();
     }
     return inner_->SubmitRead(read);
+  }
+
+  Status SubmitWrite(const io::IoWrite& write) override {
+    if (write_failure_period_ != 0 &&
+        ++write_submissions_ % write_failure_period_ == 0) {
+      InjectFailure(write.user_data);
+      return Status::OK();
+    }
+    return inner_->SubmitWrite(write);
   }
 
   size_t PollCompletions(IoCompletion* out, size_t max,
@@ -409,9 +418,19 @@ class FlakyBackend final : public AsyncIoBackend {
   IoBackendKind kind() const override { return inner_->kind(); }
 
  private:
+  void InjectFailure(uint64_t user_data) {
+    IoCompletion failed;
+    failed.user_data = user_data;
+    failed.status = Status::IoError("injected EIO");
+    std::lock_guard<std::mutex> lock(mu_);
+    failed_.push_back(std::move(failed));
+  }
+
   std::unique_ptr<AsyncIoBackend> inner_;
   const uint32_t failure_period_;
+  const uint32_t write_failure_period_;
   std::atomic<uint32_t> submissions_{0};
+  std::atomic<uint32_t> write_submissions_{0};
   mutable std::mutex mu_;
   std::vector<IoCompletion> failed_;
 };
@@ -467,14 +486,20 @@ TEST(IoFaultInjectionTest, PipelineFailsTheQueryNotTheProcess) {
 
   IoSchedulerOptions options;
   options.batch_pages = 2;
+  options.completion_queues = 2;
   auto scheduler = IoScheduler::CreateWithBackend(
       std::make_unique<FlakyBackend>(8, /*failure_period=*/5), store.fd(),
       store.page_bytes(), store.io_delay_us(), options);
   ASSERT_TRUE(scheduler.ok());
+  bufferpool::BufferPoolOptions pool_options;
+  pool_options.frames = 8;
+  auto pool = bufferpool::BufferPool::Create(&store, scheduler->get(),
+                                             pool_options);
+  ASSERT_TRUE(pool.ok());
 
   constexpr uint32_t kConsumers = 2;
   StagingPipeline pipeline(store, index, /*capacity_pages=*/4, kConsumers,
-                           scheduler->get(), /*consumer_loads=*/true);
+                           pool->get(), /*consumer_loads=*/true);
   pipeline.Start();
 
   // Every consumer sees a nullptr frame at some position and drains the
@@ -497,6 +522,43 @@ TEST(IoFaultInjectionTest, PipelineFailsTheQueryNotTheProcess) {
   EXPECT_GT(saw_error.load(), 0u);
   EXPECT_FALSE(pipeline.status().ok());
   EXPECT_EQ(pipeline.status().code(), StatusCode::kIoError);
+}
+
+TEST(IoFaultInjectionTest, WriteFaultsSurfaceThroughFlush) {
+  PageStoreOptions store_options;
+  store_options.tuples_per_page = 8;
+  PageStore store(store_options);
+  ASSERT_TRUE(store.Open().ok());
+
+  IoSchedulerOptions options;
+  options.batch_pages = 1;  // one write per batch: failures are per page
+  options.completion_queues = 2;
+  auto scheduler = IoScheduler::CreateWithBackend(
+      std::make_unique<FlakyBackend>(8, /*failure_period=*/1000000,
+                                     /*write_failure_period=*/3),
+      store.fd(), store.page_bytes(), store.io_delay_us(), options);
+  ASSERT_TRUE(scheduler.ok());
+  bufferpool::BufferPoolOptions pool_options;
+  pool_options.frames = 4;
+  pool_options.flush_batch_pages = 1;
+  auto pool = bufferpool::BufferPool::Create(&store, scheduler->get(),
+                                             pool_options);
+  ASSERT_TRUE(pool.ok());
+
+  // Append more pages than frames so write-back (and frame reuse under
+  // failed flushes) is forced; the injected EIO must surface as Status
+  // through FlushAll/Close, with no frame lost or stuck dirty.
+  std::vector<Tuple> tuples(8, Tuple{1, 1});
+  for (int p = 0; p < 12; ++p) {
+    auto id = (*pool)->AppendPage(tuples.data(), tuples.size());
+    ASSERT_TRUE(id.ok()) << id.status().ToString();
+  }
+  const Status flushed = (*pool)->FlushAll();
+  EXPECT_FALSE(flushed.ok());
+  EXPECT_EQ(flushed.code(), StatusCode::kIoError);
+  // Close terminates cleanly even with the latched error: every frame
+  // was retired exactly once (a lost frame would wedge this call).
+  EXPECT_EQ((*pool)->Close().code(), StatusCode::kIoError);
 }
 
 // --------------------------------- d-mpsm io_backend x scheduler sweep
@@ -547,10 +609,13 @@ TEST_P(DMpsmIoSweepTest, MatchesReferenceWithSaneIoStats) {
       reference.ConsumerForWorker(0));
   EXPECT_EQ(counts.Result(), expected);
 
-  // Every index position is fetched through the scheduler exactly
-  // once, plus the private windows' run pages (bounded by what was
-  // spooled — a window stops submitting when the walk ends early).
-  EXPECT_GE(report.io_sched.pages_read, report.index_entries);
+  // Every index position is pinned exactly once; a pin is either a
+  // device read through the scheduler or a buffer-pool hit on a frame
+  // still resident from spooling. Plus the private windows' run pages
+  // (bounded by what was spooled — a window stops submitting when the
+  // walk ends early).
+  EXPECT_GE(report.io_sched.pages_read + report.pool.hits,
+            report.index_entries);
   EXPECT_LE(report.io_sched.pages_read, report.io.pages_written);
   EXPECT_GT(report.io_sched.io_batches, 0u);
   EXPECT_LE(report.io_sched.peak_inflight_reads, options.io_queue_depth);
