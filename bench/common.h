@@ -50,6 +50,8 @@ inline engine::Engine MakeBenchEngine(const numa::Topology& topology,
 
 /// One benchmarked execution: measured + modeled.
 struct BenchRun {
+  /// The engine's full report (plan, measured phases, counters).
+  engine::JoinReport report;
   JoinRunInfo info;
   sim::ModeledExecution modeled;
   double wall_ms = 0;
@@ -57,7 +59,9 @@ struct BenchRun {
 };
 
 /// Runs the benchmark query with `algorithm` on the engine session and
-/// models it on HyPer1.
+/// models it on HyPer1. With MPSM_BENCH_REPORT_JSON set, every
+/// executed query's JoinReport::ToJson() line is appended to stderr
+/// (one JSON object per line, machine-consumable alongside the table).
 inline BenchRun RunAndModel(workload::Algorithm algorithm,
                             engine::Engine& engine, const Relation& r,
                             const Relation& s,
@@ -70,11 +74,15 @@ inline BenchRun RunAndModel(workload::Algorithm algorithm,
     std::exit(1);
   }
   BenchRun run;
-  run.info = std::move(result->info);
+  run.report = std::move(result->report);
+  run.info = run.report.info;
   run.modeled =
       sim::ModelExecution(sim::MachineModel::HyPer1(), run.info.workers);
   run.wall_ms = run.info.wall_seconds * 1e3;
   run.modeled_ms = run.modeled.total_seconds * 1e3;
+  if (GetEnvInt("MPSM_BENCH_REPORT_JSON", 0) != 0) {
+    std::fprintf(stderr, "%s\n", run.report.ToJson().c_str());
+  }
   return run;
 }
 

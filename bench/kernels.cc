@@ -22,6 +22,8 @@
 #include "engine/engine.h"
 #include "io/io_backend.h"
 #include "numa/topology.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/worker_team.h"
 #include "partition/cdf.h"
 #include "partition/equi_height.h"
@@ -488,6 +490,75 @@ void BM_PMpsmJoinEngine(benchmark::State& state) {
   PMpsmEnginePathBench(state, /*through_engine=*/true);
 }
 BENCHMARK(BM_PMpsmJoinEngine)->Unit(benchmark::kMillisecond);
+
+// Tracing overhead A/B (docs/observability.md): the identical
+// engine-path P-MPSM join with tracing off (the default — every
+// record helper is one thread-local load and a taken-not branch) vs
+// on (per-thread ring appends into the query's TraceSink). The Off
+// row must stay within 1% of BM_PMpsmJoinEngine; the On-Off delta is
+// the full cost of a Perfetto-loadable trace.
+void TraceOverheadBench(benchmark::State& state, bool trace) {
+  const auto topology = numa::Topology::HyPer1();
+  const uint32_t team_size = 32;
+  workload::DatasetSpec spec;
+  spec.r_tuples = size_t{1} << GetEnvInt("MPSM_ENGINE_BENCH_LOG2", 16);
+  spec.multiplicity = 4;
+  spec.seed = 42;
+  const auto dataset = workload::Generate(topology, team_size, spec);
+
+  engine::EngineOptions engine_options;
+  engine_options.workers = team_size;
+  engine_options.trace = trace;
+  engine::Engine engine(topology, engine_options);
+
+  uint64_t trace_events = 0;
+  for (auto _ : state) {
+    CountFactory counts(team_size);
+    engine::JoinSpec join;
+    join.r = &dataset.r;
+    join.s = &dataset.s;
+    join.consumers = &counts;
+    join.algorithm = engine::Algorithm::kPMpsm;
+    auto report = engine.Execute(join);
+    if (!report.ok()) {
+      state.SkipWithError("engine join failed");
+      return;
+    }
+    if (report->trace != nullptr) {
+      trace_events = report->trace->Summary().events;
+    }
+    benchmark::DoNotOptimize(counts.Result());
+  }
+  if (trace) state.counters["trace_events"] = static_cast<double>(trace_events);
+  state.SetItemsProcessed(state.iterations() *
+                          (dataset.r.size() + dataset.s.size()));
+}
+
+void BM_TraceOverheadOff(benchmark::State& state) {
+  TraceOverheadBench(state, /*trace=*/false);
+}
+BENCHMARK(BM_TraceOverheadOff)->Unit(benchmark::kMillisecond);
+
+void BM_TraceOverheadOn(benchmark::State& state) {
+  TraceOverheadBench(state, /*trace=*/true);
+}
+BENCHMARK(BM_TraceOverheadOn)->Unit(benchmark::kMillisecond);
+
+// Metrics hot path: one Histogram::Record (bucket index from a bit
+// scan + three relaxed fetch_adds) — the cost every io stall, query
+// duration, and admission wait sample pays.
+void BM_MetricsHistogramRecord(benchmark::State& state) {
+  obs::Histogram histogram;
+  uint64_t value = 1;
+  for (auto _ : state) {
+    histogram.Record(value);
+    value = value * 6364136223846793005ull + 1442695040888963407ull;
+    benchmark::DoNotOptimize(&histogram);
+  }
+  benchmark::DoNotOptimize(histogram.Count());
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MetricsHistogramRecord);
 
 // Cross-query run-cache A/B (docs/cache.md): the same P-MPSM join over
 // a 2^22-tuple public input, cold (phase 1 re-sorts S every query) vs

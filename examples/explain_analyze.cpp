@@ -1,0 +1,145 @@
+// End-to-end query observability (docs/observability.md):
+//
+//   1. EXPLAIN ANALYZE — run a join with tracing on and print the plan
+//      with predicted vs measured per-phase cost side by side. The
+//      planner's cost model is a falsifiable claim; this is where it
+//      meets the stopwatch.
+//   2. A spilling D-MPSM query through the JoinService, traced: every
+//      phase span, io batch and stall, pool pin/evict/write-back, and
+//      admission wait lands in one Chrome trace_event JSON, loadable
+//      in Perfetto / chrome://tracing.
+//   3. The process metrics registry exported as Prometheus text —
+//      admission, engine, pool, cache, and io families from the same
+//      run.
+//
+// MPSM_TRACE_OUT=<path>    writes the spilled query's trace JSON.
+// MPSM_METRICS_OUT=<path>  writes the Prometheus text exposition.
+// (CI validates both with tools/check_trace.py.)
+#include <cstdio>
+#include <string>
+
+#include "core/consumers.h"
+#include "engine/engine.h"
+#include "service/join_service.h"
+#include "util/env.h"
+#include "workload/generator.h"
+
+namespace {
+
+bool WriteFile(const std::string& path, const std::string& text) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const size_t written = std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  return written == text.size();
+}
+
+}  // namespace
+
+int main() {
+  using namespace mpsm;
+
+  // --- 1. EXPLAIN ANALYZE on an in-memory join. One engine session,
+  // tracing on: the report carries the executed plan, the measured
+  // per-phase wall times, and the query's TraceSink.
+  engine::EngineOptions options;
+  options.workers = 4;
+  options.trace = true;
+  engine::Engine engine(options);
+
+  workload::DatasetSpec data;
+  data.r_tuples = 1u << 17;
+  data.multiplicity = 4.0;
+  const auto dataset =
+      workload::Generate(engine.topology(), options.workers, data);
+
+  MaxPayloadSumFactory aggregate(options.workers);
+  engine::JoinSpec join;
+  join.r = &dataset.r;
+  join.s = &dataset.s;
+  join.consumers = &aggregate;
+
+  auto report = engine.Execute(join);
+  if (!report.ok()) {
+    std::fprintf(stderr, "join failed: %s\n",
+                 report.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("=== EXPLAIN ANALYZE (in-memory) ===\n%s\n",
+              report->ExplainAnalyzeString().c_str());
+
+  // --- 2. A spilling D-MPSM query through the join service: a tight
+  // memory budget forces the planner onto the spill path (sorted paged
+  // runs on disk, bounded staging pool), and the service adds the
+  // admission wait to the trace. Tracing is per lane-engine option.
+  service::ServiceOptions service_options;
+  service_options.lanes = 1;
+  service_options.engine.workers = 4;
+  service_options.engine.trace = true;
+  service::JoinService service(engine.topology(), service_options);
+
+  MaxPayloadSumFactory spill_aggregate(service_options.engine.workers);
+  engine::JoinSpec spill = join;
+  spill.consumers = &spill_aggregate;
+  spill.memory_budget_bytes = 2ull << 20;  // << working set: must spill
+
+  auto id = service.Submit(spill);
+  if (!id.ok()) {
+    std::fprintf(stderr, "submit failed: %s\n",
+                 id.status().ToString().c_str());
+    return 1;
+  }
+  auto spilled = service.Wait(*id);
+  if (!spilled.ok()) {
+    std::fprintf(stderr, "spilled join failed: %s\n",
+                 spilled.status().ToString().c_str());
+    return 1;
+  }
+  if (spilled->plan.algorithm != engine::Algorithm::kDMpsm) {
+    std::fprintf(stderr, "expected the budget to force D-MPSM, got %s\n",
+                 engine::AlgorithmName(spilled->plan.algorithm));
+    return 1;
+  }
+  std::printf("=== EXPLAIN ANALYZE (spilled, via service) ===\n%s\n",
+              spilled->ExplainAnalyzeString().c_str());
+
+  // --- 3. Exports. The trace is Chrome trace_event JSON (open in
+  // Perfetto); the metrics registry renders Prometheus text.
+  if (spilled->trace == nullptr) {
+    std::fprintf(stderr, "tracing was on but the report has no sink\n");
+    return 1;
+  }
+  const obs::TraceSummary summary = spilled->trace->Summary();
+  std::printf(
+      "trace: %llu events on %llu threads (%llu dropped), query id %llu, "
+      "admission wait %.2f ms\n",
+      static_cast<unsigned long long>(summary.events),
+      static_cast<unsigned long long>(summary.threads),
+      static_cast<unsigned long long>(summary.dropped_events),
+      static_cast<unsigned long long>(spilled->query_id),
+      spilled->admission_wait_ns / 1e6);
+
+  if (const auto path = GetEnv("MPSM_TRACE_OUT")) {
+    if (!WriteFile(*path, spilled->trace->ToChromeJson())) {
+      std::fprintf(stderr, "cannot write %s\n", path->c_str());
+      return 1;
+    }
+    std::printf("trace written to %s\n", path->c_str());
+  }
+  const std::string prometheus =
+      service.MetricsSnapshot().ToPrometheusText();
+  if (const auto path = GetEnv("MPSM_METRICS_OUT")) {
+    if (!WriteFile(*path, prometheus)) {
+      std::fprintf(stderr, "cannot write %s\n", path->c_str());
+      return 1;
+    }
+    std::printf("metrics written to %s\n", path->c_str());
+  } else {
+    std::printf("=== metrics (Prometheus text) ===\n%s", prometheus.c_str());
+  }
+
+  // The full report — plan, measured phases, counters, trace summary —
+  // serializes as one JSON object for log pipelines.
+  std::printf("\nreport json bytes: %zu\n", spilled->ToJson().size());
+  return 0;
+}

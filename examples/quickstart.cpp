@@ -61,14 +61,17 @@ int main() {
   }
 
   // 4. The report folds the plan (what ran, and why), the phase
-  //    breakdown, and the variant diagnostics into one struct.
+  //    breakdown, and the variant diagnostics into one struct — and
+  //    EXPLAIN ANALYZE renders the executed plan with predicted vs
+  //    measured per-phase cost side by side (docs/observability.md;
+  //    examples/explain_analyze.cpp adds tracing + metrics export).
   std::printf("max(R.payload + S.payload) = %llu\n",
               static_cast<unsigned long long>(
                   aggregate.Result().value_or(0)));
   std::printf("output tuples = %llu, wall = %.1f ms, planning = %.2f ms\n",
               static_cast<unsigned long long>(report->info.output_tuples),
               report->info.wall_seconds * 1e3, report->plan_seconds * 1e3);
-  std::printf("%s", report->plan.ToString().c_str());
+  std::printf("%s", report->ExplainAnalyzeString().c_str());
   std::printf("%s", report->info.PhaseBreakdownString().c_str());
 
   // 5. Sessions amortize: a second query reuses the probed topology

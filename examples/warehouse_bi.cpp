@@ -48,7 +48,7 @@ int main() {
     std::printf("private=%-10s  max agg=%llu  wall=%7.1f ms\n",
                 orders_private ? "orders" : "orderlines",
                 static_cast<unsigned long long>(result->max_sum.value_or(0)),
-                result->info.wall_seconds * 1e3);
+                result->info().wall_seconds * 1e3);
   }
 
   // --- Query 2: same join executed by every algorithm in the library
@@ -68,7 +68,7 @@ int main() {
     std::printf("  %-12s agg=%llu  wall=%7.1f ms\n",
                 workload::AlgorithmName(algorithm),
                 static_cast<unsigned long long>(result->max_sum.value_or(0)),
-                result->info.wall_seconds * 1e3);
+                result->info().wall_seconds * 1e3);
   }
 
   // --- Query 3: what would the planner itself pick? EXPLAIN without

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 
+#include "obs/metrics.h"
 #include "util/timer.h"
 
 namespace mpsm::bufferpool {
@@ -47,6 +48,7 @@ BufferPool::BufferPool(disk::PageStore* store, io::IoScheduler* scheduler,
                        const numa::Topology* topology)
     : store_(store),
       scheduler_(scheduler),
+      trace_(obs::CurrentTraceSink()),
       options_(std::move(options)),
       page_bytes_(store->page_bytes()),
       frames_(options_.frames),
@@ -104,6 +106,7 @@ FrameId BufferPool::TryTakeFrameLocked() {
     }
     table_.erase(f.page);
     ++evictions_;
+    obs::TraceInstant(obs::kCatPool, "pool.evict", "page", f.page);
     f.state = Frame::State::kFree;
     f.pins = 0;
     f.referenced = false;
@@ -124,6 +127,7 @@ bool BufferPool::RoutePinLocked(const PagePinRequest& request,
       ++f.pins;
       f.referenced = true;
       ++hits_;
+      obs::TraceInstant(obs::kCatPool, "pool.hit", "page", request.page);
       client_queues_[request.queue].push_back(
           PagePinCompletion{request.user_data, it->second, Status::OK()});
       return true;
@@ -146,6 +150,7 @@ bool BufferPool::RoutePinLocked(const PagePinRequest& request,
   table_[request.page] = fid;
   ++loading_frames_;
   ++misses_;
+  obs::TraceInstant(obs::kCatPool, "pool.miss", "page", request.page);
   io::PageFetchRequest fetch;
   fetch.page = request.page;
   fetch.dest = f.data;
@@ -300,6 +305,9 @@ bool BufferPool::HasFlushCandidateLocked() const {
 }
 
 void BufferPool::FlusherLoop() {
+  // Attach to the creating query's sink so background write-back shows
+  // up on its own named track in that query's trace.
+  obs::ScopedTraceThread trace_scope(trace_, "flusher", 0);
   std::unique_lock<std::mutex> lock(mu_);
   while (true) {
     if (stop_flusher_) return;
@@ -330,6 +338,8 @@ void BufferPool::FlusherLoop() {
       }
       writes_inflight_ += batch.size();
       lock.unlock();
+      obs::TraceInstant(obs::kCatPool, "pool.writeback", "pages",
+                        batch.size());
       const Status submitted =
           scheduler_->SubmitWrites(writes.data(), writes.size());
       if (!submitted.ok()) {
@@ -459,6 +469,10 @@ Result<disk::PageId> BufferPool::AppendPage(const Tuple* tuples,
     f.pins = 0;
   }
   flush_cv_.notify_one();
+  if (stalled > 0) {
+    obs::TraceSpanEndingNow(obs::kCatPool, "pool.append_stall",
+                            static_cast<int64_t>(stalled));
+  }
   if (stall_ns != nullptr) *stall_ns += stalled;
   return id;
 }
@@ -504,6 +518,32 @@ Status BufferPool::Close() {
         Status::Internal("buffer pool closed")});
     parked_pins_.pop_front();
   }
+  // Fold this pool's lifetime totals into the global mpsm_pool_*
+  // families (reached once: a second Close returns early above).
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& hits = registry.counter(
+      "mpsm_pool_hits_total", "Pins served from a resident frame");
+  static obs::Counter& misses = registry.counter(
+      "mpsm_pool_misses_total", "Pins that required or joined a device read");
+  static obs::Counter& evictions = registry.counter(
+      "mpsm_pool_evictions_total", "Clean frames reclaimed by the clock hand");
+  static obs::Counter& writebacks = registry.counter(
+      "mpsm_pool_writebacks_total", "Dirty frames written back to the spool");
+  static obs::Counter& appends = registry.counter(
+      "mpsm_pool_append_pages_total", "Pages appended via the write-back path");
+  static obs::Counter& deferred = registry.counter(
+      "mpsm_pool_deferred_pins_total",
+      "Pin requests parked because every frame was busy");
+  static obs::Counter& append_stall = registry.counter(
+      "mpsm_pool_append_stall_ns_total",
+      "Appender wall time waiting for a free frame");
+  hits.Add(hits_);
+  misses.Add(misses_);
+  evictions.Add(evictions_);
+  writebacks.Add(writebacks_);
+  appends.Add(append_pages_);
+  deferred.Add(deferred_pins_);
+  append_stall.Add(append_stall_ns_);
   return status_;
 }
 

@@ -38,6 +38,7 @@
 #include "io/io_scheduler.h"
 #include "numa/arena.h"
 #include "numa/topology.h"
+#include "obs/trace.h"
 #include "util/status.h"
 
 namespace mpsm::bufferpool {
@@ -217,6 +218,10 @@ class BufferPool {
 
   disk::PageStore* const store_;
   io::IoScheduler* const scheduler_;
+  /// The creating thread's trace sink (the query being executed when
+  /// the pool was built); the flusher thread attaches to it so
+  /// write-back activity lands in that query's trace.
+  obs::TraceSink* const trace_;
   const BufferPoolOptions options_;
   const size_t page_bytes_;
   uint32_t pool_nodes_ = 1;

@@ -5,11 +5,48 @@
 #include <utility>
 
 #include "core/run_merge.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/counters.h"
 #include "parallel/task_scheduler.h"
 #include "partition/equi_height.h"
 
 namespace mpsm::cache {
+
+namespace {
+// The cache outlives queries, so its counters are updated live (unlike
+// the per-query pool/scheduler, which fold totals at close).
+obs::Counter& HitCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter(
+      "mpsm_cache_hits_total", "Run-cache lookups served from a cached entry");
+  return c;
+}
+obs::Counter& MissCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter(
+      "mpsm_cache_misses_total", "Run-cache lookups that found no usable entry");
+  return c;
+}
+obs::Counter& InstallCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter(
+      "mpsm_cache_installs_total", "Sorted-run sets installed into the cache");
+  return c;
+}
+obs::Counter& EvictionCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter(
+      "mpsm_cache_evictions_total", "Cache entries evicted or invalidated");
+  return c;
+}
+obs::Counter& IngestCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter(
+      "mpsm_cache_ingested_tuples_total", "Tuples ingested as delta segments");
+  return c;
+}
+obs::Counter& CompactionCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter(
+      "mpsm_cache_compactions_total", "Delta-log compaction merges committed");
+  return c;
+}
+}  // namespace
 
 RunCache::RunCache(RunCacheOptions options) : options_(options) {
   options_.delta_level_fanout = std::max(options_.delta_level_fanout, 2u);
@@ -37,6 +74,9 @@ uint64_t RunCache::Ingest(Relation& rel, const Tuple* tuples, size_t n) {
   delta_bytes_ += segment->bytes();
   ++stats_.ingested_batches;
   stats_.ingested_tuples += n;
+  IngestCounter().Add(n);
+  obs::TraceInstant(obs::kCatCache, "cache.ingest", "tuples", n, "relation",
+                    rel.id());
   // The memoized materialization describes the previous version.
   for (auto it = materialized_.begin(); it != materialized_.end();) {
     if (it->first.relation_id == rel.id()) {
@@ -78,6 +118,8 @@ CachedView RunCache::Lookup(const Relation& rel, uint32_t num_chunks,
   auto it = entries_.find(key);
   if (it == entries_.end()) {
     ++stats_.misses;
+    MissCounter().Add(1);
+    obs::TraceInstant(obs::kCatCache, "cache.miss", "relation", rel.id());
     return out;
   }
   Entry& entry = it->second;
@@ -92,11 +134,15 @@ CachedView RunCache::Lookup(const Relation& rel, uint32_t num_chunks,
     entries_.erase(it);
     ++stats_.stale_invalidations;
     ++stats_.misses;
+    MissCounter().Add(1);
+    obs::TraceInstant(obs::kCatCache, "cache.miss", "relation", rel.id());
     return out;
   }
 
   entry.lru_tick = ++lru_clock_;
   ++stats_.hits;
+  HitCounter().Add(1);
+  obs::TraceInstant(obs::kCatCache, "cache.hit", "relation", rel.id());
   out.base = entry.runs;
   out.deltas = std::move(deltas);
   out.version = target;
@@ -160,6 +206,9 @@ bool RunCache::Install(uint64_t relation_id, uint32_t num_chunks,
   base_bytes_ += bytes;
   entries_.emplace(key, std::move(entry));
   ++stats_.installs;
+  InstallCounter().Add(1);
+  obs::TraceInstant(obs::kCatCache, "cache.install", "relation", relation_id,
+                    "bytes", bytes);
   while (options_.capacity_bytes != 0 &&
          base_bytes_ + delta_bytes_ > options_.capacity_bytes &&
          entries_.size() > 1) {
@@ -360,6 +409,10 @@ uint64_t RunCache::CompactPending(WorkerTeam* team) {
     }
     compacting_ = false;
   }
+  if (committed > 0) {
+    CompactionCounter().Add(committed);
+    obs::TraceInstant(obs::kCatCache, "cache.compact", "merges", committed);
+  }
   return committed;
 }
 
@@ -375,6 +428,8 @@ void RunCache::EvictLruLocked() {
   base_bytes_ -= victim->second.bytes;
   entries_.erase(victim);
   ++stats_.evictions;
+  EvictionCounter().Add(1);
+  obs::TraceInstant(obs::kCatCache, "cache.evict");
 }
 
 uint64_t RunCache::EvictToFit(uint64_t target_bytes) {
@@ -400,6 +455,7 @@ void RunCache::InvalidateRelation(uint64_t relation_id) {
       base_bytes_ -= it->second.bytes;
       it = entries_.erase(it);
       ++stats_.evictions;
+      EvictionCounter().Add(1);
     } else {
       ++it;
     }

@@ -1,5 +1,6 @@
 #include "engine/engine.h"
 
+#include <atomic>
 #include <utility>
 
 #include "baseline/radix_join.h"
@@ -7,12 +8,20 @@
 #include "cache/run_cache.h"
 #include "core/b_mpsm.h"
 #include "core/public_runs.h"
+#include "obs/metrics.h"
 #include "parallel/donation.h"
 #include "sim/calibration.h"
 #include "simd/caps.h"
+#include "util/json.h"
 #include "util/timer.h"
 
 namespace mpsm::engine {
+
+namespace {
+/// Engine-assigned query ids; process-wide so concurrent sessions
+/// (service lanes) never collide on the trace pid.
+std::atomic<uint64_t> g_next_query_id{1};
+}  // namespace
 
 const char* RunSourceName(RunSource source) {
   switch (source) {
@@ -119,6 +128,30 @@ Result<JoinReport> Engine::Execute(const JoinSpec& spec) {
   const EngineOptions& options = spec.options ? *spec.options : options_;
   const uint32_t team_size = TeamSizeFor(spec);
 
+  JoinReport report;
+  report.query_id = spec.query_id != 0
+                        ? spec.query_id
+                        : g_next_query_id.fetch_add(
+                              1, std::memory_order_relaxed);
+  report.admission_wait_ns = spec.admission_wait_ns;
+  if (options.trace) {
+    obs::TraceSinkOptions trace_options;
+    trace_options.ring_events = options.trace_ring_events;
+    report.trace =
+        std::make_shared<obs::TraceSink>(report.query_id, trace_options);
+  }
+  obs::TraceSink* sink = report.trace.get();
+  obs::ScopedTraceThread trace_scope(sink, "caller", 0);
+  const int64_t query_start_ns = sink != nullptr ? sink->NowNs() : 0;
+  if (sink != nullptr && spec.admission_wait_ns > 0) {
+    // The wait happened before Execute was entered: record it as a
+    // retroactive span ending at the query's start.
+    sink->RecordSpan(
+        obs::kCatService, "admission.wait",
+        query_start_ns - static_cast<int64_t>(spec.admission_wait_ns),
+        static_cast<int64_t>(spec.admission_wait_ns));
+  }
+
   // Effective inputs: a relation with delta-ingested tuples is
   // logically base + delta log (cache/run_cache.h). The cached P-MPSM
   // path below merges S's deltas on read; every *other* reader of a
@@ -143,7 +176,21 @@ Result<JoinReport> Engine::Execute(const JoinSpec& spec) {
         std::to_string(run_spec.s->num_chunks()));
   }
 
-  JoinReport report;
+  // Every thread that runs this query — workers, the pool's flusher,
+  // donated guests — records into the query's sink; cleared on every
+  // exit path so the session team never carries a dead sink.
+  WorkerTeam* traced_team = nullptr;
+  if (sink != nullptr) {
+    traced_team = &TeamFor(team_size);
+    traced_team->set_trace(sink);
+  }
+  struct TeamTraceReset {
+    WorkerTeam* team;
+    ~TeamTraceReset() {
+      if (team != nullptr) team->set_trace(nullptr);
+    }
+  } team_trace_reset{traced_team};
+
   WallTimer plan_timer;
   CachedRunsHint hint;
   const CachedRunsHint* hint_ptr = nullptr;
@@ -160,6 +207,7 @@ Result<JoinReport> Engine::Execute(const JoinSpec& spec) {
     }
   }
   {
+    obs::TraceSpan plan_span(obs::kCatPlan, "plan");
     Planner planner(&topology_, &options);
     MPSM_ASSIGN_OR_RETURN(report.plan,
                           planner.Plan(run_spec, team_size, hint_ptr));
@@ -246,6 +294,7 @@ Result<JoinReport> Engine::Execute(const JoinSpec& spec) {
 
   WorkerTeam& team = TeamFor(team_size);
   Result<JoinRunInfo> info = Status::Internal("unreachable");
+  const int64_t exec_start_ns = sink != nullptr ? sink->NowNs() : 0;
   switch (report.plan.algorithm) {
     case Algorithm::kPMpsm: {
       report.pmpsm.emplace();
@@ -274,6 +323,10 @@ Result<JoinReport> Engine::Execute(const JoinSpec& spec) {
           team, *run_spec.r, *run_spec.s, *spec.consumers);
       break;
   }
+  if (sink != nullptr) {
+    sink->RecordSpan(obs::kCatQuery, "execute", exec_start_ns,
+                     sink->NowNs() - exec_start_ns);
+  }
   if (!info.ok()) return info.status();
   report.info = std::move(info).value();
   report.measured_phase_seconds = report.info.MaxPhaseSeconds();
@@ -294,7 +347,131 @@ Result<JoinReport> Engine::Execute(const JoinSpec& spec) {
     calibrated_machine_ = model;
     options_.machine = model;
   }
+
+  static obs::Counter& queries_total = obs::MetricsRegistry::Global().counter(
+      "mpsm_engine_queries_total", "Joins executed by engine sessions");
+  static obs::Histogram& query_duration =
+      obs::MetricsRegistry::Global().histogram(
+          "mpsm_engine_query_duration_ns",
+          "Measured critical-path time per executed join");
+  queries_total.Add(1);
+  query_duration.Record(
+      static_cast<uint64_t>(report.measured_seconds * 1e9));
+  if (sink != nullptr) {
+    sink->RecordSpan(obs::kCatQuery, "query", query_start_ns,
+                     sink->NowNs() - query_start_ns, "query_id",
+                     report.query_id);
+  }
   return report;
+}
+
+std::string JoinReport::ExplainAnalyzeString() const {
+  JoinPlan::ExplainAnalyze analyze;
+  analyze.measured_phase_seconds = measured_phase_seconds;
+  analyze.measured_seconds = measured_seconds;
+  analyze.output_tuples = info.output_tuples;
+  analyze.run_source = RunSourceName(run_source);
+  return plan.ToString(analyze);
+}
+
+std::string JoinReport::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("query_id", query_id);
+  w.Field("algorithm", AlgorithmName(plan.algorithm));
+  w.Field("join_kind", JoinKindName(plan.inputs.kind));
+  w.Field("run_source", RunSourceName(run_source));
+  w.Field("simd_used", simd::SimdKindName(simd_used));
+  w.Field("cache_delta_tuples", cache_delta_tuples);
+  w.Field("admission_wait_ns", admission_wait_ns);
+  w.Field("plan_seconds", plan_seconds);
+
+  w.Key("plan");
+  w.BeginObject();
+  w.Field("r_tuples", plan.inputs.r_tuples);
+  w.Field("s_tuples", plan.inputs.s_tuples);
+  w.Field("team_size", plan.inputs.team_size);
+  w.Field("numa_nodes", plan.inputs.numa_nodes);
+  w.Field("memory_budget_bytes", plan.inputs.memory_budget_bytes);
+  w.Field("working_set_bytes", plan.inputs.working_set_bytes);
+  w.Field("predicted_seconds", plan.predicted_seconds);
+  w.Key("predicted_phase_seconds");
+  w.BeginArray();
+  for (double s : plan.predicted_phase_seconds) w.Value(s);
+  w.EndArray();
+  w.Field("rationale", plan.rationale);
+  w.EndObject();
+
+  w.Key("measured");
+  w.BeginObject();
+  w.Field("wall_seconds", info.wall_seconds);
+  w.Field("critical_path_seconds", measured_seconds);
+  w.Key("phase_seconds");
+  w.BeginArray();
+  for (double s : measured_phase_seconds) w.Value(s);
+  w.EndArray();
+  w.Field("output_tuples", info.output_tuples);
+  w.EndObject();
+
+  const PerfCounters totals = info.aggregate.TotalCounters();
+  w.Key("counters");
+  w.BeginObject();
+  w.Field("bytes_total", totals.TotalBytes());
+  w.Field("sort_tuples", totals.sort_tuples);
+  w.Field("sync_acquisitions", totals.sync_acquisitions);
+  w.Field("morsels_executed", totals.morsels_executed);
+  w.Field("morsels_stolen", totals.morsels_stolen);
+  w.Field("io_submits", totals.io_submits);
+  w.Field("io_stall_ns", totals.io_stall_ns);
+  w.EndObject();
+
+  if (dmpsm.has_value()) {
+    w.Key("dmpsm");
+    w.BeginObject();
+    w.Field("io_backend", io::IoBackendKindName(dmpsm->io_backend_used));
+    w.Field("pages_read", dmpsm->io_sched.pages_read);
+    w.Field("io_batches", dmpsm->io_sched.io_batches);
+    w.Field("coalesced_pages", dmpsm->io_sched.coalesced_pages);
+    w.Field("pages_written", dmpsm->io_sched.pages_written);
+    w.Field("io_stall_ns", dmpsm->io_sched.io_stall_ns);
+    w.Field("spool_write_stall_ns", dmpsm->spool_write_stall_ns);
+    w.Field("peak_pool_pages", dmpsm->peak_pool_pages);
+    w.Key("pool");
+    w.BeginObject();
+    w.Field("hits", dmpsm->pool.hits);
+    w.Field("misses", dmpsm->pool.misses);
+    w.Field("evictions", dmpsm->pool.evictions);
+    w.Field("writebacks", dmpsm->pool.writebacks);
+    w.Field("append_pages", dmpsm->pool.append_pages);
+    w.Field("append_stall_ns", dmpsm->pool.append_stall_ns);
+    w.Field("deferred_pins", dmpsm->pool.deferred_pins);
+    w.EndObject();
+    w.EndObject();
+  }
+
+  if (trace != nullptr) {
+    const obs::TraceSummary summary = trace->Summary();
+    w.Key("trace");
+    w.BeginObject();
+    w.Field("events", summary.events);
+    w.Field("dropped_events", summary.dropped_events);
+    w.Field("threads", summary.threads);
+    w.Field("extent_ns",
+            static_cast<uint64_t>(summary.end_ns - summary.begin_ns));
+    w.Key("categories");
+    w.BeginObject();
+    for (const auto& category : summary.categories) {
+      w.Key(category.category);
+      w.BeginObject();
+      w.Field("events", category.events);
+      w.Field("span_ns", category.span_ns);
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndObject();
+  return w.str();
 }
 
 }  // namespace mpsm::engine

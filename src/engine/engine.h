@@ -33,6 +33,7 @@
 #include "disk/d_mpsm.h"
 #include "engine/planner.h"
 #include "numa/topology.h"
+#include "obs/trace.h"
 #include "parallel/worker_team.h"
 #include "util/status.h"
 
@@ -92,6 +93,27 @@ struct JoinReport {
 
   /// Spill observability (I/O, pool peaks); set when a D-MPSM plan ran.
   std::optional<disk::DMpsmReport> dmpsm;
+
+  /// Engine-assigned (or caller-provided, JoinSpec::query_id) id of
+  /// this query; the Chrome trace's pid and the service's log key.
+  uint64_t query_id = 0;
+
+  /// Wall nanoseconds the query waited for admission (join service;
+  /// 0 for direct Engine callers).
+  uint64_t admission_wait_ns = 0;
+
+  /// The query's trace (EngineOptions::trace); null when tracing was
+  /// off. Export with trace->ToChromeJson() (Perfetto-loadable).
+  std::shared_ptr<obs::TraceSink> trace;
+
+  /// The whole report as one JSON object: plan, predicted vs measured
+  /// phases, aggregate counters, variant reports, trace summary. The
+  /// figure benches emit this under MPSM_BENCH_REPORT_JSON.
+  std::string ToJson() const;
+
+  /// EXPLAIN ANALYZE: plan.ToString plus predicted-vs-measured
+  /// per-phase cost for this execution.
+  std::string ExplainAnalyzeString() const;
 };
 
 /// Session-lifetime observability: proves reuse across queries.

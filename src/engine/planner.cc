@@ -706,4 +706,45 @@ std::string JoinPlan::ToString() const {
   return out;
 }
 
+std::string JoinPlan::ToString(const ExplainAnalyze& analyze) const {
+  std::string out = ToString();
+  char line[256];
+  out += "  analyze (predicted vs measured):\n";
+  // Relative error per phase; "-" when the model predicted (or the run
+  // spent) nothing in the slot.
+  const auto error_column = [](double predicted, double measured) {
+    if (predicted <= 0 || measured <= 0) return std::string("      -");
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%+6.1f%%",
+                  (measured - predicted) / predicted * 100.0);
+    return std::string(buf);
+  };
+  for (uint32_t p = 0; p < kNumJoinPhases; ++p) {
+    std::snprintf(line, sizeof(line), "    %-24s %10s %10s %s\n",
+                  JoinPhaseName(static_cast<JoinPhase>(p)),
+                  FormatMs(predicted_phase_seconds[p]).c_str(),
+                  FormatMs(analyze.measured_phase_seconds[p]).c_str(),
+                  error_column(predicted_phase_seconds[p],
+                               analyze.measured_phase_seconds[p])
+                      .c_str());
+    out += line;
+  }
+  std::snprintf(line, sizeof(line), "    %-24s %10s %10s %s\n", "total",
+                FormatMs(predicted_seconds).c_str(),
+                FormatMs(analyze.measured_seconds).c_str(),
+                error_column(predicted_seconds, analyze.measured_seconds)
+                    .c_str());
+  out += line;
+  std::snprintf(line, sizeof(line), "  output: %llu tuples",
+                static_cast<unsigned long long>(analyze.output_tuples));
+  out += line;
+  if (analyze.run_source != nullptr) {
+    out += " (run source: ";
+    out += analyze.run_source;
+    out += ")";
+  }
+  out += "\n";
+  return out;
+}
+
 }  // namespace mpsm::engine

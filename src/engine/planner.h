@@ -157,6 +157,15 @@ struct EngineOptions {
   /// a per-query options override never mutates the session model.
   bool recalibrate = false;
 
+  // ------------------------------------------------------------ tracing
+  /// Record a per-query trace (obs/trace.h) and return it in
+  /// JoinReport::trace. Off by default; the disabled record path costs
+  /// one thread-local load per span (BM_TraceOverheadOff measures it
+  /// at < 1% of join throughput).
+  bool trace = false;
+  /// Events per thread ring of a traced query (TraceSinkOptions).
+  size_t trace_ring_events = 4096;
+
   // ---------------------------------------- canonical kernel knobs
   std::optional<SchedulerKind> scheduler;
   std::optional<sort::SortKind> sort;
@@ -211,6 +220,16 @@ struct JoinSpec {
   /// fail the query. The join service sets this when batching
   /// compatible queries over one public input (docs/service.md).
   const PublicRuns* shared_public_runs = nullptr;
+
+  /// Query id stamped on the report and trace (the Chrome trace's
+  /// pid); 0 lets the engine assign a process-unique one. The join
+  /// service sets this so lane logs and traces share ids.
+  uint64_t query_id = 0;
+
+  /// Wall nanoseconds this query waited for admission before Execute
+  /// (set by the join service); recorded as a retroactive trace span
+  /// and surfaced in JoinReport::admission_wait_ns.
+  uint64_t admission_wait_ns = 0;
 };
 
 /// Workload statistics the planner derived for one join.
@@ -287,8 +306,22 @@ struct JoinPlan {
   };
   CachedRunsDecision cached_runs;
 
+  /// Measured counterpart for the post-execution EXPLAIN ANALYZE
+  /// rendering (JoinReport::ExplainAnalyzeString fills one from its
+  /// measured_phase_seconds).
+  struct ExplainAnalyze {
+    std::array<double, kNumJoinPhases> measured_phase_seconds{};
+    double measured_seconds = 0;
+    uint64_t output_tuples = 0;
+    /// Optional provenance note (RunSourceName); null omits the line.
+    const char* run_source = nullptr;
+  };
+
   /// Multi-line human-readable plan (EXPLAIN-style).
   std::string ToString() const;
+  /// EXPLAIN ANALYZE: the plan plus a per-phase predicted-vs-measured
+  /// table for the execution `analyze` describes.
+  std::string ToString(const ExplainAnalyze& analyze) const;
 };
 
 /// The simd knob of the plan's chosen algorithm (kScalar for the

@@ -4,6 +4,8 @@
 #include <string>
 #include <utility>
 
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/timer.h"
 
 namespace mpsm::io {
@@ -72,12 +74,37 @@ IoScheduler::~IoScheduler() {
   // Reap every in-flight read before the backend dies: callers' pinned
   // buffers must never be written after this destructor returns.
   // Never-submitted pending requests are simply dropped.
-  std::unique_lock<std::mutex> lock(mu_);
-  while (inflight_reads_ > 0) {
-    if (ReapLocked(lock, /*block=*/true) == 0 && inflight_reads_ > 0) {
-      break;  // backend wedged; leak rather than spin forever
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    while (inflight_reads_ > 0) {
+      if (ReapLocked(lock, /*block=*/true) == 0 && inflight_reads_ > 0) {
+        break;  // backend wedged; leak rather than spin forever
+      }
     }
   }
+  // Fold this (per-query) scheduler's lifetime totals into the global
+  // mpsm_io_* families: one batch of atomic adds per query, no
+  // registry traffic on the hot submit/reap paths.
+  auto& registry = obs::MetricsRegistry::Global();
+  static obs::Counter& pages_read = registry.counter(
+      "mpsm_io_pages_read_total", "Spool pages whose reads completed");
+  static obs::Counter& pages_written = registry.counter(
+      "mpsm_io_pages_written_total", "Spool pages whose write-backs completed");
+  static obs::Counter& read_batches = registry.counter(
+      "mpsm_io_read_batches_total", "Vectored reads issued to the backend");
+  static obs::Counter& write_batches = registry.counter(
+      "mpsm_io_write_batches_total", "Vectored writes issued to the backend");
+  static obs::Counter& coalesced = registry.counter(
+      "mpsm_io_coalesced_pages_total",
+      "Pages riding along in a vectored batch beyond the first");
+  static obs::Counter& stall_ns = registry.counter(
+      "mpsm_io_stall_ns_total", "Caller wall time blocked on I/O");
+  pages_read.Add(pages_read_);
+  pages_written.Add(pages_written_);
+  read_batches.Add(io_batches_);
+  write_batches.Add(write_batches_);
+  coalesced.Add(coalesced_pages_ + coalesced_write_pages_);
+  stall_ns.Add(io_stall_ns_.load(std::memory_order_relaxed));
 }
 
 Status IoScheduler::Submit(const PageFetchRequest* requests, size_t count) {
@@ -165,6 +192,9 @@ bool IoScheduler::PushOneBatchLocked(std::unique_lock<std::mutex>& lock,
   depth_samples_sum_ += inflight_reads_;
   peak_inflight_reads_ = std::max<uint64_t>(peak_inflight_reads_,
                                             inflight_reads_);
+  obs::TraceInstant(obs::kCatIo,
+                    is_write ? "io.write_batch" : "io.read_batch", "pages",
+                    take, "inflight", inflight_reads_);
 
   lock.unlock();
   // With the blocking sync backend, the submit *is* the device round
@@ -282,6 +312,10 @@ bool IoScheduler::Busy() const {
 
 void IoScheduler::AddStallNs(uint64_t ns) {
   io_stall_ns_.fetch_add(ns, std::memory_order_relaxed);
+  obs::TraceSpanEndingNow(obs::kCatIo, "io.stall", static_cast<int64_t>(ns));
+  static obs::Histogram& stall_hist = obs::MetricsRegistry::Global().histogram(
+      "mpsm_io_stall_ns", "Caller wall time blocked on I/O per stall");
+  stall_hist.Record(ns);
 }
 
 IoSchedulerStats IoScheduler::stats() const {

@@ -1,0 +1,244 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+
+namespace mpsm::obs {
+
+size_t Histogram::BucketOf(uint64_t value) {
+  // Sub-buckets 0..kSubBuckets-1 hold the exact small values; above
+  // that, the octave is the bit width and the sub-bucket the next
+  // log2(kSubBuckets) bits below the leading one.
+  if (value < kSubBuckets) return static_cast<size_t>(value);
+  const int msb = 63 - std::countl_zero(value);
+  const int sub_bits = std::countr_zero(kSubBuckets);  // 3 for 8
+  const uint64_t sub = (value >> (msb - sub_bits)) - kSubBuckets;
+  const size_t octave = static_cast<size_t>(msb) - sub_bits;
+  const size_t bucket = octave * kSubBuckets + static_cast<size_t>(sub) +
+                        kSubBuckets;  // small-value buckets come first
+  return std::min(bucket, kBuckets - 1);
+}
+
+uint64_t Histogram::BucketUpperEdge(size_t bucket) {
+  if (bucket < kSubBuckets) return static_cast<uint64_t>(bucket);
+  const size_t octave = (bucket - kSubBuckets) / kSubBuckets;
+  const size_t sub = (bucket - kSubBuckets) % kSubBuckets;
+  // Highest value mapping to this bucket: (kSubBuckets + sub + 1) <<
+  // octave, minus one.
+  const uint64_t base = (kSubBuckets + static_cast<uint64_t>(sub) + 1)
+                        << octave;
+  return base - 1;
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketOf(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  const uint64_t total = Count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the q-th sample, 1-based ceil: the smallest bucket whose
+  // cumulative count reaches it.
+  const uint64_t rank = std::max<uint64_t>(
+      1, static_cast<uint64_t>(q * static_cast<double>(total) + 0.5));
+  uint64_t cumulative = 0;
+  for (size_t b = 0; b < kBuckets; ++b) {
+    cumulative += buckets_[b].load(std::memory_order_relaxed);
+    if (cumulative >= rank) return BucketUpperEdge(b);
+  }
+  return BucketUpperEdge(kBuckets - 1);
+}
+
+MetricsRegistry& MetricsRegistry::Global() {
+  static MetricsRegistry* registry = new MetricsRegistry();
+  return *registry;
+}
+
+namespace {
+
+std::string RenderLabels(const MetricLabels& labels) {
+  if (labels.empty()) return "";
+  std::string out = "{";
+  for (const auto& [key, value] : labels) {
+    if (out.size() > 1) out += ',';
+    out += key;
+    out += "=\"";
+    for (char c : value) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += '"';
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry::Instrument& MetricsRegistry::FindOrCreate(
+    const std::string& name, const std::string& help,
+    const MetricLabels& labels, MetricType type) {
+  const std::string rendered = RenderLabels(labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& instrument : instruments_) {
+    if (instrument->name == name && instrument->labels == rendered) {
+      return *instrument;
+    }
+  }
+  auto instrument = std::make_unique<Instrument>();
+  instrument->name = name;
+  instrument->help = help;
+  instrument->labels = rendered;
+  instrument->type = type;
+  switch (type) {
+    case MetricType::kCounter:
+      instrument->counter = std::make_unique<Counter>();
+      break;
+    case MetricType::kGauge:
+      instrument->gauge = std::make_unique<Gauge>();
+      break;
+    case MetricType::kHistogram:
+      instrument->histogram = std::make_unique<Histogram>();
+      break;
+  }
+  instruments_.push_back(std::move(instrument));
+  return *instruments_.back();
+}
+
+Counter& MetricsRegistry::counter(const std::string& name,
+                                  const std::string& help,
+                                  const MetricLabels& labels) {
+  return *FindOrCreate(name, help, labels, MetricType::kCounter).counter;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, const std::string& help,
+                              const MetricLabels& labels) {
+  return *FindOrCreate(name, help, labels, MetricType::kGauge).gauge;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name,
+                                      const std::string& help,
+                                      const MetricLabels& labels) {
+  return *FindOrCreate(name, help, labels, MetricType::kHistogram).histogram;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snapshot;
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot.metrics.reserve(instruments_.size());
+  for (const auto& instrument : instruments_) {
+    MetricValue value;
+    value.name = instrument->name;
+    value.help = instrument->help;
+    value.labels = instrument->labels;
+    value.type = instrument->type;
+    switch (instrument->type) {
+      case MetricType::kCounter:
+        value.value = static_cast<int64_t>(instrument->counter->Value());
+        break;
+      case MetricType::kGauge:
+        value.value = instrument->gauge->Value();
+        break;
+      case MetricType::kHistogram: {
+        const Histogram& h = *instrument->histogram;
+        value.count = h.Count();
+        value.sum = h.Sum();
+        value.p50 = h.Quantile(0.50);
+        value.p95 = h.Quantile(0.95);
+        value.p99 = h.Quantile(0.99);
+        break;
+      }
+    }
+    snapshot.metrics.push_back(std::move(value));
+  }
+  return snapshot;
+}
+
+std::string MetricsSnapshot::ToPrometheusText() const {
+  std::string out;
+  char buf[256];
+  const std::string* last_family = nullptr;
+  for (const MetricValue& m : metrics) {
+    // HELP/TYPE once per family (labelled series of one family are
+    // registered consecutively).
+    if (last_family == nullptr || *last_family != m.name) {
+      out += "# HELP " + m.name + " " + m.help + "\n";
+      out += "# TYPE " + m.name + " ";
+      switch (m.type) {
+        case MetricType::kCounter:
+          out += "counter\n";
+          break;
+        case MetricType::kGauge:
+          out += "gauge\n";
+          break;
+        case MetricType::kHistogram:
+          out += "summary\n";
+          break;
+      }
+      last_family = &m.name;
+    }
+    if (m.type == MetricType::kHistogram) {
+      const auto quantile_line = [&](const char* q, uint64_t v) {
+        out += m.name;
+        if (m.labels.empty()) {
+          out += "{quantile=\"";
+        } else {
+          out += m.labels.substr(0, m.labels.size() - 1) + ",quantile=\"";
+        }
+        out += q;
+        std::snprintf(buf, sizeof(buf), "\"} %" PRIu64 "\n", v);
+        out += buf;
+      };
+      quantile_line("0.5", m.p50);
+      quantile_line("0.95", m.p95);
+      quantile_line("0.99", m.p99);
+      std::snprintf(buf, sizeof(buf), "_sum%s %" PRIu64 "\n",
+                    m.labels.c_str(), m.sum);
+      out += m.name + buf;
+      std::snprintf(buf, sizeof(buf), "_count%s %" PRIu64 "\n",
+                    m.labels.c_str(), m.count);
+      out += m.name + buf;
+    } else {
+      std::snprintf(buf, sizeof(buf), "%s %" PRId64 "\n", m.labels.c_str(),
+                    m.value);
+      out += m.name + buf;
+    }
+  }
+  return out;
+}
+
+std::string MetricsSnapshot::ToJson() const {
+  std::string out = "{";
+  char buf[128];
+  bool first = true;
+  for (const MetricValue& m : metrics) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    for (char c : m.name + m.labels) {
+      if (c == '"' || c == '\\') out += '\\';
+      out += c;
+    }
+    out += "\":";
+    if (m.type == MetricType::kHistogram) {
+      std::snprintf(buf, sizeof(buf),
+                    "{\"count\":%" PRIu64 ",\"sum\":%" PRIu64
+                    ",\"p50\":%" PRIu64 ",\"p95\":%" PRIu64 ",\"p99\":%" PRIu64
+                    "}",
+                    m.count, m.sum, m.p50, m.p95, m.p99);
+      out += buf;
+    } else {
+      std::snprintf(buf, sizeof(buf), "%" PRId64, m.value);
+      out += buf;
+    }
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace mpsm::obs

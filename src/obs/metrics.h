@@ -1,0 +1,163 @@
+// Process-wide metrics registry: named counters, gauges, and
+// log-bucketed histograms with Prometheus text-format and JSON
+// exporters (docs/observability.md).
+//
+// The service, engine, buffer pool, run cache, and io scheduler
+// register their families once (registration is idempotent: the same
+// name + labels returns the same instrument) and update them with
+// plain relaxed atomics — the hot paths never take the registry lock.
+// Per-query components (a query's IoScheduler or BufferPool) fold
+// their final stats into the global counters when they close, so the
+// steady-state overhead is a handful of atomic adds per query.
+//
+//   auto& hits = obs::MetricsRegistry::Global().counter(
+//       "mpsm_pool_hits_total", "Buffer pool pins served from RAM");
+//   hits.Add(stats.hits);
+//
+// Histograms are fixed-bucket log histograms: 8 sub-buckets per
+// power of two (relative quantile error <= 12.5%), p50/p95/p99
+// exported as Prometheus summary quantiles. Naming follows Prometheus
+// conventions: `mpsm_<subsystem>_<what>_<unit>[_total]`, seconds for
+// durations, bytes for sizes.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace mpsm::obs {
+
+/// Monotonic counter (relaxed atomics; wait-free).
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// Instantaneous value (set/add; may go down).
+class Gauge {
+ public:
+  void Set(int64_t v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t n) { value_.fetch_add(n, std::memory_order_relaxed); }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket log2 histogram of non-negative integer samples
+/// (nanoseconds, bytes, counts): 8 sub-buckets per octave across 64
+/// octaves, so a quantile estimate is off by at most one sub-bucket
+/// width (12.5% relative). Record is a few relaxed atomic adds.
+class Histogram {
+ public:
+  static constexpr size_t kSubBuckets = 8;   // per power of two
+  static constexpr size_t kOctaves = 64;
+  static constexpr size_t kBuckets = kSubBuckets * kOctaves;
+
+  void Record(uint64_t value);
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+
+  /// Value at quantile q in [0, 1]: the upper edge of the bucket
+  /// holding the q-th sample (0 when empty). Monotone in q.
+  uint64_t Quantile(double q) const;
+
+  /// Bucket index a value lands in, and that bucket's upper edge
+  /// (exposed for the oracle test).
+  static size_t BucketOf(uint64_t value);
+  static uint64_t BucketUpperEdge(size_t bucket);
+
+ private:
+  std::array<std::atomic<uint64_t>, kBuckets> buckets_{};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+enum class MetricType : uint8_t { kCounter, kGauge, kHistogram };
+
+/// One exported metric at snapshot time.
+struct MetricValue {
+  std::string name;
+  std::string help;
+  MetricType type = MetricType::kCounter;
+  /// Rendered label set ("{lane=\"0\"}") or empty.
+  std::string labels;
+  /// Counter/gauge value.
+  int64_t value = 0;
+  /// Histogram summary (valid when type == kHistogram).
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  uint64_t p50 = 0;
+  uint64_t p95 = 0;
+  uint64_t p99 = 0;
+};
+
+/// A point-in-time copy of every registered instrument, with the two
+/// exporters. JoinService::MetricsSnapshot returns one of these.
+struct MetricsSnapshot {
+  std::vector<MetricValue> metrics;
+
+  /// Prometheus text exposition format (counters/gauges as-is,
+  /// histograms as summaries with quantile labels).
+  std::string ToPrometheusText() const;
+  /// One JSON object keyed by metric name + labels.
+  std::string ToJson() const;
+};
+
+/// Label set for registration ("lane" -> "0"). Order is preserved.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+/// Thread-safe instrument registry. Instruments live as long as the
+/// registry; references returned by counter()/gauge()/histogram() are
+/// stable.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The process-wide registry every subsystem registers into.
+  static MetricsRegistry& Global();
+
+  Counter& counter(const std::string& name, const std::string& help,
+                   const MetricLabels& labels = {});
+  Gauge& gauge(const std::string& name, const std::string& help,
+               const MetricLabels& labels = {});
+  Histogram& histogram(const std::string& name, const std::string& help,
+                       const MetricLabels& labels = {});
+
+  MetricsSnapshot Snapshot() const;
+
+  /// Shorthand: Snapshot().ToPrometheusText() / ToJson().
+  std::string ToPrometheusText() const { return Snapshot().ToPrometheusText(); }
+  std::string ToJson() const { return Snapshot().ToJson(); }
+
+ private:
+  struct Instrument {
+    std::string name;
+    std::string help;
+    std::string labels;  // pre-rendered
+    MetricType type = MetricType::kCounter;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+
+  Instrument& FindOrCreate(const std::string& name, const std::string& help,
+                           const MetricLabels& labels, MetricType type);
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<Instrument>> instruments_;
+};
+
+}  // namespace mpsm::obs

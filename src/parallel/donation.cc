@@ -2,6 +2,8 @@
 
 #include <thread>
 
+#include "obs/metrics.h"
+
 namespace mpsm {
 
 DonationPool::DonationPool(uint32_t max_entries)
@@ -33,6 +35,9 @@ DonationPool::Ticket DonationPool::Publish(
     entry.body = body;
     entry.topology = topology;
     entry.team_size = team_size;
+    // Worker 0 of the owner team publishes from inside its query, so
+    // its current sink IS the owner query's trace.
+    entry.trace = obs::CurrentTraceSink();
     const uint64_t generation = next_generation_++;
     entry.generation.store(generation, std::memory_order_relaxed);
     // The release makes scheduler/body visible to guests that observe
@@ -69,10 +74,12 @@ void DonationPool::Close(Ticket ticket) {
     entry.scheduler = nullptr;
     entry.body = nullptr;
     entry.topology = nullptr;
+    entry.trace = nullptr;
   }
 }
 
-bool DonationPool::TryHelp(uint64_t session, numa::NodeId guest_node) {
+bool DonationPool::TryHelp(uint64_t session, numa::NodeId guest_node,
+                           uint32_t donor_lane) {
   for (uint32_t i = 0; i < max_entries_; ++i) {
     Entry& entry = entries_[i];
     if (!entry.open.load(std::memory_order_acquire)) continue;
@@ -103,7 +110,35 @@ bool DonationPool::TryHelp(uint64_t session, numa::NodeId guest_node) {
       entry.in_flight.fetch_sub(1, std::memory_order_release);
       continue;
     }
+    // The same work is attributed twice: a span in the *owner* query's
+    // trace (the guest thread gets its own ring there, labeled
+    // "guest") and a mirror span in the donor's own trace naming the
+    // owner query it helped.
+    obs::TraceSink* donor_sink = obs::CurrentTraceSink();
+    if (entry.trace != nullptr) {
+      entry.trace->LabelThread("guest", static_cast<uint32_t>(session));
+    }
+    const int64_t owner_start =
+        entry.trace != nullptr ? entry.trace->NowNs() : 0;
+    const int64_t donor_start =
+        donor_sink != nullptr ? donor_sink->NowNs() : 0;
+    const uint64_t owner_query =
+        entry.trace != nullptr ? entry.trace->query_id() : 0;
     (*entry.body)(guest, *morsel);
+    if (entry.trace != nullptr) {
+      entry.trace->RecordSpan(obs::kCatDonation, "morsel.donated", owner_start,
+                              entry.trace->NowNs() - owner_start, "donor_lane",
+                              donor_lane, "donor_session", session);
+    }
+    if (donor_sink != nullptr) {
+      donor_sink->RecordSpan(obs::kCatDonation, "donation.help", donor_start,
+                             donor_sink->NowNs() - donor_start, "owner_query",
+                             owner_query, "donor_lane", donor_lane);
+    }
+    static obs::Counter& donated_counter = obs::MetricsRegistry::Global().counter(
+        "mpsm_service_donated_morsels_total",
+        "Morsels executed by guest workers of other sessions");
+    donated_counter.Add(1);
     morsels_donated_.fetch_add(1, std::memory_order_relaxed);
     entry.in_flight.fetch_sub(1, std::memory_order_release);
     return true;

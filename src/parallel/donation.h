@@ -29,6 +29,7 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/trace.h"
 #include "parallel/counters.h"
 #include "parallel/task_scheduler.h"
 
@@ -65,7 +66,9 @@ class DonationPool {
   /// Publishes a phase: guests may now claim from `scheduler` and run
   /// `body`. Returns an invalid Ticket (slot -1) when the pool is full
   /// — publication is best-effort. `scheduler` and `body` must stay
-  /// valid until Close returns.
+  /// valid until Close returns. The publisher's current trace sink
+  /// (obs/trace.h) is captured so guest-executed morsels appear in the
+  /// *owner* query's trace instead of vanishing.
   Ticket Publish(uint64_t session, TaskScheduler* scheduler,
                  const std::function<void(WorkerContext&, const Morsel&)>* body,
                  const numa::Topology* topology, uint32_t team_size);
@@ -78,8 +81,11 @@ class DonationPool {
   /// Claims and executes at most one morsel from some other session's
   /// published phase. `guest_node` homes the claim (locality-first
   /// dispatch against the host's queues); returns false when no
-  /// foreign work is available.
-  bool TryHelp(uint64_t session, numa::NodeId guest_node);
+  /// foreign work is available. `donor_lane` is the helping team's
+  /// service lane, tagged — together with the owner's query id — onto
+  /// the donated-morsel spans recorded in both queries' traces.
+  bool TryHelp(uint64_t session, numa::NodeId guest_node,
+               uint32_t donor_lane = 0);
 
   Stats stats() const;
   uint64_t morsels_donated() const {
@@ -96,6 +102,8 @@ class DonationPool {
     const std::function<void(WorkerContext&, const Morsel&)>* body = nullptr;
     const numa::Topology* topology = nullptr;
     uint32_t team_size = 0;
+    /// Owner query's trace sink at Publish time (null = untraced).
+    obs::TraceSink* trace = nullptr;
   };
 
   const uint32_t max_entries_;

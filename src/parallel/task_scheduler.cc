@@ -5,6 +5,7 @@
 #include <cmath>
 #include <thread>
 
+#include "obs/trace.h"
 #include "parallel/donation.h"
 
 namespace mpsm {
@@ -141,9 +142,11 @@ void PhasePipeline::Run(WorkerTeam& team, bool phase_barriers) {
   // stragglers arrive, a worker executes morsels published by *other*
   // sessions (parallel/donation.h). Approximate by design — a worker
   // mid-donated-morsel delays its own arrival by at most that morsel.
+  const uint32_t donor_lane = team.lane();
   const auto help_then_wait = [&](WorkerContext& ctx) {
     if (pool != nullptr) {
-      while (ctx.barrier->OthersArriving() && pool->TryHelp(session, ctx.node)) {
+      while (ctx.barrier->OthersArriving() &&
+             pool->TryHelp(session, ctx.node, donor_lane)) {
       }
     }
     ctx.barrier->Wait();
@@ -152,6 +155,10 @@ void PhasePipeline::Run(WorkerTeam& team, bool phase_barriers) {
   team.Run([&](WorkerContext& ctx) {
     for (size_t s = 0; s < steps_.size(); ++s) {
       Step& step = steps_[s];
+      // One span per worker per step, barrier wait included, so the
+      // per-thread spans tile the whole pipeline (trace coverage,
+      // docs/observability.md). Morsel-batch accounting rides as args.
+      obs::TraceSpan phase_span(obs::kCatPhase, JoinPhaseName(step.slot));
       if (step.serial) {
         {
           PhaseScope scope(ctx, step.slot);
@@ -165,6 +172,9 @@ void PhasePipeline::Run(WorkerTeam& team, bool phase_barriers) {
         if (ctx.worker_id == 0) step.scheduler->Reset(step.factory());
         ctx.barrier->Wait();
       }
+      const PerfCounters& slot_counters = ctx.Counters(step.slot);
+      const uint64_t morsels_before = slot_counters.morsels_executed;
+      const uint64_t stolen_before = slot_counters.morsels_stolen;
 
       // Publish guest-safe stealing phases so other sessions' idle
       // workers can claim morsels alongside this team. Published only
@@ -209,6 +219,10 @@ void PhasePipeline::Run(WorkerTeam& team, bool phase_barriers) {
       }
 
       if (donatable && ctx.worker_id == 0) pool->Close(ticket);
+
+      phase_span.arg1("morsels",
+                      slot_counters.morsels_executed - morsels_before);
+      phase_span.arg2("stolen", slot_counters.morsels_stolen - stolen_before);
 
       const bool last = s + 1 == steps_.size();
       // An optional closing barrier may only be elided when no other

@@ -61,6 +61,7 @@ void WorkerTeam::Run(const std::function<void(WorkerContext&)>& job) {
       // Pinning is advisory: on the development VM the simulated cores
       // exceed the physical ones and the pin is skipped.
       numa::PinCurrentThreadToCore(ctx.core);
+      obs::ScopedTraceThread trace_scope(trace_, "worker", w);
       job(ctx);
     });
   }

@@ -14,6 +14,7 @@
 
 #include "numa/arena.h"
 #include "numa/topology.h"
+#include "obs/trace.h"
 #include "parallel/barrier.h"
 #include "parallel/counters.h"
 
@@ -97,6 +98,19 @@ class WorkerTeam {
   DonationPool* donation() const { return donation_; }
   uint64_t donation_session() const { return donation_session_; }
 
+  /// Attaches the current query's trace sink (obs/trace.h): Run
+  /// installs it as every worker thread's current sink, so spans
+  /// recorded anywhere under the job land in this query's trace.
+  /// nullptr (the default) keeps tracing off. The engine sets this per
+  /// Execute and clears it after.
+  void set_trace(obs::TraceSink* sink) { trace_ = sink; }
+  obs::TraceSink* trace() const { return trace_; }
+
+  /// Service lane this team serves (trace attribution of donated
+  /// morsels, docs/observability.md); 0 outside a JoinService.
+  void set_lane(uint32_t lane) { lane_ = lane; }
+  uint32_t lane() const { return lane_; }
+
  private:
   const numa::Topology* topology_;
   uint32_t team_size_;
@@ -105,6 +119,8 @@ class WorkerTeam {
   std::vector<std::unique_ptr<numa::Arena>> arenas_;
   DonationPool* donation_ = nullptr;
   uint64_t donation_session_ = 0;
+  obs::TraceSink* trace_ = nullptr;
+  uint32_t lane_ = 0;
 };
 
 }  // namespace mpsm

@@ -1,16 +1,56 @@
 #include "service/join_service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <cstddef>
 #include <string>
 #include <utility>
 
 #include "engine/planner.h"
+#include "obs/metrics.h"
 #include "storage/tuple.h"
 
 namespace mpsm::service {
 
 namespace {
+
+// mpsm_service_* instruments, resolved once (registry references are
+// stable; the accessors keep the registry mutex off Submit/admit paths
+// after first touch). The service outlives its queries, so these count
+// live rather than folding at close.
+obs::Counter& SubmittedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter(
+      "mpsm_service_submitted_total", "Queries accepted into the queue");
+  return c;
+}
+obs::Counter& CompletedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter(
+      "mpsm_service_completed_total", "Queries whose Execute returned OK");
+  return c;
+}
+obs::Counter& FailedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter(
+      "mpsm_service_failed_total", "Queries whose Execute returned an error");
+  return c;
+}
+obs::Counter& RejectedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter(
+      "mpsm_service_rejected_total",
+      "Queries refused by admission (queue full or budget-infeasible)");
+  return c;
+}
+obs::Counter& DownBudgetedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter(
+      "mpsm_service_down_budgeted_total",
+      "Queries re-planned to spill under a per-lane budget share");
+  return c;
+}
+obs::Histogram& AdmissionWaitHistogram() {
+  static obs::Histogram& h = obs::MetricsRegistry::Global().histogram(
+      "mpsm_service_admission_wait_ns",
+      "Wall nanoseconds queries waited in the admission queue");
+  return h;
+}
 
 /// Bytes the governor reserves while a planned query runs. In-memory
 /// variants keep both inputs plus their runs resident; the spill path's
@@ -97,6 +137,7 @@ Result<JoinService::QueryId> JoinService::Submit(const engine::JoinSpec& spec) {
   if (stop_) return Status::Cancelled("join service is shutting down");
   if (queue_.size() >= options_.max_queue) {
     ++stats_.rejected;
+    RejectedCounter().Add(1);
     return Status::ResourceExhausted(
         "admission queue is full (max_queue = " +
         std::to_string(options_.max_queue) + ")");
@@ -104,9 +145,11 @@ Result<JoinService::QueryId> JoinService::Submit(const engine::JoinSpec& spec) {
   StatePtr state = std::make_shared<QueryState>();
   state->id = next_id_++;
   state->spec = spec;
+  state->submitted_at = std::chrono::steady_clock::now();
   queue_.push_back(state);
   states_.emplace(state->id, state);
   ++stats_.submitted;
+  SubmittedCounter().Add(1);
   stats_.peak_queue_depth = std::max<uint64_t>(stats_.peak_queue_depth,
                                                queue_.size());
   work_cv_.notify_one();
@@ -171,6 +214,26 @@ ServiceStats JoinService::stats() const {
   return out;
 }
 
+obs::MetricsSnapshot JoinService::MetricsSnapshot() const {
+  obs::MetricsRegistry& registry = obs::MetricsRegistry::Global();
+  static obs::Gauge& queue_depth = registry.gauge(
+      "mpsm_service_queue_depth", "Queries waiting in the admission queue");
+  static obs::Gauge& reserved = registry.gauge(
+      "mpsm_service_reserved_bytes",
+      "Footprint bytes reserved by running queries against the budget");
+  static obs::Gauge& cache_resident = registry.gauge(
+      "mpsm_cache_resident_bytes", "Bytes resident in the shared run cache");
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_depth.Set(static_cast<int64_t>(queue_.size()));
+    reserved.Set(static_cast<int64_t>(reserved_bytes_));
+  }
+  if (run_cache_ != nullptr) {
+    cache_resident.Set(static_cast<int64_t>(run_cache_->resident_bytes()));
+  }
+  return registry.Snapshot();
+}
+
 Result<uint64_t> JoinService::Ingest(Relation& rel, const Tuple* tuples,
                                      size_t n) {
   if (run_cache_ == nullptr) {
@@ -218,6 +281,7 @@ Status JoinService::PlanLocked(engine::Engine& engine, QueryState& q) {
       q.down_budgeted = true;
       q.budget_override = probe.memory_budget_bytes;
       ++stats_.down_budgeted;
+      DownBudgetedCounter().Add(1);
       return Status::OK();
     }
   }
@@ -232,6 +296,18 @@ std::vector<JoinService::StatePtr> JoinService::TryAdmitLocked(
   std::vector<StatePtr> group;
   const uint64_t budget = options_.memory_budget_bytes;
 
+  // Queue -> running transition: stamp the admission wait (Execute
+  // turns it into the retroactive admission.wait trace span) and feed
+  // the service latency histogram.
+  const auto admit = [](QueryState& q) {
+    q.phase = QueryState::Phase::kRunning;
+    q.admission_wait_ns = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - q.submitted_at)
+            .count());
+    AdmissionWaitHistogram().Record(q.admission_wait_ns);
+  };
+
   // Admission scan, queue order. A too-big head does not block smaller
   // queries behind it (its turn comes as reservations release — the
   // budget frees completely whenever the service idles, so it cannot
@@ -245,6 +321,7 @@ std::vector<JoinService::StatePtr> JoinService::TryAdmitLocked(
         StatePtr rejected = queue_[i];
         queue_.erase(queue_.begin() + static_cast<ptrdiff_t>(i));
         ++stats_.rejected;
+        RejectedCounter().Add(1);
         rejected->footprint = 0;  // planned but never reserved
         FinishLocked(*rejected, admissible);
         continue;
@@ -269,7 +346,7 @@ std::vector<JoinService::StatePtr> JoinService::TryAdmitLocked(
   }
   if (head == nullptr) return group;
 
-  head->phase = QueryState::Phase::kRunning;
+  admit(*head);
   reserved_bytes_ += head->footprint;
   group.push_back(head);
 
@@ -299,7 +376,7 @@ std::vector<JoinService::StatePtr> JoinService::TryAdmitLocked(
           (budget == 0 || reserved_bytes_ + mate_footprint <= budget)) {
         StatePtr mate = *it;
         it = queue_.erase(it);
-        mate->phase = QueryState::Phase::kRunning;
+        admit(*mate);
         mate->planned = true;
         mate->team_size = head->team_size;
         mate->footprint = mate_footprint;
@@ -319,8 +396,12 @@ std::vector<JoinService::StatePtr> JoinService::TryAdmitLocked(
   return group;
 }
 
-void JoinService::ExecuteGroup(engine::Engine& engine,
+void JoinService::ExecuteGroup(engine::Engine& engine, uint32_t lane,
                                std::vector<StatePtr>& group) {
+  // Tag the lane's team (1-based; 0 = outside a service) so donated
+  // morsels executed by its idle workers attribute to this lane in the
+  // owner query's trace.
+  engine.EnsureTeam(group.front()->team_size).set_lane(lane + 1);
   // Sort the shared public input once for the whole group. On failure
   // fall back to per-query sorting — correctness never depends on the
   // batching fast path. With the run cache attached, the engine itself
@@ -337,6 +418,8 @@ void JoinService::ExecuteGroup(engine::Engine& engine,
   }
   for (StatePtr& q : group) {
     engine::JoinSpec spec = q->spec;
+    spec.query_id = q->id;
+    spec.admission_wait_ns = q->admission_wait_ns;
     if (shared.has_value()) {
       spec.shared_public_runs = &*shared;
       spec.algorithm = engine::Algorithm::kPMpsm;
@@ -345,6 +428,13 @@ void JoinService::ExecuteGroup(engine::Engine& engine,
     }
     if (q->down_budgeted) spec.memory_budget_bytes = q->budget_override;
     Result<engine::JoinReport> result = engine.Execute(spec);
+    // Labeled per-lane throughput (one registration-path lookup per
+    // query — off the hot path).
+    obs::MetricsRegistry::Global()
+        .counter("mpsm_service_lane_queries_total",
+                 "Queries executed per service lane",
+                 {{"lane", std::to_string(lane)}})
+        .Add(1);
     std::lock_guard<std::mutex> lock(mu_);
     FinishLocked(*q, std::move(result));
   }
@@ -356,8 +446,10 @@ void JoinService::FinishLocked(QueryState& q,
   q.footprint = 0;
   if (result.ok()) {
     ++stats_.completed;
+    CompletedCounter().Add(1);
   } else if (result.status().code() != StatusCode::kResourceExhausted) {
     ++stats_.failed;
+    FailedCounter().Add(1);
   }
   q.result.emplace(std::move(result));
   q.phase = QueryState::Phase::kDone;
@@ -393,7 +485,7 @@ void JoinService::LaneLoop(uint32_t lane) {
     }
     ++running_groups_;
     lock.unlock();
-    ExecuteGroup(engine, group);
+    ExecuteGroup(engine, lane, group);
     lock.lock();
     --running_groups_;
     done_cv_.notify_all();  // Drain watches running_groups_

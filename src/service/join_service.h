@@ -33,6 +33,7 @@
 //   auto report = svc.Wait(*id);          // blocks for this query only
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -47,6 +48,7 @@
 #include "core/public_runs.h"
 #include "engine/engine.h"
 #include "numa/topology.h"
+#include "obs/metrics.h"
 #include "parallel/donation.h"
 #include "util/status.h"
 
@@ -163,6 +165,13 @@ class JoinService {
   void Drain();
 
   ServiceStats stats() const;
+
+  /// A point-in-time copy of the process metrics registry
+  /// (obs/metrics.h) with the service's live gauges — queue depth,
+  /// reserved admission bytes, cache residency — refreshed first.
+  /// Export with ToPrometheusText() or ToJson().
+  obs::MetricsSnapshot MetricsSnapshot() const;
+
   const numa::Topology& topology() const { return topology_; }
   const ServiceOptions& options() const { return options_; }
 
@@ -188,6 +197,12 @@ class JoinService {
     /// Set exactly once, when phase turns kDone.
     std::optional<Result<engine::JoinReport>> result;
 
+    /// Submit time; admission wait = admission time - this. Plumbed
+    /// into JoinSpec::admission_wait_ns so the engine records the
+    /// retroactive admission.wait trace span.
+    std::chrono::steady_clock::time_point submitted_at;
+    uint64_t admission_wait_ns = 0;
+
     /// Admission artifacts (set by PlanLocked on the admitting lane).
     bool planned = false;
     engine::JoinPlan plan;
@@ -210,7 +225,9 @@ class JoinService {
   std::vector<StatePtr> TryAdmitLocked(engine::Engine& engine);
   /// Runs one admitted group on the lane's engine (shared public sort
   /// first when the group has >= 2 members) and finishes every member.
-  void ExecuteGroup(engine::Engine& engine, std::vector<StatePtr>& group);
+  /// `lane` tags the team for donated-morsel trace attribution.
+  void ExecuteGroup(engine::Engine& engine, uint32_t lane,
+                    std::vector<StatePtr>& group);
   void FinishLocked(QueryState& q, Result<engine::JoinReport> result);
 
   numa::Topology topology_;

@@ -1,0 +1,111 @@
+// Minimal streaming JSON writer for report/metric serialization
+// (JoinReport::ToJson, bench report emission). Write-only, no DOM: the
+// caller opens/closes objects and arrays in order; commas and escaping
+// are handled here.
+#pragma once
+
+#include <cinttypes>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace mpsm {
+
+class JsonWriter {
+ public:
+  std::string& str() { return out_; }
+  const std::string& str() const { return out_; }
+
+  void BeginObject() {
+    Comma();
+    out_ += '{';
+    fresh_ = true;
+  }
+  void EndObject() {
+    out_ += '}';
+    fresh_ = false;
+  }
+  void BeginArray() {
+    Comma();
+    out_ += '[';
+    fresh_ = true;
+  }
+  void EndArray() {
+    out_ += ']';
+    fresh_ = false;
+  }
+
+  /// Object key; follow with exactly one value (or Begin*).
+  void Key(const char* key) {
+    Comma();
+    AppendString(key);
+    out_ += ':';
+    fresh_ = true;  // the value itself must not emit a comma
+  }
+
+  void Value(const char* s) {
+    Comma();
+    AppendString(s);
+  }
+  void Value(const std::string& s) { Value(s.c_str()); }
+  void Value(uint64_t v) {
+    Comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+    out_ += buf;
+  }
+  void Value(int64_t v) {
+    Comma();
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%" PRId64, v);
+    out_ += buf;
+  }
+  void Value(uint32_t v) { Value(static_cast<uint64_t>(v)); }
+  void Value(int v) { Value(static_cast<int64_t>(v)); }
+  void Value(double v) {
+    Comma();
+    char buf[48];
+    std::snprintf(buf, sizeof(buf), "%.9g", v);
+    out_ += buf;
+  }
+  void Value(bool v) {
+    Comma();
+    out_ += v ? "true" : "false";
+  }
+
+  /// Key + value in one call.
+  template <typename T>
+  void Field(const char* key, T value) {
+    Key(key);
+    Value(value);
+  }
+
+ private:
+  void Comma() {
+    if (!fresh_) out_ += ',';
+    fresh_ = false;
+  }
+
+  void AppendString(const char* s) {
+    out_ += '"';
+    for (; *s != '\0'; ++s) {
+      const char c = *s;
+      if (c == '"' || c == '\\') {
+        out_ += '\\';
+        out_ += c;
+      } else if (static_cast<unsigned char>(c) < 0x20) {
+        char buf[8];
+        std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+        out_ += buf;
+      } else {
+        out_ += c;
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  bool fresh_ = true;
+};
+
+}  // namespace mpsm

@@ -51,8 +51,7 @@ Result<QueryResult> RunBenchmarkQuery(Algorithm algorithm,
 
   QueryResult result;
   result.max_sum = consumers.Result();
-  result.info = std::move(report.info);
-  result.plan = std::move(report.plan);
+  result.report = std::move(report);
   return result;
 }
 

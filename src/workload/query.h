@@ -28,12 +28,16 @@ using Algorithm = engine::Algorithm;
 /// flagging the radix join as the Vectorwise stand-in ("radix (vw)").
 const char* AlgorithmName(Algorithm algorithm);
 
-/// The query's answer plus execution statistics.
+/// The query's answer plus the engine's full execution report (plan,
+/// measured phases, counters, variant diagnostics, trace when enabled
+/// — serializable with report.ToJson()).
 struct QueryResult {
   std::optional<uint64_t> max_sum;  // nullopt for an empty join
-  JoinRunInfo info;
-  /// The plan the engine executed (resolved knobs, predicted costs).
-  engine::JoinPlan plan;
+  engine::JoinReport report;
+
+  /// Shorthands into the report.
+  const JoinRunInfo& info() const { return report.info; }
+  const engine::JoinPlan& plan() const { return report.plan; }
 };
 
 /// Runs the benchmark query on `engine`'s session. `r` plays the

@@ -131,7 +131,7 @@ TEST_P(JoinCorrectnessTest, MaxSumMatchesReference) {
   auto result = workload::RunBenchmarkQuery(c.algorithm, engine, dataset.r,
                                             dataset.s);
   ASSERT_TRUE(result.ok()) << result.status().ToString();
-  EXPECT_EQ(result->plan.algorithm, c.algorithm);
+  EXPECT_EQ(result->plan().algorithm, c.algorithm);
 
   const uint64_t expected = baseline::ReferenceMaxPayloadSum(
       dataset.r.ToVector(), dataset.s.ToVector());
