@@ -778,6 +778,69 @@ void BM_DMpsmIoUring(benchmark::State& state) {
 }
 BENCHMARK(BM_DMpsmIoUring)->Unit(benchmark::kMillisecond);
 
+// Crash-recovery journaling overhead A/B (docs/recovery.md): the same
+// spilling join with the durable manifest off vs on. On pays one
+// persistent named spool file plus ~3 records per worker, each an
+// append + fdatasync behind a write barrier — the per-run/per-chunk
+// commit discipline. The Off/On delta is the price of restartability
+// on the BM_DMpsmIoThreadpool shape (budgeted under 3%).
+void DMpsmJournalBench(benchmark::State& state, bool journal) {
+  const auto topology = numa::Topology::Probe();
+  const uint32_t team_size = 4;
+  workload::DatasetSpec spec;
+  spec.r_tuples = size_t{1} << GetEnvInt("MPSM_IO_BENCH_LOG2", 15);
+  spec.multiplicity = 2;
+  spec.seed = 42;
+  const auto dataset = workload::Generate(topology, team_size, spec);
+  WorkerTeam team(topology, team_size);
+
+  disk::DMpsmOptions options;
+  options.tuples_per_page = 512;
+  options.pool_pages = 16;
+  options.scheduler = SchedulerKind::kStealing;
+  options.io_backend = io::IoBackendKind::kThreadpool;
+  options.io_delay_us = 100;
+  char dir_template[] = "/tmp/mpsm_bench_journal_XXXXXX";
+  if (journal) {
+    if (::mkdtemp(dir_template) == nullptr) {
+      state.SkipWithError("mkdtemp failed");
+      return;
+    }
+    options.directory = dir_template;
+    options.recovery.journal = true;
+    options.recovery.journal_path = std::string(dir_template) + "/m.jnl";
+    options.recovery.spool_path = std::string(dir_template) + "/s.pages";
+  }
+
+  double commits = 0;
+  for (auto _ : state) {
+    CountFactory counts(team_size);
+    disk::DMpsmReport report;
+    auto info = disk::DMpsmJoin(options).Execute(team, dataset.r,
+                                                 dataset.s, counts, &report);
+    if (!info.ok()) {
+      state.SkipWithError("join failed");
+      return;
+    }
+    benchmark::DoNotOptimize(counts.Result());
+    commits = static_cast<double>(report.journal_commits);
+  }
+  state.counters["journal_commits"] = commits;
+  state.SetItemsProcessed(state.iterations() *
+                          (dataset.r.size() + dataset.s.size()));
+  if (journal) (void)::rmdir(dir_template);  // artifacts retired on success
+}
+
+void BM_DMpsmJournalOff(benchmark::State& state) {
+  DMpsmJournalBench(state, /*journal=*/false);
+}
+BENCHMARK(BM_DMpsmJournalOff)->Unit(benchmark::kMillisecond);
+
+void BM_DMpsmJournalOn(benchmark::State& state) {
+  DMpsmJournalBench(state, /*journal=*/true);
+}
+BENCHMARK(BM_DMpsmJournalOn)->Unit(benchmark::kMillisecond);
+
 // Buffer pool frame micro-costs (docs/storage.md): one pin+decode+
 // unpin round trip when the page is resident (hit: pure frame-table
 // work), when it must be read and another frame evicted (miss: one

@@ -160,14 +160,35 @@ bool BufferPool::RoutePinLocked(const PagePinRequest& request,
   return true;
 }
 
-void BufferPool::CollectParkedLocked(
+void BufferPool::FailParkedLocked() {
+  if (status_.ok()) return;
+  while (!parked_pins_.empty()) {
+    const PagePinRequest& request = parked_pins_.front();
+    client_queues_[request.queue].push_back(
+        PagePinCompletion{request.user_data, kInvalidFrame, status_});
+    parked_pins_.pop_front();
+  }
+}
+
+bool BufferPool::CollectParkedLocked(
     std::vector<io::PageFetchRequest>& reads) {
-  if (closed_) return;
+  if (closed_) return false;
+  // A latched error means frames may never transition again (a failed
+  // write-back leaves no retirement to wait for): fail parked pins now
+  // instead of letting them wait on progress that cannot come.
+  if (!status_.ok()) {
+    const bool progressed = !parked_pins_.empty();
+    FailParkedLocked();
+    return progressed;
+  }
+  bool progressed = false;
   // FIFO: if the head can't get a frame, everyone behind it waits too.
   while (!parked_pins_.empty()) {
     if (!RoutePinLocked(parked_pins_.front(), reads)) break;
     parked_pins_.pop_front();
+    progressed = true;
   }
+  return progressed;
 }
 
 Status BufferPool::SubmitLoads(std::unique_lock<std::mutex>& lock,
@@ -274,6 +295,7 @@ void BufferPool::ProcessLoadLocked(FrameId frame, const Status& status) {
     table_.erase(f.page);
     f.state = Frame::State::kFree;
     f.pins = 0;
+    FailParkedLocked();
   }
   f.waiters.clear();
 }
@@ -285,8 +307,11 @@ void BufferPool::ProcessWriteLocked(FrameId frame, const Status& status) {
   --dirty_frames_;
   if (status.ok()) {
     ++writebacks_;
-  } else if (status_.ok()) {
-    status_ = status;
+  } else {
+    if (status_.ok()) status_ = status;
+    // A parked pin waiting for this frame to retire would otherwise
+    // wait forever: deliver the latched failure now.
+    FailParkedLocked();
   }
   // On failure the frame is marked clean anyway: the error is latched
   // (the query fails through status()/FlushAll), and retrying a dead
@@ -375,8 +400,7 @@ Status BufferPool::Pump(bool block) {
   {
     std::unique_lock<std::mutex> lock(mu_);
     std::vector<io::PageFetchRequest> reads;
-    CollectParkedLocked(reads);
-    if (!reads.empty()) progressed = true;
+    if (CollectParkedLocked(reads)) progressed = true;
     SubmitLoads(lock, reads);  // errors surface via pin completions
   }
   if (!block || progressed) return Status::OK();
@@ -485,6 +509,34 @@ Status BufferPool::FlushAll() {
     }
     flush_cv_.notify_one();
     MPSM_RETURN_NOT_OK(Pump(/*block=*/true));
+  }
+}
+
+Status BufferPool::FlushUpTo(disk::PageId limit) {
+  // Passive wait: the flusher thread both submits and reaps write-backs
+  // on its own (it parks in the scheduler while writes are in flight),
+  // so this caller only nudges it and sleeps on progress_ — it never
+  // pumps the scheduler itself, keeping the recovery committer off the
+  // completion path the workers and prefetcher contend on.
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (!status_.ok()) return status_;
+    bool outstanding = false;
+    for (const Frame& f : frames_) {
+      // dirty covers mid-flush frames too (the flag clears when the
+      // write-back *completes*, not when it is submitted).
+      if (f.dirty && f.state == Frame::State::kResident &&
+          f.page <= limit) {
+        outstanding = true;
+        break;
+      }
+    }
+    if (!outstanding) return status_;
+    flush_cv_.notify_one();
+    // Bounded so a notify racing this wait costs a timeout, not a hang
+    // (the flusher cannot flush a dirty frame while a reader pins it;
+    // re-checking picks up the unpin).
+    progress_.wait_for(lock, std::chrono::microseconds(200));
   }
 }
 

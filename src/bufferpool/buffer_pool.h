@@ -156,6 +156,14 @@ class BufferPool {
   /// direct-read oracle; Close calls it). Returns the pool status.
   Status FlushAll();
 
+  /// Durability barrier up to a spool position: blocks until every
+  /// dirty frame holding a page id <= `limit` has retired its
+  /// write-back. The data is then in the kernel's page cache — pair
+  /// with IoScheduler::SubmitFlush (fdatasync) to make it durable. The
+  /// recovery journal calls this before committing a run record
+  /// (docs/recovery.md). Returns the pool status.
+  Status FlushUpTo(disk::PageId limit);
+
   /// Flushes everything, stops the flusher thread, reaps every
   /// in-flight pool operation, and fails still-parked pins. Idempotent.
   /// After Close only stats() and status() are meaningful.
@@ -202,8 +210,14 @@ class BufferPool {
   /// `reads`), or parked. Returns false when parked.
   bool RoutePinLocked(const PagePinRequest& request,
                       std::vector<io::PageFetchRequest>& reads);
-  /// Retries parked pins in FIFO order; returns loads to submit.
-  void CollectParkedLocked(std::vector<io::PageFetchRequest>& reads);
+  /// Retries parked pins in FIFO order (or fails them all when the
+  /// pool status has latched an error — a parked pin must never wait
+  /// on a frame that will not transition). Returns true when any pin
+  /// was routed or failed.
+  bool CollectParkedLocked(std::vector<io::PageFetchRequest>& reads);
+  /// Fails every parked pin with the latched status_ (no-op while OK).
+  /// Called at the latch points so waiters learn promptly.
+  void FailParkedLocked();
   /// Submits `reads` with mu_ dropped; on a rejected submit fails the
   /// affected frames' waiters.
   Status SubmitLoads(std::unique_lock<std::mutex>& lock,

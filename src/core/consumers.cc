@@ -1,8 +1,34 @@
 #include "core/consumers.h"
 
 #include <algorithm>
+#include <cstring>
 
 namespace mpsm {
+
+namespace {
+
+// Little helpers for the durable snapshots: fixed-width little-endian
+// fields, bounds-checked on restore.
+void PutU64(std::string& out, uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU8(std::string& out, uint8_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+bool GetU64(const std::string& in, size_t& pos, uint64_t* v) {
+  if (in.size() - pos < sizeof(*v)) return false;
+  std::memcpy(v, in.data() + pos, sizeof(*v));
+  pos += sizeof(*v);
+  return true;
+}
+bool GetU8(const std::string& in, size_t& pos, uint8_t* v) {
+  if (in.size() - pos < sizeof(*v)) return false;
+  std::memcpy(v, in.data() + pos, sizeof(*v));
+  pos += sizeof(*v);
+  return true;
+}
+
+}  // namespace
 
 // ---------------------------------------------------------------- max agg
 
@@ -24,6 +50,7 @@ class MaxPayloadSumFactory::Consumer : public JoinConsumer {
   }
 
   std::optional<uint64_t> best() const { return best_; }
+  void set_best(std::optional<uint64_t> best) { best_ = best; }
 
  private:
   std::optional<uint64_t> best_;
@@ -40,6 +67,28 @@ MaxPayloadSumFactory::~MaxPayloadSumFactory() = default;
 
 JoinConsumer& MaxPayloadSumFactory::ConsumerForWorker(uint32_t w) {
   return *workers_[w];
+}
+
+std::string MaxPayloadSumFactory::SerializeWorker(uint32_t w) const {
+  std::string out;
+  const auto best = workers_[w]->best();
+  PutU8(out, best.has_value() ? 1 : 0);
+  PutU64(out, best.value_or(0));
+  return out;
+}
+
+Status MaxPayloadSumFactory::RestoreWorker(uint32_t w,
+                                           const std::string& state) {
+  size_t pos = 0;
+  uint8_t has = 0;
+  uint64_t value = 0;
+  if (w >= workers_.size() || !GetU8(state, pos, &has) ||
+      !GetU64(state, pos, &value) || pos != state.size()) {
+    return Status::InvalidArgument("malformed max-aggregate snapshot");
+  }
+  workers_[w]->set_best(has != 0 ? std::optional<uint64_t>(value)
+                                 : std::nullopt);
+  return Status::OK();
 }
 
 std::optional<uint64_t> MaxPayloadSumFactory::Result() const {
@@ -60,6 +109,7 @@ class CountFactory::Consumer : public JoinConsumer {
   }
   void OnUnmatchedR(const Tuple&) override { ++count_; }
   uint64_t count() const { return count_; }
+  void set_count(uint64_t count) { count_ = count; }
 
  private:
   uint64_t count_ = 0;
@@ -76,6 +126,23 @@ CountFactory::~CountFactory() = default;
 
 JoinConsumer& CountFactory::ConsumerForWorker(uint32_t w) {
   return *workers_[w];
+}
+
+std::string CountFactory::SerializeWorker(uint32_t w) const {
+  std::string out;
+  PutU64(out, workers_[w]->count());
+  return out;
+}
+
+Status CountFactory::RestoreWorker(uint32_t w, const std::string& state) {
+  size_t pos = 0;
+  uint64_t count = 0;
+  if (w >= workers_.size() || !GetU64(state, pos, &count) ||
+      pos != state.size()) {
+    return Status::InvalidArgument("malformed count snapshot");
+  }
+  workers_[w]->set_count(count);
+  return Status::OK();
 }
 
 uint64_t CountFactory::Result() const {
@@ -97,6 +164,7 @@ class MaterializeFactory::Consumer : public JoinConsumer {
     rows_.push_back(OutputRow{r.key, r.payload, std::nullopt});
   }
   const std::vector<OutputRow>& rows() const { return rows_; }
+  void set_rows(std::vector<OutputRow> rows) { rows_ = std::move(rows); }
 
  private:
   std::vector<OutputRow> rows_;
@@ -113,6 +181,50 @@ MaterializeFactory::~MaterializeFactory() = default;
 
 JoinConsumer& MaterializeFactory::ConsumerForWorker(uint32_t w) {
   return *workers_[w];
+}
+
+std::string MaterializeFactory::SerializeWorker(uint32_t w) const {
+  const std::vector<OutputRow>& rows = workers_[w]->rows();
+  std::string out;
+  out.reserve(rows.size() * 25 + 8);
+  PutU64(out, rows.size());
+  for (const OutputRow& row : rows) {
+    PutU64(out, row.key);
+    PutU64(out, row.r_payload);
+    PutU8(out, row.s_payload.has_value() ? 1 : 0);
+    PutU64(out, row.s_payload.value_or(0));
+  }
+  return out;
+}
+
+Status MaterializeFactory::RestoreWorker(uint32_t w,
+                                         const std::string& state) {
+  if (w >= workers_.size()) {
+    return Status::InvalidArgument("worker out of range");
+  }
+  size_t pos = 0;
+  uint64_t n = 0;
+  if (!GetU64(state, pos, &n) || (state.size() - pos) / 25 < n) {
+    return Status::InvalidArgument("malformed materialize snapshot");
+  }
+  std::vector<OutputRow> rows;
+  rows.reserve(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    OutputRow row{};
+    uint8_t has_s = 0;
+    uint64_t s_payload = 0;
+    if (!GetU64(state, pos, &row.key) || !GetU64(state, pos, &row.r_payload) ||
+        !GetU8(state, pos, &has_s) || !GetU64(state, pos, &s_payload)) {
+      return Status::InvalidArgument("malformed materialize snapshot");
+    }
+    if (has_s != 0) row.s_payload = s_payload;
+    rows.push_back(row);
+  }
+  if (pos != state.size()) {
+    return Status::InvalidArgument("malformed materialize snapshot");
+  }
+  workers_[w]->set_rows(std::move(rows));
+  return Status::OK();
 }
 
 const std::vector<OutputRow>& MaterializeFactory::RowsOfWorker(

@@ -9,9 +9,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
+#include <string>
 #include <vector>
 
 #include "storage/tuple.h"
+#include "util/status.h"
 
 namespace mpsm {
 
@@ -40,13 +42,33 @@ class ConsumerFactory {
   virtual JoinConsumer& ConsumerForWorker(uint32_t w) = 0;
 };
 
+/// A consumer factory whose per-worker state can be snapshotted and
+/// restored. Crash recovery (docs/recovery.md) uses this to skip a
+/// worker's entire phase-4 walk on resume: the serialized state a
+/// completed walk committed to the manifest is restored into a fresh
+/// factory, and that worker's chunk is never re-joined. Factories
+/// without this interface still resume (durable runs are re-attached)
+/// but re-run every walk.
+class DurableConsumerFactory : public ConsumerFactory {
+ public:
+  /// Worker `w`'s complete consumer state, as an opaque byte string.
+  /// Called after the worker's walk finished and before results merge.
+  virtual std::string SerializeWorker(uint32_t w) const = 0;
+
+  /// Replaces worker `w`'s state with a previously serialized snapshot.
+  /// A malformed snapshot fails (the caller then re-runs the walk).
+  virtual Status RestoreWorker(uint32_t w, const std::string& state) = 0;
+};
+
 /// Computes max(R.payload + S.payload), the paper's §5.1 query.
 /// For unmatched R tuples (outer join) the S payload contributes 0.
-class MaxPayloadSumFactory : public ConsumerFactory {
+class MaxPayloadSumFactory : public DurableConsumerFactory {
  public:
   explicit MaxPayloadSumFactory(uint32_t team_size);
   ~MaxPayloadSumFactory() override;
   JoinConsumer& ConsumerForWorker(uint32_t w) override;
+  std::string SerializeWorker(uint32_t w) const override;
+  Status RestoreWorker(uint32_t w, const std::string& state) override;
 
   /// The aggregate over all workers; nullopt when no tuple was emitted.
   std::optional<uint64_t> Result() const;
@@ -58,11 +80,13 @@ class MaxPayloadSumFactory : public ConsumerFactory {
 
 /// Counts output tuples (matches, plus unmatched emissions for
 /// anti/outer joins).
-class CountFactory : public ConsumerFactory {
+class CountFactory : public DurableConsumerFactory {
  public:
   explicit CountFactory(uint32_t team_size);
   ~CountFactory() override;
   JoinConsumer& ConsumerForWorker(uint32_t w) override;
+  std::string SerializeWorker(uint32_t w) const override;
+  Status RestoreWorker(uint32_t w, const std::string& state) override;
 
   /// Total output cardinality across workers.
   uint64_t Result() const;
@@ -85,11 +109,13 @@ struct OutputRow {
 /// Materializes all output rows, per worker. MPSM's output arrives as
 /// sorted runs per worker — the "interesting physical property" §6
 /// mentions; rows_of_worker preserves that order.
-class MaterializeFactory : public ConsumerFactory {
+class MaterializeFactory : public DurableConsumerFactory {
  public:
   explicit MaterializeFactory(uint32_t team_size);
   ~MaterializeFactory() override;
   JoinConsumer& ConsumerForWorker(uint32_t w) override;
+  std::string SerializeWorker(uint32_t w) const override;
+  Status RestoreWorker(uint32_t w, const std::string& state) override;
 
   /// Rows produced by worker w, in emission order.
   const std::vector<OutputRow>& RowsOfWorker(uint32_t w) const;

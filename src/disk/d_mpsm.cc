@@ -3,14 +3,23 @@
 #include <algorithm>
 #include <array>
 #include <atomic>
+#include <condition_variable>
+#include <deque>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <optional>
+#include <thread>
+#include <utility>
 #include <vector>
 
 #include "core/merge_join.h"
 #include "disk/page_index.h"
 #include "disk/staging_pipeline.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "parallel/task_scheduler.h"
+#include "recovery/join_journal.h"
 #include "simd/caps.h"
 #include "sort/radix_introsort.h"
 #include "util/timer.h"
@@ -25,6 +34,29 @@ struct SpooledRun {
   std::vector<uint32_t> counts;
 };
 
+/// Scheduler completion queue the run-commit fdatasync barrier uses
+/// (queues 0/1 are owned by the buffer pool).
+constexpr uint32_t kJournalFlushQueue = 2;
+
+obs::Counter& JournalCommitCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter(
+      "mpsm_recovery_journal_commits_total",
+      "Run/chunk records durably committed to join manifests");
+  return c;
+}
+obs::Counter& ChunksSkippedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter(
+      "mpsm_recovery_chunks_skipped_total",
+      "Phase-4 chunk walks skipped on resume via restored consumer state");
+  return c;
+}
+obs::Counter& RunsReattachedCounter() {
+  static obs::Counter& c = obs::MetricsRegistry::Global().counter(
+      "mpsm_recovery_runs_reattached_total",
+      "Durable spooled runs re-attached on resume instead of re-sorted");
+  return c;
+}
+
 /// Sorts a chunk and spools it; records index entries when `index` is
 /// given (public input) or returns the page list (private input).
 /// `worker_node` is the executing worker's node: a stolen spool morsel
@@ -33,13 +65,16 @@ struct SpooledRun {
 /// encode into a frame, flush in the background); `synchronous_spool`
 /// blocks on the device per page instead. Either way `spool_stall_ns`
 /// accumulates the wall time this worker spent blocked spooling.
+/// `content_checksum` (optional) receives fnv1a over the run's sorted
+/// tuple bytes — the recovery manifest's per-run checksum.
 Status SortAndSpool(const Chunk& chunk, uint32_t run_id,
                     numa::NodeId worker_node, PageStore& store,
                     bufferpool::BufferPool* pool, bool synchronous_spool,
                     PerfCounters& counters, PageIndex* index,
                     SpooledRun* run_out, sort::SortKind sort_kind,
                     const sort::RadixSortConfig& sort_config,
-                    uint64_t* spool_stall_ns) {
+                    uint64_t* spool_stall_ns,
+                    uint64_t* content_checksum = nullptr) {
   // The materializing copy is fused into the sort's first MSD pass
   // (§2.3 amortization, SortCopyInto); counters keep charging copy +
   // sort so the model stays comparable across sort kinds. for_overwrite
@@ -52,6 +87,10 @@ Status SortAndSpool(const Chunk& chunk, uint32_t run_id,
                      chunk.size * sizeof(Tuple));
   counters.CountWrite(/*local=*/true, /*sequential=*/true,
                       chunk.size * sizeof(Tuple));
+  if (content_checksum != nullptr) {
+    *content_checksum =
+        recovery::Fnv1a(sorted.get(), chunk.size * sizeof(Tuple));
+  }
 
   const size_t per_page = store.tuples_per_page();
   for (size_t offset = 0; offset < chunk.size; offset += per_page) {
@@ -264,6 +303,15 @@ Status DMpsmOptions::Validate() const {
   io_options.batch_pages = io_batch_pages;
   io_options.max_inflight_bytes = io_max_inflight_bytes;
   MPSM_RETURN_NOT_OK(io_options.Validate());
+  if (recovery.journal &&
+      (recovery.journal_path.empty() || recovery.spool_path.empty())) {
+    return Status::InvalidArgument(
+        "recovery.journal requires journal_path and spool_path");
+  }
+  if (recovery.resume != nullptr && !recovery.journal) {
+    return Status::InvalidArgument(
+        "recovery.resume requires recovery.journal");
+  }
   return sort_config.Validate();
 }
 
@@ -281,12 +329,27 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
   MPSM_RETURN_NOT_OK(options_.Validate());
   const bool stealing = options_.scheduler == SchedulerKind::kStealing;
 
+  // Resume bookkeeping: which durable state a validated manifest lets
+  // this execution skip. All empty on a cold start.
+  const bool journaling = options_.recovery.journal;
+  const recovery::ResumeState* resume = options_.recovery.resume;
+  const bool resuming = resume != nullptr && resume->HasWork();
+  std::vector<bool> public_reattached(num_workers, false);
+  std::vector<bool> private_reattached(num_workers, false);
+  std::vector<bool> chunk_done(num_workers, false);
+  auto* durable_consumers =
+      dynamic_cast<DurableConsumerFactory*>(&consumers);
+
   PageStoreOptions store_options;
   store_options.tuples_per_page = options_.tuples_per_page;
   store_options.directory = options_.directory;
   store_options.io_delay_us = options_.io_delay_us;
+  if (journaling) store_options.persist_path = options_.recovery.spool_path;
   PageStore store(store_options);
   MPSM_RETURN_NOT_OK(store.Open());
+  if (resuming && resume->adopted_pages > 0) {
+    MPSM_RETURN_NOT_OK(store.AdoptPages(resume->adopted_pages));
+  }
 
   // One async page-I/O scheduler, fully owned by the buffer pool (one
   // completion queue for frame loads, one for write-backs). A
@@ -298,7 +361,9 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
   io_options.queue_depth = options_.io_queue_depth;
   io_options.batch_pages = options_.io_batch_pages;
   io_options.max_inflight_bytes = options_.io_max_inflight_bytes;
-  io_options.completion_queues = 2;
+  // Queues 0/1 feed the buffer pool; journaling adds a third for the
+  // run-commit fdatasync barrier.
+  io_options.completion_queues = journaling ? 3 : 2;
   MPSM_ASSIGN_OR_RETURN(
       auto io_scheduler,
       io::IoScheduler::Create(store.fd(), store.page_bytes(),
@@ -347,6 +412,161 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
   std::atomic<size_t> peak_window{0};
   std::atomic<uint64_t> consumer_loads{0};
 
+  // Re-attach durable state before the phases run: recorded runs fill
+  // their index parts / page lists directly (their sort+spool morsels
+  // become no-ops), and restored consumer snapshots mark whole chunk
+  // walks as done.
+  uint32_t runs_reattached = 0;
+  uint32_t chunks_skipped = 0;
+  if (resuming) {
+    for (uint32_t w = 0; w < num_workers; ++w) {
+      if (resume->public_runs[w].has_value()) {
+        for (const PageIndexEntry& e : resume->public_runs[w]->pages) {
+          index_parts[w].Add(e);
+        }
+        public_reattached[w] = true;
+        ++runs_reattached;
+      }
+      if (resume->private_runs[w].has_value()) {
+        for (const PageIndexEntry& e : resume->private_runs[w]->pages) {
+          r_runs[w].pages.push_back(e.page);
+          r_runs[w].counts.push_back(e.tuple_count);
+        }
+        private_reattached[w] = true;
+        ++runs_reattached;
+      }
+      if (durable_consumers != nullptr &&
+          resume->chunk_states[w].has_value() &&
+          durable_consumers->RestoreWorker(w, *resume->chunk_states[w])
+              .ok()) {
+        chunk_done[w] = true;
+        ++chunks_skipped;
+      }
+    }
+    RunsReattachedCounter().Add(runs_reattached);
+    ChunksSkippedCounter().Add(chunks_skipped);
+  }
+  const uint32_t active_consumers =
+      num_workers - static_cast<uint32_t>(std::count(
+                        chunk_done.begin(), chunk_done.end(), true));
+
+  // The manifest: fresh on a cold start (truncating any stale file),
+  // extended in place on resume.
+  std::unique_ptr<recovery::JoinJournal> journal;
+  if (journaling) {
+    if (resuming) {
+      MPSM_ASSIGN_OR_RETURN(journal, recovery::JoinJournal::OpenForAppend(
+                                         options_.recovery.journal_path));
+    } else {
+      const recovery::QueryFingerprint fp = recovery::FingerprintFor(
+          r_private, s_public, num_workers, options_.tuples_per_page);
+      MPSM_ASSIGN_OR_RETURN(journal,
+                            recovery::JoinJournal::Create(
+                                options_.recovery.journal_path, fp,
+                                options_.recovery.strict_sync));
+    }
+    journal->set_kill_after_commits(options_.recovery.kill_after_commits);
+    journal->set_strict_sync(options_.recovery.strict_sync);
+  }
+
+  // Commits one spooled run: pool write-back barrier for the run's
+  // pages (their writes have *completed* — in the OS page cache, which
+  // survives a process kill), then — under strict_sync — an fdatasync
+  // on the spool fd through the scheduler's write barrier before the
+  // manifest record (its own fdatasync). Either way a committed run is
+  // re-attachable by a restarted process, so every manifest prefix
+  // references only resume-visible spool state; strict additionally
+  // makes each step power-loss durable in order. Serialized: commits
+  // are per-run, a handful per query.
+  std::mutex commit_mu;
+  uint64_t flush_token = 0;
+  // Write-back high-water mark: page ids are append-only and a page
+  // never re-dirties after its write-back completes, so once the pool
+  // has drained up to `flushed_limit` a later commit whose pages sit
+  // below it can skip the barrier entirely (commits arrive in
+  // per-phase bursts with overlapping page ranges).
+  PageId flushed_limit = 0;
+  bool flushed_any = false;
+  auto commit_body = [&](const recovery::RunRecord& record,
+                         PageId max_page) -> Status {
+    std::lock_guard<std::mutex> guard(commit_mu);
+    obs::TraceSpan span(obs::kCatRecovery, "recovery.commit_run");
+    if (!flushed_any || max_page > flushed_limit) {
+      MPSM_RETURN_NOT_OK(pool->FlushUpTo(max_page));
+      flushed_limit = std::max(flushed_limit, max_page);
+      flushed_any = true;
+    }
+    if (options_.recovery.strict_sync) {
+      const uint64_t token = ++flush_token;
+      MPSM_RETURN_NOT_OK(
+          io_scheduler->SubmitFlush(token, kJournalFlushQueue));
+      for (;;) {
+        io::PageFetchCompletion done;
+        if (io_scheduler->Drain(kJournalFlushQueue, &done, 1) == 1) {
+          if (done.user_data != token) {
+            return Status::Internal("unexpected flush completion");
+          }
+          MPSM_RETURN_NOT_OK(done.status);
+          break;
+        }
+        MPSM_RETURN_NOT_OK(io_scheduler->Pump(/*block=*/true));
+      }
+    }
+    return journal->CommitRun(record);
+  };
+
+  // Relaxed commits run on a dedicated committer thread so the
+  // write-back drain (FlushUpTo) stays off the workers' critical path
+  // — the whole journaling overhead would otherwise be un-overlapped
+  // write waiting at every phase boundary. Strict mode keeps commits
+  // inline: its point is that the phase does not advance past an
+  // un-durable run.
+  const bool async_commits =
+      journal != nullptr && !options_.recovery.strict_sync;
+  std::mutex committer_mu;
+  std::condition_variable committer_cv;
+  std::deque<std::function<Status()>> commit_queue;
+  bool committer_stop = false;
+  Status commit_status;  // first async-commit failure, latched
+  std::thread committer;
+  if (async_commits) {
+    committer = std::thread([&] {
+      for (;;) {
+        std::function<Status()> fn;
+        {
+          std::unique_lock<std::mutex> lock(committer_mu);
+          committer_cv.wait(lock, [&] {
+            return committer_stop || !commit_queue.empty();
+          });
+          if (commit_queue.empty()) return;  // stop and drained
+          fn = std::move(commit_queue.front());
+          commit_queue.pop_front();
+        }
+        const Status st = fn();
+        if (!st.ok()) {
+          std::lock_guard<std::mutex> lock(committer_mu);
+          if (commit_status.ok()) commit_status = st;
+        }
+      }
+    });
+  }
+  auto submit_commit = [&](std::function<Status()> fn) -> Status {
+    if (!async_commits) return fn();
+    {
+      std::lock_guard<std::mutex> lock(committer_mu);
+      commit_queue.push_back(std::move(fn));
+    }
+    committer_cv.notify_one();
+    return Status::OK();
+  };
+  auto commit_run = [&](recovery::RunRecord record,
+                        PageId max_page) -> Status {
+    return submit_commit(
+        [&commit_body, record = std::move(record), max_page] {
+          return commit_body(record, max_page);
+        });
+  };
+
   PhasePipeline phases(team.topology(), num_workers, options_.scheduler);
 
   // Phase 1: sort + spool the public chunks; collect index entries.
@@ -356,33 +576,74 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
       kPhaseSortPublic, [&] { return ChunkMorsels(num_workers); },
       [&](WorkerContext& ctx, const Morsel& morsel) {
         const uint32_t w = morsel.task;
+        if (public_reattached[w]) return;  // durable from a prior run
+        uint64_t checksum = 0;
         worker_status[w] = SortAndSpool(
             s_public.chunk(w), w, ctx.node, store, pool.get(),
             options_.synchronous_spool, ctx.Counters(kPhaseSortPublic),
             &index_parts[w], nullptr, options_.sort, options_.sort_config,
-            &spool_stall[w]);
+            &spool_stall[w], (journal && options_.recovery.checksum_runs) ? &checksum
+                                                          : nullptr);
+        if (journal && worker_status[w].ok()) {
+          recovery::RunRecord record;
+          record.run_id = w;
+          record.is_private = false;
+          record.content_checksum = checksum;
+          record.pages = index_parts[w].entries();
+          PageId max_page = 0;
+          for (const PageIndexEntry& e : record.pages) {
+            max_page = std::max(max_page, e.page);
+          }
+          worker_status[w] = commit_run(std::move(record), max_page);
+        }
       });
 
-  // Merge the page index and start the prefetch pipeline.
+  // Merge the page index and start the prefetch pipeline. Workers
+  // whose chunk walk is already done (restored consumer snapshots)
+  // never acquire from the ring, so the pipeline's release gating
+  // counts only the active consumers; with none active, phase 4 is a
+  // no-op and the ring never spins up.
   phases.AddSerial(kPhasePartition, [&](WorkerContext&) {
     for (auto& part : index_parts) s_index.Append(part);
     s_index.Finalize();
-    pipeline.emplace(store, s_index, staging_capacity, num_workers,
-                     pool.get(), /*consumer_loads=*/stealing,
-                     &team.topology());
-    pipeline->Start();
+    if (active_consumers > 0) {
+      pipeline.emplace(store, s_index, staging_capacity, active_consumers,
+                       pool.get(), /*consumer_loads=*/stealing,
+                       &team.topology());
+      pipeline->Start();
+    }
   });
 
-  // Phase 3: sort + spool the private chunks.
+  // Phase 3: sort + spool the private chunks. A worker whose chunk
+  // walk is already done needs no private run at all.
   phases.AddPhase(
       kPhaseSortPrivate, [&] { return ChunkMorsels(num_workers); },
       [&](WorkerContext& ctx, const Morsel& morsel) {
         const uint32_t w = morsel.task;
+        if (private_reattached[w] || chunk_done[w]) return;
+        uint64_t checksum = 0;
+        // The journal path also collects index entries for the private
+        // run: re-attachment needs its per-page min keys and counts.
+        PageIndex private_part;
         Status st = SortAndSpool(
             r_private.chunk(w), w, ctx.node, store, pool.get(),
             options_.synchronous_spool, ctx.Counters(kPhaseSortPrivate),
-            nullptr, &r_runs[w], options_.sort, options_.sort_config,
-            &spool_stall[w]);
+            journal ? &private_part : nullptr, &r_runs[w], options_.sort,
+            options_.sort_config, &spool_stall[w],
+            (journal && options_.recovery.checksum_runs) ? &checksum
+                                                          : nullptr);
+        if (journal && st.ok()) {
+          recovery::RunRecord record;
+          record.run_id = w;
+          record.is_private = true;
+          record.content_checksum = checksum;
+          record.pages = private_part.entries();
+          PageId max_page = 0;
+          for (const PageIndexEntry& e : record.pages) {
+            max_page = std::max(max_page, e.page);
+          }
+          st = commit_run(std::move(record), max_page);
+        }
         if (worker_status[w].ok()) worker_status[w] = st;
       });
 
@@ -398,6 +659,7 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
       kPhaseJoin, [&] { return ChunkMorsels(num_workers); },
       [&](WorkerContext& ctx, const Morsel& morsel) {
         const uint32_t w = morsel.task;
+        if (chunk_done[w]) return;  // restored snapshot covers this walk
         PerfCounters& counters = ctx.Counters(kPhaseJoin);
         JoinConsumer& consumer = consumers.ConsumerForWorker(w);
         PrivateWindow window(store, r_runs[w], pool.get(),
@@ -443,6 +705,23 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
         consumer_loads.fetch_add(activity.pages_loaded,
                                  std::memory_order_relaxed);
 
+        // The walk finished: commit this chunk's consumer snapshot so
+        // a restarted query can skip the whole walk. The snapshot is
+        // self-contained — no spool barrier needed, just the record's
+        // own fdatasync.
+        if (!failed && worker_status[w].ok() && journal &&
+            durable_consumers != nullptr) {
+          obs::TraceSpan commit_span(obs::kCatRecovery,
+                                     "recovery.commit_chunk");
+          recovery::ChunkRecord record;
+          record.worker = w;
+          record.state = durable_consumers->SerializeWorker(w);
+          worker_status[w] = submit_commit(
+              [&journal, record = std::move(record)] {
+                return journal->CommitChunk(record);
+              });
+        }
+
         size_t expected = peak_window.load(std::memory_order_relaxed);
         while (window.peak_tuples() > expected &&
                !peak_window.compare_exchange_weak(expected,
@@ -453,6 +732,17 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
 
   WallTimer timer;
   phases.Run(team, /*phase_barriers=*/true);
+
+  // Drain the committer before the pool winds down (commits call
+  // FlushUpTo) and before the report reads journal->commits().
+  if (async_commits) {
+    {
+      std::lock_guard<std::mutex> lock(committer_mu);
+      committer_stop = true;
+    }
+    committer_cv.notify_one();
+    committer.join();
+  }
 
   // The pipeline (and its in-flight pins) must wind down before the
   // pool closes; the pool's close flushes every dirty frame and
@@ -476,15 +766,32 @@ Result<JoinRunInfo> DMpsmJoin::Execute(WorkerTeam& team,
     report->index_entries = s_index.size();
     report->consumer_page_loads =
         consumer_loads.load(std::memory_order_relaxed);
+    report->resumed = resuming;
+    report->runs_reattached = runs_reattached;
+    report->chunks_skipped = chunks_skipped;
+    report->journal_commits = journal ? journal->commits() : 0;
   }
+  if (journal) JournalCommitCounter().Add(journal->commits());
 
   for (const Status& st : worker_status) {
     MPSM_RETURN_NOT_OK(st);
   }
+  // Committer joined above; a failed async commit fails the query like
+  // an inline one would (artifacts stay for the retry).
+  MPSM_RETURN_NOT_OK(commit_status);
   if (pipeline.has_value()) {
     MPSM_RETURN_NOT_OK(pipeline->status());
   }
   MPSM_RETURN_NOT_OK(pool_status);
+
+  // Success: the durable artifacts are retired (a failed or killed run
+  // leaves them for the retry to resume from).
+  if (journaling && !options_.recovery.retain_artifacts) {
+    journal->Discard();  // skip the close-time sync of a doomed file
+    journal.reset();
+    recovery::JoinJournal::Remove(options_.recovery.journal_path);
+    store.RemovePersistent();
+  }
   return CollectRunInfo(team, timer.ElapsedSeconds());
 }
 

@@ -22,12 +22,57 @@
 #include "io/io_scheduler.h"
 #include "parallel/scheduler_kind.h"
 #include "parallel/worker_team.h"
+#include "recovery/recovery_manager.h"
 #include "simd/simd_kind.h"
 #include "sort/radix_introsort.h"
 #include "storage/relation.h"
 #include "util/status.h"
 
 namespace mpsm::disk {
+
+/// Crash-recovery knobs of one D-MPSM execution (docs/recovery.md).
+struct DMpsmRecoveryOptions {
+  /// Maintain a durable manifest: spool through a persistent named
+  /// file (`spool_path`) and commit a checksummed record to
+  /// `journal_path` after each run's pages are durable and after each
+  /// completed chunk walk. Off, the spool is an anonymous temp file
+  /// that dies with the process.
+  bool journal = false;
+  std::string journal_path;
+  std::string spool_path;
+
+  /// Validated durable state from a previous incarnation of this query
+  /// (RecoveryManager::Load). Borrowed; must outlive Execute. Null (or
+  /// empty) = cold start. Requires `journal`.
+  const recovery::ResumeState* resume = nullptr;
+
+  /// Keep the manifest and spool file after a *successful* run instead
+  /// of retiring them (tests and the crash harness inspect/truncate
+  /// them). Failed runs always keep their artifacts for the retry.
+  bool retain_artifacts = false;
+
+  /// Record an fnv1a checksum over each run's tuple content in its
+  /// manifest record (costs one pass over every spooled byte on the
+  /// sort path). Only RecoveryManagerOptions::verify_runs reads it; a
+  /// run committed without one (checksum 0) is re-attached on
+  /// structural validation alone.
+  bool checksum_runs = false;
+
+  /// Per-commit durability. Relaxed (the default) makes every commit
+  /// process-crash durable — the run's write-backs have completed and
+  /// the manifest record is written before the commit returns, so a
+  /// SIGKILL'd query resumes from it via the surviving OS page cache —
+  /// and defers device fdatasyncs to query end (a power cut may lose
+  /// the un-synced tail; resume treats it as ordinary lost work).
+  /// Strict pays an fdatasync write barrier on the spool plus one on
+  /// the manifest *per commit* (~2 device flushes each, D-MPSM commits
+  /// 3x team_size times per query) for power-loss-grade durability.
+  bool strict_sync = false;
+
+  /// Crash injection (tools/crash_harness): SIGKILL this process right
+  /// after the n-th durable manifest commit. 0 = off.
+  uint64_t kill_after_commits = 0;
+};
 
 /// D-MPSM tuning.
 struct DMpsmOptions {
@@ -94,6 +139,10 @@ struct DMpsmOptions {
   /// its device budget across them through this knob.
   uint64_t io_max_inflight_bytes = 0;
 
+  /// Crash-safe restartability (docs/recovery.md): durable manifest,
+  /// persistent spool, resume state.
+  DMpsmRecoveryOptions recovery;
+
   /// Checks every knob against its legal range (e.g. pool_pages >= 1).
   /// Execute and the engine front door both call this.
   Status Validate() const;
@@ -127,6 +176,17 @@ struct DMpsmReport {
   /// thread (stealing scheduler only — page fetches as stealable
   /// tasks).
   uint64_t consumer_page_loads = 0;
+
+  // ---------------------------------- crash recovery (docs/recovery.md)
+  /// A validated manifest contributed durable state to this execution.
+  bool resumed = false;
+  /// Spooled runs re-attached from the manifest (phases 1/3 skipped
+  /// for them) instead of re-sorted and re-spooled.
+  uint32_t runs_reattached = 0;
+  /// Phase-4 chunk walks skipped via restored consumer snapshots.
+  uint32_t chunks_skipped = 0;
+  /// Run/chunk records this execution durably committed.
+  uint64_t journal_commits = 0;
 };
 
 /// The disk-enabled MPSM join (inner joins).

@@ -18,6 +18,18 @@ PageStore::~PageStore() {
 }
 
 Status PageStore::Open() {
+  if (!options_.persist_path.empty()) {
+    // Persistent mode: a named file that survives the process, so a
+    // restarted query can re-attach durable spooled runs. Never
+    // unlinked here — RemovePersistent() deletes it once the recovery
+    // manifest is retired.
+    fd_ = ::open(options_.persist_path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd_ < 0) {
+      return Status::IoError(std::string("open ") + options_.persist_path +
+                             ": " + std::strerror(errno));
+    }
+    return Status::OK();
+  }
   std::string path = options_.directory + "/mpsm_spool_XXXXXX";
   std::vector<char> buf(path.begin(), path.end());
   buf.push_back('\0');
@@ -28,6 +40,25 @@ Status PageStore::Open() {
   // Unlink immediately: the file vanishes when the store closes.
   ::unlink(buf.data());
   return Status::OK();
+}
+
+Status PageStore::AdoptPages(uint64_t pages) {
+  if (options_.persist_path.empty()) {
+    return Status::InvalidArgument(
+        "AdoptPages requires a persistent page store");
+  }
+  uint64_t expected = 0;
+  if (!next_page_.compare_exchange_strong(expected, pages,
+                                          std::memory_order_relaxed)) {
+    return Status::Internal("AdoptPages after allocation started");
+  }
+  return Status::OK();
+}
+
+void PageStore::RemovePersistent() {
+  if (!options_.persist_path.empty()) {
+    ::unlink(options_.persist_path.c_str());
+  }
 }
 
 PageId PageStore::AllocatePage() {

@@ -29,6 +29,12 @@ struct PageStoreOptions {
   std::string directory = "/tmp";
   /// Synthetic I/O latency per page read/write, microseconds (0 = off).
   uint32_t io_delay_us = 0;
+  /// Persistent mode: back the store with this *named* file (created if
+  /// absent, reopened if present — never unlinked by the store), so
+  /// spooled runs survive a process crash and a restarted query can
+  /// re-attach them (docs/recovery.md). Empty = the default anonymous
+  /// mkstemp+unlink temp file that vanishes with the process.
+  std::string persist_path;
 };
 
 /// I/O statistics (reads/writes are page-granular).
@@ -46,8 +52,21 @@ class PageStore {
   PageStore(const PageStore&) = delete;
   PageStore& operator=(const PageStore&) = delete;
 
-  /// Creates the backing file. Must be called before any I/O.
+  /// Creates (or, in persistent mode, creates-or-reopens) the backing
+  /// file. Must be called before any I/O.
   Status Open();
+
+  /// Persistent mode only: marks the first `pages` page ids as already
+  /// allocated (they hold durable data from a previous incarnation of
+  /// this spool file). Call after Open, before any allocation.
+  Status AdoptPages(uint64_t pages);
+
+  /// Deletes the persistent backing file (successful completion: the
+  /// durable spool is no longer needed). No-op in anonymous mode.
+  void RemovePersistent();
+
+  /// The named backing file, empty in anonymous mode.
+  const std::string& persist_path() const { return options_.persist_path; }
 
   /// Appends one page holding `count` <= tuples_per_page tuples.
   /// Thread-safe. Returns the new page's id.

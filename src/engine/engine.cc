@@ -10,6 +10,7 @@
 #include "core/public_runs.h"
 #include "obs/metrics.h"
 #include "parallel/donation.h"
+#include "recovery/recovery_manager.h"
 #include "sim/calibration.h"
 #include "simd/caps.h"
 #include "util/json.h"
@@ -309,7 +310,44 @@ Result<JoinReport> Engine::Execute(const JoinSpec& spec) {
       break;
     case Algorithm::kDMpsm: {
       report.dmpsm.emplace();
-      info = disk::DMpsmJoin(report.plan.dmpsm)
+      disk::DMpsmOptions dmpsm_options = report.plan.dmpsm;
+      std::optional<recovery::ResumeState> resume_state;
+      if (options.recovery.enabled) {
+        // Crash-safe restartability (docs/recovery.md): fingerprint
+        // the query, load any durable state a previous incarnation
+        // committed, and run with a journal. A manifest that fails
+        // validation yields an empty ResumeState — a cold but still
+        // journaled run. Only a real device error reading the
+        // manifest fails the query.
+        const recovery::QueryFingerprint fp = recovery::FingerprintFor(
+            *run_spec.r, *run_spec.s, team_size,
+            dmpsm_options.tuples_per_page);
+        recovery::RecoveryManagerOptions manager_options;
+        manager_options.dir = options.recovery.dir.empty()
+                                  ? dmpsm_options.directory
+                                  : options.recovery.dir;
+        manager_options.verify_runs = options.recovery.verify_runs;
+        manager_options.tuples_per_page = dmpsm_options.tuples_per_page;
+        recovery::RecoveryManager manager(manager_options);
+        auto loaded = manager.Load(fp);
+        if (!loaded.ok()) {
+          info = loaded.status();
+          break;
+        }
+        resume_state = std::move(loaded).value();
+        dmpsm_options.recovery.journal = true;
+        dmpsm_options.recovery.journal_path = manager.JournalPath(fp);
+        dmpsm_options.recovery.spool_path = manager.SpoolPath(fp);
+        dmpsm_options.recovery.resume = &*resume_state;
+        dmpsm_options.recovery.retain_artifacts =
+            options.recovery.retain_artifacts;
+        dmpsm_options.recovery.checksum_runs =
+            options.recovery.checksum_runs;
+        dmpsm_options.recovery.strict_sync = options.recovery.strict_sync;
+        dmpsm_options.recovery.kill_after_commits =
+            options.recovery.kill_after_commits;
+      }
+      info = disk::DMpsmJoin(dmpsm_options)
                  .Execute(team, *run_spec.r, *run_spec.s, *spec.consumers,
                           &*report.dmpsm);
       break;
@@ -363,6 +401,17 @@ Result<JoinReport> Engine::Execute(const JoinSpec& spec) {
                      report.query_id);
   }
   return report;
+}
+
+Result<JoinReport> Engine::Resume(const JoinSpec& spec) {
+  // A local options copy with recovery switched on; planning stays
+  // deterministic, so a crashed D-MPSM run replans to D-MPSM and finds
+  // its manifest under the same fingerprint.
+  EngineOptions options = spec.options ? *spec.options : options_;
+  options.recovery.enabled = true;
+  JoinSpec resume_spec = spec;
+  resume_spec.options = &options;
+  return Execute(resume_spec);
 }
 
 std::string JoinReport::ExplainAnalyzeString() const {
@@ -436,6 +485,10 @@ std::string JoinReport::ToJson() const {
     w.Field("io_stall_ns", dmpsm->io_sched.io_stall_ns);
     w.Field("spool_write_stall_ns", dmpsm->spool_write_stall_ns);
     w.Field("peak_pool_pages", dmpsm->peak_pool_pages);
+    w.Field("resumed", dmpsm->resumed);
+    w.Field("runs_reattached", dmpsm->runs_reattached);
+    w.Field("chunks_skipped", dmpsm->chunks_skipped);
+    w.Field("journal_commits", dmpsm->journal_commits);
     w.Key("pool");
     w.BeginObject();
     w.Field("hits", dmpsm->pool.hits);

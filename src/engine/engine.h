@@ -155,6 +155,16 @@ class Engine {
   /// Plans and runs one join, streaming output to spec.consumers.
   Result<JoinReport> Execute(const JoinSpec& spec);
 
+  /// Execute with crash recovery forced on (docs/recovery.md): if a
+  /// previous incarnation of this exact query (same inputs, versions,
+  /// team size, page geometry) left a durable manifest — e.g. the
+  /// process was killed mid-spill — its spooled runs are re-attached
+  /// and completed chunks are skipped; otherwise this is a cold but
+  /// journaled run. Only meaningful for spilling (D-MPSM) plans;
+  /// in-memory plans execute normally. Check
+  /// report.dmpsm->resumed / chunks_skipped for what was salvaged.
+  Result<JoinReport> Resume(const JoinSpec& spec);
+
   /// Plans without executing (EXPLAIN). Does not spawn the team.
   Result<JoinPlan> Plan(const JoinSpec& spec) const;
 

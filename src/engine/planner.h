@@ -110,6 +110,39 @@ struct DMpsmOverrides {
   uint64_t io_max_inflight_bytes = 0;
 };
 
+/// Crash-safe restartability of the D-MPSM spill path
+/// (docs/recovery.md). Enabled, a D-MPSM execution spools through a
+/// persistent named file and commits a checksummed manifest record
+/// after each durable run and each completed chunk walk. A repeat
+/// Execute of the *same* query (inputs, versions, team size, page
+/// geometry — the manifest fingerprint) re-attaches the durable runs
+/// and skips completed chunks; any mismatch falls back to a clean cold
+/// run. Engine::Resume is Execute with this switched on.
+struct RecoveryOverrides {
+  bool enabled = false;
+  /// Manifest + persistent-spool directory; empty uses the D-MPSM
+  /// spill directory (DMpsmOverrides::directory).
+  std::string dir;
+  /// Re-read and checksum every recorded run during Load (paranoid
+  /// resume; catches spool corruption the manifest cannot see).
+  bool verify_runs = false;
+  /// Keep the manifest and spool after a successful run instead of
+  /// retiring them (tests and the crash harness inspect them).
+  bool retain_artifacts = false;
+  /// Record per-run content checksums in the manifest
+  /// (DMpsmRecoveryOptions::checksum_runs) — one fnv1a pass over every
+  /// spooled byte; only verify_runs reads them.
+  bool checksum_runs = false;
+  /// Per-commit durability (DMpsmRecoveryOptions::strict_sync).
+  /// Default relaxed: commits are process-crash durable, device
+  /// fdatasyncs are deferred to query end. Strict pays ~2 device
+  /// flushes per commit for power-loss-grade durability.
+  bool strict_sync = false;
+  /// Crash injection (tools/crash_harness): SIGKILL this process right
+  /// after the n-th durable manifest commit. 0 = off.
+  uint64_t kill_after_commits = 0;
+};
+
 /// Per-algorithm overrides for the radix hash join.
 struct RadixOverrides {
   uint32_t pass1_bits = 0;  // 0 = auto
@@ -183,6 +216,9 @@ struct EngineOptions {
   MpsmOverrides mpsm;
   DMpsmOverrides dmpsm;
   RadixOverrides radix;
+
+  /// Crash-safe restartable spilling joins (docs/recovery.md).
+  RecoveryOverrides recovery;
 };
 
 /// One join request: inputs, semantics, constraints, and the consumer

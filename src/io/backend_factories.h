@@ -27,4 +27,8 @@ Status PerformBlockingRead(const IoRead& read);
 /// Honors write.delay_us. Shared by the sync and threadpool backends.
 Status PerformBlockingWrite(const IoWrite& write);
 
+/// Executes `flush` synchronously: fdatasync with EINTR retry. Honors
+/// flush.delay_us. Shared by the sync and threadpool backends.
+Status PerformBlockingFlush(const IoFlush& flush);
+
 }  // namespace mpsm::io

@@ -59,6 +59,10 @@ Status PerformBlockingRead(const IoRead& read) {
                                static_cast<off_t>(offset));
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Unavailable(std::string("preadv: ") +
+                                   std::strerror(errno));
+      }
       return Status::IoError(std::string("preadv: ") + std::strerror(errno));
     }
     if (n == 0) {
@@ -96,6 +100,10 @@ Status PerformBlockingWrite(const IoWrite& write) {
                                 static_cast<off_t>(offset));
     if (n < 0) {
       if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Status::Unavailable(std::string("pwritev: ") +
+                                   std::strerror(errno));
+      }
       return Status::IoError(std::string("pwritev: ") + std::strerror(errno));
     }
     if (n == 0) {
@@ -112,6 +120,17 @@ Status PerformBlockingWrite(const IoWrite& write) {
       iov[first].iov_base = static_cast<char*>(iov[first].iov_base) + consumed;
       iov[first].iov_len -= consumed;
     }
+  }
+  return Status::OK();
+}
+
+Status PerformBlockingFlush(const IoFlush& flush) {
+  if (flush.delay_us > 0) {
+    std::this_thread::sleep_for(std::chrono::microseconds(flush.delay_us));
+  }
+  while (::fdatasync(flush.fd) != 0) {
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("fdatasync: ") + std::strerror(errno));
   }
   return Status::OK();
 }
@@ -139,6 +158,15 @@ class SyncBackend final : public AsyncIoBackend {
     IoCompletion done;
     done.user_data = write.user_data;
     done.status = PerformBlockingWrite(write);
+    std::lock_guard<std::mutex> lock(mu_);
+    completed_.push_back(std::move(done));
+    return Status::OK();
+  }
+
+  Status SubmitFlush(const IoFlush& flush) override {
+    IoCompletion done;
+    done.user_data = flush.user_data;
+    done.status = PerformBlockingFlush(flush);
     std::lock_guard<std::mutex> lock(mu_);
     completed_.push_back(std::move(done));
     return Status::OK();

@@ -73,9 +73,23 @@ struct IoWrite {
   }
 };
 
-/// One finished read or write. A short transfer (EOF inside a read
-/// range, full device on a write) or device error surfaces as a non-OK
-/// status.
+/// One durability barrier: fdatasync `fd`, completing only once every
+/// byte previously written to it is on stable storage (the recovery
+/// journal's commit discipline — docs/recovery.md). The caller is
+/// responsible for ordering: flush after the writes it must cover have
+/// *completed* (IoScheduler::SubmitFlush adds that write barrier).
+struct IoFlush {
+  int fd = -1;
+  /// Opaque caller tag, returned verbatim in the completion.
+  uint64_t user_data = 0;
+  /// Synthetic device latency (see IoRead::delay_us).
+  uint32_t delay_us = 0;
+};
+
+/// One finished read, write, or flush. A short transfer (EOF inside a
+/// read range, full device on a write) or device error surfaces as a
+/// non-OK status; EINTR/EAGAIN-class transient failures surface as
+/// kUnavailable so the scheduler can retry them.
 struct IoCompletion {
   uint64_t user_data = 0;
   Status status;
@@ -97,6 +111,10 @@ class AsyncIoBackend {
   /// Queues one write. Source buffers stay caller-owned (and must stay
   /// unmodified) until the matching completion is reaped.
   virtual Status SubmitWrite(const IoWrite& write) = 0;
+
+  /// Queues one fdatasync barrier (sync: inline; threadpool: pool
+  /// thread; uring: IORING_OP_FSYNC | IORING_FSYNC_DATASYNC).
+  virtual Status SubmitFlush(const IoFlush& flush) = 0;
 
   /// Reaps up to `max` completions into `out`, returning the count.
   /// With `block` and operations in flight, waits for at least one;

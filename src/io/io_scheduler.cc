@@ -1,7 +1,9 @@
 #include "io/io_scheduler.h"
 
 #include <algorithm>
+#include <chrono>
 #include <string>
+#include <thread>
 #include <utility>
 
 #include "obs/metrics.h"
@@ -99,12 +101,20 @@ IoScheduler::~IoScheduler() {
       "Pages riding along in a vectored batch beyond the first");
   static obs::Counter& stall_ns = registry.counter(
       "mpsm_io_stall_ns_total", "Caller wall time blocked on I/O");
+  static obs::Counter& retries = registry.counter(
+      "mpsm_io_retries_total",
+      "Pages re-submitted after transient (EINTR/EAGAIN-class) failures");
+  static obs::Counter& flushes = registry.counter(
+      "mpsm_io_flushes_total",
+      "fdatasync durability barriers issued to the backend");
   pages_read.Add(pages_read_);
   pages_written.Add(pages_written_);
   read_batches.Add(io_batches_);
   write_batches.Add(write_batches_);
   coalesced.Add(coalesced_pages_ + coalesced_write_pages_);
   stall_ns.Add(io_stall_ns_.load(std::memory_order_relaxed));
+  retries.Add(retries_);
+  flushes.Add(flushes_);
 }
 
 Status IoScheduler::Submit(const PageFetchRequest* requests, size_t count) {
@@ -136,17 +146,99 @@ Status IoScheduler::SubmitWrites(const PageWriteRequest* requests,
   for (size_t i = 0; i < count; ++i) {
     // The const_cast is confined here: write batches build iovecs from
     // this pointer but the backend only ever reads through them.
-    pending_writes_.push_back(
-        PendingPage{requests[i].page, const_cast<char*>(requests[i].src),
-                    requests[i].user_data, requests[i].queue});
+    PendingPage page{requests[i].page, const_cast<char*>(requests[i].src),
+                     requests[i].user_data, requests[i].queue};
+    page.seq = ++write_enqueue_seq_;
+    pending_writes_.push_back(std::move(page));
   }
   return PushPendingLocked(lock);
+}
+
+Status IoScheduler::SubmitFlush(uint64_t user_data, uint32_t queue) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (queue >= queues_.size()) {
+    return Status::InvalidArgument("completion queue out of range");
+  }
+  // The barrier is the newest write enqueued so far: the flush waits
+  // for every write with seq <= barrier to complete before it is
+  // issued, so its OK completion proves those writes durable.
+  pending_flushes_.push_back(
+      PendingFlush{write_enqueue_seq_, user_data, queue});
+  return PushPendingLocked(lock);
+}
+
+bool IoScheduler::FlushBarrierClearLocked(uint64_t barrier) const {
+  // Pending writes are seq-ascending (new writes append with higher
+  // seqs; transient retries re-queue at the front with their original,
+  // lower seqs), so the front holds the minimum.
+  if (!pending_writes_.empty() && pending_writes_.front().seq <= barrier) {
+    return false;
+  }
+  if (!inflight_write_seqs_.empty() &&
+      *inflight_write_seqs_.begin() <= barrier) {
+    return false;
+  }
+  return true;
+}
+
+bool IoScheduler::PushOneFlushLocked(std::unique_lock<std::mutex>& lock) {
+  if (pending_flushes_.empty() || free_batches_.empty()) return false;
+  if (!FlushBarrierClearLocked(pending_flushes_.front().barrier)) {
+    return false;
+  }
+  const PendingFlush req = pending_flushes_.front();
+  pending_flushes_.pop_front();
+
+  const size_t slot = free_batches_.back();
+  free_batches_.pop_back();
+  Batch& batch = batches_[slot];
+  batch.pages.clear();
+  BatchPage page;
+  page.user_data = req.user_data;
+  page.queue = req.queue;
+  page.attempts = req.attempts;
+  batch.pages.push_back(page);
+  batch.bytes = 0;
+  batch.used = true;
+  batch.is_write = false;
+  batch.is_flush = true;
+  batch.min_seq = 0;
+
+  ++inflight_reads_;
+  ++flushes_;
+  obs::TraceInstant(obs::kCatIo, "io.flush", "inflight", inflight_reads_);
+
+  lock.unlock();
+  WallTimer submit_timer;
+  IoFlush flush;
+  flush.fd = fd_;
+  flush.user_data = slot;
+  flush.delay_us = delay_us_;
+  const Status submitted = backend_->SubmitFlush(flush);
+  if (backend_->kind() == IoBackendKind::kSync) {
+    AddStallNs(static_cast<uint64_t>(submit_timer.ElapsedSeconds() * 1e9));
+  }
+  lock.lock();
+  if (!submitted.ok()) {
+    --inflight_reads_;
+    RouteBatchLocked(batch, submitted);
+    batch.used = false;
+    free_batches_.push_back(slot);
+  }
+  return true;
 }
 
 bool IoScheduler::PushOneBatchLocked(std::unique_lock<std::mutex>& lock,
                                      std::deque<PendingPage>& queue,
                                      bool is_write) {
   if (queue.empty() || free_batches_.empty()) return false;
+  // Retry backoff: a re-queued transient failure at the front holds
+  // this queue until its deadline (FIFO keeps write seqs ordered; the
+  // waits are tens of microseconds).
+  if (queue.front().attempts > 0 &&
+      queue.front().not_before > std::chrono::steady_clock::now()) {
+    return false;
+  }
   // Coalesce the run of adjacent page ids at the queue's front
   // (fetches arrive in page-index order and flushes are sorted by page
   // id, so physically consecutive pages are queue-adjacent).
@@ -170,15 +262,19 @@ bool IoScheduler::PushOneBatchLocked(std::unique_lock<std::mutex>& lock,
   batch.bytes = bytes;
   batch.used = true;
   batch.is_write = is_write;
+  batch.is_flush = false;
+  batch.min_seq = queue.front().seq;
 
   const uint64_t offset = queue.front().page * page_bytes_;
   std::array<::iovec, kMaxIovPerRead> iov{};
   for (size_t p = 0; p < take; ++p) {
     const PendingPage& req = queue.front();
     iov[p] = {req.buf, page_bytes_};
-    batch.pages.push_back(BatchPage{req.user_data, req.queue});
+    batch.pages.push_back(BatchPage{req.user_data, req.queue, req.page,
+                                    req.buf, req.seq, req.attempts});
     queue.pop_front();
   }
+  if (is_write) inflight_write_seqs_.insert(batch.min_seq);
 
   inflight_bytes_ += bytes;
   ++inflight_reads_;
@@ -226,18 +322,52 @@ bool IoScheduler::PushOneBatchLocked(std::unique_lock<std::mutex>& lock,
   }
   lock.lock();
   if (!submitted.ok()) {
-    // Surface the failure through the normal completion path so
-    // every waiter learns about it, then keep pushing what we can.
-    for (const BatchPage& page : batch.pages) {
-      queues_[page.queue].push_back(
-          PageFetchCompletion{page.user_data, submitted});
+    // Surface the failure through the normal completion path (or the
+    // transient-retry re-queue) so every waiter learns about it, then
+    // keep pushing what we can.
+    if (is_write) {
+      inflight_write_seqs_.erase(inflight_write_seqs_.find(batch.min_seq));
     }
-    batch.used = false;
-    free_batches_.push_back(slot);
     inflight_bytes_ -= bytes;
     --inflight_reads_;
+    RouteBatchLocked(batch, submitted);
+    batch.used = false;
+    free_batches_.push_back(slot);
   }
   return true;
+}
+
+void IoScheduler::RouteBatchLocked(Batch& batch, const Status& status) {
+  const bool retryable = !status.ok() &&
+                         status.code() == StatusCode::kUnavailable &&
+                         options_.max_retries > 0;
+  // Re-queued pages go to the *front* (reverse order keeps batch
+  // order), so retried writes keep their low seqs ahead of newer
+  // writes and the flush-barrier front check stays a minimum check.
+  for (size_t p = batch.pages.size(); p > 0; --p) {
+    const BatchPage& page = batch.pages[p - 1];
+    if (retryable && page.attempts < options_.max_retries) {
+      const auto backoff = std::chrono::microseconds(
+          static_cast<uint64_t>(options_.retry_backoff_us)
+          << page.attempts);
+      ++retries_;
+      obs::TraceInstant(obs::kCatIo, "io.retry", "attempt",
+                        page.attempts + 1);
+      if (batch.is_flush) {
+        pending_flushes_.push_front(
+            PendingFlush{0, page.user_data, page.queue, page.attempts + 1});
+        continue;
+      }
+      PendingPage retry{page.page, page.buf, page.user_data, page.queue};
+      retry.seq = page.seq;
+      retry.attempts = page.attempts + 1;
+      retry.not_before = std::chrono::steady_clock::now() + backoff;
+      (batch.is_write ? pending_writes_ : pending_).push_front(
+          std::move(retry));
+      continue;
+    }
+    queues_[page.queue].push_back(PageFetchCompletion{page.user_data, status});
+  }
 }
 
 Status IoScheduler::PushPendingLocked(std::unique_lock<std::mutex>& lock) {
@@ -248,6 +378,10 @@ Status IoScheduler::PushPendingLocked(std::unique_lock<std::mutex>& lock) {
   while (PushOneBatchLocked(lock, pending_, /*is_write=*/false)) {
   }
   while (PushOneBatchLocked(lock, pending_writes_, /*is_write=*/true)) {
+  }
+  // Flushes last: they only become eligible once the writes they fence
+  // have fully completed (FlushBarrierClearLocked).
+  while (PushOneFlushLocked(lock)) {
   }
   return Status::OK();
 }
@@ -264,20 +398,32 @@ size_t IoScheduler::ReapLocked(std::unique_lock<std::mutex>& lock,
   lock.lock();
   for (size_t i = 0; i < n; ++i) {
     Batch& batch = batches_[raw[i].user_data];
-    for (const BatchPage& page : batch.pages) {
-      queues_[page.queue].push_back(
-          PageFetchCompletion{page.user_data, raw[i].status});
+    if (batch.is_write) {
+      inflight_write_seqs_.erase(inflight_write_seqs_.find(batch.min_seq));
     }
-    if (raw[i].status.ok()) {
+    if (raw[i].status.ok() && !batch.is_flush) {
       (batch.is_write ? pages_written_ : pages_read_) +=
           batch.pages.size();
     }
     inflight_bytes_ -= batch.bytes;
     --inflight_reads_;
+    RouteBatchLocked(batch, raw[i].status);
     batch.used = false;
     free_batches_.push_back(raw[i].user_data);
   }
   return n;
+}
+
+std::optional<std::chrono::steady_clock::time_point>
+IoScheduler::NextRetryAtLocked() const {
+  std::optional<std::chrono::steady_clock::time_point> at;
+  for (const auto* queue : {&pending_, &pending_writes_}) {
+    if (!queue->empty() && queue->front().attempts > 0) {
+      const auto deadline = queue->front().not_before;
+      if (!at || deadline < *at) at = deadline;
+    }
+  }
+  return at;
 }
 
 Status IoScheduler::Pump(bool block) {
@@ -289,6 +435,17 @@ Status IoScheduler::Pump(bool block) {
   }
   // Freed batch slots (and byte budget) admit more pending work.
   if (reaped > 0) MPSM_RETURN_NOT_OK(PushPendingLocked(lock));
+  // Nothing in flight but a retry waiting out its backoff: a blocking
+  // pump sleeps to the deadline and re-submits, so callers looping on
+  // Pump(block=true) cannot spin (or deadlock) across the backoff.
+  if (block && reaped == 0 && inflight_reads_ == 0) {
+    if (const auto retry_at = NextRetryAtLocked()) {
+      lock.unlock();
+      std::this_thread::sleep_until(*retry_at);
+      lock.lock();
+      MPSM_RETURN_NOT_OK(PushPendingLocked(lock));
+    }
+  }
   return Status::OK();
 }
 
@@ -307,7 +464,7 @@ size_t IoScheduler::Drain(uint32_t queue, PageFetchCompletion* out,
 bool IoScheduler::Busy() const {
   std::lock_guard<std::mutex> lock(mu_);
   return !pending_.empty() || !pending_writes_.empty() ||
-         inflight_reads_ > 0;
+         !pending_flushes_.empty() || inflight_reads_ > 0;
 }
 
 void IoScheduler::AddStallNs(uint64_t ns) {
@@ -328,6 +485,8 @@ IoSchedulerStats IoScheduler::stats() const {
   stats.write_batches = write_batches_;
   stats.coalesced_write_pages = coalesced_write_pages_;
   stats.io_stall_ns = io_stall_ns_.load(std::memory_order_relaxed);
+  stats.retries = retries_;
+  stats.flushes = flushes_;
   const uint64_t all_batches = io_batches_ + write_batches_;
   stats.mean_queue_depth =
       all_batches > 0 ? static_cast<double>(depth_samples_sum_) /

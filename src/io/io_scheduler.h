@@ -23,10 +23,13 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <memory>
 #include <mutex>
+#include <optional>
+#include <set>
 #include <vector>
 
 #include "io/io_backend.h"
@@ -49,6 +52,13 @@ struct IoSchedulerOptions {
   uint64_t max_inflight_bytes = 0;
   /// Completion queues (>= 1); requests name their queue.
   uint32_t completion_queues = 1;
+  /// Most times a transiently failed batch (kUnavailable: EINTR/EAGAIN
+  /// class) is re-submitted before the failure is routed to callers.
+  /// 0 disables retry.
+  uint32_t max_retries = 3;
+  /// Backoff before the first retry; doubles per attempt (bounded
+  /// exponential: attempt k waits retry_backoff_us << k).
+  uint32_t retry_backoff_us = 100;
 
   Status Validate() const;
 };
@@ -96,6 +106,10 @@ struct IoSchedulerStats {
   /// Wall nanoseconds callers spent blocked on I/O with no productive
   /// work available (recorded by callers via AddStallNs).
   uint64_t io_stall_ns = 0;
+  /// Pages re-submitted after a transient (kUnavailable) failure.
+  uint64_t retries = 0;
+  /// fdatasync barriers issued to the backend (journal durability).
+  uint64_t flushes = 0;
   /// Mean backend operations in flight, sampled after each submission
   /// (reads and writes).
   double mean_queue_depth = 0;
@@ -135,6 +149,15 @@ class IoScheduler {
   /// until the matching completion is drained.
   Status SubmitWrites(const PageWriteRequest* requests, size_t count);
 
+  /// Queues one fdatasync durability barrier on the spool fd, completed
+  /// onto `queue` carrying `user_data`. Write-barrier ordering: the
+  /// flush is not issued to the backend until every write submitted
+  /// *before* this call has completed, so an OK flush completion means
+  /// those writes are on stable storage (the journal's commit fence —
+  /// docs/recovery.md). Writes submitted after the flush may overtake
+  /// it; they are simply also covered if they complete first.
+  Status SubmitFlush(uint64_t user_data, uint32_t queue);
+
   /// Drives I/O forward: pushes pending coalesced batches while the
   /// budget allows and reaps ready backend completions into their
   /// queues. With `block`, waits for at least one completion when
@@ -161,16 +184,25 @@ class IoScheduler {
               size_t page_bytes, uint32_t delay_us,
               IoSchedulerOptions options);
 
-  /// One page of an in-flight batch: where to route its completion.
+  /// One page of an in-flight batch: where to route its completion,
+  /// plus what is needed to re-queue it after a transient failure.
   struct BatchPage {
     uint64_t user_data = 0;
     uint32_t queue = 0;
+    uint64_t page = 0;
+    char* buf = nullptr;
+    uint64_t seq = 0;       // write enqueue order (barrier tracking)
+    uint32_t attempts = 0;  // transient-retry count so far
   };
   struct Batch {
     std::vector<BatchPage> pages;
     uint64_t bytes = 0;
     bool used = false;
     bool is_write = false;
+    bool is_flush = false;
+    /// Enqueue seq of the batch's first write page (FIFO: the minimum),
+    /// tracked in inflight_write_seqs_ while the batch is in flight.
+    uint64_t min_seq = 0;
   };
 
   /// One queued page transfer (read or write; `buf` is the const-cast
@@ -180,21 +212,47 @@ class IoScheduler {
     char* buf = nullptr;
     uint64_t user_data = 0;
     uint32_t queue = 0;
+    uint64_t seq = 0;
+    uint32_t attempts = 0;
+    /// Earliest submission time (transient-retry backoff); zero for
+    /// first attempts.
+    std::chrono::steady_clock::time_point not_before{};
   };
 
-  /// Builds + submits coalesced batches (reads first, then writes)
-  /// while budget allows; caller holds mu_ on entry and exit (dropped
-  /// around backend calls).
+  /// One queued fdatasync barrier: eligible once every write with
+  /// seq <= barrier has completed.
+  struct PendingFlush {
+    uint64_t barrier = 0;
+    uint64_t user_data = 0;
+    uint32_t queue = 0;
+    uint32_t attempts = 0;
+  };
+
+  /// Builds + submits coalesced batches (reads first, then writes,
+  /// then barrier-eligible flushes) while budget allows; caller holds
+  /// mu_ on entry and exit (dropped around backend calls).
   Status PushPendingLocked(std::unique_lock<std::mutex>& lock);
   /// Coalesces + submits one batch from the front of `queue`; caller
   /// holds mu_ (dropped around the backend call). Returns false when
   /// the depth/byte budget blocks further submission from this queue.
   bool PushOneBatchLocked(std::unique_lock<std::mutex>& lock,
                           std::deque<PendingPage>& queue, bool is_write);
+  /// Submits the front pending flush when its write barrier is clear;
+  /// returns false when blocked (barrier, slots) or nothing pending.
+  bool PushOneFlushLocked(std::unique_lock<std::mutex>& lock);
+  /// True when every write submitted before `barrier` has completed.
+  bool FlushBarrierClearLocked(uint64_t barrier) const;
+  /// Routes a finished batch: re-queues transiently failed pages that
+  /// have retries left (counting stats_.retries), routes everything
+  /// else to its completion queue.
+  void RouteBatchLocked(Batch& batch, const Status& status);
   /// Reaps backend completions and routes them; caller holds mu_ on
   /// entry and exit (dropped around backend calls). Returns reaped
   /// batch count.
   size_t ReapLocked(std::unique_lock<std::mutex>& lock, bool block);
+  /// Earliest retry-backoff deadline among pending pages, if any.
+  std::optional<std::chrono::steady_clock::time_point> NextRetryAtLocked()
+      const;
 
   std::unique_ptr<AsyncIoBackend> backend_;
   const int fd_;
@@ -206,11 +264,17 @@ class IoScheduler {
   mutable std::mutex mu_;
   std::deque<PendingPage> pending_;
   std::deque<PendingPage> pending_writes_;
+  std::deque<PendingFlush> pending_flushes_;
   std::vector<Batch> batches_;  // slot table, index == backend user_data
   std::vector<size_t> free_batches_;
   std::vector<std::deque<PageFetchCompletion>> queues_;
   uint64_t inflight_bytes_ = 0;
   size_t inflight_reads_ = 0;
+  /// Per-write enqueue sequence (monotonic) and the min seqs of write
+  /// batches currently in flight — together they answer "is every
+  /// write before barrier B durable-ordered?" for SubmitFlush.
+  uint64_t write_enqueue_seq_ = 0;
+  std::multiset<uint64_t> inflight_write_seqs_;
 
   // Stats (under mu_ except the atomic stall counter).
   uint64_t pages_read_ = 0;
@@ -221,6 +285,8 @@ class IoScheduler {
   uint64_t coalesced_write_pages_ = 0;
   uint64_t depth_samples_sum_ = 0;
   uint64_t peak_inflight_reads_ = 0;
+  uint64_t retries_ = 0;
+  uint64_t flushes_ = 0;
   std::atomic<uint64_t> io_stall_ns_{0};
 };
 

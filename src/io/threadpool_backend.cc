@@ -45,8 +45,15 @@ class ThreadpoolBackend final : public AsyncIoBackend {
 
   Status SubmitWrite(const IoWrite& write) override {
     PendingOp op;
-    op.is_write = true;
+    op.kind = PendingOp::Kind::kWrite;
     op.write = write;
+    return SubmitOp(std::move(op));
+  }
+
+  Status SubmitFlush(const IoFlush& flush) override {
+    PendingOp op;
+    op.kind = PendingOp::Kind::kFlush;
+    op.flush = flush;
     return SubmitOp(std::move(op));
   }
 
@@ -76,12 +83,14 @@ class ThreadpoolBackend final : public AsyncIoBackend {
   IoBackendKind kind() const override { return IoBackendKind::kThreadpool; }
 
  private:
-  /// One queued operation: a read or a write (the pool threads execute
-  /// both with the same blocking helpers).
+  /// One queued operation: a read, a write, or an fdatasync barrier
+  /// (the pool threads execute all three with the blocking helpers).
   struct PendingOp {
-    bool is_write = false;
+    enum class Kind { kRead, kWrite, kFlush };
+    Kind kind = Kind::kRead;
     IoRead read;
     IoWrite write;
+    IoFlush flush;
   };
 
   Status SubmitOp(PendingOp op) {
@@ -104,12 +113,19 @@ class ThreadpoolBackend final : public AsyncIoBackend {
       pending_.pop_front();
       lock.unlock();
       IoCompletion done;
-      if (op.is_write) {
-        done.user_data = op.write.user_data;
-        done.status = PerformBlockingWrite(op.write);
-      } else {
-        done.user_data = op.read.user_data;
-        done.status = PerformBlockingRead(op.read);
+      switch (op.kind) {
+        case PendingOp::Kind::kWrite:
+          done.user_data = op.write.user_data;
+          done.status = PerformBlockingWrite(op.write);
+          break;
+        case PendingOp::Kind::kFlush:
+          done.user_data = op.flush.user_data;
+          done.status = PerformBlockingFlush(op.flush);
+          break;
+        case PendingOp::Kind::kRead:
+          done.user_data = op.read.user_data;
+          done.status = PerformBlockingRead(op.read);
+          break;
       }
       lock.lock();
       completed_.push_back(std::move(done));

@@ -140,7 +140,7 @@ class UringBackend final : public AsyncIoBackend {
     op.iov_count = read.iov_count;
     op.user_data = read.user_data;
     op.total_bytes = read.TotalBytes();
-    op.is_write = false;
+    op.kind = Op::Kind::kRead;
     return SubmitOp(std::move(op), read.fd, read.offset);
   }
 
@@ -150,8 +150,15 @@ class UringBackend final : public AsyncIoBackend {
     op.iov_count = write.iov_count;
     op.user_data = write.user_data;
     op.total_bytes = write.TotalBytes();
-    op.is_write = true;
+    op.kind = Op::Kind::kWrite;
     return SubmitOp(std::move(op), write.fd, write.offset);
+  }
+
+  Status SubmitFlush(const IoFlush& flush) override {
+    Op op;
+    op.user_data = flush.user_data;
+    op.kind = Op::Kind::kFlush;
+    return SubmitOp(std::move(op), flush.fd, 0);
   }
 
   size_t PollCompletions(IoCompletion* out, size_t max,
@@ -182,11 +189,12 @@ class UringBackend final : public AsyncIoBackend {
   /// One in-flight operation; the slot copy pins the iovec array for
   /// the kernel's async transfer.
   struct Op {
+    enum class Kind { kRead, kWrite, kFlush };
     std::array<::iovec, kMaxIovPerRead> iov{};
     uint32_t iov_count = 0;
     uint64_t user_data = 0;
     size_t total_bytes = 0;
-    bool is_write = false;
+    Kind kind = Kind::kRead;
   };
 
   Status SubmitOp(Op op, int fd, uint64_t offset) {
@@ -203,13 +211,25 @@ class UringBackend final : public AsyncIoBackend {
     const unsigned index = tail & mask;
     io_uring_sqe& sqe = sqes_[index];
     std::memset(&sqe, 0, sizeof(sqe));
-    sqe.opcode =
-        slots_[slot].is_write ? IORING_OP_WRITEV : IORING_OP_READV;
     sqe.fd = fd;
-    sqe.off = offset;
-    sqe.addr = reinterpret_cast<uint64_t>(slots_[slot].iov.data());
-    sqe.len = slots_[slot].iov_count;
     sqe.user_data = slot;
+    switch (slots_[slot].kind) {
+      case Op::Kind::kFlush:
+        // Data-only sync: the spool/journal files never need their
+        // metadata (mtime) durable, just the page/record bytes.
+        sqe.opcode = IORING_OP_FSYNC;
+        sqe.fsync_flags = IORING_FSYNC_DATASYNC;
+        break;
+      case Op::Kind::kWrite:
+      case Op::Kind::kRead:
+        sqe.opcode = slots_[slot].kind == Op::Kind::kWrite
+                         ? IORING_OP_WRITEV
+                         : IORING_OP_READV;
+        sqe.off = offset;
+        sqe.addr = reinterpret_cast<uint64_t>(slots_[slot].iov.data());
+        sqe.len = slots_[slot].iov_count;
+        break;
+    }
     sq_array_[index] = index;
     StoreRelease(sq_tail_, tail + 1);
 
@@ -240,15 +260,22 @@ class UringBackend final : public AsyncIoBackend {
     while (n < max && head != tail) {
       const io_uring_cqe& cqe = cqes_[head & mask];
       const auto slot = static_cast<size_t>(cqe.user_data);
-      const char* what =
-          slots_[slot].is_write ? "io_uring writev: " : "io_uring readv: ";
+      const char* what = slots_[slot].kind == Op::Kind::kWrite
+                             ? "io_uring writev: "
+                             : slots_[slot].kind == Op::Kind::kFlush
+                                   ? "io_uring fsync: "
+                                   : "io_uring readv: ";
       IoCompletion& done = out[n++];
       done.user_data = slots_[slot].user_data;
       if (cqe.res < 0) {
         done.status =
-            Status::IoError(std::string(what) + std::strerror(-cqe.res));
-      } else if (static_cast<size_t>(cqe.res) !=
-                 slots_[slot].total_bytes) {
+            (-cqe.res == EAGAIN || -cqe.res == EINTR)
+                ? Status::Unavailable(std::string(what) +
+                                      std::strerror(-cqe.res))
+                : Status::IoError(std::string(what) + std::strerror(-cqe.res));
+      } else if (slots_[slot].kind != Op::Kind::kFlush &&
+                 static_cast<size_t>(cqe.res) !=
+                     slots_[slot].total_bytes) {
         // Spooled pages are fully written before any read, so a short
         // readv here is a hard error, not an EOF to resume; a short
         // writev means the device accepted only part of the page.

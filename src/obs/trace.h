@@ -45,6 +45,7 @@ inline constexpr const char* kCatPool = "pool";
 inline constexpr const char* kCatCache = "cache";
 inline constexpr const char* kCatService = "service";
 inline constexpr const char* kCatDonation = "donation";
+inline constexpr const char* kCatRecovery = "recovery";
 
 /// One recorded event. 64 bytes; name/category/arg keys are borrowed
 /// string literals.

@@ -1,0 +1,392 @@
+#include "recovery/join_journal.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mpsm::recovery {
+
+namespace {
+
+// Record framing (see file comment in the header).
+constexpr uint32_t kTypeHeader = 1;
+constexpr uint32_t kTypeRun = 2;
+constexpr uint32_t kTypeChunk = 3;
+
+// A sane upper bound on one record's payload: a run of a billion pages
+// would be framed long before this. Anything larger is a torn length
+// field, not a record.
+constexpr uint32_t kMaxPayloadBytes = 64u << 20;
+
+void PutU32(std::string& out, uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+void PutU64(std::string& out, uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+/// Bounds-checked little cursor over a replayed payload.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+  bool U32(uint32_t* v) { return Copy(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Copy(v, sizeof(*v)); }
+  bool Bytes(std::string* out, size_t n) {
+    if (size_ - pos_ < n) return false;
+    out->assign(data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool Done() const { return pos_ == size_; }
+
+ private:
+  bool Copy(void* dest, size_t n) {
+    if (size_ - pos_ < n) return false;
+    std::memcpy(dest, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+std::string EncodeFingerprint(const QueryFingerprint& fp) {
+  std::string out;
+  PutU64(out, fp.r_id);
+  PutU64(out, fp.r_version);
+  PutU64(out, fp.r_tuples);
+  PutU64(out, fp.s_id);
+  PutU64(out, fp.s_version);
+  PutU64(out, fp.s_tuples);
+  PutU32(out, fp.join_kind);
+  PutU32(out, fp.team_size);
+  PutU64(out, fp.tuples_per_page);
+  return out;
+}
+
+bool DecodeFingerprint(Reader& in, QueryFingerprint* fp) {
+  return in.U64(&fp->r_id) && in.U64(&fp->r_version) &&
+         in.U64(&fp->r_tuples) && in.U64(&fp->s_id) &&
+         in.U64(&fp->s_version) && in.U64(&fp->s_tuples) &&
+         in.U32(&fp->join_kind) && in.U32(&fp->team_size) &&
+         in.U64(&fp->tuples_per_page);
+}
+
+std::string EncodeRun(const RunRecord& run) {
+  std::string out;
+  PutU32(out, run.run_id);
+  PutU32(out, run.is_private ? 1 : 0);
+  PutU64(out, run.content_checksum);
+  PutU64(out, run.pages.size());
+  for (const disk::PageIndexEntry& e : run.pages) {
+    PutU64(out, e.min_key);
+    PutU64(out, e.page);
+    PutU32(out, e.tuple_count);
+  }
+  return out;
+}
+
+bool DecodeRun(Reader& in, RunRecord* run) {
+  uint32_t is_private = 0;
+  uint64_t num_pages = 0;
+  if (!in.U32(&run->run_id) || !in.U32(&is_private) ||
+      !in.U64(&run->content_checksum) || !in.U64(&num_pages)) {
+    return false;
+  }
+  run->is_private = is_private != 0;
+  if (num_pages > kMaxPayloadBytes / sizeof(disk::PageIndexEntry)) {
+    return false;
+  }
+  run->pages.resize(num_pages);
+  for (disk::PageIndexEntry& e : run->pages) {
+    if (!in.U64(&e.min_key) || !in.U64(&e.page) || !in.U32(&e.tuple_count)) {
+      return false;
+    }
+    e.run = run->run_id;
+  }
+  return in.Done();
+}
+
+std::string EncodeChunk(const ChunkRecord& chunk) {
+  std::string out;
+  PutU32(out, chunk.worker);
+  PutU64(out, chunk.state.size());
+  out.append(chunk.state);
+  return out;
+}
+
+bool DecodeChunk(Reader& in, ChunkRecord* chunk) {
+  uint64_t state_len = 0;
+  if (!in.U32(&chunk->worker) || !in.U64(&state_len)) return false;
+  if (state_len > kMaxPayloadBytes) return false;
+  return in.Bytes(&chunk->state, state_len) && in.Done();
+}
+
+Status WriteAll(int fd, const char* data, size_t size) {
+  size_t done = 0;
+  while (done < size) {
+    const ssize_t n = ::write(fd, data + done, size - done);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("journal write: ") +
+                             std::strerror(errno));
+    }
+    if (n == 0) return Status::IoError("journal write: no progress");
+    done += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Status Fdatasync(int fd) {
+  while (::fdatasync(fd) != 0) {
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("journal fdatasync: ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t Fnv1a(const void* data, size_t len, uint64_t seed) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = seed;
+  for (size_t i = 0; i < len; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ull;
+  }
+  return hash;
+}
+
+uint64_t QueryFingerprint::Hash() const {
+  const std::string encoded = EncodeFingerprint(*this);
+  return Fnv1a(encoded.data(), encoded.size());
+}
+
+JoinJournal::JoinJournal(int fd, std::string path)
+    : fd_(fd), path_(std::move(path)) {}
+
+JoinJournal::~JoinJournal() {
+  if (fd_ >= 0) {
+    // Relaxed mode defers fdatasync; flush the tail at close so a
+    // retained manifest is device-durable once the handle is gone.
+    if (dirty_) (void)::fdatasync(fd_);
+    ::close(fd_);
+  }
+}
+
+Status JoinJournal::Sync() {
+  std::lock_guard<std::mutex> guard(mu_);
+  if (!dirty_) return Status::OK();
+  MPSM_RETURN_NOT_OK(Fdatasync(fd_));
+  dirty_ = false;
+  return Status::OK();
+}
+
+void JoinJournal::Discard() {
+  std::lock_guard<std::mutex> guard(mu_);
+  dirty_ = false;
+}
+
+Result<std::unique_ptr<JoinJournal>> JoinJournal::Create(
+    const std::string& path, const QueryFingerprint& fingerprint,
+    bool strict_sync) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::IoError(std::string("open ") + path + ": " +
+                           std::strerror(errno));
+  }
+  auto journal = std::unique_ptr<JoinJournal>(new JoinJournal(fd, path));
+  journal->strict_sync_ = strict_sync;
+  std::lock_guard<std::mutex> guard(journal->mu_);
+  MPSM_RETURN_NOT_OK(
+      journal->AppendLocked(kTypeHeader, EncodeFingerprint(fingerprint)));
+  journal->commits_ = 0;  // the header is not a commit
+  return journal;
+}
+
+Result<std::unique_ptr<JoinJournal>> JoinJournal::OpenForAppend(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_APPEND, 0644);
+  if (fd < 0) {
+    return Status::IoError(std::string("open ") + path + ": " +
+                           std::strerror(errno));
+  }
+  return std::unique_ptr<JoinJournal>(new JoinJournal(fd, path));
+}
+
+Status JoinJournal::AppendLocked(uint32_t type, const std::string& payload) {
+  std::string frame;
+  frame.reserve(payload.size() + 16);
+  PutU32(frame, static_cast<uint32_t>(payload.size()));
+  PutU32(frame, type);
+  frame.append(payload);
+  const uint64_t checksum =
+      Fnv1a(payload.data(), payload.size(), Fnv1a(&type, sizeof(type)));
+  PutU64(frame, checksum);
+  MPSM_RETURN_NOT_OK(WriteAll(fd_, frame.data(), frame.size()));
+  if (strict_sync_) {
+    MPSM_RETURN_NOT_OK(Fdatasync(fd_));
+  } else {
+    dirty_ = true;
+  }
+  ++commits_;
+  if (kill_after_commits_ != 0 && commits_ >= kill_after_commits_) {
+    // Crash injection: die *after* the record is visible to a resume
+    // (written to the page cache; in strict mode also device-durable),
+    // so the resumed run must honor it (tools/crash_harness).
+    ::kill(::getpid(), SIGKILL);
+  }
+  return Status::OK();
+}
+
+Status JoinJournal::CommitRun(const RunRecord& run) {
+  std::lock_guard<std::mutex> guard(mu_);
+  return AppendLocked(kTypeRun, EncodeRun(run));
+}
+
+Status JoinJournal::CommitChunk(const ChunkRecord& chunk) {
+  std::lock_guard<std::mutex> guard(mu_);
+  return AppendLocked(kTypeChunk, EncodeChunk(chunk));
+}
+
+uint64_t JoinJournal::commits() const {
+  std::lock_guard<std::mutex> guard(mu_);
+  return commits_;
+}
+
+Result<JoinJournal::Replay> JoinJournal::ReplayFile(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) {
+    if (errno == ENOENT) {
+      return Status::NotFound("no manifest at " + path);
+    }
+    return Status::IoError(std::string("open ") + path + ": " +
+                           std::strerror(errno));
+  }
+
+  // Slurp the whole file: manifests are a few records per worker, tiny
+  // next to the spool they describe.
+  std::string raw;
+  char buf[1 << 16];
+  for (;;) {
+    const ssize_t n = ::read(fd, buf, sizeof(buf));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      const Status st = Status::IoError(std::string("journal read: ") +
+                                        std::strerror(errno));
+      ::close(fd);
+      return st;
+    }
+    if (n == 0) break;
+    raw.append(buf, static_cast<size_t>(n));
+  }
+
+  Replay replay;
+  size_t pos = 0;
+  bool saw_header = false;
+  bool torn = false;
+  while (pos < raw.size()) {
+    const size_t record_start = pos;
+    uint32_t payload_len = 0;
+    uint32_t type = 0;
+    uint64_t stored_checksum = 0;
+    if (raw.size() - pos < sizeof(payload_len) + sizeof(type)) {
+      torn = true;
+      break;
+    }
+    std::memcpy(&payload_len, raw.data() + pos, sizeof(payload_len));
+    pos += sizeof(payload_len);
+    std::memcpy(&type, raw.data() + pos, sizeof(type));
+    pos += sizeof(type);
+    if (payload_len > kMaxPayloadBytes ||
+        raw.size() - pos < payload_len + sizeof(stored_checksum)) {
+      torn = true;
+      pos = record_start;
+      break;
+    }
+    const char* payload = raw.data() + pos;
+    pos += payload_len;
+    std::memcpy(&stored_checksum, raw.data() + pos, sizeof(stored_checksum));
+    pos += sizeof(stored_checksum);
+    const uint64_t computed =
+        Fnv1a(payload, payload_len, Fnv1a(&type, sizeof(type)));
+    if (computed != stored_checksum) {
+      torn = true;
+      pos = record_start;
+      break;
+    }
+
+    Reader in(payload, payload_len);
+    bool ok = true;
+    switch (type) {
+      case kTypeHeader:
+        ok = DecodeFingerprint(in, &replay.fingerprint) && in.Done() &&
+             !saw_header;
+        saw_header = saw_header || ok;
+        break;
+      case kTypeRun: {
+        RunRecord run;
+        ok = DecodeRun(in, &run);
+        if (ok) replay.runs.push_back(std::move(run));
+        break;
+      }
+      case kTypeChunk: {
+        ChunkRecord chunk;
+        ok = DecodeChunk(in, &chunk);
+        if (ok) replay.chunks.push_back(std::move(chunk));
+        break;
+      }
+      default:
+        // An unknown type with a valid checksum is a format from the
+        // future, not corruption; treat it as the end of what this
+        // build understands.
+        ok = false;
+        break;
+    }
+    if (!ok) {
+      torn = true;
+      pos = record_start;
+      break;
+    }
+  }
+
+  if (!saw_header) {
+    // Distinguishable from real device errors: the caller treats a
+    // headerless manifest as stale garbage and falls back cold.
+    ::close(fd);
+    return Status::InvalidArgument("manifest at " + path +
+                                   " has no valid header");
+  }
+
+  replay.tail_truncated = torn || pos < raw.size();
+  replay.valid_bytes = pos;
+  if (replay.tail_truncated) {
+    // Truncate the torn tail in place so a later crash + replay sees a
+    // clean record boundary (truncate-and-resume, never fatal).
+    while (::ftruncate(fd, static_cast<off_t>(pos)) != 0) {
+      if (errno == EINTR) continue;
+      const Status st = Status::IoError(std::string("journal truncate: ") +
+                                        std::strerror(errno));
+      ::close(fd);
+      return st;
+    }
+    if (Status st = Fdatasync(fd); !st.ok()) {
+      ::close(fd);
+      return st;
+    }
+  }
+  ::close(fd);
+  return replay;
+}
+
+void JoinJournal::Remove(const std::string& path) {
+  ::unlink(path.c_str());
+}
+
+}  // namespace mpsm::recovery

@@ -428,6 +428,18 @@ void JoinService::ExecuteGroup(engine::Engine& engine, uint32_t lane,
     }
     if (q->down_budgeted) spec.memory_budget_bytes = q->budget_override;
     Result<engine::JoinReport> result = engine.Execute(spec);
+    if (result.ok() && result->dmpsm.has_value() && result->dmpsm->resumed) {
+      // A resubmitted spilling query re-attached durable state from a
+      // previous incarnation's manifest (docs/recovery.md).
+      static obs::Counter& resumed_counter =
+          obs::MetricsRegistry::Global().counter(
+              "mpsm_service_resumed_queries_total",
+              "Service queries that resumed from a crash-recovery "
+              "manifest");
+      resumed_counter.Add(1);
+      std::lock_guard<std::mutex> lock(mu_);
+      ++stats_.resumed_queries;
+    }
     // Labeled per-lane throughput (one registration-path lookup per
     // query — off the hot path).
     obs::MetricsRegistry::Global()

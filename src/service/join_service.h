@@ -95,6 +95,10 @@ struct ServiceOptions {
   /// Base options for every lane engine (workers, machine model,
   /// recalibrate, per-algorithm overrides). The service leaves
   /// memory_budget_bytes alone — admission is governed service-side.
+  /// Set engine.recovery.enabled for crash-safe restartable spilling:
+  /// a resubmitted query whose previous incarnation died mid-spill
+  /// resumes from its durable manifest (docs/recovery.md,
+  /// ServiceStats::resumed_queries).
   engine::EngineOptions engine;
 };
 
@@ -111,6 +115,11 @@ struct ServiceStats {
   /// Shared-sort groups executed with >= 2 members / their total size.
   uint64_t batches = 0;
   uint64_t batched_queries = 0;
+  /// Queries that re-attached durable spill state from a crash-recovery
+  /// manifest (docs/recovery.md): a resubmitted spilling query whose
+  /// previous incarnation died mid-run picked up where it left off.
+  /// Requires ServiceOptions::engine.recovery.enabled.
+  uint64_t resumed_queries = 0;
   /// Morsels executed by guest workers across sessions (DonationPool).
   uint64_t donated_morsels = 0;
   uint64_t peak_queue_depth = 0;

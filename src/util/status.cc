@@ -20,6 +20,10 @@ const char* StatusCodeName(StatusCode code) {
       return "ResourceExhausted";
     case StatusCode::kCancelled:
       return "Cancelled";
+    case StatusCode::kUnavailable:
+      return "Unavailable";
+    case StatusCode::kNotFound:
+      return "NotFound";
   }
   return "Unknown";
 }

@@ -22,6 +22,13 @@ enum class StatusCode {
   kNotSupported,
   kResourceExhausted,
   kCancelled,
+  /// Transient condition (EINTR/EAGAIN-class): retrying the same
+  /// operation may succeed. The IoScheduler retries these with bounded
+  /// backoff before latching a terminal failure.
+  kUnavailable,
+  /// A named durable artifact does not exist (e.g. no recovery
+  /// manifest for a query — a cold start, not a failure).
+  kNotFound,
 };
 
 /// Human-readable name of a StatusCode (e.g. "InvalidArgument").
@@ -57,6 +64,12 @@ class Status {
   }
   static Status Cancelled(std::string msg) {
     return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

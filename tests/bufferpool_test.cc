@@ -12,6 +12,7 @@
 
 #include "bufferpool/buffer_pool.h"
 #include "disk/page_store.h"
+#include "flaky_backend.h"
 #include "io/io_scheduler.h"
 #include "util/rng.h"
 
@@ -385,6 +386,60 @@ TEST(BufferPoolStressTest, RandomizedWorkersMatchDirectReadOracle) {
   EXPECT_EQ(stats.append_pages, total_appended);
   EXPECT_EQ(stats.writebacks, total_appended);
   EXPECT_GT(stats.hits + stats.misses, 0u);
+}
+
+// With every frame consumed by a failing load, pins parked for a free
+// frame must fail promptly with the latched pool error instead of
+// waiting forever for a frame that will never be released.
+TEST(BufferPoolErrorTest, ParkedPinsFailPromptlyOnLatchedError) {
+  PageStoreOptions store_options;
+  store_options.tuples_per_page = kTuplesPerPage;
+  PageStore store(store_options);
+  ASSERT_TRUE(store.Open().ok());
+  for (uint64_t p = 0; p < 2; ++p) {
+    const auto payload = PagePayload(p);
+    ASSERT_TRUE(store.WritePage(payload.data(), payload.size()).ok());
+  }
+
+  io::FlakyBackend::Options flaky;
+  flaky.fail_once_reads = 1;  // the first load dies, latching the pool
+  io::IoSchedulerOptions io_options;
+  io_options.batch_pages = 1;
+  io_options.completion_queues = 2;
+  auto scheduler = io::IoScheduler::CreateWithBackend(
+      std::make_unique<io::FlakyBackend>(8, flaky), store.fd(),
+      store.page_bytes(), store.io_delay_us(), io_options);
+  ASSERT_TRUE(scheduler.ok());
+
+  BufferPoolOptions pool_options;
+  pool_options.frames = 1;  // page 0 takes the only frame; page 1 parks
+  auto created =
+      BufferPool::Create(&store, scheduler->get(), pool_options);
+  ASSERT_TRUE(created.ok());
+  BufferPool& pool = **created;
+
+  PagePinRequest requests[2];
+  for (uint64_t p = 0; p < 2; ++p) {
+    requests[p].page = p;
+    requests[p].user_data = p;
+    requests[p].queue = 0;
+  }
+  ASSERT_TRUE(pool.SubmitPins(requests, 2).ok());
+
+  size_t completed = 0;
+  PagePinCompletion done[2];
+  while (completed < 2) {
+    ASSERT_TRUE(pool.Pump(/*block=*/true).ok());
+    const size_t n = pool.DrainPins(0, done + completed, 2 - completed);
+    for (size_t i = completed; i < completed + n; ++i) {
+      EXPECT_FALSE(done[i].status.ok());
+      EXPECT_EQ(done[i].frame, kInvalidFrame);
+    }
+    completed += n;
+  }
+  EXPECT_GE(pool.stats().deferred_pins, 1u);
+  // The latched load error surfaces at Close, like a write-back error.
+  EXPECT_FALSE(pool.Close().ok());
 }
 
 }  // namespace

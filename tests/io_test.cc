@@ -20,6 +20,7 @@
 #include "disk/page_index.h"
 #include "disk/page_store.h"
 #include "disk/staging_pipeline.h"
+#include "flaky_backend.h"
 #include "io/backend_factories.h"
 #include "io/io_backend.h"
 #include "io/io_scheduler.h"
@@ -367,73 +368,7 @@ TEST(IoSchedulerOptionsTest, ValidateRejectsIllegalKnobs) {
 
 // ---------------------------------------------------- fault injection
 
-/// A backend that fails every `failure_period`-th read — and, when
-/// `write_failure_period` is nonzero, every that-many-th write — with
-/// EIO-style IoError (delegating the rest to a real sync backend).
-class FlakyBackend final : public AsyncIoBackend {
- public:
-  FlakyBackend(size_t queue_depth, uint32_t failure_period,
-               uint32_t write_failure_period = 0)
-      : inner_(io::CreateSyncBackend(queue_depth)),
-        failure_period_(failure_period),
-        write_failure_period_(write_failure_period) {}
-
-  Status SubmitRead(const io::IoRead& read) override {
-    if (++submissions_ % failure_period_ == 0) {
-      InjectFailure(read.user_data);
-      return Status::OK();
-    }
-    return inner_->SubmitRead(read);
-  }
-
-  Status SubmitWrite(const io::IoWrite& write) override {
-    if (write_failure_period_ != 0 &&
-        ++write_submissions_ % write_failure_period_ == 0) {
-      InjectFailure(write.user_data);
-      return Status::OK();
-    }
-    return inner_->SubmitWrite(write);
-  }
-
-  size_t PollCompletions(IoCompletion* out, size_t max,
-                         bool block) override {
-    size_t n = 0;
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      while (n < max && !failed_.empty()) {
-        out[n++] = std::move(failed_.front());
-        failed_.erase(failed_.begin());
-      }
-    }
-    if (n < max) n += inner_->PollCompletions(out + n, max - n, block && n == 0);
-    return n;
-  }
-
-  size_t InFlight() const override {
-    std::lock_guard<std::mutex> lock(mu_);
-    return failed_.size() + inner_->InFlight();
-  }
-
-  size_t queue_depth() const override { return inner_->queue_depth(); }
-  IoBackendKind kind() const override { return inner_->kind(); }
-
- private:
-  void InjectFailure(uint64_t user_data) {
-    IoCompletion failed;
-    failed.user_data = user_data;
-    failed.status = Status::IoError("injected EIO");
-    std::lock_guard<std::mutex> lock(mu_);
-    failed_.push_back(std::move(failed));
-  }
-
-  std::unique_ptr<AsyncIoBackend> inner_;
-  const uint32_t failure_period_;
-  const uint32_t write_failure_period_;
-  std::atomic<uint32_t> submissions_{0};
-  std::atomic<uint32_t> write_submissions_{0};
-  mutable std::mutex mu_;
-  std::vector<IoCompletion> failed_;
-};
+using io::FlakyBackend;  // shared injection backend (flaky_backend.h)
 
 TEST(IoFaultInjectionTest, SchedulerSurfacesInjectedErrors) {
   PageStoreOptions store_options;
@@ -467,6 +402,82 @@ TEST(IoFaultInjectionTest, SchedulerSurfacesInjectedErrors) {
     completed += n;
   }
   EXPECT_EQ(failed, 4u);  // every 3rd of 12
+}
+
+TEST(IoFaultInjectionTest, TransientFailuresAreRetriedNotSurfaced) {
+  PageStoreOptions store_options;
+  store_options.tuples_per_page = 8;
+  PageStore store(store_options);
+  ASSERT_TRUE(store.Open().ok());
+  FillStore(store, 12, 8);
+
+  // The first three reads come back kUnavailable (EINTR/EAGAIN-class);
+  // the scheduler's bounded backoff must absorb them invisibly.
+  FlakyBackend::Options flaky;
+  flaky.fail_once_reads = 3;
+  flaky.failure_code = StatusCode::kUnavailable;
+  IoSchedulerOptions options;
+  options.batch_pages = 1;
+  options.retry_backoff_us = 1;
+  auto scheduler = IoScheduler::CreateWithBackend(
+      std::make_unique<FlakyBackend>(8, flaky), store.fd(),
+      store.page_bytes(), store.io_delay_us(), options);
+  ASSERT_TRUE(scheduler.ok());
+
+  std::vector<std::vector<char>> buffers(12);
+  std::vector<PageFetchRequest> requests(12);
+  for (uint64_t p = 0; p < 12; ++p) {
+    buffers[p].resize(store.page_bytes());
+    requests[p] = PageFetchRequest{p, buffers[p].data(), p, 0};
+  }
+  ASSERT_TRUE((*scheduler)->Submit(requests.data(), requests.size()).ok());
+  size_t completed = 0;
+  PageFetchCompletion done[8];
+  while (completed < 12) {
+    ASSERT_TRUE((*scheduler)->Pump(/*block=*/true).ok());
+    const size_t n = (*scheduler)->Drain(0, done, 8);
+    for (size_t i = 0; i < n; ++i) {
+      EXPECT_TRUE(done[i].status.ok()) << done[i].status.ToString();
+    }
+    completed += n;
+  }
+  EXPECT_GE((*scheduler)->stats().retries, 3u);
+  EXPECT_EQ((*scheduler)->stats().pages_read, 12u);
+}
+
+TEST(IoFaultInjectionTest, RetryBudgetExhaustionSurfacesTransientError) {
+  PageStoreOptions store_options;
+  store_options.tuples_per_page = 8;
+  PageStore store(store_options);
+  ASSERT_TRUE(store.Open().ok());
+  FillStore(store, 1, 8);
+
+  FlakyBackend::Options flaky;
+  flaky.fail_once_reads = 1000;  // never recovers
+  flaky.failure_code = StatusCode::kUnavailable;
+  IoSchedulerOptions options;
+  options.batch_pages = 1;
+  options.max_retries = 2;
+  options.retry_backoff_us = 1;
+  auto scheduler = IoScheduler::CreateWithBackend(
+      std::make_unique<FlakyBackend>(8, flaky), store.fd(),
+      store.page_bytes(), store.io_delay_us(), options);
+  ASSERT_TRUE(scheduler.ok());
+
+  std::vector<char> buffer(store.page_bytes());
+  PageFetchRequest request{0, buffer.data(), 7, 0};
+  ASSERT_TRUE((*scheduler)->Submit(&request, 1).ok());
+  PageFetchCompletion done[4];
+  size_t n = 0;
+  while (n == 0) {
+    ASSERT_TRUE((*scheduler)->Pump(/*block=*/true).ok());
+    n = (*scheduler)->Drain(0, done, 4);
+  }
+  ASSERT_EQ(n, 1u);
+  // The retry budget preserves the transient code so callers can tell
+  // a saturated device from a dying one.
+  EXPECT_EQ(done[0].status.code(), StatusCode::kUnavailable);
+  EXPECT_EQ((*scheduler)->stats().retries, 2u);
 }
 
 TEST(IoFaultInjectionTest, PipelineFailsTheQueryNotTheProcess) {
